@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the reproduced artefact next to the paper's reported values.
+Expensive inputs are session-scoped; the benchmarked body is the
+analysis pipeline itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.governance import simulate_governance
+from repro.survey import conduct_study
+
+
+@pytest.fixture(scope="session")
+def study_dataset():
+    return conduct_study()
+
+
+@pytest.fixture(scope="session")
+def pr_dataset():
+    return simulate_governance()

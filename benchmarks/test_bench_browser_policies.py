@@ -1,0 +1,59 @@
+"""Bench X1 — ablation: tracker linkability across browser policies.
+
+Makes §2/§5's policy discussion executable: the same visit sequence
+with the same embedded third party is replayed under each browser's
+storage-access policy, measuring how many site visits the third party
+can join into one profile.  Expected ordering: no partitioning links
+everything; Chrome+RWS links exactly the Related Website Set; the
+prompting/denying browsers link nothing (absent user consent).
+"""
+
+from repro.browser import BROWSER_POLICIES, TrackerScenario
+from repro.data import build_rws_list
+from repro.reporting import render_table
+
+VISITS = [
+    "ya.ru", "kinopoisk.ru", "auto.ru", "dzen.ru",        # One RWS set.
+    "timesinternet.in", "indiatimes.com",                  # Another set.
+    "bild.de", "cafemedia.com", "greenbasket.com",         # Unrelated.
+]
+EMBEDDED = "webvisor.com"  # Analytics member of the Yandex set (paper §4).
+
+
+def run_matrix():
+    rws_list = build_rws_list()
+    scenario = TrackerScenario(visited_sites=VISITS, embedded_site=EMBEDDED,
+                               rws_list=rws_list)
+    return scenario.run_matrix(BROWSER_POLICIES)
+
+
+def test_bench_browser_policy_matrix(benchmark):
+    reports = benchmark.pedantic(run_matrix, rounds=3, iterations=1)
+
+    rows = [
+        [key, report.browser_name, report.grants, report.max_profile_size,
+         report.linked_pairs]
+        for key, report in reports.items()
+    ]
+    print()
+    print(render_table(
+        ["policy", "browser", "grants", "max profile", "linked pairs"],
+        rows,
+        title=f"Tracker linkability for {EMBEDDED} across "
+              f"{len(VISITS)} visits",
+    ))
+
+    legacy = reports["chrome-legacy"]
+    chrome_rws = reports["chrome-rws"]
+    # No partitioning links every pair of visits.
+    n = len(VISITS)
+    assert legacy.linked_pairs == n * (n - 1) // 2
+    # RWS links exactly the Yandex set's visits (webvisor is a member).
+    largest = max(chrome_rws.profiles, key=len)
+    assert set(largest) == {"ya.ru", "kinopoisk.ru", "auto.ru", "dzen.ru"}
+    # Partitioning browsers link nothing.
+    for key in ("firefox", "safari", "brave"):
+        assert reports[key].linked_pairs == 0, key
+    # The privacy ordering the paper's argument rests on.
+    assert (legacy.linked_pairs > chrome_rws.linked_pairs
+            > reports["brave"].linked_pairs)

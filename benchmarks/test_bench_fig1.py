@@ -1,0 +1,24 @@
+"""Bench F1 — Figure 1: relatedness confusion matrix.
+
+Paper: 72 / 42 / 20 / 296 — 36.8% of same-set pairs judged unrelated
+(privacy-harming errors), 93.7% of unrelated pairs judged correctly.
+"""
+
+from repro.analysis.surveychar import figure1
+from repro.reporting import render_comparison, render_table
+
+
+def test_bench_fig1(benchmark, study_dataset):
+    result = benchmark.pedantic(
+        lambda: figure1(study_dataset), rounds=3, iterations=1,
+    )
+    print()
+    print(render_table(result.headers, result.rows, title=result.title))
+    print(render_comparison(result))
+
+    scalars = result.scalars
+    # The paper's headline: a large minority of same-set pairs are
+    # misjudged as unrelated, while unrelated pairs are mostly correct.
+    assert abs(scalars["privacy_harming_pct"] - 36.8) < 5.0
+    assert abs(scalars["unrelated_correct_pct"] - 93.7) < 3.0
+    assert scalars["related_said_related"] > scalars["related_said_unrelated"]

@@ -1,0 +1,27 @@
+"""Bench F2 — Figure 2: same-set timing CDFs split by response.
+
+Paper: judging two same-set sites *unrelated* takes significantly
+longer than judging them related (KS-significant), while the overall
+timing distributions across the four pair groups are statistically
+indistinguishable.
+"""
+
+from repro.analysis.surveychar import figure2
+from repro.reporting import render_cdf, render_comparison
+
+
+def test_bench_fig2(benchmark, study_dataset):
+    result = benchmark.pedantic(
+        lambda: figure2(study_dataset), rounds=3, iterations=1,
+    )
+    print()
+    print(render_cdf(result.series, title=result.title))
+    print(render_comparison(result))
+
+    assert result.scalars["split_significant"] == 1.0
+    assert result.scalars["ks_p_value"] < 0.05
+    assert result.scalars["significant_category_pairs"] == 0.0
+    # Direction: unrelated decisions are the slow ones.
+    related = result.series["RWS (same set), related"]
+    unrelated = result.series["RWS (same set), unrelated"]
+    assert sum(unrelated) / len(unrelated) > sum(related) / len(related)

@@ -1,0 +1,23 @@
+"""Bench F3 — Figure 3: Levenshtein distance CDFs between member SLDs
+and their primary's.
+
+Paper: 14 service and 108 associated sites; 9.3% of associated SLDs are
+identical to their primary's; median associated distance 7 — domain
+names are an unreliable relatedness signal.
+"""
+
+from repro.analysis.listchar import figure3
+from repro.reporting import render_cdf, render_comparison
+
+
+def test_bench_fig3(benchmark):
+    result = benchmark.pedantic(figure3, rounds=3, iterations=1)
+    print()
+    print(render_cdf(result.series, title=result.title))
+    print(render_comparison(result))
+
+    scalars = result.scalars
+    assert scalars["associated_count"] == 108
+    assert scalars["service_count"] == 14
+    assert scalars["associated_median_distance"] == 7.0
+    assert abs(scalars["associated_identical_fraction"] - 0.093) < 0.001

@@ -1,0 +1,28 @@
+"""Bench F5 — Figure 5: cumulative new-set PRs by final state.
+
+Paper: 114 PRs through 2024-03, rate growing over time, 58.8% closed
+without merging; 60 unique primaries (1.9 PRs per primary).
+"""
+
+from repro.analysis.govchar import figure5
+from repro.reporting import render_comparison, render_table
+
+
+def test_bench_fig5(benchmark, pr_dataset):
+    result = benchmark.pedantic(
+        lambda: figure5(pr_dataset), rounds=3, iterations=1,
+    )
+    print()
+    print(render_table(result.headers, result.rows, title=result.title))
+    print(render_comparison(result))
+
+    scalars = result.scalars
+    assert scalars["total_prs"] == 114
+    assert abs(scalars["closed_pct"] - 58.8) < 0.1
+    assert scalars["unique_primaries"] == 60
+    assert abs(scalars["mean_prs_per_primary"] - 1.9) < 0.01
+    # Growth: monthly arrivals increase over the window.
+    closed = result.series["Closed (without being merged)"]
+    first_half = closed[len(closed) // 2] - closed[0]
+    second_half = closed[-1] - closed[len(closed) // 2]
+    assert second_half > first_half

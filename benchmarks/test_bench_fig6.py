@@ -1,0 +1,27 @@
+"""Bench F6 — Figure 6: CDF of days taken to process new-set PRs.
+
+Paper: 54.3% of unsuccessful PRs close the day they are opened (the
+bot's feedback is immediate); merged PRs take a median of 5 days
+(manual review dominates); only 1 merged PR ever failed a check.
+"""
+
+from repro.analysis.govchar import figure6
+from repro.reporting import render_cdf, render_comparison
+
+
+def test_bench_fig6(benchmark, pr_dataset):
+    result = benchmark.pedantic(
+        lambda: figure6(pr_dataset), rounds=3, iterations=1,
+    )
+    print()
+    print(render_cdf(result.series, title=result.title))
+    print(render_comparison(result))
+
+    scalars = result.scalars
+    assert scalars["approved_median_days"] == 5.0
+    assert abs(scalars["same_day_close_pct"] - 54.3) < 1.0
+    assert scalars["merged_ever_failing_checks"] == 1.0
+    # Long tail: some closures take weeks.
+    closed_series = next(values for name, values in result.series.items()
+                         if name.startswith("Closed"))
+    assert max(closed_series) >= 40

@@ -1,0 +1,30 @@
+"""Bench F7 — Figure 7: set composition over time.
+
+Paper: by 2024-03-26 the list holds 41 sets with 108 associated, 14
+service and a handful of ccTLD members; 92.7% of sets declare at least
+one associated site (the weakest-ownership subset), making associated
+sites the dominant use of the mechanism.
+"""
+
+from repro.analysis.listchar import figure7
+from repro.reporting import render_comparison, render_series
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark.pedantic(figure7, rounds=3, iterations=1)
+    print()
+    months = [row[0] for row in result.rows]
+    print(render_series(months, result.series, title=result.title))
+    print(render_comparison(result))
+
+    scalars = result.scalars
+    assert scalars["sets_total"] == 41
+    assert abs(scalars["fraction_with_associated"] - 0.927) < 0.001
+    assert abs(scalars["fraction_with_service"] - 0.22) < 0.01
+    assert abs(scalars["fraction_with_cctld"] - 0.146) < 0.001
+    assert abs(scalars["mean_associated_per_set"] - 2.6) < 0.1
+    # Associated sites dominate the composition throughout.
+    associated = result.series["Associated sites"]
+    service = result.series["Service sites"]
+    assert all(a >= s for a, s in zip(associated, service))
+    assert associated[-1] == 108

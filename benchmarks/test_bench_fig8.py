@@ -1,0 +1,26 @@
+"""Bench F8 — Figure 8: categories of set primaries over time.
+
+Paper: "News and media" is the largest primary category — sites that
+benefit from third-party-cookie-style functionality adopt RWS early.
+"""
+
+from repro.analysis.listchar import figure8
+from repro.reporting import render_comparison, render_series
+
+
+def test_bench_fig8(benchmark):
+    result = benchmark.pedantic(figure8, rounds=3, iterations=1)
+    print()
+    months = [row[0] for row in result.rows]
+    print(render_series(months, result.series, title=result.title))
+    print(render_comparison(result))
+    print(result.notes)
+
+    finals = {name: values[-1] for name, values in result.series.items()}
+    assert sum(finals.values()) == 41
+    # News and media is the largest final category, as in the paper.
+    assert finals["news and media"] == max(finals.values())
+    # Analytics infrastructure and adult content appear as small bands.
+    assert finals.get("analytics/infrastructure", 0) >= 1
+    assert finals.get("adult content", 0) >= 1
+    assert finals.get("unknown", 0) >= 1

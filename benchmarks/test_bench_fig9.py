@@ -1,0 +1,27 @@
+"""Bench F9 — Figure 9: categories of associated sites over time.
+
+Paper: associated sites span news/IT/business plus analytics
+infrastructure and even compromised/spam entries — data can flow across
+all of them within a set.
+"""
+
+from repro.analysis.listchar import figure9
+from repro.reporting import render_comparison, render_series
+
+
+def test_bench_fig9(benchmark):
+    result = benchmark.pedantic(figure9, rounds=3, iterations=1)
+    print()
+    months = [row[0] for row in result.rows]
+    print(render_series(months, result.series, title=result.title))
+    print(render_comparison(result))
+
+    finals = {name: values[-1] for name, values in result.series.items()}
+    assert sum(finals.values()) == 108
+    # The figure's distinctive bands are present.
+    assert finals["news and media"] >= 10
+    assert finals.get("analytics/infrastructure", 0) >= 1
+    assert finals.get("compromised/spam", 0) >= 1
+    # Growth over the window.
+    news = result.series["news and media"]
+    assert news[-1] > news[0]

@@ -1,0 +1,26 @@
+"""Bench T1 — Table 1: website relatedness survey results summary.
+
+Regenerates the paper's Table 1 (answer counts and mean decision times
+per pair group) from the simulated study and prints it next to the
+paper's values.
+"""
+
+from repro.analysis.surveychar import table1
+from repro.reporting import render_comparison, render_table
+
+
+def test_bench_table1(benchmark, study_dataset):
+    result = benchmark.pedantic(
+        lambda: table1(study_dataset), rounds=3, iterations=1,
+    )
+    print()
+    print(render_table(result.headers, result.rows, title=result.title))
+    print(render_comparison(result))
+
+    # Shape: the same-set group answers mostly "related"; every other
+    # group answers overwhelmingly "unrelated" (paper: 93.7%).
+    scalars = result.scalars
+    assert scalars["rws_same_set_related"] > scalars["rws_same_set_unrelated"]
+    for group in ("rws_other_set", "top_same_category", "top_other_category"):
+        assert scalars[f"{group}_unrelated"] > 5 * scalars[f"{group}_related"]
+    assert abs(scalars["total_responses"] - 430) <= 25

@@ -1,0 +1,27 @@
+"""Bench T2 — Table 2: factors used to determine relatedness.
+
+Regenerates the factor-usage table over the 21 factor respondents; the
+marginal counts reproduce the paper's exactly by construction of the
+factor instrument.
+"""
+
+from repro.analysis.surveychar import table2
+from repro.reporting import render_comparison, render_table
+
+
+def test_bench_table2(benchmark, study_dataset):
+    result = benchmark.pedantic(
+        lambda: table2(study_dataset), rounds=3, iterations=1,
+    )
+    print()
+    print(render_table(result.headers, result.rows, title=result.title))
+    print(render_comparison(result))
+
+    # Branding elements are the most-used cue for "related"
+    # determinations (66.7%), followed by footer text and domain name.
+    scalars = result.scalars
+    assert scalars["branding_related_pct"] == max(
+        value for key, value in scalars.items() if key.endswith("_related_pct")
+    )
+    for key, paper_value in result.paper_values.items():
+        assert abs(scalars[key] - paper_value) < 0.1, key

@@ -1,0 +1,53 @@
+"""Bench X3 — throughput of the validation engine and PSL lookups.
+
+Not a paper artefact: performance baselines for the two hottest code
+paths (the §4 bot's structural validation, and the eTLD+1 lookups every
+subsystem performs), so regressions are visible.
+"""
+
+from repro.data import build_rws_list
+from repro.governance.planner import draft_set
+from repro.psl import default_psl
+from repro.rws import Validator
+
+
+def test_bench_structural_validation(benchmark):
+    """Structure-only validation of the full 41-set list."""
+    rws_list = build_rws_list()
+    validator = Validator()
+
+    def validate_all() -> int:
+        passed = 0
+        for rws_set in rws_list:
+            if validator.validate(rws_set).passed:
+                passed += 1
+        return passed
+
+    passed = benchmark(validate_all)
+    assert passed == len(rws_list)
+
+
+def test_bench_psl_lookup(benchmark):
+    """eTLD+1 lookups over every domain in the reconstructed list."""
+    psl = default_psl()
+    rws_list = build_rws_list()
+    domains = [record.site for record in rws_list.all_members()]
+
+    def lookup_all() -> int:
+        count = 0
+        for domain in domains:
+            if psl.is_etld_plus_one(domain):
+                count += 1
+        return count
+
+    count = benchmark(lookup_all)
+    assert count == len(domains)
+
+
+def test_bench_draft_set_validation(benchmark):
+    """Validating a single draft submission (bot hot path)."""
+    submission = draft_set("throughput.com")
+    validator = Validator()
+
+    report = benchmark(lambda: validator.validate(submission))
+    assert report.passed

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The privacy impact of RWS, made executable (§2 of the paper).
+
+Replays the paper's worked example — timesinternet.in embedding an
+iframe from indiatimes.com that calls ``requestStorageAccess()`` — and
+then quantifies tracker linkability across browser policies: how many
+of a user's site visits can an embedded third party join into one
+profile under each browser's rules?
+
+Run:  python examples/privacy_impact.py
+"""
+
+from repro.browser import BROWSER_POLICIES, Browser, TrackerScenario
+from repro.data import build_rws_list
+from repro.reporting import render_table
+
+
+def worked_example() -> None:
+    """§2's Times Internet walk-through, step by step."""
+    rws_list = build_rws_list()
+    browser = Browser(policy=BROWSER_POLICIES["chrome-rws"],
+                      rws_list=rws_list)
+
+    print("== The paper's worked example (Chrome with RWS)")
+    # The user has interacted with a set member before.
+    browser.visit("indiatimes.com")
+    print("  visited indiatimes.com (first party)")
+
+    # Later, they visit the set primary, which embeds the member.
+    page = browser.visit("timesinternet.in")
+    frame = page.embed("indiatimes.com")
+    decision = browser.request_storage_access(frame)
+    print(f"  timesinternet.in embeds indiatimes.com; "
+          f"requestStorageAccess() -> {decision.value}")
+
+    # The iframe can now read its unpartitioned storage: both sites can
+    # link the user's visits without any prompt.
+    browser.frame_set_item(frame, "uid", "user-42")
+    check = browser.visit("indiatimes.com")
+    first_party_frame = check.embed("indiatimes.com")
+    print(f"  uid visible first-party on indiatimes.com: "
+          f"{browser.frame_get_item(first_party_frame, 'uid')!r}")
+
+    # An unrelated site gets no such grant.
+    other = page.embed("bild.de")
+    print(f"  same page embedding bild.de (different set) -> "
+          f"{browser.request_storage_access(other).value}")
+
+
+def linkability_matrix() -> None:
+    """Tracker linkability across browser policies."""
+    rws_list = build_rws_list()
+    visits = ["ya.ru", "kinopoisk.ru", "auto.ru", "dzen.ru",
+              "timesinternet.in", "bild.de", "cafemedia.com"]
+    scenario = TrackerScenario(visited_sites=visits,
+                               embedded_site="webvisor.com",
+                               rws_list=rws_list)
+    reports = scenario.run_matrix(BROWSER_POLICIES)
+
+    rows = []
+    for key, report in reports.items():
+        profiles = " | ".join(",".join(group) for group in report.profiles
+                              if len(group) > 1) or "(none linked)"
+        rows.append([report.browser_name, report.grants,
+                     report.linked_pairs, profiles])
+    print("\n== Linkability of webvisor.com (an RWS member that is an "
+          "analytics service) across 7 visits")
+    print(render_table(
+        ["browser policy", "grants", "linked pairs", "linked profiles"],
+        rows,
+    ))
+    print("\nReading: without partitioning everything links; with RWS the "
+          "Yandex set's visits\nlink silently; partitioning browsers link "
+          "nothing — the boundary RWS relaxes.")
+
+
+if __name__ == "__main__":
+    worked_example()
+    linkability_matrix()

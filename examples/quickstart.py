@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the Related Website Sets core API in five minutes.
+
+Covers the layers most users need:
+
+1. the Public Suffix List engine (the privacy-boundary primitive);
+2. the reconstructed RWS list and its membership predicate;
+3. canonical JSON round-tripping;
+4. structural validation of a new set proposal.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.data import build_rws_list
+from repro.psl import default_psl
+from repro.rws import RelatedWebsiteSet, Validator, parse_rws_json, serialize_rws_json
+
+
+def main() -> None:
+    # 1. Sites and eTLD+1: the boundary storage partitioning enforces.
+    psl = default_psl()
+    print("== Public Suffix List")
+    for host in ("act.eff.org", "shop.example.co.uk", "www.ck", "foo.bar.ck"):
+        print(f"  {host:22s} site = {psl.etld_plus_one(host)}")
+    print(f"  same site (eff.org, act.eff.org)? "
+          f"{psl.same_site('eff.org', 'act.eff.org')}")
+
+    # 2. The reconstructed RWS list (snapshot 2024-03-26).
+    print("\n== Related Website Sets list")
+    rws_list = build_rws_list()
+    print(f"  {len(rws_list)} sets, {len(rws_list.all_members())} member records")
+    pairs = [
+        ("timesinternet.in", "indiatimes.com"),   # The paper's example.
+        ("bild.de", "autobild.de"),
+        ("bild.de", "computerbild.de"),
+        ("indiatimes.com", "bild.de"),            # Different sets.
+    ]
+    for site_a, site_b in pairs:
+        related = rws_list.related(site_a, site_b)
+        print(f"  related({site_a}, {site_b}) = {related}")
+
+    times_set = rws_list.find_set_for("indiatimes.com")
+    assert times_set is not None
+    print(f"  indiatimes.com belongs to the set of {times_set.primary}: "
+          f"{times_set.members()}")
+
+    # 3. Canonical JSON round-trip.
+    print("\n== Canonical JSON")
+    text = serialize_rws_json(rws_list)
+    reparsed = parse_rws_json(text)
+    print(f"  serialized {len(text)} bytes; round-trip equal: "
+          f"{reparsed.sets == rws_list.sets}")
+
+    # 4. Validate a new proposal (structure-only; the full bot also
+    #    checks .well-known deployment — see submission_checker.py).
+    print("\n== Validating a proposal")
+    proposal = RelatedWebsiteSet(
+        primary="example.com",
+        associated=["blog.example.com"],   # Mistake: not an eTLD+1!
+        rationales={"blog.example.com": "Our blog."},
+    )
+    report = Validator().validate(proposal)
+    print(f"  passed: {report.passed}")
+    print("  " + report.bot_comment().replace("\n", "\n  "))
+
+
+if __name__ == "__main__":
+    main()

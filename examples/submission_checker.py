@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Pre-submission checker: experience the §4 governance pipeline.
+
+The paper finds that 58.8% of RWS pull requests are rejected, mostly
+for mechanical mistakes (Table 3) — above all a missing
+``.well-known/related-website-set.json`` (202 occurrences).  This
+example plays a submitter's session: a first attempt with three typical
+mistakes, the bot's feedback, and the fixed resubmission — the exact
+close-and-reopen loop the paper observes (1.9 PRs per primary).
+
+Run:  python examples/submission_checker.py
+"""
+
+from repro.governance.defects import DefectBundle, realize_run
+from repro.netsim import Client
+from repro.rws import RelatedWebsiteSet, Validator
+
+
+def attempt(label: str, base: RelatedWebsiteSet,
+            bundle: DefectBundle) -> bool:
+    """One validation run: deploy the (possibly defective) set, run the
+    bot, print its comment."""
+    realized = realize_run(base, bundle, seed=42)
+    validator = Validator(client=Client(realized.web))
+    report = validator.validate(realized.submission)
+    print(f"== {label}")
+    print(f"  submitted: primary={realized.submission.primary} "
+          f"members={len(realized.submission.members())}")
+    print("  " + report.bot_comment().replace("\n", "\n  "))
+    print(f"  verdict: {'MERGEABLE' if report.passed else 'REJECTED'}\n")
+    return report.passed
+
+
+def main() -> None:
+    base = RelatedWebsiteSet(
+        primary="aurorapress.com",
+        associated=["auroralife.com", "aurorasport.net"],
+        service=["auroracdn.net"],
+        rationales={
+            "auroralife.com": "Lifestyle vertical of Aurora Press.",
+            "aurorasport.net": "Sports vertical of Aurora Press.",
+            "auroracdn.net": "Static asset host for Aurora properties.",
+        },
+        contact="webmaster@aurorapress.com",
+    )
+
+    # Attempt 1: three typical mistakes (cf. Table 3's top rows) —
+    # two members missing their .well-known file, one associated site
+    # submitted as a subdomain, and the service site not sending
+    # X-Robots-Tag.
+    first = attempt(
+        "Attempt 1 (defective deployment)",
+        base,
+        DefectBundle(wk_missing=2, assoc_not_etld1=1, service_no_xrobots=1),
+    )
+    assert not first
+
+    # The submitter closes the PR, fixes the deployment, and opens a new
+    # one — the resubmission pattern behind the paper's 1.9 PRs/primary.
+    second = attempt("Attempt 2 (fixed deployment)", base, DefectBundle())
+    assert second
+    print("The second PR passes the automated checks and waits for manual "
+          "review\n(median 5 days in the paper's dataset).")
+
+
+if __name__ == "__main__":
+    main()

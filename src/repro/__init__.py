@@ -1,0 +1,36 @@
+"""Reproduction of "A First Look at Related Website Sets" (IMC 2024).
+
+A full-stack, from-scratch implementation of everything the paper
+measures: the Related Website Sets list model and validation bot, the
+browser storage-partitioning policy RWS modifies, the crawling and
+HTML-similarity tooling, the Forcepoint-style categoriser, the GitHub
+governance pipeline, and the §3 user study — plus per-artefact analysis
+pipelines that regenerate every table and figure.
+
+Quickstart::
+
+    from repro.data import build_rws_list
+    from repro.analysis import run_experiment
+
+    rws_list = build_rws_list()
+    print(rws_list.related("timesinternet.in", "indiatimes.com"))  # True
+    result = run_experiment("F3")   # Figure 3 pipeline
+    print(result.scalars)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+__version__ = "1.0.0"
+
+from repro.psl import PublicSuffixList, default_psl
+from repro.rws import RelatedWebsiteSet, RwsList, Validator
+
+__all__ = [
+    "PublicSuffixList",
+    "RelatedWebsiteSet",
+    "RwsList",
+    "Validator",
+    "__version__",
+    "default_psl",
+]

@@ -1,0 +1,50 @@
+"""Per-artefact analysis pipelines.
+
+One function per table/figure in the paper's evaluation, each returning
+a structured result carrying both the reproduced data and the paper's
+reported values so benches and EXPERIMENTS.md can show them side by
+side.  The registry in :mod:`repro.analysis.experiments` maps artefact
+ids ("T1", "F3", ...) to these pipelines.
+"""
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.analysis.govchar import figure5, figure6, table3
+from repro.analysis.listchar import (
+    composition_scalars,
+    figure3,
+    figure4,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.analysis.surveychar import (
+    figure1,
+    figure2,
+    survey_scalars,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "composition_scalars",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "run_experiment",
+    "survey_scalars",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,55 @@
+"""Experiment registry: artefact id -> pipeline."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.govchar import figure5, figure6, table3
+from repro.analysis.listchar import (
+    composition_scalars,
+    figure3,
+    figure4,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.analysis.result import ExperimentResult
+from repro.analysis.surveychar import (
+    figure1,
+    figure2,
+    survey_scalars,
+    table1,
+    table2,
+)
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "T1": table1,
+    "T2": table2,
+    "T3": table3,
+    "F1": figure1,
+    "F2": figure2,
+    "F3": figure3,
+    "F4": figure4,
+    "F5": figure5,
+    "F6": figure6,
+    "F7": figure7,
+    "F8": figure8,
+    "F9": figure9,
+    "A1": composition_scalars,
+    "A2": survey_scalars,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one registered pipeline by artefact id.
+
+    Raises:
+        KeyError: For unknown ids (the message lists valid ones).
+    """
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; valid ids: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key]()

@@ -1,0 +1,273 @@
+"""List-characterisation pipelines: Figures 3, 4, 7, 8, 9 and §4 scalars."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.result import ExperimentResult
+from repro.categorize import CategoryDatabase
+from repro.data import (
+    build_category_database,
+    build_rws_history,
+    build_rws_list,
+    build_site_catalog,
+)
+from repro.html import page_similarity
+from repro.netsim import Client
+from repro.psl import default_psl
+from repro.rws.history import RwsHistory
+from repro.rws.model import RwsList, SiteRole
+from repro.strmetrics import levenshtein_distance
+from repro.webgen import build_web_for_catalog
+
+
+def figure3(rws_list: RwsList | None = None) -> ExperimentResult:
+    """Figure 3: Levenshtein distance between member and primary SLDs."""
+    rws_list = rws_list or build_rws_list()
+    psl = default_psl()
+
+    def distances(role: SiteRole) -> list[float]:
+        values: list[float] = []
+        for record in rws_list.members_with_role(role):
+            member_label = psl.second_level_label(record.site)
+            primary_label = psl.second_level_label(record.set_primary)
+            if member_label is None or primary_label is None:
+                continue
+            values.append(float(levenshtein_distance(member_label,
+                                                     primary_label)))
+        return sorted(values)
+
+    service = distances(SiteRole.SERVICE)
+    associated = distances(SiteRole.ASSOCIATED)
+    identical = sum(1 for value in associated if value == 0)
+    return ExperimentResult(
+        experiment_id="F3",
+        title="CDFs of Levenshtein edit distance between service/associated "
+              "site SLDs and their primary's (list of 2024-03-26)",
+        series={
+            f"Service sites ({len(service)})": service,
+            f"Associated sites ({len(associated)})": associated,
+        },
+        scalars={
+            "associated_count": float(len(associated)),
+            "service_count": float(len(service)),
+            "associated_median_distance": statistics.median(associated),
+            "associated_identical_fraction": identical / len(associated),
+        },
+        paper_values={
+            "associated_count": 108.0,
+            "service_count": 14.0,
+            "associated_median_distance": 7.0,
+            "associated_identical_fraction": 0.093,
+        },
+    )
+
+
+def figure4(
+    rws_list: RwsList | None = None, *, seed: int = 0
+) -> ExperimentResult:
+    """Figure 4: HTML similarity of set members vs their primaries.
+
+    Crawls every live (primary, associated/service member) pair on the
+    synthetic web and scores it with the html-similarity metrics.
+    """
+    rws_list = rws_list or build_rws_list()
+    catalog = build_site_catalog()
+    web = build_web_for_catalog(catalog, rws_list, seed=seed)
+    client = Client(web)
+
+    page_cache: dict[str, str] = {}
+
+    def page(domain: str) -> str | None:
+        if domain not in page_cache:
+            response = client.get(f"https://{domain}/")
+            page_cache[domain] = response.body if response.ok else ""
+        return page_cache[domain] or None
+
+    style: list[float] = []
+    structural: list[float] = []
+    joint: list[float] = []
+    for record in rws_list.all_members():
+        if record.role not in (SiteRole.ASSOCIATED, SiteRole.SERVICE):
+            continue
+        member_spec = catalog.get(record.site)
+        primary_spec = catalog.get(record.set_primary)
+        if member_spec is None or primary_spec is None:
+            continue
+        if not (member_spec.live and primary_spec.live):
+            continue
+        primary_html = page(record.set_primary)
+        member_html = page(record.site)
+        if primary_html is None or member_html is None:
+            continue
+        scores = page_similarity(primary_html, member_html)
+        style.append(scores.style)
+        structural.append(scores.structural)
+        joint.append(scores.joint)
+
+    return ExperimentResult(
+        experiment_id="F4",
+        title="CDFs of HTML similarity scores of set primaries and their "
+              "service/associated sites",
+        series={
+            "Style similarity": sorted(style),
+            "Structural similarity": sorted(structural),
+            "Joint similarity": sorted(joint),
+        },
+        scalars={
+            "pairs_scored": float(len(joint)),
+            "median_joint_similarity": statistics.median(joint),
+            "median_style_similarity": statistics.median(style),
+        },
+        paper_values={"median_joint_similarity": 0.04},
+        notes="Synthetic web substitutes the live crawl; see DESIGN.md.",
+    )
+
+
+def figure7(history: RwsHistory | None = None) -> ExperimentResult:
+    """Figure 7: set composition over time."""
+    history = history or build_rws_history()
+    series = history.composition_series()
+    months = sorted(series)
+    service = [float(series[m][SiteRole.SERVICE]) for m in months]
+    associated = [float(series[m][SiteRole.ASSOCIATED]) for m in months]
+    cctld = [float(series[m][SiteRole.CCTLD]) for m in months]
+
+    final = history.latest.rws_list
+    sets_total = len(final)
+    with_associated = sum(1 for s in final if s.associated)
+    with_service = sum(1 for s in final if s.service)
+    with_cctld = sum(1 for s in final if s.cctld_sites)
+    return ExperimentResult(
+        experiment_id="F7",
+        title="Set composition over time",
+        headers=["month", "service", "associated", "cctld"],
+        rows=[[m, int(s), int(a), int(c)]
+              for m, s, a, c in zip(months, service, associated, cctld)],
+        series={
+            "Service sites": service,
+            "Associated sites": associated,
+            "ccTLD sites": cctld,
+        },
+        scalars={
+            "sets_total": float(sets_total),
+            "fraction_with_associated": with_associated / sets_total,
+            "fraction_with_service": with_service / sets_total,
+            "fraction_with_cctld": with_cctld / sets_total,
+            "mean_associated_per_set": associated[-1] / sets_total,
+        },
+        paper_values={
+            "sets_total": 41.0,
+            "fraction_with_associated": 0.927,
+            "fraction_with_service": 0.22,
+            "fraction_with_cctld": 0.146,
+            "mean_associated_per_set": 2.6,
+        },
+    )
+
+
+def _category_series(
+    history: RwsHistory,
+    database: CategoryDatabase,
+    role: SiteRole,
+) -> tuple[list[str], dict[str, list[float]]]:
+    """Per-month member counts per merged category, for one role."""
+    import datetime as dt
+
+    months = history.monthly_dates()
+    monthly_counts: list[dict[str, int]] = []
+    categories: set[str] = set()
+    for month in months:
+        year, month_number = (int(part) for part in month.split("-"))
+        if month_number == 12:
+            month_end = dt.date(year + 1, 1, 1) - dt.timedelta(days=1)
+        else:
+            month_end = dt.date(year, month_number + 1, 1) - dt.timedelta(days=1)
+        in_force = history.as_of(month_end)
+        counts: dict[str, int] = {}
+        if in_force is not None:
+            for record in in_force.members_with_role(role):
+                category = database.category(record.site).value
+                counts[category] = counts.get(category, 0) + 1
+        monthly_counts.append(counts)
+        categories.update(counts)
+
+    series = {
+        category: [float(counts.get(category, 0)) for counts in monthly_counts]
+        for category in sorted(categories)
+    }
+    return months, series
+
+
+def figure8(history: RwsHistory | None = None,
+            database: CategoryDatabase | None = None) -> ExperimentResult:
+    """Figure 8: Forcepoint-style categories of set primaries over time."""
+    history = history or build_rws_history()
+    database = database or build_category_database()
+    months, series = _category_series(history, database, SiteRole.PRIMARY)
+    final = {category: values[-1] for category, values in series.items()}
+    top = max(final, key=lambda c: final[c])
+    return ExperimentResult(
+        experiment_id="F8",
+        title="Categories of set primaries over time",
+        headers=["month"] + sorted(series),
+        rows=[[month] + [int(series[c][i]) for c in sorted(series)]
+              for i, month in enumerate(months)],
+        series=series,
+        scalars={
+            "final_total": sum(final.values()),
+            "news_and_media_final": final.get("news and media", 0.0),
+        },
+        paper_values={"final_total": 41.0},
+        notes=f"Largest final category: {top} (paper: news and media).",
+    )
+
+
+def figure9(history: RwsHistory | None = None,
+            database: CategoryDatabase | None = None) -> ExperimentResult:
+    """Figure 9: categories of associated sites over time."""
+    history = history or build_rws_history()
+    database = database or build_category_database()
+    months, series = _category_series(history, database, SiteRole.ASSOCIATED)
+    final = {category: values[-1] for category, values in series.items()}
+    return ExperimentResult(
+        experiment_id="F9",
+        title="Categories of associated sites over time",
+        headers=["month"] + sorted(series),
+        rows=[[month] + [int(series[c][i]) for c in sorted(series)]
+              for i, month in enumerate(months)],
+        series=series,
+        scalars={"final_total": sum(final.values())},
+        paper_values={"final_total": 108.0},
+    )
+
+
+def composition_scalars(rws_list: RwsList | None = None) -> ExperimentResult:
+    """A1: the §4 headline scalars about the current list."""
+    rws_list = rws_list or build_rws_list()
+    composition = rws_list.composition()
+    sets_total = len(rws_list)
+    return ExperimentResult(
+        experiment_id="A1",
+        title="§4 list-composition scalars",
+        scalars={
+            "sets": float(sets_total),
+            "associated_members": float(composition[SiteRole.ASSOCIATED]),
+            "service_members": float(composition[SiteRole.SERVICE]),
+            "cctld_members": float(composition[SiteRole.CCTLD]),
+            "pct_sets_with_associated": 100.0 * sum(
+                1 for s in rws_list if s.associated) / sets_total,
+            "pct_sets_with_service": 100.0 * sum(
+                1 for s in rws_list if s.service) / sets_total,
+            "pct_sets_with_cctld": 100.0 * sum(
+                1 for s in rws_list if s.cctld_sites) / sets_total,
+        },
+        paper_values={
+            "sets": 41.0,
+            "associated_members": 108.0,
+            "service_members": 14.0,
+            "pct_sets_with_associated": 92.7,
+            "pct_sets_with_service": 22.0,
+            "pct_sets_with_cctld": 14.6,
+        },
+    )

@@ -1,0 +1,42 @@
+"""Common result type for analysis pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one table/figure pipeline.
+
+    Attributes:
+        experiment_id: Paper artefact id ("T1", "F3", ...).
+        title: Human-readable title matching the paper's caption.
+        headers: Column headers for tabular artefacts.
+        rows: Table rows (tabular artefacts).
+        series: Named numeric series (CDF/time-series artefacts).
+        scalars: Named headline numbers, as measured here.
+        paper_values: The corresponding numbers the paper reports, for
+            side-by-side comparison (same keys as ``scalars`` where
+            possible).
+        notes: Free-text caveats (substitutions, calibration notes).
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list[Any]] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+    paper_values: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def comparison_rows(self) -> list[list[Any]]:
+        """(metric, measured, paper) rows for every shared scalar."""
+        rows: list[list[Any]] = []
+        for key, measured in self.scalars.items():
+            paper = self.paper_values.get(key)
+            rows.append([key, round(measured, 3),
+                         round(paper, 3) if paper is not None else "—"])
+        return rows

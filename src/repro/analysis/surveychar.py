@@ -1,0 +1,194 @@
+"""Survey pipelines: Tables 1-2, Figures 1-2, §3 scalars."""
+
+from __future__ import annotations
+
+from repro.analysis.result import ExperimentResult
+from repro.survey import (
+    StudyDataset,
+    confusion_matrix,
+    conduct_study,
+    factor_table,
+    participants_with_errors,
+    table1_summary,
+    timing_split_same_set,
+)
+from repro.survey.analysis import pairwise_category_ks
+
+# Paper Table 1 cells: (group, related count, related mean s,
+# unrelated count, unrelated mean s).
+_PAPER_TABLE1 = {
+    "RWS (same set)": (72, 28.1, 42, 39.4),
+    "RWS (other set)": (5, 25.5, 100, 32.5),
+    "Top Site (same category)": (8, 32.6, 104, 33.2),
+    "Top Site (other category)": (7, 31.5, 92, 26.5),
+}
+
+
+def _study(dataset: StudyDataset | None) -> StudyDataset:
+    return dataset if dataset is not None else conduct_study()
+
+
+def table1(dataset: StudyDataset | None = None) -> ExperimentResult:
+    """Table 1: survey results summary."""
+    dataset = _study(dataset)
+    rows = []
+    scalars: dict[str, float] = {}
+    paper: dict[str, float] = {}
+    for summary in table1_summary(dataset):
+        paper_row = _PAPER_TABLE1[summary.group.value]
+        rows.append([
+            summary.group.value,
+            f"{summary.related_count} ({summary.related_mean_seconds:.1f}s)",
+            f"{summary.unrelated_count} "
+            f"({summary.unrelated_mean_seconds:.1f}s)",
+        ])
+        key = summary.group.name.lower()
+        scalars[f"{key}_related"] = float(summary.related_count)
+        scalars[f"{key}_unrelated"] = float(summary.unrelated_count)
+        paper[f"{key}_related"] = float(paper_row[0])
+        paper[f"{key}_unrelated"] = float(paper_row[2])
+    scalars["total_responses"] = float(len(dataset.responses))
+    paper["total_responses"] = 430.0
+    return ExperimentResult(
+        experiment_id="T1",
+        title="Website relatedness survey results summary",
+        headers=["Category", "Related", "Unrelated"],
+        rows=rows,
+        scalars=scalars,
+        paper_values=paper,
+        notes="Simulated participants; see DESIGN.md substitution #4.",
+    )
+
+
+def table2(dataset: StudyDataset | None = None) -> ExperimentResult:
+    """Table 2: factors used to determine (un)relatedness."""
+    dataset = _study(dataset)
+    table = factor_table(dataset)
+    rows = []
+    scalars: dict[str, float] = {}
+    paper: dict[str, float] = {}
+    paper_percentages = {
+        "Domain name": (57.1, 52.4),
+        "Branding elements": (66.7, 61.9),
+        "Header text": (42.8, 52.4),
+        "Footer text": (61.9, 52.4),
+        "“About” pages or similar": (47.6, 33.3),
+        "Other": (19.0, 23.8),
+    }
+    for factor, (related, unrelated, related_pct, unrelated_pct) in table.items():
+        rows.append([
+            factor.value,
+            f"{related} ({related_pct:.1f}%)",
+            f"{unrelated} ({unrelated_pct:.1f}%)",
+        ])
+        key = factor.name.lower()
+        scalars[f"{key}_related_pct"] = related_pct
+        scalars[f"{key}_unrelated_pct"] = unrelated_pct
+        paper_rel, paper_unrel = paper_percentages[factor.value]
+        paper[f"{key}_related_pct"] = paper_rel
+        paper[f"{key}_unrelated_pct"] = paper_unrel
+    return ExperimentResult(
+        experiment_id="T2",
+        title="Factors used to determine relatedness and unrelatedness",
+        headers=["Factor used", "Related", "Unrelated"],
+        rows=rows,
+        scalars=scalars,
+        paper_values=paper,
+    )
+
+
+def figure1(dataset: StudyDataset | None = None) -> ExperimentResult:
+    """Figure 1: the relatedness confusion matrix."""
+    dataset = _study(dataset)
+    matrix = confusion_matrix(dataset)
+    total_related = (matrix.related_said_related
+                     + matrix.related_said_unrelated)
+    total_unrelated = (matrix.unrelated_said_related
+                       + matrix.unrelated_said_unrelated)
+    rows = [
+        ["Expected related",
+         f"{matrix.related_said_related} "
+         f"({100 * matrix.related_said_related / max(1, total_related):.1f}%)",
+         f"{matrix.related_said_unrelated} "
+         f"({100 * matrix.related_said_unrelated / max(1, total_related):.1f}%)"],
+        ["Expected unrelated",
+         f"{matrix.unrelated_said_related} "
+         f"({100 * matrix.unrelated_said_related / max(1, total_unrelated):.1f}%)",
+         f"{matrix.unrelated_said_unrelated} "
+         f"({100 * matrix.unrelated_said_unrelated / max(1, total_unrelated):.1f}%)"],
+    ]
+    return ExperimentResult(
+        experiment_id="F1",
+        title="Website relatedness survey results matrix",
+        headers=["", "Answered related", "Answered unrelated"],
+        rows=rows,
+        scalars={
+            "related_said_related": float(matrix.related_said_related),
+            "related_said_unrelated": float(matrix.related_said_unrelated),
+            "unrelated_said_related": float(matrix.unrelated_said_related),
+            "unrelated_said_unrelated": float(matrix.unrelated_said_unrelated),
+            "privacy_harming_pct": 100 * matrix.privacy_harming_fraction,
+            "unrelated_correct_pct": 100 * matrix.unrelated_correct_fraction,
+        },
+        paper_values={
+            "related_said_related": 72.0,
+            "related_said_unrelated": 42.0,
+            "unrelated_said_related": 20.0,
+            "unrelated_said_unrelated": 296.0,
+            "privacy_harming_pct": 36.8,
+            "unrelated_correct_pct": 93.7,
+        },
+    )
+
+
+def figure2(dataset: StudyDataset | None = None) -> ExperimentResult:
+    """Figure 2: same-set timing distributions split by answer + KS."""
+    dataset = _study(dataset)
+    related, unrelated, ks = timing_split_same_set(dataset)
+    category_tests = pairwise_category_ks(dataset)
+    significant_pairs = sum(1 for r in category_tests.values()
+                            if r.significant())
+    return ExperimentResult(
+        experiment_id="F2",
+        title="Survey timing distributions, RWS (same set) pairs, "
+              "split by response",
+        series={
+            "RWS (same set), related": related,
+            "RWS (same set), unrelated": unrelated,
+        },
+        scalars={
+            "ks_statistic": ks.statistic,
+            "ks_p_value": ks.p_value,
+            "split_significant": 1.0 if ks.significant() else 0.0,
+            "significant_category_pairs": float(significant_pairs),
+        },
+        paper_values={
+            "split_significant": 1.0,
+            "significant_category_pairs": 0.0,
+        },
+    )
+
+
+def survey_scalars(dataset: StudyDataset | None = None) -> ExperimentResult:
+    """A2: §3 headline numbers."""
+    dataset = _study(dataset)
+    matrix = confusion_matrix(dataset)
+    erring, total, fraction = participants_with_errors(dataset)
+    return ExperimentResult(
+        experiment_id="A2",
+        title="§3 survey scalars",
+        scalars={
+            "responses": float(len(dataset.responses)),
+            "participants": float(total),
+            "privacy_harming_pct": 100 * matrix.privacy_harming_fraction,
+            "participants_with_error_pct": 100 * fraction,
+            "unrelated_correct_pct": 100 * matrix.unrelated_correct_fraction,
+        },
+        paper_values={
+            "responses": 430.0,
+            "participants": 30.0,
+            "privacy_harming_pct": 36.8,
+            "participants_with_error_pct": 73.3,
+            "unrelated_correct_pct": 93.7,
+        },
+    )

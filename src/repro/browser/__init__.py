@@ -1,0 +1,53 @@
+"""Browser storage-partitioning simulator.
+
+§2 of the paper describes the mechanism RWS modifies: browsers enforce
+the *site-as-privacy-boundary* by partitioning storage — an embedded
+``tracker.example`` gets a different cookie jar under every top-level
+site, so it cannot link a user's visits across sites.  The Storage
+Access API lets an embedded document ask for its *unpartitioned*
+storage; Related Website Sets is Chrome's policy for granting that
+request without a user prompt when the two sites share a set.
+
+This package makes that whole stack executable:
+
+* :mod:`repro.browser.storage` — partitioned key/value storage with
+  (origin, partition-site) keys;
+* :mod:`repro.browser.cookies` — cookie jars with partition keys;
+* :mod:`repro.browser.policy` — per-browser policy objects (Chrome with
+  RWS auto-grant, Firefox/Safari prompts, Brave deny-by-default, plus a
+  no-partitioning legacy profile);
+* :mod:`repro.browser.page` — top-level pages and embedded frames;
+* :mod:`repro.browser.engine` — the browser: visiting, embedding,
+  ``requestStorageAccess`` handling, user-interaction tracking;
+* :mod:`repro.browser.tracking` — a tracker-linkability harness that
+  quantifies the privacy impact of each policy (the paper's core
+  concern, made measurable).
+"""
+
+from repro.browser.cookies import Cookie, CookieJar
+from repro.browser.engine import Browser
+from repro.browser.page import Frame, Page
+from repro.browser.policy import (
+    BROWSER_POLICIES,
+    BrowserPolicy,
+    GrantDecision,
+    PromptBehavior,
+)
+from repro.browser.storage import PartitionedStorage, StorageKey
+from repro.browser.tracking import LinkabilityReport, TrackerScenario
+
+__all__ = [
+    "BROWSER_POLICIES",
+    "Browser",
+    "BrowserPolicy",
+    "Cookie",
+    "CookieJar",
+    "Frame",
+    "GrantDecision",
+    "LinkabilityReport",
+    "Page",
+    "PartitionedStorage",
+    "PromptBehavior",
+    "StorageKey",
+    "TrackerScenario",
+]

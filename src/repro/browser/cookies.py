@@ -1,0 +1,75 @@
+"""Cookie jar with partition-key semantics (CHIPS-style).
+
+Cookies carry an optional partition key.  A partitioned profile keys
+third-party cookies by the top-level site; a grant (or an unpartitioned
+profile) lets the embedded site read its first-party jar instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Cookie:
+    """One cookie.
+
+    Attributes:
+        name: Cookie name.
+        value: Cookie value.
+        site: The site (eTLD+1) that set it.
+        partition: The top-level site it is partitioned under; equal to
+            ``site`` for first-party cookies.
+        secure: HTTPS-only flag.
+    """
+
+    name: str
+    value: str
+    site: str
+    partition: str
+    secure: bool = True
+
+    @property
+    def is_partitioned(self) -> bool:
+        """True when keyed under a different top-level site."""
+        return self.site != self.partition
+
+
+@dataclass
+class CookieJar:
+    """All cookies in one browser profile."""
+
+    _cookies: dict[tuple[str, str, str], Cookie] = field(default_factory=dict)
+
+    def set(self, cookie: Cookie) -> None:
+        """Store (or overwrite) a cookie."""
+        self._cookies[(cookie.site, cookie.partition, cookie.name)] = cookie
+
+    def get(self, site: str, partition: str, name: str) -> Cookie | None:
+        """One cookie by exact (site, partition, name), or None."""
+        return self._cookies.get((site, partition, name))
+
+    def cookies_for(self, site: str, partition: str) -> list[Cookie]:
+        """All cookies a context (site under partition) can read."""
+        return sorted(
+            (cookie for (c_site, c_partition, _), cookie in self._cookies.items()
+             if c_site == site and c_partition == partition),
+            key=lambda cookie: cookie.name,
+        )
+
+    def partitions_for_site(self, site: str) -> list[str]:
+        """Every partition in which a site has cookies."""
+        return sorted({
+            partition for (c_site, partition, _) in self._cookies
+            if c_site == site
+        })
+
+    def clear_site(self, site: str) -> None:
+        """Delete all of a site's cookies across partitions."""
+        self._cookies = {
+            key: cookie for key, cookie in self._cookies.items()
+            if cookie.site != site
+        }
+
+    def __len__(self) -> int:
+        return len(self._cookies)

@@ -1,0 +1,68 @@
+"""Pages and embedded frames."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.storage import StorageKey
+
+
+@dataclass
+class Frame:
+    """An embedded document (an ``<iframe>``).
+
+    Attributes:
+        site: The frame document's site (eTLD+1).
+        page: The containing top-level page.
+        has_storage_access: Whether a storage-access grant is active
+            for this frame.
+    """
+
+    site: str
+    page: "Page"
+    has_storage_access: bool = False
+
+    @property
+    def is_cross_site(self) -> bool:
+        """True when the frame is third-party to the page."""
+        return self.site != self.page.site
+
+    def storage_key(self, partitioned: bool) -> StorageKey:
+        """The storage key this frame's script operates on.
+
+        Args:
+            partitioned: Whether the profile partitions third-party
+                storage (and no grant is active).
+        """
+        if self.has_storage_access or not partitioned or not self.is_cross_site:
+            return StorageKey.first_party(self.site)
+        return StorageKey(site=self.site, partition=self.page.site)
+
+
+@dataclass
+class Page:
+    """A top-level page (one tab navigation).
+
+    Attributes:
+        site: The top-level site (eTLD+1).
+        frames: Embedded frames, in embed order.
+        granted_sites: Sites granted unpartitioned access page-wide
+            (via ``requestStorageAccessFor``); frames embedded from
+            these sites start with storage access.
+    """
+
+    site: str
+    frames: list[Frame] = field(default_factory=list)
+    granted_sites: set[str] = field(default_factory=set)
+
+    def embed(self, site: str) -> Frame:
+        """Embed an iframe from a site and return it."""
+        frame = Frame(site=site.lower(), page=self)
+        if frame.site in self.granted_sites:
+            frame.has_storage_access = True
+        self.frames.append(frame)
+        return frame
+
+    def storage_key(self) -> StorageKey:
+        """The top-level document's (always first-party) storage key."""
+        return StorageKey.first_party(self.site)

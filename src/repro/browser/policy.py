@@ -1,0 +1,106 @@
+"""Per-browser storage-access policies.
+
+§2 of the paper surveys the state of the site-as-privacy-boundary
+across browsers:
+
+* **Chrome / Edge** — no default partitioning yet, but Chrome has
+  deployed Related Website Sets: a same-set ``requestStorageAccess``
+  call is granted without a prompt.
+* **Firefox** — partitions by default; the Storage Access API prompts
+  the user in some cases (auto-granting below a small quota).
+* **Safari** — partitions by default; always prompts.
+* **Brave** — partitions by default; no storage-access relaxation.
+
+These are expressed as data (:class:`BrowserPolicy`) so the benchmark
+matrix (ablation X1) can compare them on identical workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PromptBehavior(enum.Enum):
+    """What happens when a storage-access request needs user consent."""
+
+    NEVER_PROMPT_DENY = "deny"            # Brave: no rSA escape hatch.
+    PROMPT_ALWAYS = "prompt-always"       # Safari.
+    PROMPT_WITH_AUTOGRANT = "prompt-auto" # Firefox: small auto-grant quota.
+    NO_PARTITIONING = "no-partitioning"   # Legacy: everything already shared.
+
+
+class GrantDecision(enum.Enum):
+    """Outcome of one requestStorageAccess call."""
+
+    GRANTED_SAME_SITE = "granted-same-site"
+    GRANTED_RWS = "granted-rws"
+    GRANTED_PROMPT = "granted-prompt"
+    GRANTED_AUTO = "granted-auto"
+    GRANTED_UNPARTITIONED = "granted-unpartitioned"
+    DENIED_PROMPT_DECLINED = "denied-prompt-declined"
+    DENIED_POLICY = "denied-policy"
+    DENIED_NO_USER_GESTURE = "denied-no-user-gesture"
+    DENIED_SERVICE_TOP_LEVEL = "denied-service-top-level"
+
+    @property
+    def granted(self) -> bool:
+        """True for any granting outcome."""
+        return self.value.startswith("granted")
+
+
+@dataclass(frozen=True)
+class BrowserPolicy:
+    """One browser's partitioning + storage-access configuration.
+
+    Attributes:
+        name: Display name.
+        partitions_by_default: Whether third-party storage is
+            partitioned without a grant.
+        rws_enabled: Whether same-RWS-set requests auto-grant.
+        prompt_behavior: Fallback for non-RWS cross-site requests.
+        autogrant_quota: For PROMPT_WITH_AUTOGRANT, how many distinct
+            embedded sites per top-level site are granted without a
+            prompt (Firefox-style heuristic).
+    """
+
+    name: str
+    partitions_by_default: bool
+    rws_enabled: bool
+    prompt_behavior: PromptBehavior
+    autogrant_quota: int = 0
+
+
+BROWSER_POLICIES: dict[str, BrowserPolicy] = {
+    "chrome-rws": BrowserPolicy(
+        name="Chrome (RWS enabled)",
+        partitions_by_default=True,
+        rws_enabled=True,
+        prompt_behavior=PromptBehavior.PROMPT_ALWAYS,
+    ),
+    "chrome-legacy": BrowserPolicy(
+        name="Chrome (third-party cookies allowed)",
+        partitions_by_default=False,
+        rws_enabled=False,
+        prompt_behavior=PromptBehavior.NO_PARTITIONING,
+    ),
+    "firefox": BrowserPolicy(
+        name="Firefox (Total Cookie Protection)",
+        partitions_by_default=True,
+        rws_enabled=False,
+        prompt_behavior=PromptBehavior.PROMPT_WITH_AUTOGRANT,
+        autogrant_quota=1,
+    ),
+    "safari": BrowserPolicy(
+        name="Safari (ITP)",
+        partitions_by_default=True,
+        rws_enabled=False,
+        prompt_behavior=PromptBehavior.PROMPT_ALWAYS,
+    ),
+    "brave": BrowserPolicy(
+        name="Brave",
+        partitions_by_default=True,
+        rws_enabled=False,
+        prompt_behavior=PromptBehavior.NEVER_PROMPT_DENY,
+    ),
+}

@@ -1,0 +1,77 @@
+"""Partitioned key/value storage (localStorage-style).
+
+A storage area is addressed by a :class:`StorageKey`: the storing
+site plus the partition it is keyed under.  With partitioning enabled
+the partition is the top-level site, so ``tracker.example`` embedded
+under ``site-a.example`` and under ``site-b.example`` sees two disjoint
+areas; with a storage-access grant (or partitioning disabled) the
+partition equals the storing site itself — the *first-party* area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StorageKey:
+    """Address of one storage area.
+
+    Attributes:
+        site: The site (eTLD+1) whose script stores the data.
+        partition: The top-level site this area is keyed under; equal to
+            ``site`` for first-party (unpartitioned) access.
+    """
+
+    site: str
+    partition: str
+
+    @property
+    def is_first_party(self) -> bool:
+        """True for the site's own unpartitioned area."""
+        return self.site == self.partition
+
+    @classmethod
+    def first_party(cls, site: str) -> "StorageKey":
+        """The unpartitioned area for a site."""
+        return cls(site=site, partition=site)
+
+
+@dataclass
+class PartitionedStorage:
+    """All storage areas for one browser profile."""
+
+    _areas: dict[StorageKey, dict[str, str]] = field(default_factory=dict)
+
+    def area(self, key: StorageKey) -> dict[str, str]:
+        """The (mutable) storage area for a key, created on demand."""
+        return self._areas.setdefault(key, {})
+
+    def get(self, key: StorageKey, name: str) -> str | None:
+        """Read one item, or None."""
+        return self._areas.get(key, {}).get(name)
+
+    def set(self, key: StorageKey, name: str, value: str) -> None:
+        """Write one item."""
+        self.area(key)[name] = value
+
+    def delete(self, key: StorageKey, name: str) -> None:
+        """Delete one item (no error if absent)."""
+        self._areas.get(key, {}).pop(name, None)
+
+    def clear_site(self, site: str) -> None:
+        """Drop every area stored by a site (all partitions)."""
+        self._areas = {
+            key: area for key, area in self._areas.items() if key.site != site
+        }
+
+    def keys_for_site(self, site: str) -> list[StorageKey]:
+        """All areas a site has data in, sorted by partition."""
+        return sorted(
+            (key for key, area in self._areas.items()
+             if key.site == site and area),
+            key=lambda key: key.partition,
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for area in self._areas.values() if area)

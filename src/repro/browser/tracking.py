@@ -1,0 +1,111 @@
+"""Tracker-linkability harness.
+
+Quantifies the privacy property the paper argues RWS weakens: how many
+of a user's page visits can an embedded third party join into a single
+profile?  The scenario visits a sequence of sites, each embedding a
+given tracker (or sibling-set member) that calls
+``requestStorageAccess`` and then reads/writes a user-id in whatever
+storage it can reach.  Visits sharing the same stored id are *linked*.
+
+Under no partitioning every visit links; under strict partitioning no
+cross-site visit links; under Chrome+RWS the visits within a Related
+Website Set link — which is exactly the data flow the paper's §3 shows
+users cannot anticipate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.browser.engine import Browser
+from repro.browser.policy import BrowserPolicy
+from repro.rws.model import RwsList
+
+
+@dataclass
+class LinkabilityReport:
+    """Outcome of one tracker scenario run.
+
+    Attributes:
+        browser_name: The policy under test.
+        embedded_site: The tracking (embedded) site.
+        visited_sites: The top-level sites visited, in order.
+        profiles: Groups of visited sites the embedded site can link
+            together (each group shares one stored user id).
+        grants: Count of granting storage-access decisions.
+    """
+
+    browser_name: str
+    embedded_site: str
+    visited_sites: list[str]
+    profiles: list[list[str]]
+    grants: int
+
+    @property
+    def linked_pairs(self) -> int:
+        """Number of site pairs the tracker can link."""
+        return sum(
+            len(group) * (len(group) - 1) // 2 for group in self.profiles
+        )
+
+    @property
+    def max_profile_size(self) -> int:
+        """Largest number of sites joined into one profile."""
+        return max((len(group) for group in self.profiles), default=0)
+
+
+@dataclass
+class TrackerScenario:
+    """A sequence of visits with a tracker embedded on every page.
+
+    Args:
+        visited_sites: Top-level sites the user visits, in order.
+        embedded_site: The site embedded as an iframe on each of them.
+        rws_list: The RWS list in force.
+    """
+
+    visited_sites: list[str]
+    embedded_site: str
+    rws_list: RwsList = field(default_factory=RwsList)
+    _id_counter: itertools.count = field(default_factory=itertools.count)
+
+    def run(self, policy: BrowserPolicy) -> LinkabilityReport:
+        """Execute the scenario under one browser policy.
+
+        Returns:
+            The linkability report for this policy.
+        """
+        browser = Browser(policy=policy, rws_list=self.rws_list)
+        id_by_visit: list[tuple[str, str]] = []
+        grants = 0
+
+        for top_site in self.visited_sites:
+            page = browser.visit(top_site)
+            frame = page.embed(self.embedded_site)
+            decision = browser.request_storage_access(frame)
+            if decision.granted:
+                grants += 1
+            existing = browser.frame_get_item(frame, "uid")
+            if existing is None:
+                existing = f"uid-{next(self._id_counter)}"
+                browser.frame_set_item(frame, "uid", existing)
+            id_by_visit.append((top_site, existing))
+
+        groups: dict[str, list[str]] = {}
+        for top_site, uid in id_by_visit:
+            groups.setdefault(uid, []).append(top_site)
+        profiles = sorted(groups.values(), key=lambda g: (-len(g), g))
+        return LinkabilityReport(
+            browser_name=policy.name,
+            embedded_site=self.embedded_site,
+            visited_sites=list(self.visited_sites),
+            profiles=profiles,
+            grants=grants,
+        )
+
+    def run_matrix(
+        self, policies: dict[str, BrowserPolicy]
+    ) -> dict[str, LinkabilityReport]:
+        """Run the scenario under every policy in a matrix."""
+        return {key: self.run(policy) for key, policy in policies.items()}

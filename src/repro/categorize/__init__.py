@@ -1,0 +1,32 @@
+"""Website categorisation (Forcepoint-ThreatSeeker substitute).
+
+The paper classifies sites with Forcepoint's commercial ThreatSeeker
+database (news and media, business and economy, ...), merging similar
+categories and grouping small ones into "Other" for Figures 8-9, and
+uses the categories to build the survey's "Top Site (same/other
+category)" pair groups.
+
+ThreatSeeker is proprietary, so this package substitutes a two-stage
+categoriser with the same interface (domain -> category):
+
+1. an exact-domain database seeded from the reproduction's datasets
+   (:mod:`repro.categorize.database`);
+2. a keyword classifier over the domain name and (optionally) page
+   content for anything unknown (:mod:`repro.categorize.classifier`).
+"""
+
+from repro.categorize.classifier import KeywordClassifier
+from repro.categorize.database import CategoryDatabase
+from repro.categorize.taxonomy import (
+    CATEGORY_MERGE_MAP,
+    Category,
+    merge_category,
+)
+
+__all__ = [
+    "CATEGORY_MERGE_MAP",
+    "Category",
+    "CategoryDatabase",
+    "KeywordClassifier",
+    "merge_category",
+]

@@ -1,0 +1,114 @@
+"""Keyword-based fallback categoriser.
+
+When a domain is not in the exact database, this classifier scores the
+domain name (and optionally page text) against per-category keyword
+lists and returns the best-scoring merged category, or UNKNOWN when no
+keyword matches — the same observable behaviour as querying ThreatSeeker
+for an unindexed site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.categorize.taxonomy import Category
+
+_DEFAULT_KEYWORDS: dict[Category, tuple[str, ...]] = {
+    Category.NEWS_AND_MEDIA: (
+        "news", "times", "daily", "herald", "tribune", "post", "press",
+        "journal", "gazette", "media", "tv", "radio", "sport", "cricket",
+        "film", "music", "entertainment", "stream", "video", "bild",
+    ),
+    Category.INFORMATION_TECHNOLOGY: (
+        "tech", "software", "cloud", "dev", "code", "computer", "digital",
+        "cyber", "data", "hosting", "app", "it", "linux", "mobile",
+    ),
+    Category.BUSINESS_AND_ECONOMY: (
+        "shop", "store", "market", "trade", "finance", "bank", "pay",
+        "money", "invest", "deal", "buy", "retail", "commerce", "estate",
+        "property", "job", "career", "insurance", "economic",
+    ),
+    Category.SEARCH_ENGINES_AND_PORTALS: (
+        "search", "portal", "index", "find", "lookup", "directory", "wiki",
+    ),
+    Category.SOCIAL_NETWORKING: (
+        "social", "friend", "chat", "forum", "community", "connect",
+        "meet", "share", "blog",
+    ),
+    Category.ANALYTICS_INFRASTRUCTURE: (
+        "analytics", "metrics", "tracker", "tracking", "cdn", "ads",
+        "advert", "pixel", "tag", "stat", "visor", "telemetry", "beacon",
+    ),
+    Category.ADULT_CONTENT: (
+        "adult", "casino", "bet", "poker", "xxx",
+    ),
+    Category.COMPROMISED_SPAM: (
+        "spam", "phish", "malware",
+    ),
+    Category.OTHER: (
+        "travel", "health", "school", "university", "recipe", "food",
+        "garden", "auto", "car", "game", "pet", "family", "home",
+    ),
+}
+
+
+def _domain_tokens(domain: str) -> list[str]:
+    """Break a domain into lower-case alphanumeric tokens."""
+    tokens: list[str] = []
+    current: list[str] = []
+    for char in domain.lower():
+        if char.isalnum():
+            current.append(char)
+        else:
+            if current:
+                tokens.append("".join(current))
+            current = []
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+@dataclass
+class KeywordClassifier:
+    """Scores domains against per-category keyword lists.
+
+    Attributes:
+        keywords: Category -> keyword tuple; defaults cover the merged
+            taxonomy.
+    """
+
+    keywords: dict[Category, tuple[str, ...]] = field(
+        default_factory=lambda: dict(_DEFAULT_KEYWORDS)
+    )
+
+    def classify(self, domain: str, page_text: str | None = None) -> Category:
+        """Best-scoring category for a domain, or UNKNOWN.
+
+        Args:
+            domain: The domain name to classify.
+            page_text: Optional page text; keyword hits in it count at
+                lower weight than hits in the domain itself.
+
+        Returns:
+            The winning category; UNKNOWN when nothing scores.
+        """
+        tokens = _domain_tokens(domain)
+        token_text = " ".join(tokens)
+        body = (page_text or "").lower()
+
+        scores: dict[Category, float] = {}
+        for category, words in self.keywords.items():
+            score = 0.0
+            for word in words:
+                if word in tokens:
+                    score += 3.0
+                elif word in token_text:
+                    score += 1.5
+                if body and f" {word}" in body:
+                    score += 0.5
+            if score > 0:
+                scores[category] = score
+        if not scores:
+            return Category.UNKNOWN
+        # Deterministic tie-break on category value.
+        return max(scores, key=lambda cat: (scores[cat], cat.value))

@@ -1,0 +1,78 @@
+"""Exact-domain category database with classifier fallback.
+
+The interface the analysis pipelines use: ``database.category(domain)``
+returns a merged :class:`Category`, consulting (1) exact entries, (2)
+the registrable-domain form of the query, then (3) the keyword
+classifier; UNKNOWN is an ordinary answer, exactly as in the paper
+(whose Figures 8-9 include an "unknown" band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.categorize.classifier import KeywordClassifier
+from repro.categorize.taxonomy import Category
+from repro.psl import PublicSuffixList, default_psl
+from repro.psl.lookup import DomainError
+
+
+@dataclass
+class CategoryDatabase:
+    """Domain -> category lookups backed by a static table.
+
+    Attributes:
+        entries: Exact domain -> category table.
+        classifier: Fallback keyword classifier (None disables
+            fallback, making unindexed domains UNKNOWN).
+    """
+
+    entries: dict[str, Category] = field(default_factory=dict)
+    classifier: KeywordClassifier | None = field(default_factory=KeywordClassifier)
+    psl: PublicSuffixList = field(default_factory=default_psl)
+
+    def add(self, domain: str, category: Category) -> None:
+        """Insert or overwrite an exact entry."""
+        self.entries[domain.lower()] = category
+
+    def add_many(self, table: dict[str, Category]) -> None:
+        """Insert many exact entries."""
+        for domain, category in table.items():
+            self.add(domain, category)
+
+    def category(self, domain: str, page_text: str | None = None) -> Category:
+        """The merged category for a domain.
+
+        Args:
+            domain: Domain to look up (any subdomain of an indexed
+                registrable domain inherits its category).
+            page_text: Optional page text for the keyword fallback.
+        """
+        key = domain.lower().rstrip(".")
+        if key in self.entries:
+            return self.entries[key]
+        try:
+            registrable = self.psl.etld_plus_one(key)
+        except DomainError:
+            registrable = None
+        if registrable and registrable in self.entries:
+            return self.entries[registrable]
+        if self.classifier is not None:
+            return self.classifier.classify(key, page_text)
+        return Category.UNKNOWN
+
+    def same_category(self, domain_a: str, domain_b: str) -> bool:
+        """Whether two domains share a merged category.
+
+        UNKNOWN never matches UNKNOWN: two unindexed sites are not
+        evidence of similarity (this mirrors the survey design, which
+        drew same-category pairs from *classified* sites).
+        """
+        category_a = self.category(domain_a)
+        category_b = self.category(domain_b)
+        if category_a is Category.UNKNOWN or category_b is Category.UNKNOWN:
+            return False
+        return category_a is category_b
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,107 @@
+"""Category taxonomy and the paper's merging scheme.
+
+Figures 8-9 use merged categories: "similar categories are merged
+together, while smaller categories are grouped into 'Other'".  The
+merged set visible in the figures is:
+
+    unknown, other, news and media, information technology,
+    business and economy, search engines and portals,
+    social networking, compromised/spam, analytics/infrastructure,
+    adult content
+
+:data:`CATEGORY_MERGE_MAP` maps fine-grained ThreatSeeker-style labels
+onto those merged categories.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Category(enum.Enum):
+    """Merged categories as they appear in Figures 8-9."""
+
+    NEWS_AND_MEDIA = "news and media"
+    INFORMATION_TECHNOLOGY = "information technology"
+    BUSINESS_AND_ECONOMY = "business and economy"
+    SEARCH_ENGINES_AND_PORTALS = "search engines and portals"
+    SOCIAL_NETWORKING = "social networking"
+    ANALYTICS_INFRASTRUCTURE = "analytics/infrastructure"
+    ADULT_CONTENT = "adult content"
+    COMPROMISED_SPAM = "compromised/spam"
+    OTHER = "other"
+    UNKNOWN = "unknown"
+
+
+# Fine-grained ThreatSeeker-style label -> merged category.
+CATEGORY_MERGE_MAP: dict[str, Category] = {
+    # News and media family.
+    "news and media": Category.NEWS_AND_MEDIA,
+    "general news": Category.NEWS_AND_MEDIA,
+    "sports": Category.NEWS_AND_MEDIA,
+    "entertainment": Category.NEWS_AND_MEDIA,
+    "streaming media": Category.NEWS_AND_MEDIA,
+    "magazines": Category.NEWS_AND_MEDIA,
+    "weather": Category.NEWS_AND_MEDIA,
+    # Information technology family.
+    "information technology": Category.INFORMATION_TECHNOLOGY,
+    "computers and internet": Category.INFORMATION_TECHNOLOGY,
+    "software downloads": Category.INFORMATION_TECHNOLOGY,
+    "hardware": Category.INFORMATION_TECHNOLOGY,
+    "web hosting": Category.INFORMATION_TECHNOLOGY,
+    # Business and economy family.
+    "business and economy": Category.BUSINESS_AND_ECONOMY,
+    "financial data and services": Category.BUSINESS_AND_ECONOMY,
+    "shopping": Category.BUSINESS_AND_ECONOMY,
+    "real estate": Category.BUSINESS_AND_ECONOMY,
+    "job search": Category.BUSINESS_AND_ECONOMY,
+    "banking": Category.BUSINESS_AND_ECONOMY,
+    "insurance": Category.BUSINESS_AND_ECONOMY,
+    # Portals and search.
+    "search engines and portals": Category.SEARCH_ENGINES_AND_PORTALS,
+    "portals": Category.SEARCH_ENGINES_AND_PORTALS,
+    "reference": Category.SEARCH_ENGINES_AND_PORTALS,
+    # Social.
+    "social networking": Category.SOCIAL_NETWORKING,
+    "blogs and personal sites": Category.SOCIAL_NETWORKING,
+    "message boards and forums": Category.SOCIAL_NETWORKING,
+    # Infrastructure.
+    "analytics/infrastructure": Category.ANALYTICS_INFRASTRUCTURE,
+    "web analytics": Category.ANALYTICS_INFRASTRUCTURE,
+    "content delivery networks": Category.ANALYTICS_INFRASTRUCTURE,
+    "advertisements": Category.ANALYTICS_INFRASTRUCTURE,
+    "application and software services": Category.ANALYTICS_INFRASTRUCTURE,
+    # Adult.
+    "adult content": Category.ADULT_CONTENT,
+    "adult material": Category.ADULT_CONTENT,
+    "gambling": Category.ADULT_CONTENT,
+    # Abuse.
+    "compromised/spam": Category.COMPROMISED_SPAM,
+    "compromised websites": Category.COMPROMISED_SPAM,
+    "spam urls": Category.COMPROMISED_SPAM,
+    "phishing and other frauds": Category.COMPROMISED_SPAM,
+    # Small categories folded into Other.
+    "travel": Category.OTHER,
+    "education": Category.OTHER,
+    "health": Category.OTHER,
+    "government": Category.OTHER,
+    "vehicles": Category.OTHER,
+    "food and drink": Category.OTHER,
+    "hobbies and recreation": Category.OTHER,
+    "society and lifestyles": Category.OTHER,
+    "games": Category.OTHER,
+    "religion": Category.OTHER,
+    "non-profit": Category.OTHER,
+    # Explicit unknowns.
+    "unknown": Category.UNKNOWN,
+    "uncategorized": Category.UNKNOWN,
+}
+
+
+def merge_category(fine_grained: str) -> Category:
+    """Merge a fine-grained label into its Figures 8-9 category.
+
+    Unrecognised labels merge to UNKNOWN, mirroring how sites missing
+    from ThreatSeeker are reported.
+    """
+    return CATEGORY_MERGE_MAP.get(fine_grained.strip().lower(), Category.UNKNOWN)

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro`` or ``rws-repro``.
+
+Subcommands:
+
+* ``experiments`` — list every table/figure pipeline;
+* ``run <id> [...]`` — run pipelines and print paper-vs-measured;
+* ``validate <file.json>`` — run the RWS submission validator on a
+  canonical-format set file (structure-only; the network checks need
+  the synthetic web);
+* ``survey`` — run the §3 user-study simulation and print Table 1;
+* ``governance`` — run the §4 PR simulation and print Table 3;
+* ``list-stats`` — print the reconstructed list's composition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import EXPERIMENTS, run_experiment
+from repro.reporting import render_cdf, render_comparison, render_table
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    for experiment_id in sorted(EXPERIMENTS):
+        doc = EXPERIMENTS[experiment_id].__doc__ or ""
+        first_line = doc.strip().splitlines()[0] if doc.strip() else ""
+        print(f"{experiment_id:4s} {first_line}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    for experiment_id in args.ids:
+        try:
+            result = run_experiment(experiment_id)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        print(f"== {result.experiment_id}: {result.title}")
+        if result.rows:
+            print(render_table(result.headers or [""], result.rows))
+        if result.series and args.plots:
+            print(render_cdf(result.series, title="(CDF)"))
+        print(render_comparison(result))
+        if result.notes:
+            print(f"note: {result.notes}")
+        print()
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.rws import SchemaError, Validator, parse_rws_json, remediation_text
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            rws_list = parse_rws_json(handle.read())
+    except (OSError, SchemaError) as error:
+        print(f"cannot load {args.file}: {error}", file=sys.stderr)
+        return 2
+    validator = Validator()
+    failures = 0
+    for rws_set in rws_list:
+        report = validator.validate(rws_set)
+        status = "PASS" if report.passed else "FAIL"
+        print(f"[{status}] {rws_set.primary} ({rws_set.size()} members)")
+        if not report.passed:
+            failures += 1
+            for line in report.bot_comment().splitlines()[1:]:
+                print(f"    {line.strip()}")
+            if args.suggest:
+                for line in remediation_text(report).splitlines():
+                    print(f"    {line}")
+    return 1 if failures else 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.reporting import rows_to_csv
+    from repro.survey import conduct_study
+
+    dataset = conduct_study()
+    from repro.analysis.surveychar import survey_scalars, table1
+
+    result = table1(dataset)
+    print(render_table(result.headers, result.rows, title=result.title))
+    print(render_comparison(survey_scalars(dataset)))
+
+    if args.export:
+        rows = dataset.to_rows()
+        headers = list(rows[0]) if rows else []
+        csv_text = rows_to_csv(headers, [[row[h] for h in headers]
+                                         for row in rows])
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(csv_text)
+        print(f"wrote {len(rows)} anonymised responses to {args.export}")
+    return 0
+
+
+def _cmd_governance(_args: argparse.Namespace) -> int:
+    result = run_experiment("T3")
+    print(render_table(result.headers, result.rows, title=result.title))
+    print(render_comparison(run_experiment("F5")))
+    return 0
+
+
+def _cmd_list_stats(_args: argparse.Namespace) -> int:
+    print(render_comparison(run_experiment("A1")))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rws-repro",
+        description="Reproduction of 'A First Look at Related Website Sets' "
+                    "(IMC 2024).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("experiments",
+                                help="list table/figure pipelines")
+    sub.set_defaults(handler=_cmd_experiments)
+
+    sub = subparsers.add_parser("run", help="run pipelines by artefact id")
+    sub.add_argument("ids", nargs="+", metavar="ID",
+                     help="artefact ids, e.g. T1 F3 F5")
+    sub.add_argument("--plots", action="store_true",
+                     help="render ASCII CDF plots for figure pipelines")
+    sub.set_defaults(handler=_cmd_run)
+
+    sub = subparsers.add_parser("validate",
+                                help="validate an RWS JSON list file")
+    sub.add_argument("file", help="path to canonical-format RWS JSON")
+    sub.add_argument("--suggest", action="store_true",
+                     help="print a remediation checklist for failing sets")
+    sub.set_defaults(handler=_cmd_validate)
+
+    sub = subparsers.add_parser("survey", help="run the §3 survey simulation")
+    sub.add_argument("--export", metavar="FILE",
+                     help="write the anonymised response rows to a CSV file "
+                          "(the shape of the paper's released dataset)")
+    sub.set_defaults(handler=_cmd_survey)
+
+    sub = subparsers.add_parser("governance",
+                                help="run the §4 governance simulation")
+    sub.set_defaults(handler=_cmd_governance)
+
+    sub = subparsers.add_parser("list-stats",
+                                help="composition of the reconstructed list")
+    sub.set_defaults(handler=_cmd_list_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

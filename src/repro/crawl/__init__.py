@@ -1,0 +1,32 @@
+"""Measurement crawling.
+
+The paper's §3 methodology includes a manual filtering pass over the
+RWS list's sites — checking that each is live and primarily
+English-language — which cut the candidate pool from 146 to 31 sites.
+This package makes that pass executable as a crawl:
+
+* :mod:`repro.crawl.liveness` — batched liveness checking with
+  bounded retries over transient failures;
+* :mod:`repro.crawl.language` — page-language detection from the
+  ``<html lang>`` attribute with a stopword-frequency fallback;
+* :mod:`repro.crawl.pipeline` — the full filter: crawl every primary
+  and associated site of a list, classify liveness and language, and
+  emit the survey-eligible subset per set.
+
+Running the pipeline against the synthetic web reproduces the same
+eligible subset the catalog metadata declares (the test suite asserts
+this equivalence), so the survey design can be driven from either.
+"""
+
+from repro.crawl.language import detect_language
+from repro.crawl.liveness import CrawlStatus, LivenessChecker, LivenessResult
+from repro.crawl.pipeline import SiteSurvey, SurveyFilterOutcome
+
+__all__ = [
+    "CrawlStatus",
+    "LivenessChecker",
+    "LivenessResult",
+    "SiteSurvey",
+    "SurveyFilterOutcome",
+    "detect_language",
+]

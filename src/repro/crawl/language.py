@@ -1,0 +1,74 @@
+"""Page-language detection.
+
+Primary signal: the ``<html lang>`` attribute, which well-formed pages
+(including all synthetic ones) declare.  Fallback: a stopword-frequency
+heuristic over the visible text for pages without the attribute, which
+is the standard lightweight approach when a full language-ID model is
+unavailable.
+"""
+
+from __future__ import annotations
+
+from repro.html.parser import parse_html
+
+# Minimal stopword profiles for the fallback path.  Scoring counts
+# whole-word hits; the profile with the most hits wins (ties break to
+# "unknown" rather than guessing).
+_STOPWORDS: dict[str, frozenset[str]] = {
+    "en": frozenset({"the", "and", "of", "to", "in", "is", "for", "on",
+                     "with", "this", "that", "are", "more", "about"}),
+    "de": frozenset({"der", "die", "das", "und", "ist", "für", "mit",
+                     "auf", "ein", "eine", "nicht", "mehr", "über"}),
+    "fr": frozenset({"le", "la", "les", "et", "est", "pour", "avec",
+                     "dans", "une", "des", "plus", "sur"}),
+    "es": frozenset({"el", "la", "los", "las", "y", "es", "para", "con",
+                     "una", "del", "más", "sobre"}),
+    "pt": frozenset({"o", "a", "os", "as", "e", "é", "para", "com",
+                     "uma", "mais", "sobre", "não"}),
+    "ru": frozenset({"и", "в", "на", "не", "что", "это", "для", "с",
+                     "по", "как"}),
+}
+
+
+def _normalize_lang(value: str) -> str:
+    """``en-GB`` -> ``en``; empty/garbage -> ``unknown``."""
+    tag = value.strip().lower().split("-", 1)[0].split("_", 1)[0]
+    if tag and tag.isalpha() and 2 <= len(tag) <= 3:
+        return tag
+    return "unknown"
+
+
+def detect_language(html: str) -> str:
+    """Detect a page's primary language.
+
+    Args:
+        html: The page's HTML.
+
+    Returns:
+        An ISO 639-1-ish code (e.g. ``"en"``), or ``"unknown"`` when
+        neither the ``lang`` attribute nor the stopword heuristic gives
+        an answer.
+    """
+    root = parse_html(html)
+    declared = root.attributes.get("lang")
+    if declared:
+        normalized = _normalize_lang(declared)
+        if normalized != "unknown":
+            return normalized
+
+    words = [word.strip(".,;:!?()\"'").lower()
+             for word in root.text().split()]
+    if not words:
+        return "unknown"
+    scores = {
+        language: sum(1 for word in words if word in stopwords)
+        for language, stopwords in _STOPWORDS.items()
+    }
+    best = max(scores, key=lambda lang: scores[lang])
+    if scores[best] == 0:
+        return "unknown"
+    # Require a clear winner: ties mean we do not know.
+    top_scores = sorted(scores.values(), reverse=True)
+    if len(top_scores) > 1 and top_scores[0] == top_scores[1]:
+        return "unknown"
+    return best

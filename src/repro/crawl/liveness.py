@@ -1,0 +1,103 @@
+"""Site liveness checking.
+
+A site is *live* for the paper's purposes when an HTTPS fetch of its
+homepage yields a successful response.  Transient failures (DNS
+timeouts, 5xx) are retried a bounded number of times before the site is
+classified; hard failures (NXDOMAIN) are not retried.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.netsim.client import Client, FetchError
+
+
+class CrawlStatus(enum.Enum):
+    """Outcome classes for one site's liveness probe."""
+
+    LIVE = "live"
+    DEAD_NXDOMAIN = "dead-nxdomain"
+    DEAD_TIMEOUT = "dead-timeout"
+    DEAD_HTTP_ERROR = "dead-http-error"
+    DEAD_INSECURE = "dead-insecure"
+
+
+@dataclass
+class LivenessResult:
+    """One site's probe outcome.
+
+    Attributes:
+        domain: The probed domain.
+        status: Outcome class.
+        http_status: Final HTTP status when a response was received.
+        attempts: Number of fetch attempts made.
+        body: The homepage HTML when live (for downstream language
+            detection without a second fetch).
+    """
+
+    domain: str
+    status: CrawlStatus
+    http_status: int | None = None
+    attempts: int = 1
+    body: str = ""
+
+    @property
+    def is_live(self) -> bool:
+        return self.status is CrawlStatus.LIVE
+
+
+@dataclass
+class LivenessChecker:
+    """Probes site liveness with bounded retries.
+
+    Args:
+        client: HTTP client over the (synthetic or real) web.
+        max_attempts: Total attempts per site for transient failures.
+    """
+
+    client: Client
+    max_attempts: int = 3
+    _cache: dict[str, LivenessResult] = field(default_factory=dict)
+
+    def check(self, domain: str) -> LivenessResult:
+        """Probe one domain (cached per checker instance)."""
+        key = domain.lower()
+        if key in self._cache:
+            return self._cache[key]
+        result = self._probe(key)
+        self._cache[key] = result
+        return result
+
+    def _probe(self, domain: str) -> LivenessResult:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                response = self.client.get(f"https://{domain}/")
+            except FetchError as error:
+                if error.reason == "nxdomain":
+                    return LivenessResult(domain, CrawlStatus.DEAD_NXDOMAIN,
+                                          attempts=attempts)
+                if error.reason == "insecure-url":
+                    return LivenessResult(domain, CrawlStatus.DEAD_INSECURE,
+                                          attempts=attempts)
+                # Transient (timeout, redirect pathology): retry.
+                if attempts >= self.max_attempts:
+                    return LivenessResult(domain, CrawlStatus.DEAD_TIMEOUT,
+                                          attempts=attempts)
+                continue
+            if response.ok:
+                return LivenessResult(domain, CrawlStatus.LIVE,
+                                      http_status=response.status,
+                                      attempts=attempts, body=response.body)
+            if 500 <= response.status < 600 and attempts < self.max_attempts:
+                continue
+            return LivenessResult(domain, CrawlStatus.DEAD_HTTP_ERROR,
+                                  http_status=response.status,
+                                  attempts=attempts)
+
+    def check_many(self, domains: list[str]) -> dict[str, LivenessResult]:
+        """Probe many domains, returning a domain -> result map."""
+        return {domain.lower(): self.check(domain) for domain in domains}

@@ -1,0 +1,632 @@
+"""Reconstructed Related Website Sets list (snapshot 2024-03-26).
+
+The paper analyses the RWS list as of 26 March 2024: 41 sets, 108
+associated sites, 14 service sites, a small number of ccTLD variants.
+The real list is public, but the paper's analyses depend on per-site
+properties (liveness, language, page content) that cannot be re-crawled
+offline, so this module embeds a *reconstruction*: the members the paper
+names are present verbatim (timesinternet.in / indiatimes.com; bild.de /
+autobild.de / computerbild.de; ya.ru / webvisor.com; poalim.site /
+poalim.xyz; cafemedia.com / nourishingpursuits.com), and the remainder
+are realistic synthetic sets shaped to match every aggregate the paper
+reports:
+
+* 41 sets; 108 associated / 14 service / 10 ccTLD member records;
+* 38 sets (92.7%) with >= 1 associated site, mean 2.6 per set;
+* 9 sets (22.0%) with >= 1 service site;
+* 6 sets (14.6%) with >= 1 ccTLD variant;
+* 10 of 108 associated SLDs (9.3%) identical to their primary's SLD;
+* median associated-SLD Levenshtein distance ~6-7 (Figure 3);
+* 31 of the primaries+associated are live English sites (the paper's
+  survey-eligible subset), spread over 11 sets such that within-set
+  pair combinations number 39 (the paper's "RWS (same set)" group);
+* primary/associated category mixes matching Figures 8-9's shape.
+
+Each set also records the month it entered the list, driving the
+history series behind Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.sites import BrandingLevel, SiteSpec
+
+SNAPSHOT_DATE = "2024-03-26"
+
+_BRANDING = {
+    "strong": BrandingLevel.STRONG,
+    "weak": BrandingLevel.WEAK,
+    "none": BrandingLevel.NONE,
+}
+
+
+def _s(
+    domain: str,
+    category: str,
+    *,
+    org: str,
+    lang: str = "en",
+    live: bool = True,
+    branding: str = "none",
+    brand: str | None = None,
+) -> SiteSpec:
+    """Shorthand SiteSpec constructor for the seed tables."""
+    if brand is None:
+        brand = domain.split(".", 1)[0].replace("-", " ").title()
+    return SiteSpec(
+        domain=domain,
+        organization=org,
+        brand=brand,
+        fine_category=category,
+        language=lang,
+        live=live,
+        branding=_BRANDING[branding],
+    )
+
+
+@dataclass(frozen=True)
+class SeedSet:
+    """One reconstructed set plus its list-entry month.
+
+    Attributes:
+        org: Operating organisation (used for rationales and branding).
+        intro_month: YYYY-MM the set first appeared in the list.
+        primary: The set primary's spec.
+        associated: Associated members' specs.
+        service: Service members' specs.
+        cctlds: Member domain -> ccTLD variant specs.
+    """
+
+    org: str
+    intro_month: str
+    primary: SiteSpec
+    associated: tuple[SiteSpec, ...] = ()
+    service: tuple[SiteSpec, ...] = ()
+    cctlds: dict[str, tuple[SiteSpec, ...]] = field(default_factory=dict)
+
+    def all_specs(self) -> list[SiteSpec]:
+        """Every spec in the set (primary first)."""
+        specs = [self.primary, *self.associated, *self.service]
+        for variants in self.cctlds.values():
+            specs.extend(variants)
+        return specs
+
+
+def _set(
+    org: str,
+    intro: str,
+    primary: SiteSpec,
+    associated: list[SiteSpec] | None = None,
+    service: list[SiteSpec] | None = None,
+    cctlds: dict[str, list[SiteSpec]] | None = None,
+) -> SeedSet:
+    return SeedSet(
+        org=org,
+        intro_month=intro,
+        primary=primary,
+        associated=tuple(associated or []),
+        service=tuple(service or []),
+        cctlds={m: tuple(v) for m, v in (cctlds or {}).items()},
+    )
+
+
+# --- The 41 sets -------------------------------------------------------------
+# Sets 1-11 are the survey-eligible (live, English) sets: one with 5
+# eligible associated sites, one with 4, one with 3, and eight with 1,
+# giving 31 eligible sites and 39 within-set pairs.
+
+RWS_SEED_SETS: tuple[SeedSet, ...] = (
+    # 1. CafeMedia — ad management network for independent publishers.
+    _set(
+        "CafeMedia", "2023-03",
+        _s("cafemedia.com", "advertisements", org="CafeMedia"),
+        associated=[
+            _s("nourishingpursuits.com", "food and drink", org="CafeMedia",
+               branding="weak"),
+            _s("wanderlustkitchen.com", "food and drink", org="CafeMedia",
+               branding="weak"),
+            _s("thriftyhomesteader.com", "hobbies and recreation", org="CafeMedia",
+               branding="weak"),
+            _s("gardenbetty.com", "hobbies and recreation", org="CafeMedia",
+               branding="weak"),
+            _s("budgetbytes.com", "food and drink", org="CafeMedia",
+               branding="weak"),
+        ],
+        service=[
+            _s("cafemediaassets.net", "content delivery networks",
+               org="CafeMedia", branding="strong"),
+        ],
+    ),
+    # 2. Times Internet — the paper's worked example (§2).
+    _set(
+        "Times Internet", "2023-03",
+        _s("timesinternet.in", "news and media", org="Times Internet"),
+        associated=[
+            _s("indiatimes.com", "news and media", org="Times Internet",
+               branding="strong"),
+            _s("cricbuzz.com", "sports", org="Times Internet", branding="weak"),
+            _s("gaana.com", "streaming media", org="Times Internet",
+               branding="weak"),
+            _s("magicbricks.com", "real estate", org="Times Internet",
+               branding="weak"),
+        ],
+    ),
+    # 3. Verdant Media — lifestyle publisher family.
+    _set(
+        "Verdant Media", "2023-05",
+        _s("verdantmedia.com", "news and media", org="Verdant Media"),
+        associated=[
+            _s("seriouscooking.com", "food and drink", org="Verdant Media",
+               branding="weak"),
+            _s("gardenwisdom.com", "hobbies and recreation", org="Verdant Media",
+               branding="strong"),
+            _s("familyhealthnow.com", "health", org="Verdant Media",
+               branding="weak"),
+        ],
+    ),
+    # 4-11. Eligible two-site sets.
+    _set(
+        "Atlas Quest Travel", "2023-07",
+        _s("atlasquest.com", "travel", org="Atlas Quest Travel"),
+        associated=[_s("roamly.com", "travel", org="Atlas Quest Travel",
+                       branding="weak")],
+    ),
+    _set(
+        "Fableforge Games", "2023-08",
+        _s("fableforge.com", "games", org="Fableforge Games"),
+        associated=[_s("pixelhearth.com", "games", org="Fableforge Games",
+                       branding="weak")],
+    ),
+    _set(
+        "Brightkey Software", "2023-09",
+        _s("brightkey.com", "information technology", org="Brightkey Software"),
+        associated=[_s("keystonelabs.io", "information technology",
+                       org="Brightkey Software")],
+    ),
+    _set(
+        "Greenbasket Retail", "2023-10",
+        _s("greenbasket.com", "shopping", org="Greenbasket Retail"),
+        associated=[_s("freshfields.store", "shopping", org="Greenbasket Retail",
+                       branding="weak")],
+    ),
+    _set(
+        "Quill & Ink Publishing", "2023-11",
+        _s("quillandink.com", "news and media", org="Quill & Ink Publishing"),
+        associated=[_s("morningquill.com", "news and media",
+                       org="Quill & Ink Publishing", branding="strong")],
+    ),
+    _set(
+        "Summit Financial Group", "2024-01",
+        _s("summitbank.com", "banking", org="Summit Financial Group"),
+        associated=[_s("summitwealth.com", "financial data and services",
+                       org="Summit Financial Group", branding="strong")],
+    ),
+    _set(
+        "Starling Media Group", "2024-02",
+        _s("starlingmedia.com", "news and media", org="Starling Media Group"),
+        associated=[_s("starlingstudios.com", "entertainment",
+                       org="Starling Media Group", branding="strong")],
+    ),
+    _set(
+        "Novapress", "2024-03",
+        _s("novapress.com", "news and media", org="Novapress"),
+        associated=[_s("novapress.net", "news and media", org="Novapress",
+                       branding="strong")],
+    ),
+    # 12. Axel Springer's BILD family — the paper's shared-component
+    # edit-distance example (autobild.de vs bild.de).
+    _set(
+        "BILD", "2023-01",
+        _s("bild.de", "news and media", org="BILD", lang="de"),
+        associated=[
+            _s("autobild.de", "vehicles", org="BILD", lang="de",
+               branding="strong"),
+            _s("computerbild.de", "computers and internet", org="BILD",
+               lang="de", branding="weak"),
+            _s("sportbild.de", "sports", org="BILD", lang="de",
+               branding="strong"),
+            _s("stylebook.de", "society and lifestyles", org="BILD", lang="de"),
+            _s("fitbook.de", "health", org="BILD", lang="de"),
+        ],
+        service=[
+            _s("bildstatic.de", "content delivery networks", org="BILD",
+               lang="de", branding="strong"),
+        ],
+    ),
+    # 13. Yandex — the paper's analytics-in-a-set example (webvisor.com).
+    _set(
+        "Yandex", "2023-01",
+        _s("ya.ru", "search engines and portals", org="Yandex", lang="ru"),
+        associated=[
+            _s("webvisor.com", "web analytics", org="Yandex", lang="ru"),
+            _s("kinopoisk.ru", "entertainment", org="Yandex", lang="ru",
+               branding="weak"),
+            _s("auto.ru", "vehicles", org="Yandex", lang="ru"),
+            _s("dzen.ru", "news and media", org="Yandex", lang="ru"),
+        ],
+        service=[
+            _s("yastatic.net", "content delivery networks", org="Yandex",
+               lang="ru", branding="strong"),
+        ],
+        cctlds={
+            "ya.ru": [
+                _s("ya.by", "search engines and portals", org="Yandex",
+                   lang="ru", branding="strong"),
+                _s("ya.kz", "search engines and portals", org="Yandex",
+                   lang="ru", branding="strong"),
+            ],
+        },
+    ),
+    # 14. Bank Hapoalim — the paper's identical-SLD example
+    # (poalim.xyz associated with poalim.site).
+    _set(
+        "Bank Hapoalim", "2023-02",
+        _s("poalim.site", "banking", org="Bank Hapoalim", lang="he"),
+        associated=[
+            _s("poalim.xyz", "banking", org="Bank Hapoalim", lang="he",
+               branding="strong"),
+            _s("bankhapoalim.co.il", "banking", org="Bank Hapoalim", lang="he",
+               branding="strong"),
+        ],
+    ),
+    # 15-41. Reconstructed international sets.
+    _set(
+        "Lumiere Info", "2023-04",
+        _s("lumiereinfo.fr", "news and media", org="Lumiere Info", lang="fr"),
+        associated=[
+            _s("pariscope.fr", "entertainment", org="Lumiere Info", lang="fr",
+               branding="weak"),
+            _s("lumieremeteo.fr", "weather", org="Lumiere Info", lang="fr"),
+            _s("lumiereauto.fr", "vehicles", org="Lumiere Info", lang="fr"),
+            _s("lumierecine.fr", "entertainment", org="Lumiere Info", lang="fr"),
+            _s("jardinmag.fr", "hobbies and recreation", org="Lumiere Info",
+               lang="fr"),
+        ],
+    ),
+    _set(
+        "Nippon View", "2023-05",
+        _s("nipponview.jp", "news and media", org="Nippon View", lang="ja"),
+        associated=[
+            _s("nipponeats.jp", "food and drink", org="Nippon View", lang="ja"),
+            _s("nipponanime.jp", "entertainment", org="Nippon View", lang="ja"),
+            _s("nipponview.net", "news and media", org="Nippon View",
+               lang="ja", branding="strong"),
+            _s("nipponnews.jp", "news and media", org="Nippon View", lang="ja",
+               branding="weak"),
+            _s("gamewave.jp", "games", org="Nippon View", lang="ja"),
+        ],
+        service=[
+            _s("nipponcdn.net", "content delivery networks", org="Nippon View",
+               lang="ja", branding="strong"),
+            _s("nvstatic.jp", "content delivery networks", org="Nippon View",
+               lang="ja", branding="strong"),
+        ],
+    ),
+    _set(
+        "Krakow Dziennik", "2023-06",
+        _s("krakowdziennik.pl", "news and media", org="Krakow Dziennik",
+           lang="pl"),
+        associated=[
+            _s("sportpolska.pl", "sports", org="Krakow Dziennik", lang="pl"),
+            _s("pogodanow.pl", "weather", org="Krakow Dziennik", lang="pl"),
+            _s("autoswiat.pl", "vehicles", org="Krakow Dziennik", lang="pl"),
+            _s("kuchniadomowa.pl", "food and drink", org="Krakow Dziennik",
+               lang="pl"),
+        ],
+    ),
+    _set(
+        "Mercado Luz", "2023-06",
+        _s("mercadoluz.com.br", "shopping", org="Mercado Luz", lang="pt"),
+        associated=[
+            _s("lojaluz.com.br", "shopping", org="Mercado Luz", lang="pt",
+               branding="weak"),
+            _s("mercadoluz.net", "shopping", org="Mercado Luz", lang="pt",
+               branding="strong"),
+            _s("pagueluz.com.br", "financial data and services",
+               org="Mercado Luz", lang="pt"),
+            _s("luzviagens.com.br", "travel", org="Mercado Luz", lang="pt"),
+            _s("luznoticias.com.br", "news and media", org="Mercado Luz",
+               lang="pt"),
+        ],
+        service=[
+            _s("luzassets.net", "content delivery networks", org="Mercado Luz",
+               lang="pt", branding="strong"),
+            _s("luzcdn.com", "content delivery networks", org="Mercado Luz",
+               lang="pt", branding="strong"),
+        ],
+        cctlds={
+            "mercadoluz.com.br": [
+                _s("mercadoluz.com.ar", "shopping", org="Mercado Luz",
+                   lang="es", branding="strong"),
+                _s("mercadoluz.com.mx", "shopping", org="Mercado Luz",
+                   lang="es", branding="strong"),
+            ],
+        },
+    ),
+    _set(
+        "Sabah Haber", "2023-07",
+        _s("sabahhaber.com.tr", "news and media", org="Sabah Haber", lang="tr"),
+        associated=[
+            _s("sporhaber.com.tr", "sports", org="Sabah Haber", lang="tr",
+               branding="weak"),
+            _s("ekonomihaber.com.tr", "financial data and services",
+               org="Sabah Haber", lang="tr", branding="weak"),
+            _s("magazinhaber.com.tr", "entertainment", org="Sabah Haber",
+               lang="tr"),
+            _s("otohaber.com.tr", "vehicles", org="Sabah Haber", lang="tr"),
+        ],
+    ),
+    _set(
+        "Seoul Pop", "2023-08",
+        _s("seoulpop.co.kr", "hobbies and recreation", org="Seoul Pop",
+           lang="ko"),
+        associated=[
+            _s("seouldrama.co.kr", "entertainment", org="Seoul Pop", lang="ko"),
+            _s("seoulpop.net", "entertainment", org="Seoul Pop", lang="ko",
+               branding="strong"),
+            _s("seoulfoodie.co.kr", "food and drink", org="Seoul Pop",
+               lang="ko"),
+            _s("seoulgame.co.kr", "games", org="Seoul Pop", lang="ko"),
+        ],
+    ),
+    _set(
+        "Taipei Tech Media", "2023-08",
+        _s("taipeitech.com.tw", "information technology",
+           org="Taipei Tech Media", lang="zh"),
+        associated=[
+            _s("gadgetbay.com.tw", "hardware", org="Taipei Tech Media",
+               lang="zh"),
+            _s("taipeipc.com.tw", "computers and internet",
+               org="Taipei Tech Media", lang="zh"),
+            _s("mobilebay.com.tw", "hardware", org="Taipei Tech Media",
+               lang="zh"),
+        ],
+    ),
+    _set(
+        "Rhein Kurier", "2023-09",
+        _s("rheinkurier.de", "news and media", org="Rhein Kurier", lang="de"),
+        associated=[
+            _s("rheinfinanz.de", "financial data and services",
+               org="Rhein Kurier", lang="de"),
+            _s("reisezeit.de", "travel", org="Rhein Kurier", lang="de"),
+            _s("rheintech.de", "computers and internet", org="Rhein Kurier",
+               lang="de", branding="weak"),
+            _s("rheinwohnen.de", "society and lifestyles", org="Rhein Kurier",
+               lang="de"),
+            _s("rheingesund.de", "health", org="Rhein Kurier", lang="de"),
+        ],
+        service=[
+            _s("rkstatic.de", "content delivery networks", org="Rhein Kurier",
+               lang="de", branding="strong"),
+            _s("rheinassets.de", "content delivery networks",
+               org="Rhein Kurier", lang="de", branding="strong"),
+        ],
+    ),
+    _set(
+        "Volga Info", "2023-09",
+        _s("volgainfo.ru", "news and media", org="Volga Info", lang="ru"),
+        associated=[
+            _s("volgasport.ru", "sports", org="Volga Info", lang="ru",
+               branding="weak"),
+            _s("volgakino.ru", "entertainment", org="Volga Info", lang="ru",
+               branding="weak"),
+            _s("volgaavto.ru", "vehicles", org="Volga Info", lang="ru"),
+            _s("volgainfo.net", "news and media", org="Volga Info", lang="ru",
+               branding="strong"),
+        ],
+    ),
+    _set(
+        "Milano Moda", "2023-10",
+        _s("milanomoda.it", "shopping", org="Milano Moda", lang="it"),
+        associated=[
+            _s("modaoggi.it", "shopping", org="Milano Moda", lang="it",
+               branding="weak"),
+        ],
+    ),
+    _set(
+        "Madrid Plaza", "2023-10",
+        _s("madridplaza.es", "portals", org="Madrid Plaza", lang="es"),
+        associated=[
+            _s("plazadeportes.es", "sports", org="Madrid Plaza", lang="es",
+               branding="weak"),
+            _s("madridplaza.net", "portals", org="Madrid Plaza", lang="es",
+               branding="strong"),
+            _s("viajesplaza.es", "travel", org="Madrid Plaza", lang="es"),
+        ],
+    ),
+    _set(
+        "Lucky Spin Entertainment", "2023-11",
+        _s("luckyspin.bet", "gambling", org="Lucky Spin Entertainment",
+           lang="tr"),
+        associated=[
+            _s("luckyspin.casino", "gambling", org="Lucky Spin Entertainment",
+               lang="tr", branding="strong"),
+            _s("pokerpalace.bet", "gambling", org="Lucky Spin Entertainment",
+               lang="tr"),
+            _s("slotmania.casino", "gambling", org="Lucky Spin Entertainment",
+               lang="tr"),
+        ],
+    ),
+    # 27. Trackmetrica — tracker infrastructure whose domains serve no
+    # user-facing content (dead for the crawler, like many tracker hosts).
+    _set(
+        "Trackmetrica", "2023-11",
+        _s("trackmetrica.com", "web analytics", org="Trackmetrica",
+           live=False),
+        associated=[
+            _s("pixelgate.net", "web analytics", org="Trackmetrica",
+               live=False),
+            _s("tagmetrica.io", "advertisements", org="Trackmetrica",
+               live=False),
+        ],
+        service=[
+            _s("tmcdn.net", "content delivery networks", org="Trackmetrica",
+               live=False, branding="strong"),
+            _s("tagserve.net", "content delivery networks", org="Trackmetrica",
+               live=False, branding="strong"),
+        ],
+    ),
+    _set(
+        "India Bazaar", "2023-11",
+        _s("indiabazaar.co.in", "shopping", org="India Bazaar", lang="hi"),
+        associated=[
+            _s("bollybeats.co.in", "entertainment", org="India Bazaar",
+               lang="hi"),
+            _s("cricketmania.co.in", "sports", org="India Bazaar", lang="hi"),
+            _s("desibazaar.co.in", "shopping", org="India Bazaar", lang="hi",
+               branding="weak"),
+            _s("indiafilmy.co.in", "entertainment", org="India Bazaar",
+               lang="hi"),
+        ],
+    ),
+    _set(
+        "Cairo Press", "2023-12",
+        _s("cairopress.com.eg", "news and media", org="Cairo Press",
+           lang="ar"),
+        associated=[
+            _s("cairosports.com.eg", "sports", org="Cairo Press", lang="ar"),
+            _s("cairotech.com.eg", "computers and internet", org="Cairo Press",
+               lang="ar"),
+            _s("cairosouk.com.eg", "shopping", org="Cairo Press", lang="ar"),
+        ],
+    ),
+    _set(
+        "Warsaw Wire", "2023-12",
+        _s("warsawwire.pl", "unknown", org="Warsaw Wire", lang="pl"),
+        cctlds={
+            "warsawwire.pl": [
+                _s("warsawwire.de", "unknown", org="Warsaw Wire", lang="de",
+                   branding="strong"),
+            ],
+        },
+    ),
+    _set(
+        "Oslo Avis", "2023-12",
+        _s("osloavis.no", "news and media", org="Oslo Avis", lang="no"),
+        associated=[
+            _s("nordavis.no", "weather", org="Oslo Avis", lang="no"),
+            _s("fjordavis.no", "travel", org="Oslo Avis", lang="no"),
+        ],
+        service=[
+            _s("oastatic.no", "content delivery networks", org="Oslo Avis",
+               lang="no", branding="strong"),
+            _s("oacdn.net", "content delivery networks", org="Oslo Avis",
+               lang="no", branding="strong"),
+        ],
+    ),
+    _set(
+        "Atina Live", "2024-01",
+        _s("atinalive.gr", "unknown", org="Atina Live", lang="el"),
+        associated=[
+            _s("atinasport.gr", "sports", org="Atina Live", lang="el"),
+            _s("atinadaily.gr", "news and media", org="Atina Live", lang="el"),
+        ],
+    ),
+    _set(
+        "Praha Denik", "2024-01",
+        _s("praguedenik.cz", "unknown", org="Praha Denik", lang="cs"),
+        associated=[
+            _s("pocasicz.cz", "weather", org="Praha Denik", lang="cs"),
+            _s("fotbalzpravy.cz", "sports", org="Praha Denik", lang="cs"),
+            _s("prahasport.cz", "sports", org="Praha Denik", lang="cs"),
+        ],
+    ),
+    _set(
+        "Vienna Kurier Gruppe", "2024-01",
+        _s("viennakurier.at", "unknown", org="Vienna Kurier Gruppe",
+           lang="de"),
+        associated=[
+            _s("skialpen.at", "sports", org="Vienna Kurier Gruppe", lang="de"),
+            _s("wienessen.at", "food and drink", org="Vienna Kurier Gruppe",
+               lang="de"),
+        ],
+    ),
+    _set(
+        "Lisboa Diario", "2024-01",
+        _s("lisboadiario.pt", "unknown", org="Lisboa Diario", lang="pt"),
+        associated=[
+            _s("futebolhoje.pt", "sports", org="Lisboa Diario", lang="pt"),
+            _s("lisboadiario.net", "news and media", org="Lisboa Diario",
+               lang="pt", branding="strong"),
+            _s("portomar.pt", "travel", org="Lisboa Diario", lang="pt"),
+        ],
+        service=[
+            _s("ldassets.net", "content delivery networks", org="Lisboa Diario",
+               lang="pt", branding="strong"),
+        ],
+    ),
+    _set(
+        "Stockholms Nytt", "2024-02",
+        _s("stockholmsnytt.se", "unknown", org="Stockholms Nytt", lang="sv"),
+        cctlds={
+            "stockholmsnytt.se": [
+                _s("stockholmsnytt.fi", "unknown", org="Stockholms Nytt",
+                   lang="sv", branding="strong"),
+                _s("stockholmsnytt.no", "unknown", org="Stockholms Nytt",
+                   lang="no", branding="strong"),
+                _s("stockholmsnytt.dk", "unknown", org="Stockholms Nytt",
+                   lang="da", branding="strong"),
+            ],
+        },
+    ),
+    _set(
+        "Amsterdam Gids", "2024-02",
+        _s("amsterdamgids.nl", "portals", org="Amsterdam Gids", lang="nl"),
+        associated=[
+            _s("fietsroutes.nl", "travel", org="Amsterdam Gids", lang="nl"),
+            _s("tulpenmarkt.nl", "shopping", org="Amsterdam Gids", lang="nl"),
+        ],
+        cctlds={
+            "amsterdamgids.nl": [
+                _s("amsterdamgids.be", "portals", org="Amsterdam Gids",
+                   lang="nl", branding="strong"),
+            ],
+        },
+    ),
+    _set(
+        "Budapest Hirek", "2024-02",
+        _s("budapesthirek.hu", "unknown", org="Budapest Hirek", lang="hu"),
+        associated=[
+            _s("fociliga.hu", "sports", org="Budapest Hirek", lang="hu"),
+            _s("pestihirek.hu", "entertainment", org="Budapest Hirek",
+               lang="hu"),
+        ],
+    ),
+    _set(
+        "Helsinki Uutiset", "2024-03",
+        _s("helsinkiuutiset.fi", "unknown", org="Helsinki Uutiset", lang="fi"),
+        cctlds={
+            "helsinkiuutiset.fi": [
+                _s("helsinkiuutiset.ee", "unknown", org="Helsinki Uutiset",
+                   lang="et", branding="strong"),
+            ],
+        },
+    ),
+    # 40. Global Softix — an abandoned software family; every domain is
+    # dead and one associated site has been flagged as compromised.
+    _set(
+        "Global Softix", "2024-03",
+        _s("globalsoftix.com", "unknown", org="Global Softix", live=False),
+        associated=[
+            _s("softixlab.com", "software downloads", org="Global Softix",
+               live=False),
+            _s("softixcloud.com", "compromised websites", org="Global Softix",
+               live=False),
+            _s("globalsoftix.org", "unknown", org="Global Softix", live=False,
+               branding="strong"),
+        ],
+    ),
+    _set(
+        "Datenwolke", "2024-03",
+        _s("datenwolke.de", "information technology", org="Datenwolke",
+           lang="de"),
+        associated=[
+            _s("wolkenspeicher.de", "web hosting", org="Datenwolke", lang="de",
+               branding="weak"),
+            _s("cloudkette.eu", "information technology", org="Datenwolke",
+               lang="de"),
+            _s("datenhaus.de", "web hosting", org="Datenwolke", lang="de"),
+        ],
+    ),
+)

@@ -1,0 +1,120 @@
+"""Site catalog: per-domain metadata shared across subsystems.
+
+Every domain in the reconstructed datasets carries the metadata the
+paper's measurements depend on:
+
+* **organisation / brand** — drives the synthetic web generator's page
+  content (logos, footers, about pages) and therefore both the HTML
+  similarity measurements (Figure 4) and the cues the survey respondent
+  model perceives;
+* **language / liveness** — drives the survey design's manual-filtering
+  step (146 -> 31 sites in the paper);
+* **fine-grained category** — the ThreatSeeker-style label merged for
+  Figures 8-9 and used to build the survey's Top Site pair groups;
+* **branding level** — how visibly a member site presents its
+  affiliation with its set primary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BrandingLevel(enum.Enum):
+    """How clearly a member presents its affiliation with the primary.
+
+    The RWS guidelines require associated sites' affiliation to be
+    "clearly presented to users"; the paper's Figure 4 shows that, in
+    practice, most members share little with their primary.
+    """
+
+    STRONG = "strong"    # Shared logo text, footer, theme color, about page.
+    WEAK = "weak"        # Footer mention of the parent organisation only.
+    NONE = "none"        # No visible affiliation at all.
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Metadata for one domain.
+
+    Attributes:
+        domain: The registrable domain (eTLD+1).
+        organization: The operating organisation's display name.
+        brand: The site's own display brand (shown in its logo).
+        fine_category: ThreatSeeker-style fine-grained category label
+            (a key of :data:`repro.categorize.taxonomy.CATEGORY_MERGE_MAP`,
+            or "unknown").
+        language: Primary content language (ISO 639-1).
+        live: Whether the site resolves and serves content.
+        branding: Affiliation visibility with respect to the set
+            primary (meaningful for set members; primaries are STRONG
+            by definition).
+    """
+
+    domain: str
+    organization: str
+    brand: str
+    fine_category: str = "unknown"
+    language: str = "en"
+    live: bool = True
+    branding: BrandingLevel = BrandingLevel.NONE
+
+    @property
+    def is_english(self) -> bool:
+        """Whether the site is primarily English-language."""
+        return self.language == "en"
+
+    @property
+    def survey_eligible(self) -> bool:
+        """The paper's manual filter: live and primarily English."""
+        return self.live and self.is_english
+
+
+@dataclass
+class SiteCatalog:
+    """A queryable collection of :class:`SiteSpec` entries."""
+
+    _specs: dict[str, SiteSpec] = field(default_factory=dict)
+
+    def add(self, spec: SiteSpec) -> None:
+        """Insert a spec.
+
+        Raises:
+            ValueError: If the domain is already present with different
+                metadata.
+        """
+        key = spec.domain.lower()
+        existing = self._specs.get(key)
+        if existing is not None and existing != spec:
+            raise ValueError(f"conflicting specs for {key}")
+        self._specs[key] = spec
+
+    def get(self, domain: str) -> SiteSpec | None:
+        """The spec for a domain, or None."""
+        return self._specs.get(domain.lower())
+
+    def require(self, domain: str) -> SiteSpec:
+        """The spec for a domain.
+
+        Raises:
+            KeyError: If the domain is not in the catalog.
+        """
+        spec = self.get(domain)
+        if spec is None:
+            raise KeyError(f"no site spec for {domain!r}")
+        return spec
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower() in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def domains(self) -> list[str]:
+        """All catalogued domains, sorted."""
+        return sorted(self._specs)
+
+    def specs(self) -> list[SiteSpec]:
+        """All specs, sorted by domain."""
+        return [self._specs[domain] for domain in self.domains()]

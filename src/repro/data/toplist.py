@@ -1,0 +1,136 @@
+"""Tranco-style top-site list (200 categorised sites).
+
+The paper draws 200 sites at random from the Tranco Top 10K, filtered to
+sites with Forcepoint categories, to build the survey's "Top Site (same
+category)" and "Top Site (other category)" pair groups.  Tranco itself
+is just a ranked domain list, so this module generates a deterministic
+equivalent: 200 live, English, categorised sites with realistic
+popular-site naming, spanning the same merged categories as the RWS
+members so that same-category pairs exist for every survey-eligible RWS
+site.
+"""
+
+from __future__ import annotations
+
+from repro.data.sites import SiteSpec
+
+TOP_LIST_SIZE = 200
+
+# (fine-grained category, brand word pool, tld pool, count)
+_CATEGORY_PLANS: tuple[tuple[str, tuple[str, ...], tuple[str, ...], int], ...] = (
+    (
+        "news and media",
+        ("daily", "herald", "tribune", "gazette", "chronicle", "observer",
+         "dispatch", "ledger", "bulletin", "courier", "sentinel", "monitor",
+         "register", "examiner", "record", "standard", "globe", "mirror",
+         "beacon", "signal", "current", "briefing"),
+        ("com", "com", "net", "news"),
+        44,
+    ),
+    (
+        "shopping",
+        ("market", "outlet", "emporium", "bazaar", "depot", "warehouse",
+         "boutique", "storefront", "cart", "checkout", "pantry", "closet",
+         "gadgetshop", "homegoods", "stylehub", "dealbay", "shopline",
+         "megamart", "trademart", "buysmart"),
+        ("com", "com", "store", "shop"),
+        40,
+    ),
+    (
+        "information technology",
+        ("stack", "compile", "kernel", "syntax", "vector", "matrix",
+         "protocol", "cipher", "quantum", "neural", "binary", "script",
+         "devhub", "codecraft", "bytefield"),
+        ("com", "io", "dev", "tech"),
+        30,
+    ),
+    (
+        "search engines and portals",
+        ("findall", "seekwell", "lookfast", "queryhub", "portalone",
+         "webgate"),
+        ("com", "net"),
+        12,
+    ),
+    (
+        "social networking",
+        ("mingle", "gather", "circleup", "chatter", "banter", "huddle",
+         "assembly", "commons"),
+        ("com", "net"),
+        16,
+    ),
+    (
+        "web analytics",
+        ("metricflow", "statpoint", "countwise", "insightly"),
+        ("com", "io"),
+        8,
+    ),
+    (
+        "gambling",
+        ("jackpotcity", "spinhall", "cardroom", "wagerline", "betzone"),
+        ("bet", "casino"),
+        10,
+    ),
+    (
+        "travel",
+        ("voyager", "wayfare", "trektime", "jetpath", "islandhop"),
+        ("com", "travel"),
+        10,
+    ),
+    (
+        "food and drink",
+        ("tastybite", "simmer", "forkful", "breadbox", "saucepan"),
+        ("com", "net"),
+        10,
+    ),
+    (
+        "health",
+        ("wellpath", "vitalsign", "carefirst", "healthline2", "medbrief"),
+        ("com", "net"),
+        10,
+    ),
+    (
+        "games",
+        ("playden", "questline", "arcadia", "pixelpit", "gamerise"),
+        ("com", "net"),
+        10,
+    ),
+)
+
+
+def build_top_list() -> list[SiteSpec]:
+    """Generate the deterministic 200-site top list.
+
+    Returns:
+        Exactly :data:`TOP_LIST_SIZE` specs, all live and English, each
+        with a fine-grained category; domains are unique and disjoint
+        from the RWS seed's domains.
+    """
+    specs: list[SiteSpec] = []
+    seen: set[str] = set()
+    for category, words, tlds, count in _CATEGORY_PLANS:
+        produced = 0
+        index = 0
+        while produced < count:
+            word = words[index % len(words)]
+            tld = tlds[index % len(tlds)]
+            repeat = index // len(words)
+            label = word if repeat == 0 else f"{word}{repeat + 1}"
+            domain = f"{label}.{tld}"
+            index += 1
+            if domain in seen:
+                continue
+            seen.add(domain)
+            specs.append(SiteSpec(
+                domain=domain,
+                organization=f"{label.title()} Inc",
+                brand=label.title(),
+                fine_category=category,
+                language="en",
+                live=True,
+            ))
+            produced += 1
+    if len(specs) != TOP_LIST_SIZE:
+        raise AssertionError(
+            f"top list plan produced {len(specs)} sites, wanted {TOP_LIST_SIZE}"
+        )
+    return specs

@@ -1,0 +1,36 @@
+"""Disconnect entities list: the §5 comparison substrate.
+
+§5 of the paper compares RWS with the Disconnect *entities* list — the
+expert-curated catalogue of domains run by the same organisation that
+Firefox and Edge consult when relaxing privacy protections.  The
+crucial difference the paper identifies: Disconnect requires common
+*ownership*, while RWS's associated subset only requires a presented
+*affiliation* — the relaxation the user study shows users cannot
+perceive.
+
+This package implements the entities-list format and a comparator that
+makes §5's argument quantitative: for each RWS set, which members would
+also be grouped by an ownership-based list, and which ride on the
+affiliation relaxation alone.
+
+* :mod:`repro.disconnect.model` — entities, domain->entity resolution;
+* :mod:`repro.disconnect.parse` — the ``entities.json`` wire format;
+* :mod:`repro.disconnect.data` — a reconstructed snapshot covering the
+  common-ownership cores of the RWS seed sets plus unrelated entities;
+* :mod:`repro.disconnect.compare` — RWS-vs-entities coverage analysis.
+"""
+
+from repro.disconnect.compare import CoverageReport, compare_with_rws
+from repro.disconnect.data import build_entities_list
+from repro.disconnect.model import EntitiesList, Entity
+from repro.disconnect.parse import parse_entities_json, serialize_entities_json
+
+__all__ = [
+    "CoverageReport",
+    "EntitiesList",
+    "Entity",
+    "build_entities_list",
+    "compare_with_rws",
+    "parse_entities_json",
+    "serialize_entities_json",
+]

@@ -1,0 +1,107 @@
+"""RWS vs. entities-list coverage analysis (§5, quantified).
+
+For every RWS set, resolve the primary's entity and check which set
+members that entity also contains.  Members outside the entity are
+exactly the sites whose grouping rests on RWS's *affiliation*
+relaxation rather than common ownership — the mechanism §3 shows users
+cannot perceive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.disconnect.model import EntitiesList
+from repro.rws.model import RwsList, SiteRole
+
+
+@dataclass
+class SetCoverage:
+    """Entity coverage of one RWS set.
+
+    Attributes:
+        primary: The set primary.
+        entity_name: Name of the entity owning the primary (None when
+            the primary is in no entity at all).
+        covered: Member domains the entity also owns.
+        affiliation_only: Member domains grouped by RWS but absent from
+            the ownership-based entity.
+    """
+
+    primary: str
+    entity_name: str | None
+    covered: list[str] = field(default_factory=list)
+    affiliation_only: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CoverageReport:
+    """Aggregate RWS-vs-entities comparison.
+
+    Attributes:
+        per_set: Coverage per RWS set, in list order.
+        total_members: Non-primary member records examined.
+        covered_members: Members the owning entity also contains.
+        affiliation_only_members: Members grouped by affiliation alone.
+        affiliation_only_associated: The same count restricted to the
+            associated subset (the paper's focus).
+        associated_total: All associated members examined.
+    """
+
+    per_set: list[SetCoverage] = field(default_factory=list)
+    total_members: int = 0
+    covered_members: int = 0
+    affiliation_only_members: int = 0
+    affiliation_only_associated: int = 0
+    associated_total: int = 0
+
+    @property
+    def affiliation_only_fraction(self) -> float:
+        """Fraction of members grouped by affiliation alone."""
+        if self.total_members == 0:
+            return 0.0
+        return self.affiliation_only_members / self.total_members
+
+    @property
+    def associated_affiliation_only_fraction(self) -> float:
+        """Fraction of *associated* members outside any entity."""
+        if self.associated_total == 0:
+            return 0.0
+        return self.affiliation_only_associated / self.associated_total
+
+
+def compare_with_rws(rws_list: RwsList,
+                     entities: EntitiesList) -> CoverageReport:
+    """Compare an RWS list with an ownership-based entities list.
+
+    Args:
+        rws_list: The RWS list.
+        entities: The entities list to compare against.
+
+    Returns:
+        The coverage report.
+    """
+    report = CoverageReport()
+    for rws_set in rws_list:
+        entity = entities.entity_for(rws_set.primary)
+        coverage = SetCoverage(
+            primary=rws_set.primary,
+            entity_name=entity.name if entity is not None else None,
+        )
+        for record in rws_set.member_records():
+            if record.role is SiteRole.PRIMARY:
+                continue
+            report.total_members += 1
+            if record.role is SiteRole.ASSOCIATED:
+                report.associated_total += 1
+            if entity is not None and entities.same_entity(
+                    rws_set.primary, record.site):
+                coverage.covered.append(record.site)
+                report.covered_members += 1
+            else:
+                coverage.affiliation_only.append(record.site)
+                report.affiliation_only_members += 1
+                if record.role is SiteRole.ASSOCIATED:
+                    report.affiliation_only_associated += 1
+        report.per_set.append(coverage)
+    return report

@@ -1,0 +1,61 @@
+"""Reconstructed entities snapshot.
+
+Built from the RWS seed catalog by the ownership rule: an organisation's
+entity contains its primary, service and ccTLD domains (which RWS itself
+requires to be commonly owned) plus the associated domains that are
+fully-integrated properties (STRONG branding is the catalog's proxy for
+"operated by the organisation itself").  WEAK/NONE associated sites —
+affiliated partners like CafeMedia's independent publishers — are
+deliberately *absent*, which is exactly the gap between an
+ownership-based list and RWS that §5 discusses.
+
+A handful of non-RWS entities are included so lookups against domains
+outside the list exercise the negative path.
+"""
+
+from __future__ import annotations
+
+from repro.data.rws_seed import RWS_SEED_SETS
+from repro.data.sites import BrandingLevel
+from repro.disconnect.model import EntitiesList, Entity
+
+# Entities unrelated to any RWS set (top-list organisations).
+_EXTRA_ENTITIES = (
+    Entity(name="Findall Search Group",
+           properties=("findall.com", "seekwell.com"),
+           resources=("findallstatic.net",)),
+    Entity(name="Mingle Networks",
+           properties=("mingle.com", "gather.com"),
+           resources=()),
+    Entity(name="Metricflow Analytics",
+           properties=("metricflow.com",),
+           resources=("metricflow.io",)),
+)
+
+
+def build_entities_list() -> EntitiesList:
+    """The reconstructed entities snapshot.
+
+    Returns:
+        An :class:`EntitiesList` with one entity per RWS organisation
+        (ownership-only membership) plus unrelated entities.
+    """
+    entities: list[Entity] = []
+    for seed in RWS_SEED_SETS:
+        properties = [seed.primary.domain]
+        resources: list[str] = []
+        for spec in seed.associated:
+            if spec.branding is BrandingLevel.STRONG:
+                properties.append(spec.domain)
+        for spec in seed.service:
+            resources.append(spec.domain)
+        for variants in seed.cctlds.values():
+            for spec in variants:
+                properties.append(spec.domain)
+        entities.append(Entity(
+            name=seed.org,
+            properties=tuple(properties),
+            resources=tuple(resources),
+        ))
+    entities.extend(_EXTRA_ENTITIES)
+    return EntitiesList(entities=entities)

@@ -1,0 +1,112 @@
+"""Entities-list data model.
+
+An *entity* is an organisation with two domain lists, following the
+Disconnect format: ``properties`` (user-facing sites the organisation
+owns) and ``resources`` (domains it serves infrastructure from).  The
+defining invariant, in contrast to RWS's associated subset, is common
+ownership throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.psl import PublicSuffixList, default_psl
+from repro.psl.lookup import DomainError
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One organisation's entry.
+
+    Attributes:
+        name: The organisation's display name.
+        properties: Registrable domains of its user-facing sites.
+        resources: Registrable domains of its infrastructure.
+    """
+
+    name: str
+    properties: tuple[str, ...] = ()
+    resources: tuple[str, ...] = ()
+
+    def domains(self) -> tuple[str, ...]:
+        """All domains, properties first, de-duplicated."""
+        seen: list[str] = []
+        for domain in self.properties + self.resources:
+            if domain not in seen:
+                seen.append(domain)
+        return tuple(seen)
+
+    def contains(self, domain: str) -> bool:
+        """Whether a domain belongs to this entity."""
+        return domain.lower() in self.domains()
+
+
+@dataclass
+class EntitiesList:
+    """A full entities list with domain-indexed lookups."""
+
+    entities: list[Entity] = field(default_factory=list)
+    psl: PublicSuffixList = field(default_factory=default_psl)
+    _index: dict[str, Entity] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._index = {}
+        for entity in self.entities:
+            for domain in entity.domains():
+                existing = self._index.get(domain)
+                if existing is not None and existing is not entity:
+                    raise ValueError(
+                        f"domain {domain} appears in two entities: "
+                        f"{existing.name!r} and {entity.name!r}"
+                    )
+                self._index[domain] = entity
+
+    def add(self, entity: Entity) -> None:
+        """Insert an entity.
+
+        Raises:
+            ValueError: If any of its domains already belongs to a
+                different entity (ownership is exclusive).
+        """
+        self.entities.append(entity)
+        try:
+            self._reindex()
+        except ValueError:
+            self.entities.pop()
+            raise
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self.entities)
+
+    def entity_for(self, domain: str) -> Entity | None:
+        """The entity owning a domain (or its registrable form)."""
+        key = domain.lower()
+        if key in self._index:
+            return self._index[key]
+        try:
+            registrable = self.psl.etld_plus_one(key)
+        except DomainError:
+            return None
+        if registrable and registrable in self._index:
+            return self._index[registrable]
+        return None
+
+    def same_entity(self, domain_a: str, domain_b: str) -> bool:
+        """The ownership analogue of :meth:`RwsList.related`."""
+        entity_a = self.entity_for(domain_a)
+        if entity_a is None:
+            return False
+        entity_b = self.entity_for(domain_b)
+        return entity_a is entity_b
+
+    def domain_count(self) -> int:
+        """Total distinct domains across all entities."""
+        return len(self._index)

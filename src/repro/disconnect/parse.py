@@ -1,0 +1,83 @@
+"""The ``entities.json`` wire format.
+
+Disconnect publishes entities as::
+
+    {
+      "entities": {
+        "Example Org": {
+          "properties": ["example.com", "example-news.com"],
+          "resources": ["examplecdn.net"]
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.disconnect.model import EntitiesList, Entity
+
+
+class EntitiesSchemaError(ValueError):
+    """Raised for malformed entities JSON."""
+
+
+def _domain_list(raw: Any, entity: str, key: str) -> tuple[str, ...]:
+    if raw is None:
+        return ()
+    if not isinstance(raw, list):
+        raise EntitiesSchemaError(
+            f"entity {entity!r}: field {key!r} must be a list"
+        )
+    domains: list[str] = []
+    for item in raw:
+        if not isinstance(item, str) or not item.strip():
+            raise EntitiesSchemaError(
+                f"entity {entity!r}: invalid domain entry {item!r}"
+            )
+        domains.append(item.strip().lower())
+    return tuple(domains)
+
+
+def parse_entities_json(text: str) -> EntitiesList:
+    """Parse an entities.json document.
+
+    Raises:
+        EntitiesSchemaError: On JSON or structural errors.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise EntitiesSchemaError(f"invalid JSON: {error}") from None
+    if not isinstance(document, dict) or not isinstance(
+            document.get("entities"), dict):
+        raise EntitiesSchemaError("top level must contain an 'entities' map")
+
+    entities: list[Entity] = []
+    for name, body in document["entities"].items():
+        if not isinstance(body, dict):
+            raise EntitiesSchemaError(f"entity {name!r} must be an object")
+        entities.append(Entity(
+            name=name,
+            properties=_domain_list(body.get("properties"), name,
+                                    "properties"),
+            resources=_domain_list(body.get("resources"), name, "resources"),
+        ))
+    return EntitiesList(entities=entities)
+
+
+def serialize_entities_json(entities_list: EntitiesList,
+                            *, indent: int = 2) -> str:
+    """Render an entities list back to the wire format."""
+    document = {
+        "entities": {
+            entity.name: {
+                "properties": list(entity.properties),
+                "resources": list(entity.resources),
+            }
+            for entity in entities_list
+        }
+    }
+    return json.dumps(document, indent=indent)

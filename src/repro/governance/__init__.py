@@ -1,0 +1,45 @@
+"""RWS governance: the GitHub pull-request pipeline.
+
+§4 of the paper analyses how the RWS list is managed: site owners
+propose sets via pull requests; an automated bot validates each
+submission (and re-validates on updates); maintainers manually review
+what survives.  The paper's findings:
+
+* 114 new-set PRs through 30 March 2024; 47 merged, 67 closed unmerged
+  (58.8%) — Figure 5;
+* 60 unique set primaries across those PRs (mean 1.9 PRs/primary);
+* 54.3% of unsuccessful PRs closed the day they were opened; median 5
+  days to merge a successful one; only 1 merged PR ever failed an
+  automated check — Figure 6;
+* the bot message mix of Table 3 (``.well-known`` fetch failures
+  dominate at 202).
+
+This package reproduces that pipeline end to end.  The *bot* is not
+statistically simulated — it is the real validation engine
+(:class:`repro.rws.validation.Validator`) run against per-submission
+synthetic webs whose defects are injected by a deterministic, paper-
+calibrated plan (:mod:`repro.governance.planner`).  Table 3 then
+*emerges* from running the real checks.
+"""
+
+from repro.governance.analyze import (
+    cumulative_by_month,
+    days_to_process,
+    table3_message_counts,
+)
+from repro.governance.model import PrDataset, PrEvent, PrState, PullRequest
+from repro.governance.planner import GovernancePlan, build_plan
+from repro.governance.simulate import simulate_governance
+
+__all__ = [
+    "GovernancePlan",
+    "PrDataset",
+    "PrEvent",
+    "PrState",
+    "PullRequest",
+    "build_plan",
+    "cumulative_by_month",
+    "days_to_process",
+    "simulate_governance",
+    "table3_message_counts",
+]

@@ -1,0 +1,79 @@
+"""Analyses over the PR dataset (Figures 5-6, Table 3)."""
+
+from __future__ import annotations
+
+from repro.governance.model import PrDataset, PrState
+
+
+def cumulative_by_month(dataset: PrDataset) -> dict[str, dict[str, int]]:
+    """Figure 5: cumulative PR counts by open month, split by state.
+
+    Returns:
+        ``{month: {"approved": n, "closed": m}}`` with cumulative
+        counts, months sorted ascending.
+    """
+    monthly: dict[str, dict[str, int]] = {}
+    for pr in dataset:
+        month = f"{pr.opened.year:04d}-{pr.opened.month:02d}"
+        bucket = monthly.setdefault(month, {"approved": 0, "closed": 0})
+        if pr.state is PrState.MERGED:
+            bucket["approved"] += 1
+        elif pr.state is PrState.CLOSED:
+            bucket["closed"] += 1
+
+    cumulative: dict[str, dict[str, int]] = {}
+    running = {"approved": 0, "closed": 0}
+    for month in sorted(monthly):
+        running["approved"] += monthly[month]["approved"]
+        running["closed"] += monthly[month]["closed"]
+        cumulative[month] = dict(running)
+    return cumulative
+
+
+def days_to_process(dataset: PrDataset) -> dict[str, list[int]]:
+    """Figure 6: days-to-resolution per final state.
+
+    Returns:
+        ``{"approved": [...], "closed": [...]}`` (each sorted
+        ascending, one entry per resolved PR).
+    """
+    approved = sorted(
+        pr.days_to_process for pr in dataset.with_state(PrState.MERGED)
+        if pr.days_to_process is not None
+    )
+    closed = sorted(
+        pr.days_to_process for pr in dataset.with_state(PrState.CLOSED)
+        if pr.days_to_process is not None
+    )
+    return {"approved": approved, "closed": closed}
+
+
+def same_day_close_fraction(dataset: PrDataset) -> float:
+    """Fraction of unsuccessful PRs closed the day they were opened."""
+    closed = days_to_process(dataset)["closed"]
+    if not closed:
+        return 0.0
+    return sum(1 for days in closed if days == 0) / len(closed)
+
+
+def table3_message_counts(dataset: PrDataset) -> dict[str, int]:
+    """Table 3: bot validation messages tallied by category.
+
+    Counts every finding across every validation run of every PR
+    (re-validated updates count again, exactly as the paper's
+    one-to-many PR->message mapping does), sorted descending.
+    """
+    counts: dict[str, int] = {}
+    for pr in dataset:
+        for report in pr.validation_reports():
+            for category, count in report.table3_counts().items():
+                counts[category] = counts.get(category, 0) + count
+    return dict(sorted(counts.items(), key=lambda item: (-item[1], item[0])))
+
+
+def merged_with_any_failure(dataset: PrDataset) -> int:
+    """How many merged PRs ever failed an automated check (paper: 1)."""
+    return sum(
+        1 for pr in dataset.with_state(PrState.MERGED)
+        if pr.ever_failed_validation()
+    )

@@ -1,0 +1,250 @@
+"""Submission defect injection.
+
+Each failing pull request in the simulation carries a *defect bundle*:
+counts of concrete mistakes of the kinds the paper's Table 3 tallies.
+Realising a bundle produces (a) the defective submitted set and (b) a
+synthetic web deploying exactly what the submitter actually deployed —
+the real validator then discovers the defects the same way the GitHub
+bot does.
+
+The defect kinds map 1:1 onto Table 3 rows:
+
+========================  ==================================================
+``wk_missing``            member serves no ``.well-known`` file (202×)
+``assoc_not_etld1``       associated entry is a subdomain (65×)
+``service_no_xrobots``    service site lacks ``X-Robots-Tag`` (19×)
+``wk_mismatch``           member's file names a different primary (12×)
+``alias_not_etld1``       ccTLD alias entry is a subdomain (10×)
+``primary_not_etld1``     primary entry is a subdomain (9×)
+``other``                 duplicate member in the set (8×, "Other")
+``missing_rationale``     rationale omitted for members (5×)
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.headers import Headers
+from repro.netsim.message import Response
+from repro.netsim.server import SyntheticWeb
+from repro.rws.model import RelatedWebsiteSet, SiteRole
+from repro.rws.wellknown import (
+    WELL_KNOWN_PATH,
+    member_well_known_document,
+    primary_well_known_document,
+)
+
+
+@dataclass(frozen=True)
+class DefectBundle:
+    """Counts of each defect kind injected into one validation run."""
+
+    wk_missing: int = 0
+    assoc_not_etld1: int = 0
+    service_no_xrobots: int = 0
+    wk_mismatch: int = 0
+    alias_not_etld1: int = 0
+    primary_not_etld1: int = 0
+    other: int = 0
+    missing_rationale: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total expected findings from this bundle."""
+        # missing_rationale yields ONE finding regardless of how many
+        # members lack a rationale (the bot reports it set-level).
+        return (self.wk_missing + self.assoc_not_etld1
+                + self.service_no_xrobots + self.wk_mismatch
+                + self.alias_not_etld1 + self.primary_not_etld1
+                + self.other + (1 if self.missing_rationale else 0))
+
+    @property
+    def is_clean(self) -> bool:
+        return self.total == 0
+
+
+@dataclass
+class RealizedRun:
+    """A defective submission plus the web it was 'deployed' on."""
+
+    submission: RelatedWebsiteSet
+    web: SyntheticWeb
+    bundle: DefectBundle = field(default_factory=DefectBundle)
+
+
+def _tiny_page(domain: str) -> str:
+    return (f"<html><head><title>{domain}</title></head>"
+            f"<body><h1>{domain}</h1><p>landing page</p></body></html>")
+
+
+def realize_run(
+    base: RelatedWebsiteSet,
+    bundle: DefectBundle,
+    *,
+    seed: int = 0,
+) -> RealizedRun:
+    """Realise one validation run.
+
+    Args:
+        base: The well-formed set the submitter intended.
+        bundle: The mistakes they actually made.
+        seed: Seed for the run's synthetic web.
+
+    Returns:
+        The defective submission and its deployed web.
+
+    Raises:
+        ValueError: If the bundle asks for more defects than the set has
+            members to carry (e.g. 3 bad associated sites in a set with
+            2 associated members).
+    """
+    associated = list(base.associated)
+    service = list(base.service)
+    cctlds = {member: list(variants) for member, variants in base.cctlds.items()}
+    rationales = dict(base.rationales)
+    primary = base.primary
+
+    # -- mutate the submission ------------------------------------------------
+
+    if bundle.primary_not_etld1:
+        primary = f"www.{primary}"
+
+    if bundle.assoc_not_etld1 > len(associated):
+        raise ValueError(
+            f"cannot make {bundle.assoc_not_etld1} associated sites "
+            f"subdomains; set has {len(associated)}"
+        )
+    bad_assoc: list[str] = []
+    for index in range(bundle.assoc_not_etld1):
+        original = associated[index]
+        replacement = f"app.{original}"
+        associated[index] = replacement
+        rationales[replacement] = rationales.pop(
+            original, f"Affiliated property of {base.primary}."
+        )
+        bad_assoc.append(replacement)
+
+    alias_entries: list[str] = []
+    if bundle.alias_not_etld1:
+        # A bad alias is a *subdomain* of what would otherwise be a
+        # legitimate ccTLD variant (same SLD, different suffix), so the
+        # only rule it violates is the eTLD+1 requirement.
+        sld = base.primary.split(".", 1)[0]
+        primary_suffix = base.primary.split(".", 1)[1]
+        alt_tld = "de" if primary_suffix != "de" else "fr"
+        variants = cctlds.setdefault(primary, [])
+        for index in range(bundle.alias_not_etld1):
+            bad_alias = f"cc{index}.{sld}.{alt_tld}"
+            variants.append(bad_alias)
+            alias_entries.append(bad_alias)
+
+    if bundle.other:
+        # Duplicate members: the same associated site listed repeatedly.
+        source = associated[0] if associated else base.primary
+        for _ in range(bundle.other):
+            associated.append(source)
+
+    if bundle.missing_rationale:
+        victims = [site for site in associated if site in rationales]
+        for site in victims[: bundle.missing_rationale]:
+            del rationales[site]
+        if not victims:
+            raise ValueError("missing_rationale defect needs associated sites")
+
+    submission = RelatedWebsiteSet(
+        primary=primary,
+        associated=associated,
+        service=service,
+        cctlds=cctlds,
+        rationales=rationales,
+        contact=base.contact,
+    )
+
+    # -- deploy the web -------------------------------------------------------
+
+    web = SyntheticWeb(seed=seed)
+
+    def registrable(domain: str) -> str:
+        """The host to register for a (possibly subdomain) entry.
+
+        Defect-injected entries are subdomains with reserved first
+        labels (``www``, ``app``, ``cc<N>``); everything else is
+        already an eTLD+1.
+        """
+        first, _, rest = domain.partition(".")
+        if first in ("www", "app"):
+            return rest
+        if first.startswith("cc") and first[2:].isdigit():
+            return rest
+        return domain
+
+    members = submission.members()
+    wk_missing_members = set()
+    non_primary = [m for m in members if m != submission.primary]
+    if bundle.wk_missing > len(non_primary) + 1:
+        raise ValueError(
+            f"cannot omit {bundle.wk_missing} well-known files; set has "
+            f"{len(non_primary) + 1} members"
+        )
+    # Omit from the tail (keeps the primary's file present when possible,
+    # matching the common real-world pattern of forgetting member files).
+    for domain in reversed(non_primary):
+        if len(wk_missing_members) >= bundle.wk_missing:
+            break
+        wk_missing_members.add(domain)
+    if len(wk_missing_members) < bundle.wk_missing:
+        wk_missing_members.add(submission.primary)
+
+    mismatch_members = set()
+    candidates = [m for m in non_primary if m not in wk_missing_members]
+    if bundle.wk_mismatch > len(candidates):
+        raise ValueError("not enough members for wk_mismatch defects")
+    for domain in candidates[: bundle.wk_mismatch]:
+        mismatch_members.add(domain)
+
+    xrobots_missing = set()
+    if bundle.service_no_xrobots > len(service):
+        raise ValueError("not enough service sites for xrobots defects")
+    for domain in service[: bundle.service_no_xrobots]:
+        xrobots_missing.add(domain)
+
+    registered: set[str] = set()
+    for domain in members:
+        host = registrable(domain)
+        if host in registered:
+            continue
+        registered.add(host)
+        web.add_host(host)
+
+    for domain in members:
+        host = registrable(domain)
+        is_service = domain in service
+        needs_xrobots = is_service and domain not in xrobots_missing
+
+        page_headers = Headers({"Content-Type": "text/html; charset=utf-8"})
+        if needs_xrobots:
+            page_headers.add("X-Robots-Tag", "noindex")
+        web.set_response(host, "/", Response(
+            status=200, headers=page_headers, body=_tiny_page(domain),
+        ))
+
+        if domain in wk_missing_members:
+            continue
+        if domain == submission.primary:
+            document = primary_well_known_document(submission)
+        elif domain in mismatch_members:
+            document = member_well_known_document(f"not-{submission.primary}")
+        else:
+            document = member_well_known_document(submission.primary)
+        wk_headers = Headers({"Content-Type": "application/json"})
+        if needs_xrobots:
+            wk_headers.add("X-Robots-Tag", "noindex")
+        web.set_response(host, WELL_KNOWN_PATH, Response(
+            status=200, headers=wk_headers, body=document,
+        ))
+
+    return RealizedRun(submission=submission, web=web, bundle=bundle)
+
+
+_ = SiteRole  # Imported for type context in docstrings.

@@ -1,0 +1,115 @@
+"""Pull-request lifecycle model."""
+
+from __future__ import annotations
+
+import datetime as dt
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.rws.model import RelatedWebsiteSet
+from repro.rws.validation import ValidationReport
+
+
+class PrState(enum.Enum):
+    """Final state of a pull request."""
+
+    OPEN = "open"
+    MERGED = "merged"
+    CLOSED = "closed"  # Closed without being merged.
+
+
+class PrEventKind(enum.Enum):
+    """Kinds of recorded PR events."""
+
+    OPENED = "opened"
+    BOT_COMMENT = "bot-comment"
+    UPDATED = "updated"
+    MERGED = "merged"
+    CLOSED = "closed"
+
+
+@dataclass
+class PrEvent:
+    """One event on a pull request's timeline.
+
+    Attributes:
+        kind: Event kind.
+        date: Event date.
+        report: For BOT_COMMENT events, the validation report behind
+            the comment.
+        comment: Rendered bot comment text (BOT_COMMENT only).
+    """
+
+    kind: PrEventKind
+    date: dt.date
+    report: ValidationReport | None = None
+    comment: str = ""
+
+
+@dataclass
+class PullRequest:
+    """One pull request proposing a new Related Website Set.
+
+    Attributes:
+        number: PR number (unique, ascending by open date).
+        primary: The proposed set's primary domain.
+        submission: The proposed set as submitted (final revision).
+        opened: Date opened.
+        state: Final state.
+        resolved: Date merged or closed (None while OPEN).
+        events: Timeline (always starts with OPENED).
+    """
+
+    number: int
+    primary: str
+    submission: RelatedWebsiteSet
+    opened: dt.date
+    state: PrState = PrState.OPEN
+    resolved: dt.date | None = None
+    events: list[PrEvent] = field(default_factory=list)
+
+    @property
+    def days_to_process(self) -> int | None:
+        """Days from open to resolution (None while open)."""
+        if self.resolved is None:
+            return None
+        return (self.resolved - self.opened).days
+
+    def validation_reports(self) -> list[ValidationReport]:
+        """All bot validation reports on this PR, in order."""
+        return [event.report for event in self.events
+                if event.kind is PrEventKind.BOT_COMMENT
+                and event.report is not None]
+
+    def ever_failed_validation(self) -> bool:
+        """Whether any automated run produced an error."""
+        return any(not report.passed for report in self.validation_reports())
+
+
+@dataclass
+class PrDataset:
+    """The full PR corpus the analyses run over."""
+
+    pull_requests: list[PullRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pull_requests)
+
+    def __iter__(self) -> Iterator[PullRequest]:
+        return iter(self.pull_requests)
+
+    def with_state(self, state: PrState) -> list[PullRequest]:
+        """All PRs with a given final state."""
+        return [pr for pr in self.pull_requests if pr.state is state]
+
+    def unique_primaries(self) -> set[str]:
+        """Distinct set primaries across all PRs."""
+        return {pr.primary for pr in self.pull_requests}
+
+    def mean_prs_per_primary(self) -> float:
+        """The paper's resubmission statistic (1.9 in the dataset)."""
+        primaries = self.unique_primaries()
+        if not primaries:
+            return 0.0
+        return len(self.pull_requests) / len(primaries)

@@ -1,0 +1,271 @@
+"""Deterministic, paper-calibrated governance plan.
+
+The plan fixes everything about the simulated PR corpus *except* the
+validation findings, which are produced later by actually running the
+validator (:mod:`repro.governance.simulate`).  Calibration targets, all
+from §4 of the paper:
+
+* 114 PRs opened 2023-03 .. 2024-03, at a growing monthly rate;
+* 47 merged / 67 closed without merging (58.8% closed);
+* 60 unique primaries (mean 1.9 PRs per primary): every merged primary
+  is unique, 30 of them have one failed attempt first, and 13
+  never-merged primaries account for the remaining 37 failed attempts;
+* 36 of the 67 closed PRs close the day they were opened (53.7%,
+  paper: 54.3%); merged PRs take a median of 5 days;
+* exactly one merged PR ever failed an automated check;
+* defect bundles whose realised findings sum to Table 3's counts
+  (202 / 65 / 19 / 12 / 10 / 9 / 8 / 5).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+from repro.data.builders import seed_to_set
+from repro.data.rws_seed import RWS_SEED_SETS
+from repro.governance.defects import DefectBundle
+from repro.rws.model import RelatedWebsiteSet
+
+# Months of the PR window, oldest first.
+MONTHS: tuple[str, ...] = (
+    "2023-03", "2023-04", "2023-05", "2023-06", "2023-07", "2023-08",
+    "2023-09", "2023-10", "2023-11", "2023-12", "2024-01", "2024-02",
+    "2024-03",
+)
+
+# Extra merged primaries per month (sets merged but outside the paper's
+# 2024-03-26 list snapshot, e.g. merged in the window's final days or
+# later removed); seed sets supply the rest by their intro month.
+_EXTRA_MERGED_PER_MONTH = (2, 1, 1, 1, 1, 0, 1, 0, 1, 0, 1, 1, 1)
+
+# Closed-without-merging PRs per month (sums to 67, growing).
+_CLOSED_PER_MONTH = (1, 1, 2, 3, 4, 4, 5, 6, 7, 8, 8, 9, 9)
+
+# Of each month's closed PRs, how many are failed first attempts by a
+# primary that is merged that same month (sums to 30).
+_PRIOR_FAILURES_PER_MONTH = (0, 0, 1, 1, 2, 2, 3, 3, 4, 3, 4, 4, 3)
+
+# Attempts per never-merged primary (13 primaries, 37 attempts).
+_REJECTED_ATTEMPTS = (4, 4, 3, 3, 3, 3, 3, 3, 3, 2, 2, 2, 2)
+
+# Days-to-resolve for closed PRs beyond the 36 same-day ones (31 values).
+_CLOSED_TAIL_DAYS = (
+    1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 5, 5, 6, 7, 8, 9, 10, 12, 14, 16,
+    19, 22, 26, 30, 34, 38, 42, 46, 50, 50,
+)
+
+# Days-to-merge for the 47 merged PRs (median = 5).
+_MERGED_DAYS = (
+    1, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4,
+    5, 5, 5, 5, 5, 5,
+    6, 6, 6, 6, 7, 7, 7, 8, 8, 9, 10, 11, 12, 13, 14, 16, 18, 21,
+)
+
+# Index (into the merged sequence) of the one merged PR that failed an
+# automated check on its first run.
+_MERGED_WITH_FAILURE_INDEX = 6
+
+
+def _closed_bundle_layout() -> list[DefectBundle]:
+    """The 67 failed-attempt defect bundles (Table 3 calibration)."""
+    bundles: list[DefectBundle] = []
+    for _ in range(9):
+        bundles.append(DefectBundle(primary_not_etld1=1, wk_missing=1))
+    bundles.append(DefectBundle(alias_not_etld1=2, wk_missing=2))
+    for _ in range(2):
+        bundles.append(DefectBundle(alias_not_etld1=2))
+    for _ in range(4):
+        bundles.append(DefectBundle(alias_not_etld1=1, wk_missing=1))
+    for _ in range(6):
+        bundles.append(DefectBundle(wk_mismatch=2, wk_missing=3))
+    for _ in range(9):
+        bundles.append(DefectBundle(service_no_xrobots=2, wk_missing=3))
+    bundles.append(DefectBundle(service_no_xrobots=1, wk_missing=3))
+    for _ in range(5):
+        bundles.append(DefectBundle(missing_rationale=1, wk_missing=3))
+    for _ in range(4):
+        bundles.append(DefectBundle(other=2, wk_missing=2))
+    for _ in range(16):
+        bundles.append(DefectBundle(assoc_not_etld1=4, wk_missing=3))
+    bundles.append(DefectBundle(assoc_not_etld1=1, wk_missing=3))
+    for _ in range(9):
+        bundles.append(DefectBundle(wk_missing=7))
+    if len(bundles) != 67:
+        raise AssertionError(f"bundle layout has {len(bundles)} entries")
+    return bundles
+
+
+# The failing first run of the one merged-PR-with-failure.
+_MERGED_FAILURE_BUNDLE = DefectBundle(wk_missing=2)
+
+
+def draft_set(primary: str) -> RelatedWebsiteSet:
+    """The 'intended' set behind a synthetic or draft submission.
+
+    4 associated + 2 service members derived from the primary's SLD —
+    enough capacity to carry any bundle in the layout.
+    """
+    sld = primary.split(".", 1)[0]
+    associated = [f"{sld}news.com", f"{sld}shop.com",
+                  f"{sld}play.net", f"{sld}hub.org"]
+    service = [f"{sld}cdn.net", f"{sld}static.net"]
+    rationales = {site: f"Affiliated property of {primary}."
+                  for site in associated}
+    rationales.update({site: f"Asset host for {primary}." for site in service})
+    return RelatedWebsiteSet(
+        primary=primary,
+        associated=associated,
+        service=service,
+        rationales=rationales,
+        contact=f"webmaster@{primary}",
+    )
+
+
+@dataclass(frozen=True)
+class PlannedRun:
+    """One planned validation run."""
+
+    bundle: DefectBundle
+    base: RelatedWebsiteSet
+
+
+@dataclass(frozen=True)
+class PlannedPr:
+    """One planned pull request."""
+
+    primary: str
+    opened: dt.date
+    merged: bool
+    resolved: dt.date
+    runs: tuple[PlannedRun, ...]
+
+
+@dataclass
+class GovernancePlan:
+    """The full planned corpus, in open-date order."""
+
+    prs: list[PlannedPr] = field(default_factory=list)
+
+
+def _month_date(month: str, day: int) -> dt.date:
+    year, month_number = (int(part) for part in month.split("-"))
+    return dt.date(year, month_number, day)
+
+
+def build_plan() -> GovernancePlan:
+    """Construct the deterministic plan.
+
+    Returns:
+        114 planned PRs in open-date order.
+    """
+    # Sets introduced before the PR window (2023-01..2023-03 intros)
+    # were part of the list's initial seeding, not PR submissions; the
+    # PR corpus covers the 36 later seed sets plus 11 extra merged sets
+    # that fall outside the 2024-03-26 list snapshot.
+    seed_by_month: dict[str, list[str]] = {}
+    seed_sets = {seed.primary.domain: seed_to_set(seed) for seed in RWS_SEED_SETS}
+    for seed in RWS_SEED_SETS:
+        if seed.intro_month <= MONTHS[0]:
+            continue
+        seed_by_month.setdefault(seed.intro_month, []).append(seed.primary.domain)
+
+    closed_bundles = _closed_bundle_layout()
+    closed_days = [0] * 36 + list(_CLOSED_TAIL_DAYS)
+    merged_days = list(_MERGED_DAYS)
+
+    rejected_primaries = [f"rejectedco{i}.com" for i in range(13)]
+    rejected_budget = dict(zip(rejected_primaries, _REJECTED_ATTEMPTS))
+    rejected_cursor = 0
+
+    extra_counter = 0
+    merged_index = 0
+    closed_index = 0
+    prs: list[PlannedPr] = []
+
+    for month_position, month in enumerate(MONTHS):
+        day_cycle = 0
+
+        def next_day() -> int:
+            nonlocal day_cycle
+            day_cycle += 1
+            return 1 + ((day_cycle * 5) % 23)
+
+        # Merged PRs this month: seed sets introduced now + extras.
+        merged_primaries = list(seed_by_month.get(month, ()))
+        for _ in range(_EXTRA_MERGED_PER_MONTH[month_position]):
+            extra_counter += 1
+            merged_primaries.append(f"newset{extra_counter}.com")
+
+        prior_failure_quota = _PRIOR_FAILURES_PER_MONTH[month_position]
+        closed_quota = _CLOSED_PER_MONTH[month_position]
+
+        for position, primary in enumerate(merged_primaries):
+            opened = _month_date(month, next_day())
+            base = seed_sets.get(primary, draft_set(primary))
+
+            # A failed first attempt for the first `quota` primaries.
+            if position < prior_failure_quota:
+                bundle = closed_bundles[closed_index]
+                days = closed_days[closed_index]
+                closed_index += 1
+                fail_open = opened
+                prs.append(PlannedPr(
+                    primary=primary,
+                    opened=fail_open,
+                    merged=False,
+                    resolved=fail_open + dt.timedelta(days=days),
+                    runs=(PlannedRun(bundle=bundle,
+                                     base=draft_set(primary)),),
+                ))
+                opened = opened + dt.timedelta(days=1)
+
+            days = merged_days[merged_index]
+            if merged_index == _MERGED_WITH_FAILURE_INDEX:
+                runs = (
+                    PlannedRun(bundle=_MERGED_FAILURE_BUNDLE, base=base),
+                    PlannedRun(bundle=DefectBundle(), base=base),
+                )
+            else:
+                runs = (PlannedRun(bundle=DefectBundle(), base=base),)
+            merged_index += 1
+            prs.append(PlannedPr(
+                primary=primary,
+                opened=opened,
+                merged=True,
+                resolved=opened + dt.timedelta(days=days),
+                runs=runs,
+            ))
+
+        # Remaining closed slots: never-merged primaries' attempts.
+        for _ in range(closed_quota - prior_failure_quota):
+            primary = rejected_primaries[rejected_cursor % len(rejected_primaries)]
+            probes = 0
+            while rejected_budget[primary] == 0 and probes < len(rejected_primaries):
+                rejected_cursor += 1
+                probes += 1
+                primary = rejected_primaries[rejected_cursor % len(rejected_primaries)]
+            rejected_budget[primary] -= 1
+            rejected_cursor += 1
+
+            bundle = closed_bundles[closed_index]
+            days = closed_days[closed_index]
+            closed_index += 1
+            opened = _month_date(month, next_day())
+            prs.append(PlannedPr(
+                primary=primary,
+                opened=opened,
+                merged=False,
+                resolved=opened + dt.timedelta(days=days),
+                runs=(PlannedRun(bundle=bundle, base=draft_set(primary)),),
+            ))
+
+    if closed_index != 67 or merged_index != 47:
+        raise AssertionError(
+            f"plan totals wrong: merged={merged_index} closed={closed_index}"
+        )
+    if any(budget != 0 for budget in rejected_budget.values()):
+        raise AssertionError(f"unused rejected attempts: {rejected_budget}")
+
+    prs.sort(key=lambda pr: (pr.opened, pr.primary))
+    return GovernancePlan(prs=prs)

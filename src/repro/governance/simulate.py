@@ -1,0 +1,83 @@
+"""Execute a governance plan: run the real bot over every planned PR."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from repro.governance.defects import realize_run
+from repro.governance.model import (
+    PrDataset,
+    PrEvent,
+    PrEventKind,
+    PrState,
+    PullRequest,
+)
+from repro.governance.planner import GovernancePlan, build_plan
+from repro.netsim.client import Client
+from repro.rws.validation import ValidationReport, Validator
+
+
+def _validate_run(run_seed: int, planned_run) -> ValidationReport:
+    realized = realize_run(planned_run.base, planned_run.bundle, seed=run_seed)
+    validator = Validator(client=Client(realized.web))
+    return validator.validate(realized.submission)
+
+
+def simulate_governance(plan: GovernancePlan | None = None) -> PrDataset:
+    """Run the bot over every planned PR and assemble the dataset.
+
+    Args:
+        plan: The plan to execute (the calibrated default otherwise).
+
+    Returns:
+        The full PR dataset — the input to Figures 5-6 and Table 3.
+
+    Raises:
+        AssertionError: If the real validator disagrees with the plan
+            (a clean run failing, or a defective run passing) — that
+            would mean the defect injection and the validation engine
+            have drifted apart.
+    """
+    plan = plan or build_plan()
+    dataset = PrDataset()
+
+    for number, planned in enumerate(plan.prs, start=1):
+        events = [PrEvent(kind=PrEventKind.OPENED, date=planned.opened)]
+        submission = None
+        for run_index, planned_run in enumerate(planned.runs):
+            report = _validate_run(number * 31 + run_index, planned_run)
+            expected_clean = planned_run.bundle.is_clean
+            if expected_clean and not report.passed:
+                raise AssertionError(
+                    f"clean run failed for {planned.primary}: "
+                    f"{[f.message for f in report.findings]}"
+                )
+            if not expected_clean and report.passed:
+                raise AssertionError(
+                    f"defective run passed for {planned.primary} "
+                    f"(bundle {planned_run.bundle})"
+                )
+            run_date = planned.opened + dt.timedelta(days=run_index)
+            if run_index > 0:
+                events.append(PrEvent(kind=PrEventKind.UPDATED, date=run_date))
+            events.append(PrEvent(
+                kind=PrEventKind.BOT_COMMENT,
+                date=run_date,
+                report=report,
+                comment=report.bot_comment(),
+            ))
+            submission = report.checked_set
+
+        assert submission is not None  # every planned PR has >= 1 run
+        final_kind = PrEventKind.MERGED if planned.merged else PrEventKind.CLOSED
+        events.append(PrEvent(kind=final_kind, date=planned.resolved))
+        dataset.pull_requests.append(PullRequest(
+            number=number,
+            primary=planned.primary,
+            submission=submission,
+            opened=planned.opened,
+            state=PrState.MERGED if planned.merged else PrState.CLOSED,
+            resolved=planned.resolved,
+            events=events,
+        ))
+    return dataset

@@ -1,0 +1,49 @@
+"""HTML parsing and similarity.
+
+The paper computes *HTML similarity* between RWS set primaries and their
+members (Figure 4) using the ``html-similarity`` library, which defines:
+
+* **style similarity** — Jaccard index over k-shingles of the pages'
+  CSS class sequences;
+* **structural similarity** — normalised longest-common-subsequence over
+  the pages' HTML tag sequences;
+* **joint similarity** — ``k * structural + (1 - k) * style`` with
+  ``k = 0.3``.
+
+This package provides a from-scratch HTML tokenizer and DOM-lite tree
+(:mod:`repro.html.tokenizer`, :mod:`repro.html.dom`,
+:mod:`repro.html.parser`), feature extraction including the branding
+signals survey participants reported using (:mod:`repro.html.extract`),
+and the similarity metrics (:mod:`repro.html.similarity`).
+"""
+
+from repro.html.dom import Element, Node, Text
+from repro.html.extract import PageFeatures, extract_features
+from repro.html.parser import parse_html
+from repro.html.similarity import (
+    DEFAULT_JOINT_WEIGHT,
+    SimilarityScores,
+    joint_similarity,
+    page_similarity,
+    structural_similarity,
+    style_similarity,
+)
+from repro.html.tokenizer import Token, TokenKind, tokenize
+
+__all__ = [
+    "DEFAULT_JOINT_WEIGHT",
+    "Element",
+    "Node",
+    "PageFeatures",
+    "SimilarityScores",
+    "Text",
+    "Token",
+    "TokenKind",
+    "extract_features",
+    "joint_similarity",
+    "page_similarity",
+    "parse_html",
+    "structural_similarity",
+    "style_similarity",
+    "tokenize",
+]

@@ -1,0 +1,105 @@
+"""A DOM-lite document tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Node:
+    """Base class for tree nodes."""
+
+    parent: "Element | None" = field(default=None, repr=False, compare=False)
+
+
+@dataclass
+class Text(Node):
+    """A text node."""
+
+    content: str = ""
+
+
+@dataclass
+class Element(Node):
+    """An element node.
+
+    Attributes:
+        tag: Lower-case tag name.
+        attributes: Attribute map (names lower-cased).
+        children: Child nodes in document order.
+    """
+
+    tag: str = ""
+    attributes: dict[str, str] = field(default_factory=dict)
+    children: list[Node] = field(default_factory=list)
+
+    def append(self, node: Node) -> None:
+        """Add a child node, setting its parent pointer."""
+        node.parent = self
+        self.children.append(node)
+
+    @property
+    def classes(self) -> list[str]:
+        """The element's CSS classes in attribute order."""
+        raw = self.attributes.get("class", "")
+        return [cls for cls in raw.split() if cls]
+
+    @property
+    def id(self) -> str | None:
+        """The element's id attribute, if any."""
+        return self.attributes.get("id")
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """An attribute value by (case-insensitive) name."""
+        return self.attributes.get(name.lower(), default)
+
+    def iter_elements(self) -> Iterator["Element"]:
+        """Depth-first pre-order iteration over descendant elements,
+        including this element itself."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter_elements()
+
+    def iter_text(self) -> Iterator[str]:
+        """All descendant text content, in document order."""
+        for child in self.children:
+            if isinstance(child, Text):
+                yield child.content
+            elif isinstance(child, Element):
+                yield from child.iter_text()
+
+    def text(self, separator: str = " ") -> str:
+        """Concatenated, whitespace-normalised descendant text."""
+        pieces = [piece.strip() for piece in self.iter_text()]
+        return separator.join(piece for piece in pieces if piece)
+
+    def find(self, tag: str) -> "Element | None":
+        """The first descendant element with this tag, or None."""
+        wanted = tag.lower()
+        for element in self.iter_elements():
+            if element.tag == wanted and element is not self:
+                return element
+        if self.tag == wanted:
+            return self
+        return None
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """All descendant elements (including self) with this tag."""
+        wanted = tag.lower()
+        return [element for element in self.iter_elements() if element.tag == wanted]
+
+    def find_by_class(self, class_name: str) -> list["Element"]:
+        """All descendant elements carrying a CSS class."""
+        return [
+            element for element in self.iter_elements()
+            if class_name in element.classes
+        ]
+
+    def find_by_id(self, element_id: str) -> "Element | None":
+        """The first descendant element with a given id."""
+        for element in self.iter_elements():
+            if element.id == element_id:
+                return element
+        return None

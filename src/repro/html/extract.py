@@ -1,0 +1,174 @@
+"""Page feature extraction.
+
+Two consumers drive what gets extracted here:
+
+* the **similarity metrics** (Figure 4) need each page's tag sequence
+  and CSS class sequence in document order;
+* the **survey respondent model** needs the observable relatedness cues
+  participants reported using (Table 2): domain names, branding elements
+  (logo text, brand names, theme colors), header text, footer text, and
+  about-page references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.html.dom import Element
+from repro.html.parser import parse_html
+
+_STRUCTURAL_SKIP = frozenset({"script", "style"})
+
+
+@dataclass
+class PageFeatures:
+    """Features extracted from one HTML page.
+
+    Attributes:
+        title: The document title ("" when absent).
+        tag_sequence: All element tag names in document order (the
+            structural-similarity input).
+        class_sequence: All CSS classes in document order, possibly with
+            repeats (the style-similarity input).
+        header_text: Visible text inside ``<header>`` / ``<nav>``.
+        footer_text: Visible text inside ``<footer>``.
+        brand_tokens: Candidate brand strings: logo alt text, elements
+            with brand-ish classes/ids, meta og:site_name, copyright
+            holder from the footer.
+        theme_color: The page's declared theme color, if any.
+        about_links: Hrefs of links whose text or path mentions "about".
+        outbound_hosts: Hosts of absolute links off the page.
+        full_text: All visible text on the page.
+    """
+
+    title: str = ""
+    tag_sequence: list[str] = field(default_factory=list)
+    class_sequence: list[str] = field(default_factory=list)
+    header_text: str = ""
+    footer_text: str = ""
+    brand_tokens: set[str] = field(default_factory=set)
+    theme_color: str | None = None
+    about_links: list[str] = field(default_factory=list)
+    outbound_hosts: set[str] = field(default_factory=set)
+    full_text: str = ""
+
+
+def extract_features(html: str) -> PageFeatures:
+    """Extract :class:`PageFeatures` from a document.
+
+    Args:
+        html: The page HTML.
+
+    Returns:
+        The extracted features (never raises on malformed HTML; the
+        tokenizer degrades gracefully).
+    """
+    root = parse_html(html)
+    features = PageFeatures()
+
+    title = root.find("title")
+    if title is not None:
+        features.title = title.text()
+
+    for element in root.iter_elements():
+        if element.tag == "html":
+            continue
+        if element.tag not in _STRUCTURAL_SKIP:
+            features.tag_sequence.append(element.tag)
+        features.class_sequence.extend(element.classes)
+
+    for header in root.find_all("header") + root.find_all("nav"):
+        text = header.text()
+        if text:
+            features.header_text = (features.header_text + " " + text).strip()
+    for footer in root.find_all("footer"):
+        text = footer.text()
+        if text:
+            features.footer_text = (features.footer_text + " " + text).strip()
+
+    features.brand_tokens = _collect_brand_tokens(root)
+    features.theme_color = _find_theme_color(root)
+    features.about_links = _collect_about_links(root)
+    features.outbound_hosts = _collect_outbound_hosts(root)
+    features.full_text = root.text()
+    return features
+
+
+def _collect_brand_tokens(root: Element) -> set[str]:
+    tokens: set[str] = set()
+    for meta in root.find_all("meta"):
+        prop = (meta.get("property") or meta.get("name") or "").lower()
+        content = meta.get("content")
+        if prop in {"og:site_name", "application-name"} and content:
+            tokens.add(content.strip().lower())
+    for img in root.find_all("img"):
+        classes = set(img.classes)
+        alt = (img.get("alt") or "").strip()
+        if alt and ({"logo", "brand"} & classes or "logo" in (img.get("src") or "")):
+            tokens.add(alt.lower())
+    for element in root.iter_elements():
+        identifier = (element.id or "").lower()
+        class_names = {cls.lower() for cls in element.classes}
+        if "logo" in identifier or "brand" in identifier \
+                or {"logo", "brand", "site-brand", "brand-name"} & class_names:
+            text = element.text()
+            if text:
+                tokens.add(text.lower())
+    copyright_holder = _copyright_holder(root)
+    if copyright_holder:
+        tokens.add(copyright_holder.lower())
+    return tokens
+
+
+def _copyright_holder(root: Element) -> str | None:
+    """The organisation named after (c)/© in the footer, if present."""
+    for footer in root.find_all("footer"):
+        text = footer.text()
+        for marker in ("©", "(c)", "(C)"):
+            index = text.find(marker)
+            if index == -1:
+                continue
+            tail = text[index + len(marker):].strip()
+            # Skip a leading year ("© 2024 Example Corp").
+            words = tail.split()
+            if words and words[0].rstrip(".,").isdigit():
+                words = words[1:]
+            holder_words = []
+            for word in words:
+                cleaned = word.rstrip(".,;")
+                holder_words.append(cleaned)
+                if word != cleaned or len(holder_words) >= 4:
+                    break
+            if holder_words:
+                return " ".join(holder_words)
+    return None
+
+
+def _find_theme_color(root: Element) -> str | None:
+    for meta in root.find_all("meta"):
+        if (meta.get("name") or "").lower() == "theme-color":
+            return meta.get("content")
+    return None
+
+
+def _collect_about_links(root: Element) -> list[str]:
+    links: list[str] = []
+    for anchor in root.find_all("a"):
+        href = anchor.get("href") or ""
+        text = anchor.text().lower()
+        if "about" in href.lower() or "about" in text:
+            if href:
+                links.append(href)
+    return links
+
+
+def _collect_outbound_hosts(root: Element) -> set[str]:
+    hosts: set[str] = set()
+    for anchor in root.find_all("a"):
+        href = anchor.get("href") or ""
+        if "://" in href:
+            after_scheme = href.split("://", 1)[1]
+            host = after_scheme.split("/", 1)[0].split(":", 1)[0].lower()
+            if host:
+                hosts.add(host)
+    return hosts

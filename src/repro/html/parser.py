@@ -1,0 +1,84 @@
+"""Tree construction: token stream -> DOM-lite tree.
+
+A forgiving tree builder in the spirit of the HTML5 algorithm, reduced to
+what the reproduction's pages need: void elements never take children,
+implicitly-closed elements (``p``, ``li``, ...) are closed when a sibling
+opens, and stray end tags are ignored.
+"""
+
+from __future__ import annotations
+
+from repro.html.dom import Element, Text
+from repro.html.tokenizer import TokenKind, tokenize
+
+_VOID_ELEMENTS = frozenset({
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "param", "source", "track", "wbr",
+})
+
+# Elements that implicitly close an open element of the same group.
+_AUTOCLOSE_GROUPS: dict[str, frozenset[str]] = {
+    "p": frozenset({"p"}),
+    "li": frozenset({"li"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+    "tr": frozenset({"tr"}),
+    "td": frozenset({"td", "th"}),
+    "th": frozenset({"td", "th"}),
+    "option": frozenset({"option"}),
+}
+
+
+def parse_html(html: str) -> Element:
+    """Parse an HTML document into a tree.
+
+    Args:
+        html: Document text.
+
+    Returns:
+        The root element.  If the document supplies an ``<html>``
+        element it is the root; otherwise a synthetic ``html`` root
+        wraps the content.
+    """
+    root = Element(tag="html")
+    stack: list[Element] = [root]
+    saw_explicit_html = False
+
+    for token in tokenize(html):
+        if token.kind is TokenKind.DOCTYPE or token.kind is TokenKind.COMMENT:
+            continue
+
+        if token.kind is TokenKind.TEXT:
+            stack[-1].append(Text(content=token.data))
+            continue
+
+        if token.kind is TokenKind.START_TAG:
+            name = token.data
+            if name == "html":
+                # Merge attributes onto the root instead of nesting.
+                saw_explicit_html = True
+                root.attributes.update(token.attributes)
+                continue
+            autoclose = _AUTOCLOSE_GROUPS.get(name)
+            if autoclose and stack[-1].tag in autoclose:
+                stack.pop()
+            element = Element(tag=name, attributes=dict(token.attributes))
+            stack[-1].append(element)
+            if not token.self_closing and name not in _VOID_ELEMENTS:
+                stack.append(element)
+            continue
+
+        if token.kind is TokenKind.END_TAG:
+            name = token.data
+            if name == "html":
+                continue
+            # Find the nearest matching open element; ignore if none.
+            for depth in range(len(stack) - 1, 0, -1):
+                if stack[depth].tag == name:
+                    del stack[depth:]
+                    break
+            continue
+
+    # Documents often omit <html>; either way `root` holds the tree.
+    _ = saw_explicit_html
+    return root

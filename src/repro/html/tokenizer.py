@@ -1,0 +1,240 @@
+"""HTML tokenizer.
+
+A pragmatic, from-scratch tokenizer for the HTML the synthetic web
+generates and real-world-ish pages: start/end tags with quoted or
+unquoted attributes, self-closing tags, comments, doctype, raw-text
+elements (``script``/``style``), and character data.  It is tolerant in
+the way browsers are — malformed input degrades to text rather than
+raising.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+_RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+_ENTITIES = {
+    "&amp;": "&",
+    "&lt;": "<",
+    "&gt;": ">",
+    "&quot;": '"',
+    "&#39;": "'",
+    "&apos;": "'",
+    "&nbsp;": " ",
+}
+
+
+class TokenKind(enum.Enum):
+    """Kinds of token the tokenizer emits."""
+
+    START_TAG = "start_tag"
+    END_TAG = "end_tag"
+    TEXT = "text"
+    COMMENT = "comment"
+    DOCTYPE = "doctype"
+
+
+@dataclass
+class Token:
+    """One lexical token of an HTML document.
+
+    Attributes:
+        kind: The token kind.
+        data: Tag name (lower-cased) for tags; text content for TEXT,
+            COMMENT and DOCTYPE tokens.
+        attributes: Attribute map for START_TAG tokens (names
+            lower-cased; valueless attributes map to "").
+        self_closing: True for ``<br/>``-style tags.
+    """
+
+    kind: TokenKind
+    data: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+def decode_entities(text: str) -> str:
+    """Decode the common named entities and numeric references."""
+    if "&" not in text:
+        return text
+    result: list[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char != "&":
+            result.append(char)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1 or end - i > 10:
+            result.append(char)
+            i += 1
+            continue
+        candidate = text[i:end + 1]
+        if candidate in _ENTITIES:
+            result.append(_ENTITIES[candidate])
+            i = end + 1
+        elif candidate.startswith("&#"):
+            code_text = candidate[2:-1]
+            try:
+                code = int(code_text[1:], 16) if code_text[:1] in ("x", "X") \
+                    else int(code_text)
+                result.append(chr(code))
+                i = end + 1
+            except (ValueError, OverflowError):
+                result.append(char)
+                i += 1
+        else:
+            result.append(char)
+            i += 1
+    return "".join(result)
+
+
+def tokenize(html: str) -> list[Token]:
+    """Tokenize an HTML document.
+
+    Args:
+        html: The document text.
+
+    Returns:
+        The token stream.  Malformed constructs are emitted as text.
+    """
+    tokens: list[Token] = []
+    i = 0
+    length = len(html)
+    raw_text_until: str | None = None
+
+    while i < length:
+        if raw_text_until is not None:
+            close = html.lower().find(f"</{raw_text_until}", i)
+            if close == -1:
+                close = length
+            if close > i:
+                tokens.append(Token(TokenKind.TEXT, html[i:close]))
+            i = close
+            raw_text_until = None
+            continue
+
+        lt = html.find("<", i)
+        if lt == -1:
+            text = html[i:]
+            if text.strip():
+                tokens.append(Token(TokenKind.TEXT, decode_entities(text)))
+            break
+        if lt > i:
+            text = html[i:lt]
+            if text.strip():
+                tokens.append(Token(TokenKind.TEXT, decode_entities(text)))
+            i = lt
+
+        if html.startswith("<!--", i):
+            end = html.find("-->", i + 4)
+            if end == -1:
+                tokens.append(Token(TokenKind.COMMENT, html[i + 4:]))
+                break
+            tokens.append(Token(TokenKind.COMMENT, html[i + 4:end]))
+            i = end + 3
+            continue
+
+        if html.startswith("<!", i):
+            end = html.find(">", i)
+            if end == -1:
+                break
+            tokens.append(Token(TokenKind.DOCTYPE, html[i + 2:end].strip()))
+            i = end + 1
+            continue
+
+        end = html.find(">", i)
+        if end == -1:
+            # Dangling "<" with no close: treat the rest as text.
+            tokens.append(Token(TokenKind.TEXT, html[i:]))
+            break
+
+        tag_body = html[i + 1:end]
+        i = end + 1
+        token = _parse_tag(tag_body)
+        if token is None:
+            tokens.append(Token(TokenKind.TEXT, decode_entities(f"<{tag_body}>")))
+            continue
+        tokens.append(token)
+        if (token.kind is TokenKind.START_TAG
+                and not token.self_closing
+                and token.data in _RAW_TEXT_ELEMENTS):
+            raw_text_until = token.data
+    return tokens
+
+
+def _parse_tag(body: str) -> Token | None:
+    """Parse the inside of one ``<...>``; None when malformed."""
+    body = body.strip()
+    if not body:
+        return None
+
+    is_end = body.startswith("/")
+    if is_end:
+        name = body[1:].strip().lower()
+        if not name or not _valid_tag_name(name):
+            return None
+        return Token(TokenKind.END_TAG, name)
+
+    self_closing = body.endswith("/")
+    if self_closing:
+        body = body[:-1].rstrip()
+
+    parts = body.split(None, 1)
+    name = parts[0].lower()
+    if not _valid_tag_name(name):
+        return None
+    attributes = _parse_attributes(parts[1]) if len(parts) > 1 else {}
+    return Token(TokenKind.START_TAG, name, attributes=attributes,
+                 self_closing=self_closing)
+
+
+def _valid_tag_name(name: str) -> bool:
+    return bool(name) and name[0].isalpha() and all(
+        char.isalnum() or char in "-:" for char in name
+    )
+
+
+def _parse_attributes(text: str) -> dict[str, str]:
+    """Parse an attribute list, handling quoted/unquoted/bare forms."""
+    attributes: dict[str, str] = {}
+    i = 0
+    length = len(text)
+    while i < length:
+        while i < length and text[i].isspace():
+            i += 1
+        if i >= length:
+            break
+        name_start = i
+        while i < length and not text[i].isspace() and text[i] != "=":
+            i += 1
+        name = text[name_start:i].lower()
+        if not name:
+            i += 1
+            continue
+        while i < length and text[i].isspace():
+            i += 1
+        if i < length and text[i] == "=":
+            i += 1
+            while i < length and text[i].isspace():
+                i += 1
+            if i < length and text[i] in "\"'":
+                quote = text[i]
+                i += 1
+                value_start = i
+                while i < length and text[i] != quote:
+                    i += 1
+                value = text[value_start:i]
+                i += 1
+            else:
+                value_start = i
+                while i < length and not text[i].isspace():
+                    i += 1
+                value = text[value_start:i]
+            attributes.setdefault(name, decode_entities(value))
+        else:
+            attributes.setdefault(name, "")
+    return attributes

@@ -1,0 +1,46 @@
+"""Synthetic network substrate.
+
+The paper's measurements crawl live websites (to compute HTML similarity,
+to fetch ``.well-known/related-website-set.json`` files, to check site
+liveness).  This reproduction has no network, so this package provides an
+in-process substitute that exercises the same code paths:
+
+* :mod:`repro.netsim.url` — a from-scratch RFC-3986-style URL parser with
+  origin and site (eTLD+1) semantics;
+* :mod:`repro.netsim.headers` — case-insensitive HTTP header multimap;
+* :mod:`repro.netsim.message` — request/response models;
+* :mod:`repro.netsim.dns` — a synthetic resolver (liveness, NXDOMAIN);
+* :mod:`repro.netsim.server` — ``SyntheticWeb``, an in-process "Internet"
+  hosting many virtual sites with per-host routing, latency and failure
+  injection;
+* :mod:`repro.netsim.client` — an HTTP client with redirect following,
+  HTTPS enforcement and timeout semantics, operating against a
+  ``SyntheticWeb``.
+
+Everything above the transport (crawler, RWS ``.well-known`` validation,
+similarity measurement) is identical to what would run against the real
+Web.
+"""
+
+from repro.netsim.client import Client, FetchError, FetchPolicy
+from repro.netsim.dns import ResolutionError, SyntheticResolver
+from repro.netsim.headers import Headers
+from repro.netsim.message import Request, Response
+from repro.netsim.server import HostConfig, SyntheticWeb
+from repro.netsim.url import URL, URLError, parse_url
+
+__all__ = [
+    "Client",
+    "FetchError",
+    "FetchPolicy",
+    "Headers",
+    "HostConfig",
+    "Request",
+    "ResolutionError",
+    "Response",
+    "SyntheticResolver",
+    "SyntheticWeb",
+    "URL",
+    "URLError",
+    "parse_url",
+]

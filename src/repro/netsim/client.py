@@ -1,0 +1,178 @@
+"""HTTP client over the synthetic web.
+
+Implements the client behaviour the paper's measurement tooling needs:
+redirect following with loop protection, HTTPS-only enforcement (the RWS
+validator refuses plain-HTTP sites), total-time budgets, and structured
+failure reporting so callers can distinguish dead sites from slow ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.dns import ResolutionError
+from repro.netsim.headers import Headers
+from repro.netsim.message import Request, Response
+from repro.netsim.server import SyntheticWeb
+from repro.netsim.url import URL, URLError, parse_url
+
+
+class FetchError(Exception):
+    """Raised when a fetch cannot produce any HTTP response.
+
+    Attributes:
+        url: The URL being fetched when the failure occurred.
+        reason: Machine-readable failure class: ``nxdomain``,
+            ``timeout``, ``too-many-redirects``, ``redirect-loop``,
+            ``insecure-url``, or ``bad-url``.
+    """
+
+    def __init__(self, url: str, reason: str, detail: str = ""):
+        self.url = url
+        self.reason = reason
+        message = f"fetch of {url} failed: {reason}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class FetchPolicy:
+    """Client behaviour knobs.
+
+    Attributes:
+        max_redirects: Redirect hops before failing.
+        require_https: Refuse to fetch (or follow redirects to) plain
+            HTTP URLs.
+        timeout_ms: Total simulated time budget across all hops.
+        user_agent: Value of the ``User-Agent`` header.
+    """
+
+    max_redirects: int = 10
+    require_https: bool = False
+    timeout_ms: float = 10_000.0
+    user_agent: str = "rws-repro-crawler/1.0"
+
+
+@dataclass
+class FetchResult:
+    """A completed fetch: final response plus transfer metadata.
+
+    Attributes:
+        response: The final (non-redirect) response.
+        history: Redirect responses encountered along the way.
+        elapsed_ms: Total simulated time spent.
+    """
+
+    response: Response
+    history: list[Response] = field(default_factory=list)
+    elapsed_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the final response is 2xx."""
+        return self.response.ok
+
+    @property
+    def final_url(self) -> URL | None:
+        """The URL that produced the final response."""
+        return self.response.url
+
+
+class Client:
+    """An HTTP client bound to a :class:`SyntheticWeb`.
+
+    Args:
+        web: The synthetic web to fetch from.
+        policy: Client behaviour; defaults are crawler-appropriate.
+    """
+
+    def __init__(self, web: SyntheticWeb, policy: FetchPolicy | None = None):
+        self.web = web
+        self.policy = policy or FetchPolicy()
+
+    def get(self, url: str | URL, headers: Headers | None = None) -> Response:
+        """GET a URL, following redirects; returns the final response."""
+        return self.fetch(url, headers=headers).response
+
+    def head(self, url: str | URL, headers: Headers | None = None) -> Response:
+        """HEAD a URL, following redirects; returns the final response."""
+        return self.fetch(url, method="HEAD", headers=headers).response
+
+    def fetch(
+        self,
+        url: str | URL,
+        *,
+        method: str = "GET",
+        headers: Headers | None = None,
+        body: str = "",
+    ) -> FetchResult:
+        """Perform a request with redirect following.
+
+        Args:
+            url: Absolute URL (string or parsed).
+            method: HTTP method.
+            headers: Extra request headers.
+            body: Request body.
+
+        Returns:
+            A :class:`FetchResult` with the final response and history.
+
+        Raises:
+            FetchError: When no HTTP response can be produced (bad URL,
+                DNS failure, redirect pathology, timeout, or policy
+                violation).
+        """
+        try:
+            current = parse_url(url) if isinstance(url, str) else url
+        except URLError as exc:
+            raise FetchError(str(url), "bad-url", str(exc)) from None
+
+        history: list[Response] = []
+        seen: set[str] = set()
+        elapsed = 0.0
+        for _hop in range(self.policy.max_redirects + 1):
+            if self.policy.require_https and not current.is_secure:
+                raise FetchError(str(current), "insecure-url")
+            marker = str(current)
+            if marker in seen:
+                raise FetchError(marker, "redirect-loop")
+            seen.add(marker)
+
+            request_headers = headers.copy() if headers else Headers()
+            if "User-Agent" not in request_headers:
+                request_headers.set("User-Agent", self.policy.user_agent)
+            request_headers.set("Host", current.host)
+            request = Request(
+                url=current, method=method, headers=request_headers, body=body
+            )
+
+            try:
+                served = self.web.serve(request)
+            except ResolutionError as exc:
+                reason = "timeout" if exc.transient else "nxdomain"
+                raise FetchError(str(current), reason) from None
+
+            elapsed += served.latency_ms
+            if elapsed > self.policy.timeout_ms:
+                raise FetchError(str(current), "timeout",
+                                 f"budget {self.policy.timeout_ms}ms exceeded")
+
+            response = served.response
+            if response.is_redirect:
+                history.append(response)
+                location = response.headers.get("Location")
+                assert location is not None  # is_redirect guarantees this
+                try:
+                    current = current.resolve(location)
+                except URLError as exc:
+                    raise FetchError(location, "bad-url", str(exc)) from None
+                if response.status == 303:
+                    method, body = "GET", ""
+                continue
+
+            return FetchResult(response=response, history=history,
+                               elapsed_ms=elapsed)
+
+        raise FetchError(str(current), "too-many-redirects",
+                         f"more than {self.policy.max_redirects} hops")

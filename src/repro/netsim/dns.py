@@ -1,0 +1,100 @@
+"""Synthetic DNS resolution.
+
+Models just enough of DNS for the reproduction's needs: which host names
+exist (the paper's survey-design step filters RWS members for liveness),
+with injectable NXDOMAIN and transient-failure behaviour for the crawler
+robustness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.psl.lookup import DomainError, normalize_domain
+
+
+class ResolutionError(Exception):
+    """Raised when a host cannot be resolved.
+
+    Attributes:
+        host: The host name that failed.
+        transient: True for retryable failures (timeouts), False for
+            NXDOMAIN.
+    """
+
+    def __init__(self, host: str, *, transient: bool = False):
+        self.host = host
+        self.transient = transient
+        kind = "timeout" if transient else "NXDOMAIN"
+        super().__init__(f"cannot resolve {host!r}: {kind}")
+
+
+@dataclass
+class SyntheticResolver:
+    """An in-process DNS resolver over a registered host set.
+
+    Hosts are registered explicitly (usually by :class:`SyntheticWeb`);
+    any subdomain of a registered host resolves to the same address, as
+    typical wildcard DNS deployments do unless ``strict`` is set.
+    """
+
+    strict: bool = False
+    _hosts: dict[str, str] = field(default_factory=dict)
+    _failing: set[str] = field(default_factory=set)
+    _next_address: int = 1
+
+    def register(self, host: str, address: str | None = None) -> str:
+        """Register a host, returning its synthetic IPv4 address."""
+        normalised = normalize_domain(host)
+        if address is None:
+            address = self._allocate_address()
+        self._hosts[normalised] = address
+        return address
+
+    def _allocate_address(self) -> str:
+        value = self._next_address
+        self._next_address += 1
+        return f"198.51.{(value >> 8) & 0xFF}.{value & 0xFF}"
+
+    def set_failing(self, host: str, failing: bool = True) -> None:
+        """Mark a registered host as timing out (transient failure)."""
+        normalised = normalize_domain(host)
+        if failing:
+            self._failing.add(normalised)
+        else:
+            self._failing.discard(normalised)
+
+    def resolve(self, host: str) -> str:
+        """Resolve a host to its synthetic address.
+
+        Raises:
+            ResolutionError: NXDOMAIN for unknown hosts, transient for
+                hosts marked failing.
+            DomainError: For syntactically invalid host names.
+        """
+        normalised = normalize_domain(host)
+        if normalised in self._failing:
+            raise ResolutionError(normalised, transient=True)
+        if normalised in self._hosts:
+            return self._hosts[normalised]
+        if not self.strict:
+            # Wildcard behaviour: a.b.example.com resolves if example.com
+            # (or any parent) is registered.
+            labels = normalised.split(".")
+            for start in range(1, len(labels)):
+                parent = ".".join(labels[start:])
+                if parent in self._hosts:
+                    return self._hosts[parent]
+        raise ResolutionError(normalised)
+
+    def is_live(self, host: str) -> bool:
+        """Whether the host resolves without error."""
+        try:
+            self.resolve(host)
+        except (ResolutionError, DomainError):
+            return False
+        return True
+
+    def known_hosts(self) -> list[str]:
+        """All explicitly registered hosts, sorted."""
+        return sorted(self._hosts)

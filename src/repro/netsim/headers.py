@@ -1,0 +1,88 @@
+"""Case-insensitive HTTP header multimap.
+
+HTTP header field names are case-insensitive and a field may appear more
+than once (e.g. ``Set-Cookie``).  This container preserves insertion
+order and original casing for rendering while matching case-insensitively,
+mirroring the semantics of RFC 9110 §5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Headers:
+    """An ordered, case-insensitive HTTP header collection.
+
+    Example:
+        >>> h = Headers({"Content-Type": "text/html"})
+        >>> h.get("content-type")
+        'text/html'
+        >>> h.add("Set-Cookie", "a=1"); h.add("Set-Cookie", "b=2")
+        >>> h.get_all("set-cookie")
+        ['a=1', 'b=2']
+    """
+
+    def __init__(self, initial: dict[str, str] | Iterable[tuple[str, str]] | None = None):
+        self._items: list[tuple[str, str]] = []
+        if initial is not None:
+            pairs = initial.items() if isinstance(initial, dict) else initial
+            for name, value in pairs:
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header field (does not replace existing fields)."""
+        if not name or "\n" in name or "\r" in name:
+            raise ValueError(f"invalid header name: {name!r}")
+        if "\n" in value or "\r" in value:
+            raise ValueError(f"invalid header value (CR/LF): {value!r}")
+        self._items.append((name, value))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all fields of this name with a single value."""
+        self.remove(name)
+        self.add(name, value)
+
+    def remove(self, name: str) -> None:
+        """Delete all fields with this name (no error if absent)."""
+        folded = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != folded]
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """The first value for a name, or ``default``."""
+        folded = name.lower()
+        for candidate, value in self._items:
+            if candidate.lower() == folded:
+                return value
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        """All values for a name, in insertion order."""
+        folded = name.lower()
+        return [value for candidate, value in self._items if candidate.lower() == folded]
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        mine = [(n.lower(), v) for n, v in self._items]
+        theirs = [(n.lower(), v) for n, v in other._items]
+        return mine == theirs
+
+    def copy(self) -> "Headers":
+        """A shallow copy of this header collection."""
+        clone = Headers()
+        clone._items = list(self._items)
+        return clone
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {v}" for n, v in self._items)
+        return f"Headers({inner})"

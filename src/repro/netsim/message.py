@@ -1,0 +1,127 @@
+"""HTTP request and response models for the synthetic web."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.headers import Headers
+from repro.netsim.url import URL
+
+_REDIRECT_STATUSES = frozenset({301, 302, 303, 307, 308})
+
+_REASON_PHRASES = {
+    200: "OK",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    303: "See Other",
+    304: "Not Modified",
+    307: "Temporary Redirect",
+    308: "Permanent Redirect",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    410: "Gone",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class Request:
+    """An HTTP request addressed to the synthetic web.
+
+    Attributes:
+        url: The absolute request URL.
+        method: Upper-case HTTP method.
+        headers: Request header fields.
+        body: Request body (empty for GET/HEAD).
+    """
+
+    url: URL
+    method: str = "GET"
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+        if self.method not in {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS"}:
+            raise ValueError(f"unsupported HTTP method: {self.method!r}")
+
+
+@dataclass
+class Response:
+    """An HTTP response from the synthetic web.
+
+    Attributes:
+        status: HTTP status code.
+        headers: Response header fields.
+        body: Response body text.
+        url: The URL that produced this response (after redirects, the
+            final URL).
+    """
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+    url: URL | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        """True when the status is a redirect and Location is present."""
+        return self.status in _REDIRECT_STATUSES and "Location" in self.headers
+
+    @property
+    def reason(self) -> str:
+        """The standard reason phrase for the status code."""
+        return _REASON_PHRASES.get(self.status, "Unknown")
+
+    @property
+    def content_type(self) -> str | None:
+        """The media type portion of Content-Type (parameters stripped)."""
+        raw = self.headers.get("Content-Type")
+        if raw is None:
+            return None
+        return raw.split(";", 1)[0].strip().lower()
+
+    @classmethod
+    def html(cls, body: str, status: int = 200) -> "Response":
+        """Convenience constructor for an HTML response."""
+        return cls(
+            status=status,
+            headers=Headers({"Content-Type": "text/html; charset=utf-8"}),
+            body=body,
+        )
+
+    @classmethod
+    def json(cls, body: str, status: int = 200) -> "Response":
+        """Convenience constructor for a JSON response."""
+        return cls(
+            status=status,
+            headers=Headers({"Content-Type": "application/json"}),
+            body=body,
+        )
+
+    @classmethod
+    def not_found(cls, message: str = "not found") -> "Response":
+        """Convenience constructor for a 404 response."""
+        return cls.html(f"<html><body><h1>404</h1><p>{message}</p></body></html>",
+                        status=404)
+
+    @classmethod
+    def redirect(cls, location: str, permanent: bool = False) -> "Response":
+        """Convenience constructor for a redirect response."""
+        return cls(
+            status=308 if permanent else 302,
+            headers=Headers({"Location": location}),
+        )

@@ -1,0 +1,232 @@
+"""The synthetic Web: an in-process multi-host HTTP server.
+
+``SyntheticWeb`` plays the role of the Internet for the reproduction's
+crawler and browser simulator.  Virtual hosts are registered with either
+static routes (path -> response) or a dynamic handler, and per-host
+behaviour knobs model the failure modes the paper's measurements
+encounter: dead sites, sites whose ``.well-known`` file is missing
+(the most common RWS validation error, 202 occurrences in Table 3),
+HTTP-only sites, and slow sites.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.netsim.dns import ResolutionError, SyntheticResolver
+from repro.netsim.message import Request, Response
+from repro.netsim.url import URL
+
+Handler = Callable[[Request], Response]
+
+
+@dataclass
+class HostConfig:
+    """Behavioural configuration of one virtual host.
+
+    Attributes:
+        host: The host name.
+        https: Whether the host serves HTTPS.  RWS requires HTTPS for
+            every member; HTTP-only hosts fail validation.
+        base_latency_ms: Simulated latency added to every response.
+        error_rate: Probability in [0, 1] that a request fails with a
+            503 (transient server trouble).
+        routes: Static path -> response table.
+        handler: Fallback dynamic handler when no static route matches.
+    """
+
+    host: str
+    https: bool = True
+    base_latency_ms: float = 35.0
+    error_rate: float = 0.0
+    routes: dict[str, Response] = field(default_factory=dict)
+    handler: Handler | None = None
+
+
+@dataclass
+class ServedResponse:
+    """A response plus the simulated time it took to produce."""
+
+    response: Response
+    latency_ms: float
+
+
+class SyntheticWeb:
+    """An in-process collection of virtual HTTP hosts.
+
+    Args:
+        seed: Seed for the error-injection RNG, so crawls are
+            reproducible.
+
+    Example:
+        >>> web = SyntheticWeb(seed=7)
+        >>> web.add_host("example.com")
+        >>> web.set_page("example.com", "/", "<html><body>hi</body></html>")
+        >>> client = Client(web)
+        >>> client.get("https://example.com/").ok
+        True
+    """
+
+    def __init__(self, seed: int = 0):
+        self._hosts: dict[str, HostConfig] = {}
+        self.resolver = SyntheticResolver()
+        self._rng = random.Random(seed)
+        self.request_log: list[Request] = []
+
+    # -- host management -------------------------------------------------
+
+    def add_host(
+        self,
+        host: str,
+        *,
+        https: bool = True,
+        base_latency_ms: float = 35.0,
+        error_rate: float = 0.0,
+        handler: Handler | None = None,
+    ) -> HostConfig:
+        """Register a virtual host and make it resolvable.
+
+        Raises:
+            ValueError: If the host is already registered.
+        """
+        key = host.lower()
+        if key in self._hosts:
+            raise ValueError(f"host already registered: {host}")
+        config = HostConfig(
+            host=key,
+            https=https,
+            base_latency_ms=base_latency_ms,
+            error_rate=error_rate,
+            handler=handler,
+        )
+        self._hosts[key] = config
+        self.resolver.register(key)
+        return config
+
+    def remove_host(self, host: str) -> None:
+        """Unregister a host (it becomes NXDOMAIN)."""
+        key = host.lower()
+        self._hosts.pop(key, None)
+        # Rebuild the resolver without the host.
+        remaining = [h for h in self.resolver.known_hosts() if h != key]
+        self.resolver = SyntheticResolver()
+        for name in remaining:
+            self.resolver.register(name)
+
+    def host_config(self, host: str) -> HostConfig | None:
+        """The configuration for a host, or None if unregistered."""
+        return self._hosts.get(host.lower())
+
+    def has_host(self, host: str) -> bool:
+        """Whether a host is registered."""
+        return host.lower() in self._hosts
+
+    def hosts(self) -> list[str]:
+        """All registered host names, sorted."""
+        return sorted(self._hosts)
+
+    # -- content management ----------------------------------------------
+
+    def set_page(self, host: str, path: str, html: str, status: int = 200) -> None:
+        """Serve static HTML at a path on a host."""
+        self._route(host, path, Response.html(html, status=status))
+
+    def set_json(self, host: str, path: str, body: str, status: int = 200) -> None:
+        """Serve a static JSON document at a path on a host."""
+        self._route(host, path, Response.json(body, status=status))
+
+    def set_response(self, host: str, path: str, response: Response) -> None:
+        """Serve an arbitrary prepared response at a path on a host."""
+        self._route(host, path, response)
+
+    def set_redirect(self, host: str, path: str, location: str) -> None:
+        """Serve a redirect at a path on a host."""
+        self._route(host, path, Response.redirect(location))
+
+    def _route(self, host: str, path: str, response: Response) -> None:
+        config = self._hosts.get(host.lower())
+        if config is None:
+            config = self.add_host(host)
+        if not path.startswith("/"):
+            path = "/" + path
+        config.routes[path] = response
+
+    # -- serving -----------------------------------------------------------
+
+    def serve(self, request: Request) -> ServedResponse:
+        """Produce the response a real server would give this request.
+
+        Raises:
+            ResolutionError: When the host does not resolve.
+        """
+        self.request_log.append(request)
+        host = request.url.host
+        self.resolver.resolve(host)  # Raises for NXDOMAIN / timeout.
+
+        config = self._find_config(host)
+        if config is None:
+            # Resolvable (wildcard DNS) but nothing listening.
+            raise ResolutionError(host, transient=True)
+
+        latency = self._sample_latency(config)
+
+        if request.url.scheme == "https" and not config.https:
+            # TLS handshake failure for HTTP-only hosts.
+            return ServedResponse(
+                Response(status=502, body="TLS handshake failed", url=request.url),
+                latency,
+            )
+        if request.url.scheme == "http" and config.https:
+            # Typical HSTS-style upgrade redirect.
+            target = str(URL(scheme="https", host=host, path=request.url.path,
+                             query=request.url.query))
+            response = Response.redirect(target, permanent=True)
+            response.url = request.url
+            return ServedResponse(response, latency)
+
+        if config.error_rate > 0 and self._rng.random() < config.error_rate:
+            return ServedResponse(
+                Response(status=503, body="service unavailable", url=request.url),
+                latency,
+            )
+
+        static = config.routes.get(request.url.path)
+        if static is not None:
+            response = Response(
+                status=static.status,
+                headers=static.headers.copy(),
+                body=static.body,
+                url=request.url,
+            )
+        elif config.handler is not None:
+            response = config.handler(request)
+            response.url = request.url
+        else:
+            response = Response.not_found(f"no route for {request.url.path}")
+            response.url = request.url
+
+        if request.method == "HEAD":
+            response = Response(
+                status=response.status,
+                headers=response.headers.copy(),
+                body="",
+                url=response.url,
+            )
+        return ServedResponse(response, latency)
+
+    def _find_config(self, host: str) -> HostConfig | None:
+        """Find the config serving a host, walking up for wildcard DNS."""
+        labels = host.split(".")
+        for start in range(len(labels)):
+            candidate = ".".join(labels[start:])
+            config = self._hosts.get(candidate)
+            if config is not None:
+                return config
+        return None
+
+    def _sample_latency(self, config: HostConfig) -> float:
+        """Latency with multiplicative jitter around the host's base."""
+        jitter = self._rng.uniform(0.8, 1.6)
+        return config.base_latency_ms * jitter

@@ -1,0 +1,204 @@
+"""URL parsing with origin and site semantics.
+
+A from-scratch parser for the subset of RFC 3986 the reproduction needs:
+absolute ``http``/``https`` URLs with host, optional port, path, query
+and fragment.  On top of parsing it provides the two equivalence classes
+browsers care about:
+
+* **origin** — (scheme, host, port), the boundary for most Web platform
+  state;
+* **site** — (scheme, eTLD+1), the privacy boundary that storage
+  partitioning enforces and Related Website Sets weakens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.psl import PublicSuffixList, default_psl
+from repro.psl.lookup import DomainError, normalize_domain
+
+_DEFAULT_PORTS = {"http": 80, "https": 443}
+_ALLOWED_SCHEMES = frozenset(_DEFAULT_PORTS)
+
+
+class URLError(ValueError):
+    """Raised for URLs this parser cannot represent."""
+
+
+@dataclass(frozen=True)
+class URL:
+    """A parsed absolute URL.
+
+    Attributes:
+        scheme: ``"http"`` or ``"https"``.
+        host: Normalised (lower-case, punycode) host name.
+        port: Explicit port, or None for the scheme default.
+        path: Path beginning with ``/`` (``/`` when absent).
+        query: Query string without the leading ``?``, or None.
+        fragment: Fragment without the leading ``#``, or None.
+    """
+
+    scheme: str
+    host: str
+    port: int | None = None
+    path: str = "/"
+    query: str | None = None
+    fragment: str | None = None
+
+    @property
+    def effective_port(self) -> int:
+        """The port actually used (explicit or scheme default)."""
+        if self.port is not None:
+            return self.port
+        return _DEFAULT_PORTS[self.scheme]
+
+    @property
+    def origin(self) -> tuple[str, str, int]:
+        """The (scheme, host, port) origin tuple."""
+        return (self.scheme, self.host, self.effective_port)
+
+    @property
+    def is_secure(self) -> bool:
+        """True for ``https`` URLs (RWS only admits HTTPS sites)."""
+        return self.scheme == "https"
+
+    def site(self, psl: PublicSuffixList | None = None) -> str | None:
+        """The URL's site: its host's eTLD+1 (None for bare suffixes)."""
+        psl = psl or default_psl()
+        return psl.etld_plus_one(self.host)
+
+    def same_site(self, other: "URL", psl: PublicSuffixList | None = None) -> bool:
+        """Whether two URLs belong to the same site (schemelessly).
+
+        The paper (and Chrome's partitioning) treat the *site* as
+        eTLD+1; we follow that definition, ignoring scheme, which is
+        sufficient because all RWS members must be HTTPS anyway.
+        """
+        mine = self.site(psl)
+        theirs = other.site(psl)
+        return mine is not None and mine == theirs
+
+    def with_path(self, path: str, query: str | None = None) -> "URL":
+        """A copy of this URL pointing at a different path."""
+        if not path.startswith("/"):
+            path = "/" + path
+        return replace(self, path=path, query=query, fragment=None)
+
+    def resolve(self, reference: str) -> "URL":
+        """Resolve a reference against this URL (subset of RFC 3986 §5).
+
+        Supports absolute URLs, scheme-relative (``//host/p``),
+        absolute-path (``/p``), and relative-path references.
+        """
+        if "://" in reference:
+            return parse_url(reference)
+        if reference.startswith("//"):
+            return parse_url(f"{self.scheme}:{reference}")
+        if reference.startswith("/"):
+            path, query, fragment = _split_path(reference)
+            return replace(self, path=path, query=query, fragment=fragment)
+        if reference.startswith("#"):
+            return replace(self, fragment=reference[1:])
+        # Relative path: resolve against the directory of the base path.
+        base_dir = self.path.rsplit("/", 1)[0]
+        path, query, fragment = _split_path(f"{base_dir}/{reference}")
+        return replace(
+            self, path=_normalize_dots(path), query=query, fragment=fragment
+        )
+
+    def __str__(self) -> str:
+        port = f":{self.port}" if self.port is not None else ""
+        query = f"?{self.query}" if self.query is not None else ""
+        fragment = f"#{self.fragment}" if self.fragment is not None else ""
+        return f"{self.scheme}://{self.host}{port}{self.path}{query}{fragment}"
+
+
+def _split_path(raw: str) -> tuple[str, str | None, str | None]:
+    """Split a path[?query][#fragment] string into its parts."""
+    fragment: str | None = None
+    query: str | None = None
+    if "#" in raw:
+        raw, fragment = raw.split("#", 1)
+    if "?" in raw:
+        raw, query = raw.split("?", 1)
+    return raw or "/", query, fragment
+
+
+def _normalize_dots(path: str) -> str:
+    """Remove ``.`` and ``..`` segments from a path (RFC 3986 §5.2.4)."""
+    output: list[str] = []
+    for segment in path.split("/"):
+        if segment == "." or segment == "":
+            continue
+        if segment == "..":
+            if output:
+                output.pop()
+            continue
+        output.append(segment)
+    normalised = "/" + "/".join(output)
+    if path.endswith("/") and normalised != "/":
+        normalised += "/"
+    return normalised
+
+
+def parse_url(raw: str) -> URL:
+    """Parse an absolute http(s) URL.
+
+    Args:
+        raw: The URL string.
+
+    Returns:
+        The parsed :class:`URL`.
+
+    Raises:
+        URLError: For non-http(s) schemes, missing or invalid hosts, or
+            invalid ports.
+    """
+    if not isinstance(raw, str) or not raw.strip():
+        raise URLError(f"not a URL: {raw!r}")
+    text = raw.strip()
+
+    if "://" not in text:
+        raise URLError(f"URL must be absolute (scheme://...): {raw!r}")
+    scheme, rest = text.split("://", 1)
+    scheme = scheme.lower()
+    if scheme not in _ALLOWED_SCHEMES:
+        raise URLError(f"unsupported scheme {scheme!r} in {raw!r}")
+
+    slash = rest.find("/")
+    question = rest.find("?")
+    hash_mark = rest.find("#")
+    cut_points = [p for p in (slash, question, hash_mark) if p != -1]
+    cut = min(cut_points) if cut_points else len(rest)
+    authority = rest[:cut]
+    remainder = rest[cut:]
+
+    if "@" in authority:
+        raise URLError(f"userinfo in URLs is not supported: {raw!r}")
+
+    port: int | None = None
+    host = authority
+    if ":" in authority:
+        host, port_text = authority.rsplit(":", 1)
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise URLError(f"invalid port {port_text!r} in {raw!r}") from None
+        if not 0 < port <= 65535:
+            raise URLError(f"port out of range in {raw!r}")
+        if port == _DEFAULT_PORTS[scheme]:
+            port = None
+
+    if not host:
+        raise URLError(f"URL has no host: {raw!r}")
+    try:
+        host = normalize_domain(host)
+    except DomainError as exc:
+        raise URLError(f"invalid host in {raw!r}: {exc}") from None
+
+    path, query, fragment = _split_path(remainder) if remainder else ("/", None, None)
+    return URL(
+        scheme=scheme, host=host, port=port, path=path, query=query,
+        fragment=fragment,
+    )

@@ -1,0 +1,33 @@
+"""Public Suffix List (PSL) engine.
+
+The site-as-privacy-boundary that Related Website Sets reshapes is defined
+in terms of "eTLD+1" domains: the effective top-level domain (a *public
+suffix*, per https://publicsuffix.org/) plus one additional label.  Every
+other subsystem in this reproduction (RWS validation, the browser storage
+partitioner, the survey pair generator) relies on this package to answer
+three questions about a domain name:
+
+* What is its public suffix (eTLD)?
+* What is its registrable domain (eTLD+1)?
+* Is the domain *itself* an eTLD+1 (a requirement the RWS GitHub bot
+  enforces on every submitted site; see Table 3 of the paper)?
+
+The implementation is a from-scratch realisation of the PSL algorithm,
+including wildcard rules (``*.ck``), exception rules (``!www.ck``), and
+IDNA/punycode normalisation.  The rule set itself is an embedded snapshot
+(:mod:`repro.psl.snapshot`) covering the ICANN section domains this
+reproduction's datasets use, plus representative private-section entries.
+"""
+
+from repro.psl.lookup import DomainError, PublicSuffixList, default_psl
+from repro.psl.rules import Rule, RuleKind, parse_rule, parse_rules
+
+__all__ = [
+    "DomainError",
+    "PublicSuffixList",
+    "Rule",
+    "RuleKind",
+    "default_psl",
+    "parse_rule",
+    "parse_rules",
+]

@@ -1,0 +1,243 @@
+"""Public suffix and registrable-domain (eTLD+1) lookup.
+
+Implements the matching algorithm specified at
+https://publicsuffix.org/list/ on top of the rule model in
+:mod:`repro.psl.rules`:
+
+1. Normalise the input domain (lower-case, strip trailing dot, IDNA
+   encode each label).
+2. Collect all rules matching the domain; if none match, the implicit
+   rule ``*`` applies (the bare TLD is the public suffix).
+3. If an exception rule matches, it wins outright.
+4. Otherwise the longest (prevailing) matching rule determines the
+   public suffix length.
+5. The registrable domain (eTLD+1) is the public suffix plus the next
+   label to its left, if any.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.psl.rules import Rule, RuleIndex, RuleKind, parse_rules
+from repro.psl.snapshot import PSL_SNAPSHOT
+
+_MAX_DOMAIN_LENGTH = 253
+_MAX_LABEL_LENGTH = 63
+
+
+class DomainError(ValueError):
+    """Raised for syntactically invalid domain names."""
+
+
+@dataclass(frozen=True)
+class SuffixMatch:
+    """The result of resolving a domain against the PSL.
+
+    Attributes:
+        domain: The normalised input domain.
+        public_suffix: The matched public suffix (eTLD).
+        registrable_domain: The eTLD+1, or None when the domain *is* a
+            public suffix and therefore has no registrable form.
+        rule: The prevailing rule (None when the implicit ``*`` rule
+            applied).
+        is_private_suffix: True when the prevailing rule came from the
+            PSL private section.
+    """
+
+    domain: str
+    public_suffix: str
+    registrable_domain: str | None
+    rule: Rule | None
+    is_private_suffix: bool
+
+
+def normalize_domain(domain: str) -> str:
+    """Normalise a domain name for PSL matching.
+
+    Lower-cases, strips one trailing dot, and IDNA-encodes non-ASCII
+    labels to punycode (the PSL matches on punycode forms).
+
+    Args:
+        domain: A host name, possibly with a trailing dot or non-ASCII
+            labels.
+
+    Returns:
+        The normalised ASCII domain.
+
+    Raises:
+        DomainError: If the name is empty, too long, has empty labels,
+            or contains characters invalid in a host name.
+    """
+    if not isinstance(domain, str):
+        raise DomainError(f"domain must be a string, got {type(domain).__name__}")
+    candidate = domain.strip().lower()
+    if candidate.endswith("."):
+        candidate = candidate[:-1]
+    if not candidate:
+        raise DomainError("empty domain name")
+
+    try:
+        ascii_form = candidate.encode("idna").decode("ascii")
+    except UnicodeError:
+        # ``str.encode('idna')`` rejects some inputs (e.g. empty labels)
+        # with UnicodeError; fall through to the structural checks below
+        # for an ASCII candidate, otherwise reject.
+        if not candidate.isascii():
+            raise DomainError(f"cannot IDNA-encode domain: {domain!r}") from None
+        ascii_form = candidate
+
+    if len(ascii_form) > _MAX_DOMAIN_LENGTH:
+        raise DomainError(f"domain exceeds {_MAX_DOMAIN_LENGTH} octets: {domain!r}")
+    labels = ascii_form.split(".")
+    for label in labels:
+        if not label:
+            raise DomainError(f"domain has an empty label: {domain!r}")
+        if len(label) > _MAX_LABEL_LENGTH:
+            raise DomainError(f"label exceeds {_MAX_LABEL_LENGTH} octets: {domain!r}")
+        if label.startswith("-") or label.endswith("-"):
+            raise DomainError(f"label has leading/trailing hyphen: {domain!r}")
+        for char in label:
+            if not (char.isalnum() or char == "-"):
+                raise DomainError(f"invalid character {char!r} in domain: {domain!r}")
+    return ascii_form
+
+
+class PublicSuffixList:
+    """A queryable Public Suffix List.
+
+    Args:
+        text: PSL-format rule text.  Defaults to the embedded snapshot;
+            pass the full downloaded list for production use.
+
+    Example:
+        >>> psl = PublicSuffixList()
+        >>> psl.etld_plus_one("act.eff.org")
+        'eff.org'
+        >>> psl.public_suffix("example.co.uk")
+        'co.uk'
+        >>> psl.is_etld_plus_one("a.example.com")
+        False
+    """
+
+    def __init__(self, text: str = PSL_SNAPSHOT):
+        self._index = RuleIndex.from_rules(parse_rules(text))
+        if len(self._index) == 0:
+            raise ValueError("PSL text contains no rules")
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def resolve(self, domain: str) -> SuffixMatch:
+        """Resolve a domain to its public suffix and registrable domain.
+
+        Args:
+            domain: The host name to resolve.
+
+        Returns:
+            A :class:`SuffixMatch` describing the outcome.
+
+        Raises:
+            DomainError: If the domain is syntactically invalid.
+        """
+        normalised = normalize_domain(domain)
+        labels = normalised.split(".")
+        reversed_labels = tuple(reversed(labels))
+
+        exception: Rule | None = None
+        prevailing: Rule | None = None
+        for rule in self._index.candidates(reversed_labels):
+            if not rule.matches(reversed_labels):
+                continue
+            if rule.kind is RuleKind.EXCEPTION:
+                if exception is None or len(rule.labels) > len(exception.labels):
+                    exception = rule
+            elif prevailing is None or rule.match_length > prevailing.match_length:
+                prevailing = rule
+
+        if exception is not None:
+            winner: Rule | None = exception
+            suffix_length = exception.match_length
+        elif prevailing is not None:
+            winner = prevailing
+            suffix_length = prevailing.match_length
+        else:
+            # Implicit rule "*": the right-most label is the suffix.
+            winner = None
+            suffix_length = 1
+
+        suffix_labels = labels[len(labels) - suffix_length:]
+        public_suffix = ".".join(suffix_labels)
+        if len(labels) > suffix_length:
+            registrable = ".".join(labels[len(labels) - suffix_length - 1:])
+        else:
+            registrable = None
+
+        return SuffixMatch(
+            domain=normalised,
+            public_suffix=public_suffix,
+            registrable_domain=registrable,
+            rule=winner,
+            is_private_suffix=bool(winner is not None and winner.is_private),
+        )
+
+    def public_suffix(self, domain: str) -> str:
+        """The domain's effective TLD (public suffix)."""
+        return self.resolve(domain).public_suffix
+
+    def etld_plus_one(self, domain: str) -> str | None:
+        """The domain's registrable domain (eTLD+1), or None.
+
+        None means the domain is itself a public suffix, e.g.
+        ``etld_plus_one("co.uk") is None``.
+        """
+        return self.resolve(domain).registrable_domain
+
+    def is_public_suffix(self, domain: str) -> bool:
+        """True when the domain is exactly a public suffix."""
+        match = self.resolve(domain)
+        return match.registrable_domain is None
+
+    def is_etld_plus_one(self, domain: str) -> bool:
+        """True when the domain is exactly a registrable domain.
+
+        This is the check the RWS GitHub bot applies to every submitted
+        site: primaries, associated, service, and ccTLD alias sites must
+        all be eTLD+1 domains (see Table 3 of the paper for how often
+        submissions violate it).
+        """
+        match = self.resolve(domain)
+        return match.registrable_domain == match.domain
+
+    def same_site(self, domain_a: str, domain_b: str) -> bool:
+        """True when two hosts belong to the same site (share an eTLD+1).
+
+        This is the browser's default privacy boundary: activity on
+        ``eff.org`` and ``act.eff.org`` is same-site; ``facebook.com``
+        and ``mayoclinic.com`` are cross-site.
+        """
+        site_a = self.etld_plus_one(domain_a)
+        site_b = self.etld_plus_one(domain_b)
+        if site_a is None or site_b is None:
+            return False
+        return site_a == site_b
+
+    def second_level_label(self, domain: str) -> str | None:
+        """The label immediately left of the public suffix (the "SLD").
+
+        The paper's Figure 3 measures Levenshtein distance between these
+        labels for set members vs their primaries (e.g. the SLD of
+        ``autobild.de`` is ``autobild``).  Returns None when the domain
+        is itself a public suffix.
+        """
+        registrable = self.etld_plus_one(domain)
+        if registrable is None:
+            return None
+        return registrable.split(".", 1)[0]
+
+
+@functools.lru_cache(maxsize=1)
+def default_psl() -> PublicSuffixList:
+    """The process-wide PSL built from the embedded snapshot."""
+    return PublicSuffixList()

@@ -1,0 +1,182 @@
+"""PSL rule model and parser.
+
+The Public Suffix List file format (https://publicsuffix.org/list/) is a
+line-oriented text format.  Each non-comment, non-empty line is a *rule*:
+
+* a **normal** rule is a sequence of labels, e.g. ``co.uk``;
+* a **wildcard** rule begins with ``*.``, e.g. ``*.ck`` (every direct
+  child of ``ck`` is a public suffix);
+* an **exception** rule begins with ``!``, e.g. ``!www.ck`` (carves a
+  registrable domain out of a wildcard rule).
+
+Rules are matched right-to-left against the labels of a candidate domain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class RuleKind(enum.Enum):
+    """The three kinds of PSL rule."""
+
+    NORMAL = "normal"
+    WILDCARD = "wildcard"
+    EXCEPTION = "exception"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A single parsed PSL rule.
+
+    Attributes:
+        labels: The rule's labels in *reversed* order (TLD first), which
+            is the order in which matching proceeds.  For an exception
+            rule the leading ``!`` has been stripped; for a wildcard rule
+            the final element is ``"*"``.
+        kind: Which of the three rule kinds this is.
+        is_private: True if the rule came from the PSL "PRIVATE DOMAINS"
+            section (e.g. ``github.io``); some consumers distinguish
+            ICANN and private rules.
+    """
+
+    labels: tuple[str, ...]
+    kind: RuleKind
+    is_private: bool = False
+
+    @property
+    def match_length(self) -> int:
+        """Number of labels this rule contributes to a public suffix.
+
+        Exception rules match one label *fewer* than they contain: the
+        exception ``!www.ck`` means the public suffix is ``ck``.
+        """
+        if self.kind is RuleKind.EXCEPTION:
+            return len(self.labels) - 1
+        return len(self.labels)
+
+    def matches(self, reversed_labels: tuple[str, ...]) -> bool:
+        """Check whether this rule matches a domain.
+
+        Args:
+            reversed_labels: The candidate domain's labels, TLD first.
+
+        Returns:
+            True when every rule label equals the corresponding domain
+            label (``*`` matches any single label) and the domain has at
+            least as many labels as the rule.
+        """
+        if len(reversed_labels) < len(self.labels):
+            return False
+        for rule_label, domain_label in zip(self.labels, reversed_labels):
+            if rule_label != "*" and rule_label != domain_label:
+                return False
+        return True
+
+    def as_text(self) -> str:
+        """Render the rule back to PSL file syntax."""
+        body = ".".join(reversed(self.labels))
+        if self.kind is RuleKind.EXCEPTION:
+            return "!" + body
+        return body
+
+
+def parse_rule(line: str, *, is_private: bool = False) -> Rule:
+    """Parse one PSL rule line.
+
+    Args:
+        line: A non-comment, non-empty PSL line (whitespace tolerated).
+        is_private: Whether the line came from the private section.
+
+    Raises:
+        ValueError: If the line is empty, a comment, or malformed.
+    """
+    text = line.strip()
+    if not text:
+        raise ValueError("empty PSL rule line")
+    if text.startswith("//"):
+        raise ValueError(f"comment passed to parse_rule: {text!r}")
+
+    kind = RuleKind.NORMAL
+    if text.startswith("!"):
+        kind = RuleKind.EXCEPTION
+        text = text[1:]
+    elif text.startswith("*."):
+        kind = RuleKind.WILDCARD
+
+    if not text or text.startswith(".") or text.endswith("."):
+        raise ValueError(f"malformed PSL rule: {line!r}")
+
+    labels = tuple(label.lower() for label in reversed(text.split(".")))
+    if any(not label for label in labels):
+        raise ValueError(f"malformed PSL rule (empty label): {line!r}")
+    if kind is RuleKind.EXCEPTION and len(labels) < 2:
+        raise ValueError(f"exception rule must have >= 2 labels: {line!r}")
+    return Rule(labels=labels, kind=kind, is_private=is_private)
+
+
+def parse_rules(text: str) -> Iterator[Rule]:
+    """Parse a PSL file body into rules.
+
+    Handles the ``===BEGIN PRIVATE DOMAINS===`` /
+    ``===END PRIVATE DOMAINS===`` section markers used by the canonical
+    list, tagging rules in between as private.
+
+    Args:
+        text: The full text of a PSL-format file.
+
+    Yields:
+        Parsed :class:`Rule` objects in file order.
+    """
+    in_private = False
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("//"):
+            if "BEGIN PRIVATE DOMAINS" in line:
+                in_private = True
+            elif "END PRIVATE DOMAINS" in line:
+                in_private = False
+            continue
+        yield parse_rule(line, is_private=in_private)
+
+
+@dataclass
+class RuleIndex:
+    """Index of rules bucketed by TLD label for fast candidate lookup.
+
+    The PSL algorithm must consider every rule that could match a domain;
+    bucketing rules by their first (right-most) label reduces that to a
+    handful of candidates per lookup.
+    """
+
+    _by_tld: dict[str, list[Rule]] = field(default_factory=dict)
+    _count: int = 0
+
+    @classmethod
+    def from_rules(cls, rules: Iterable[Rule]) -> "RuleIndex":
+        index = cls()
+        for rule in rules:
+            index.add(rule)
+        return index
+
+    def add(self, rule: Rule) -> None:
+        """Insert a rule into the index."""
+        self._by_tld.setdefault(rule.labels[0], []).append(rule)
+        self._count += 1
+
+    def candidates(self, reversed_labels: tuple[str, ...]) -> list[Rule]:
+        """Rules whose TLD label could match the given domain labels."""
+        if not reversed_labels:
+            return []
+        return self._by_tld.get(reversed_labels[0], [])
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Rule]:
+        for bucket in self._by_tld.values():
+            yield from bucket

@@ -1,0 +1,14 @@
+"""Rendering and export: ASCII tables, ASCII CDF plots, CSV/JSON."""
+
+from repro.reporting.export import rows_to_csv, to_json
+from repro.reporting.figures import render_cdf, render_series
+from repro.reporting.tables import render_comparison, render_table
+
+__all__ = [
+    "render_cdf",
+    "render_comparison",
+    "render_series",
+    "render_table",
+    "rows_to_csv",
+    "to_json",
+]

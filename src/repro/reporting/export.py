@@ -1,0 +1,35 @@
+"""CSV/JSON export helpers."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Sequence
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render headers + rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def to_json(payload: Any, *, indent: int = 2) -> str:
+    """JSON-serialise a payload, handling dataclass-like objects.
+
+    Objects with a ``__dict__`` are serialised from their attributes;
+    enums by their value.
+    """
+    def default(obj: Any) -> Any:
+        if hasattr(obj, "value") and obj.__class__.__module__ != "builtins":
+            return obj.value
+        if hasattr(obj, "__dict__"):
+            return {k: v for k, v in vars(obj).items()
+                    if not k.startswith("_")}
+        return str(obj)
+
+    return json.dumps(payload, indent=indent, default=default)

@@ -1,0 +1,95 @@
+"""ASCII figure rendering: CDFs and monthly series."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.stats import Ecdf
+
+
+def render_cdf(
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Render one or more samples as overlaid ASCII CDF curves.
+
+    Args:
+        series: Name -> sample values.
+        width: Plot width in characters.
+        height: Plot height in rows.
+        title: Optional title line.
+
+    Returns:
+        The rendered plot; each series is drawn with its own glyph.
+    """
+    glyphs = "*o+x#@%&"
+    populated = {name: values for name, values in series.items() if values}
+    if not populated:
+        return (title or "") + "\n(no data)"
+
+    x_max = max(max(values) for values in populated.values())
+    x_min = min(min(values) for values in populated.values())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    for index, (name, values) in enumerate(populated.items()):
+        glyph = glyphs[index % len(glyphs)]
+        legend.append(f"  {glyph} {name}")
+        ecdf = Ecdf.from_sample(values)
+        for column in range(width):
+            x = x_min + (x_max - x_min) * column / (width - 1)
+            y = ecdf(x)
+            row = height - 1 - min(height - 1, int(y * (height - 1) + 0.5))
+            if grid[row][column] == " ":
+                grid[row][column] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_value = 1.0 - row_index / (height - 1)
+        prefix = f"{y_value:4.2f} |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_min:<10.2f}{' ' * (width - 22)}{x_max:>10.2f}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def render_series(
+    months: Sequence[str],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render monthly count series as an aligned text table.
+
+    Args:
+        months: Month labels (x axis).
+        series: Name -> per-month values (same length as months).
+        title: Optional title line.
+    """
+    names = sorted(series)
+    headers = ["month"] + names
+    widths = [max(len(headers[0]), max((len(m) for m in months), default=5))]
+    widths += [max(len(name), 6) for name in names]
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for index, month in enumerate(months):
+        cells = [month.ljust(widths[0])]
+        for name, width in zip(names, widths[1:]):
+            values = series[name]
+            value = values[index] if index < len(values) else 0.0
+            cells.append(f"{value:g}".ljust(width))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

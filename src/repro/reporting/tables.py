@@ -1,0 +1,59 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 *, title: str | None = None) -> str:
+    """Render a simple aligned ASCII table.
+
+    Args:
+        headers: Column headers.
+        rows: Row cells (stringified with ``str``).
+        title: Optional title line above the table.
+
+    Returns:
+        The rendered table text (no trailing newline).
+    """
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index in range(min(columns, len(row))):
+            widths[index] = max(widths[index], len(row[index]))
+
+    def format_row(cells: Sequence[str]) -> str:
+        padded = [
+            cells[index].ljust(widths[index]) if index < len(cells) else
+            " " * widths[index]
+            for index in range(columns)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+" + "+".join("-" * (width + 2) for width in widths) + "+"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(format_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def render_comparison(result: "Any") -> str:
+    """Render an ExperimentResult's measured-vs-paper scalar table.
+
+    Accepts any object with ``title`` and ``comparison_rows()``
+    (duck-typed to avoid a dependency cycle with repro.analysis).
+    """
+    rows = result.comparison_rows()
+    if not rows:
+        return result.title
+    return render_table(
+        ["metric", "measured", "paper"], rows, title=result.title,
+    )

@@ -1,0 +1,65 @@
+"""Related Website Sets: model, schema, membership, validation.
+
+This package is the reproduction's realisation of the two halves of the
+RWS proposal the paper describes:
+
+* **the list** — :mod:`repro.rws.model` models sets (primary +
+  associated/service/ccTLD subsets with per-site rationales);
+  :mod:`repro.rws.schema` round-trips the canonical
+  ``related_website_sets.JSON`` format; :mod:`repro.rws.wellknown`
+  produces and parses the ``/.well-known/related-website-set.json``
+  documents every member must serve; :mod:`repro.rws.diff` and
+  :mod:`repro.rws.history` track list evolution over time (Figure 7);
+
+* **the policy** — :meth:`repro.rws.model.RwsList.related` is the
+  browser-facing predicate ("should storage partitioning be relaxed
+  between these two sites?") consumed by :mod:`repro.browser`;
+
+* **the governance** — :mod:`repro.rws.validation` reimplements the
+  technical checks the RWS GitHub bot runs on submissions, producing
+  the error taxonomy of Table 3.
+"""
+
+from repro.rws.model import (
+    MemberRecord,
+    RelatedWebsiteSet,
+    RwsList,
+    SiteRole,
+)
+from repro.rws.schema import SchemaError, parse_rws_json, serialize_rws_json
+from repro.rws.suggestions import Suggestion, remediation_text, suggest_fixes
+from repro.rws.validation import (
+    CheckCode,
+    Finding,
+    Severity,
+    ValidationReport,
+    Validator,
+)
+from repro.rws.wellknown import (
+    WELL_KNOWN_PATH,
+    member_well_known_document,
+    parse_well_known,
+    primary_well_known_document,
+)
+
+__all__ = [
+    "CheckCode",
+    "Finding",
+    "MemberRecord",
+    "RelatedWebsiteSet",
+    "RwsList",
+    "SchemaError",
+    "Severity",
+    "SiteRole",
+    "Suggestion",
+    "ValidationReport",
+    "Validator",
+    "WELL_KNOWN_PATH",
+    "member_well_known_document",
+    "parse_rws_json",
+    "parse_well_known",
+    "primary_well_known_document",
+    "remediation_text",
+    "serialize_rws_json",
+    "suggest_fixes",
+]

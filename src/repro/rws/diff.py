@@ -1,0 +1,76 @@
+"""Diffing RWS list snapshots.
+
+The paper characterises how the list changed between early 2023 and
+March 2024 (Figures 7-9); this module computes the per-snapshot deltas
+those analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rws.model import MemberRecord, RwsList
+
+
+@dataclass
+class ListDiff:
+    """The delta between two list snapshots.
+
+    Attributes:
+        added_sets: Primaries of sets present only in the new snapshot.
+        removed_sets: Primaries of sets present only in the old one.
+        added_members: Member records new in the new snapshot (including
+            all members of newly added sets).
+        removed_members: Member records absent from the new snapshot.
+        changed_sets: Primaries of sets present in both but with
+            different membership.
+    """
+
+    added_sets: list[str] = field(default_factory=list)
+    removed_sets: list[str] = field(default_factory=list)
+    added_members: list[MemberRecord] = field(default_factory=list)
+    removed_members: list[MemberRecord] = field(default_factory=list)
+    changed_sets: list[str] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the snapshots have identical membership."""
+        return not (self.added_sets or self.removed_sets
+                    or self.added_members or self.removed_members)
+
+
+def _membership_key(record: MemberRecord) -> tuple[str, str, str]:
+    return (record.set_primary, record.role.value, record.site)
+
+
+def diff_lists(old: RwsList, new: RwsList) -> ListDiff:
+    """Compute the delta from ``old`` to ``new``.
+
+    Args:
+        old: The earlier snapshot.
+        new: The later snapshot.
+
+    Returns:
+        The structured diff.
+    """
+    old_primaries = set(old.primaries())
+    new_primaries = set(new.primaries())
+
+    old_members = {_membership_key(r): r for r in old.all_members()}
+    new_members = {_membership_key(r): r for r in new.all_members()}
+
+    added_members = [new_members[key] for key in sorted(new_members.keys() - old_members.keys())]
+    removed_members = [old_members[key] for key in sorted(old_members.keys() - new_members.keys())]
+
+    changed = set()
+    for record in added_members + removed_members:
+        if record.set_primary in old_primaries and record.set_primary in new_primaries:
+            changed.add(record.set_primary)
+
+    return ListDiff(
+        added_sets=sorted(new_primaries - old_primaries),
+        removed_sets=sorted(old_primaries - new_primaries),
+        added_members=added_members,
+        removed_members=removed_members,
+        changed_sets=sorted(changed),
+    )

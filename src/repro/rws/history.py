@@ -1,0 +1,136 @@
+"""Time-series of RWS list snapshots.
+
+Figures 7-9 of the paper plot properties of the list month-by-month from
+January 2023 to 26 March 2024.  ``RwsHistory`` holds dated snapshots and
+produces the monthly series those figures need.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+from repro.rws.diff import ListDiff, diff_lists
+from repro.rws.model import RwsList, SiteRole
+
+
+def parse_iso_date(text: str) -> dt.date:
+    """Parse a YYYY-MM-DD date string.
+
+    Raises:
+        ValueError: On malformed input.
+    """
+    return dt.date.fromisoformat(text)
+
+
+def month_key(date: dt.date) -> str:
+    """A YYYY-MM month label for a date."""
+    return f"{date.year:04d}-{date.month:02d}"
+
+
+def iterate_months(start: dt.date, end: dt.date) -> list[str]:
+    """All YYYY-MM labels from start's month through end's month."""
+    if end < start:
+        raise ValueError(f"end {end} before start {start}")
+    months: list[str] = []
+    year, month = start.year, start.month
+    while (year, month) <= (end.year, end.month):
+        months.append(f"{year:04d}-{month:02d}")
+        month += 1
+        if month > 12:
+            month = 1
+            year += 1
+    return months
+
+
+@dataclass
+class Snapshot:
+    """One dated list snapshot."""
+
+    date: dt.date
+    rws_list: RwsList
+
+
+@dataclass
+class RwsHistory:
+    """An ordered series of dated RWS list snapshots.
+
+    Snapshots may be inserted in any order; queries see them sorted by
+    date.
+    """
+
+    snapshots: list[Snapshot] = field(default_factory=list)
+
+    def add(self, date: str | dt.date, rws_list: RwsList) -> None:
+        """Insert a snapshot."""
+        if isinstance(date, str):
+            date = parse_iso_date(date)
+        self.snapshots.append(Snapshot(date=date, rws_list=rws_list))
+        self.snapshots.sort(key=lambda snapshot: snapshot.date)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def latest(self) -> Snapshot:
+        """The most recent snapshot.
+
+        Raises:
+            IndexError: When the history is empty.
+        """
+        return self.snapshots[-1]
+
+    @property
+    def earliest(self) -> Snapshot:
+        """The oldest snapshot.
+
+        Raises:
+            IndexError: When the history is empty.
+        """
+        return self.snapshots[0]
+
+    def as_of(self, date: str | dt.date) -> RwsList | None:
+        """The snapshot in force on a date (latest at-or-before), or None."""
+        if isinstance(date, str):
+            date = parse_iso_date(date)
+        in_force: RwsList | None = None
+        for snapshot in self.snapshots:
+            if snapshot.date <= date:
+                in_force = snapshot.rws_list
+            else:
+                break
+        return in_force
+
+    def monthly_dates(self) -> list[str]:
+        """YYYY-MM labels covering the history's full span."""
+        if not self.snapshots:
+            return []
+        return iterate_months(self.earliest.date, self.latest.date)
+
+    def composition_series(self) -> dict[str, dict[SiteRole, int]]:
+        """Figure 7's data: per-month member counts per subset role.
+
+        Each month reports the composition of the snapshot in force at
+        the end of that month (months before the first snapshot report
+        zero).
+        """
+        series: dict[str, dict[SiteRole, int]] = {}
+        for month in self.monthly_dates():
+            year, month_number = (int(part) for part in month.split("-"))
+            if month_number == 12:
+                month_end = dt.date(year + 1, 1, 1) - dt.timedelta(days=1)
+            else:
+                month_end = dt.date(year, month_number + 1, 1) - dt.timedelta(days=1)
+            in_force = self.as_of(month_end)
+            if in_force is None:
+                series[month] = {role: 0 for role in SiteRole}
+            else:
+                series[month] = in_force.composition()
+        return series
+
+    def diffs(self) -> list[tuple[dt.date, ListDiff]]:
+        """Consecutive-snapshot diffs, dated by the newer snapshot."""
+        result: list[tuple[dt.date, ListDiff]] = []
+        for older, newer in zip(self.snapshots, self.snapshots[1:]):
+            result.append((newer.date, diff_lists(older.rws_list, newer.rws_list)))
+        return result

@@ -1,0 +1,132 @@
+"""Actionable fix suggestions for failing submissions.
+
+The paper's §4 takeaway: "the most frequent validation errors suggest
+that the RWS proposal is complex ... documentation and tooling (for
+validating a proposed set before submission) could be improved."  This
+module is that tooling: it turns a :class:`ValidationReport` into
+concrete, per-finding remediation steps a submitter can follow before
+opening (or re-opening) a pull request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.psl import PublicSuffixList, default_psl
+from repro.psl.lookup import DomainError
+from repro.rws.validation import CheckCode, Finding, ValidationReport
+from repro.rws.wellknown import WELL_KNOWN_PATH
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One remediation step.
+
+    Attributes:
+        finding: The finding being remediated.
+        action: What to do, concretely.
+    """
+
+    finding: Finding
+    action: str
+
+
+def _registrable_hint(site: str, psl: PublicSuffixList) -> str:
+    """The eTLD+1 a submitter probably meant, when recoverable."""
+    try:
+        registrable = psl.etld_plus_one(site)
+    except DomainError:
+        return ""
+    if registrable and registrable != site:
+        return f" (did you mean {registrable}?)"
+    return ""
+
+
+def suggest_fixes(report: ValidationReport,
+                  psl: PublicSuffixList | None = None) -> list[Suggestion]:
+    """Produce remediation steps for every finding in a report.
+
+    Args:
+        report: The validator's output for a submission.
+        psl: PSL used to suggest registrable-domain replacements.
+
+    Returns:
+        One suggestion per finding, in finding order (empty when the
+        report passed).
+    """
+    psl = psl or default_psl()
+    suggestions: list[Suggestion] = []
+    for finding in report.findings:
+        site = finding.site
+        code = finding.code
+        if code in (CheckCode.WELL_KNOWN_UNREACHABLE,
+                    CheckCode.WELL_KNOWN_INVALID):
+            action = (
+                f"Serve a valid JSON document at "
+                f"https://{site}{WELL_KNOWN_PATH} before submitting; for "
+                f"non-primary members it only needs "
+                f'{{"primary": "https://<primary>"}}.'
+            )
+        elif code is CheckCode.WELL_KNOWN_MISMATCH:
+            action = (
+                f"Regenerate {site}'s {WELL_KNOWN_PATH} so its contents "
+                f"match the submitted set exactly (same primary and the "
+                f"same members in every subset)."
+            )
+        elif code in (CheckCode.PRIMARY_NOT_ETLD_PLUS_ONE,
+                      CheckCode.ASSOCIATED_NOT_ETLD_PLUS_ONE,
+                      CheckCode.SERVICE_NOT_ETLD_PLUS_ONE,
+                      CheckCode.ALIAS_NOT_ETLD_PLUS_ONE):
+            action = (
+                f"Replace {site} with its registrable domain"
+                f"{_registrable_hint(site, psl)}; subdomains are already "
+                f"same-site with their parent and need no RWS entry."
+            )
+        elif code is CheckCode.SERVICE_MISSING_X_ROBOTS_TAG:
+            action = (
+                f"Configure {site} to send an X-Robots-Tag header on its "
+                f"responses; service domains must not be indexed as "
+                f"standalone sites."
+            )
+        elif code is CheckCode.MISSING_RATIONALE:
+            action = (
+                f"Add a rationaleBySite entry for: {site} — every "
+                f"associated and service site needs one explaining the "
+                f"affiliation."
+            )
+        elif code is CheckCode.INVALID_CCTLD_VARIANT:
+            action = (
+                f"ccTLD variants must share the member's name under a "
+                f"different country-code suffix; {site} does not — move it "
+                f"to associatedSites (with a rationale) if it belongs in "
+                f"the set."
+            )
+        elif code is CheckCode.DUPLICATE_IN_SET:
+            action = f"Remove the duplicate entry for {site}."
+        elif code is CheckCode.ALREADY_IN_OTHER_SET:
+            action = (
+                f"{site} already belongs to another published set; a "
+                f"domain can appear in at most one set, so coordinate with "
+                f"that set's owner or drop the entry."
+            )
+        elif code is CheckCode.EMPTY_SET:
+            action = ("Add at least one associated, service, or ccTLD "
+                      "member; a set of just the primary is meaningless.")
+        elif code is CheckCode.INVALID_DOMAIN:
+            action = f"{site} is not a valid domain name; fix the typo."
+        else:  # Defensive: new codes should be mapped explicitly.
+            action = finding.message
+        suggestions.append(Suggestion(finding=finding, action=action))
+    return suggestions
+
+
+def remediation_text(report: ValidationReport,
+                     psl: PublicSuffixList | None = None) -> str:
+    """A human-readable remediation checklist for a failing report."""
+    suggestions = suggest_fixes(report, psl)
+    if not suggestions:
+        return "No fixes needed: all technical checks passed."
+    lines = ["Remediation checklist:"]
+    for index, suggestion in enumerate(suggestions, start=1):
+        lines.append(f"{index}. {suggestion.action}")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Statistics utilities used by the paper's analyses.
+
+* :mod:`repro.stats.ecdf` — empirical CDFs (every figure numbered 2, 3,
+  4 and 6 in the paper is a CDF plot);
+* :mod:`repro.stats.ks` — two-sample Kolmogorov-Smirnov test, written
+  from scratch and cross-checked against scipy in the test suite (the
+  paper uses pairwise KS tests on the survey timing distributions);
+* :mod:`repro.stats.summary` — summary statistics and bootstrap
+  confidence intervals.
+"""
+
+from repro.stats.ecdf import Ecdf, ecdf_points
+from repro.stats.ks import KsResult, ks_two_sample
+from repro.stats.summary import bootstrap_ci, five_number_summary
+
+__all__ = [
+    "Ecdf",
+    "KsResult",
+    "bootstrap_ci",
+    "ecdf_points",
+    "five_number_summary",
+    "ks_two_sample",
+]

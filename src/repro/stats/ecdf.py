@@ -1,0 +1,79 @@
+"""Empirical cumulative distribution functions."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF over a sample.
+
+    Attributes:
+        values: The sample, sorted ascending.
+    """
+
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_sample(cls, sample: Iterable[float]) -> "Ecdf":
+        """Build an ECDF from any iterable of numbers.
+
+        Raises:
+            ValueError: For an empty sample.
+        """
+        values = tuple(sorted(float(v) for v in sample))
+        if not values:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        return cls(values=values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __call__(self, x: float) -> float:
+        """F(x) = fraction of the sample <= x."""
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (inverse CDF, lower interpolation).
+
+        Args:
+            q: Probability in [0, 1].
+
+        Raises:
+            ValueError: If q is outside [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.values[0]
+        index = min(len(self.values) - 1,
+                    max(0, int(q * len(self.values) + 0.5) - 1))
+        return self.values[index]
+
+    @property
+    def median(self) -> float:
+        """The sample median (mean of middle pair for even sizes)."""
+        mid = len(self.values) // 2
+        if len(self.values) % 2 == 1:
+            return self.values[mid]
+        return (self.values[mid - 1] + self.values[mid]) / 2.0
+
+
+def ecdf_points(sample: Sequence[float]) -> list[tuple[float, float]]:
+    """(x, F(x)) step points for plotting an ECDF.
+
+    Returns one point per distinct sample value, with F evaluated at
+    that value (right-continuous steps).
+    """
+    ecdf = Ecdf.from_sample(sample)
+    points: list[tuple[float, float]] = []
+    seen: set[float] = set()
+    for value in ecdf.values:
+        if value in seen:
+            continue
+        seen.add(value)
+        points.append((value, ecdf(value)))
+    return points

@@ -1,0 +1,78 @@
+"""Summary statistics and bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class FiveNumberSummary:
+    """Min / Q1 / median / Q3 / max of a sample."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+
+def five_number_summary(sample: Sequence[float]) -> FiveNumberSummary:
+    """The five-number summary of a sample.
+
+    Raises:
+        ValueError: For an empty sample.
+    """
+    if not sample:
+        raise ValueError("empty sample")
+    ordered = sorted(float(v) for v in sample)
+    quartiles = statistics.quantiles(ordered, n=4, method="inclusive") \
+        if len(ordered) > 1 else [ordered[0]] * 3
+    return FiveNumberSummary(
+        minimum=ordered[0],
+        q1=quartiles[0],
+        median=statistics.median(ordered),
+        q3=quartiles[2],
+        maximum=ordered[-1],
+    )
+
+
+def bootstrap_ci(
+    sample: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = statistics.mean,
+    *,
+    confidence: float = 0.95,
+    iterations: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for a statistic.
+
+    Args:
+        sample: The observed sample.
+        statistic: Function of a sample to a number (default: mean).
+        confidence: Interval mass in (0, 1).
+        iterations: Bootstrap resamples.
+        seed: RNG seed (results are deterministic).
+
+    Returns:
+        (low, high) bounds.
+
+    Raises:
+        ValueError: For an empty sample or a confidence outside (0, 1).
+    """
+    if not sample:
+        raise ValueError("empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = random.Random(seed)
+    values = [float(v) for v in sample]
+    estimates = sorted(
+        statistic([rng.choice(values) for _ in values])
+        for _ in range(iterations)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low_index = int(alpha * iterations)
+    high_index = min(iterations - 1, int((1.0 - alpha) * iterations))
+    return estimates[low_index], estimates[high_index]

@@ -1,0 +1,39 @@
+"""String and set similarity metrics.
+
+The paper uses two families of similarity measures:
+
+* **Edit distance** between second-level domain labels (Figure 3): we
+  implement classic Levenshtein distance, a banded variant with an early
+  exit for thresholded queries, a normalised ratio, and
+  Damerau-Levenshtein (transposition-aware) for the ablation analyses.
+* **Set similarity** over HTML features (Figure 4, via
+  :mod:`repro.html.similarity`): Jaccard index over k-shingles of CSS
+  classes, and longest-common-subsequence over tag sequences.
+
+All implementations are from scratch (no third-party metric libraries)
+and are property-tested against each other and against metric axioms.
+"""
+
+from repro.strmetrics.levenshtein import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    levenshtein_ratio,
+    levenshtein_within,
+)
+from repro.strmetrics.sequences import (
+    longest_common_subsequence_length,
+    sequence_similarity,
+)
+from repro.strmetrics.sets import jaccard_index, overlap_coefficient, shingles
+
+__all__ = [
+    "damerau_levenshtein_distance",
+    "jaccard_index",
+    "levenshtein_distance",
+    "levenshtein_ratio",
+    "levenshtein_within",
+    "longest_common_subsequence_length",
+    "overlap_coefficient",
+    "sequence_similarity",
+    "shingles",
+]

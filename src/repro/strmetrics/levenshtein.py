@@ -1,0 +1,156 @@
+"""Levenshtein (edit) distance and variants.
+
+Figure 3 of the paper plots CDFs of the Levenshtein edit distance between
+each service/associated site's second-level domain label and its set
+primary's, showing that associated-site SLDs are typically far from their
+primary's (median distance ~6-7) and so domain-name similarity is an
+unreliable relatedness signal.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic Levenshtein distance (insert / delete / substitute, cost 1).
+
+    Uses the two-row dynamic programme: O(len(a) * len(b)) time,
+    O(min(len(a), len(b))) space.
+
+    Args:
+        a: First string.
+        b: Second string.
+
+    Returns:
+        The minimum number of single-character edits transforming
+        ``a`` into ``b``.
+    """
+    if a == b:
+        return 0
+    # Keep the inner loop over the shorter string to bound memory.
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+
+    previous = list(range(len(b) + 1))
+    current = [0] * (len(b) + 1)
+    for i, char_a in enumerate(a, start=1):
+        current[0] = i
+        for j, char_b in enumerate(b, start=1):
+            substitution = previous[j - 1] + (char_a != char_b)
+            deletion = previous[j] + 1
+            insertion = current[j - 1] + 1
+            current[j] = min(substitution, deletion, insertion)
+        previous, current = current, previous
+    return previous[len(b)]
+
+
+def levenshtein_within(a: str, b: str, limit: int) -> int | None:
+    """Levenshtein distance if it does not exceed ``limit``, else None.
+
+    Uses the standard band optimisation: cells further than ``limit``
+    from the diagonal can never contribute to a distance <= limit, so
+    only a band of width ``2 * limit + 1`` is evaluated, with an early
+    exit when an entire row exceeds the limit.
+
+    Args:
+        a: First string.
+        b: Second string.
+        limit: Inclusive distance threshold; must be >= 0.
+
+    Returns:
+        The exact distance when it is <= ``limit``, otherwise None.
+
+    Raises:
+        ValueError: If ``limit`` is negative.
+    """
+    if limit < 0:
+        raise ValueError(f"limit must be >= 0, got {limit}")
+    if a == b:
+        return 0
+    if abs(len(a) - len(b)) > limit:
+        return None
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a) if len(a) <= limit else None
+
+    sentinel = limit + 1
+    previous = [j if j <= limit else sentinel for j in range(len(b) + 1)]
+    current = [sentinel] * (len(b) + 1)
+    for i, char_a in enumerate(a, start=1):
+        lo = max(1, i - limit)
+        hi = min(len(b), i + limit)
+        current[0] = i if i <= limit else sentinel
+        if lo > 1:
+            current[lo - 1] = sentinel
+        row_minimum = current[0] if lo == 1 else sentinel
+        for j in range(lo, hi + 1):
+            char_b = b[j - 1]
+            substitution = previous[j - 1] + (char_a != char_b)
+            deletion = previous[j] + 1
+            insertion = current[j - 1] + 1
+            value = min(substitution, deletion, insertion, sentinel)
+            current[j] = value
+            if value < row_minimum:
+                row_minimum = value
+        if row_minimum >= sentinel:
+            return None
+        previous, current = current, previous
+    distance = previous[len(b)]
+    return distance if distance <= limit else None
+
+
+def levenshtein_ratio(a: str, b: str) -> float:
+    """Normalised Levenshtein similarity in [0, 1].
+
+    Defined as ``1 - distance / max(len(a), len(b))``; two empty strings
+    have similarity 1.0.
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def damerau_levenshtein_distance(a: str, b: str) -> int:
+    """Damerau-Levenshtein distance (adds adjacent-transposition, cost 1).
+
+    This is the *optimal string alignment* variant: a substring may not
+    be edited more than once, which is sufficient for domain-label
+    comparison (e.g. typo-squatting analysis in the ablations).
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+
+    width = len(b) + 1
+    two_back = list(range(width))
+    one_back = [1] + [0] * len(b)
+    for j in range(1, width):
+        one_back[j] = min(two_back[j] + 1, one_back[j - 1] + 1,
+                          two_back[j - 1] + (a[0] != b[j - 1]))
+
+    if len(a) == 1:
+        return one_back[len(b)]
+
+    current = [0] * width
+    for i in range(2, len(a) + 1):
+        current[0] = i
+        char_a = a[i - 1]
+        prev_char_a = a[i - 2]
+        for j in range(1, width):
+            char_b = b[j - 1]
+            value = min(
+                one_back[j] + 1,
+                current[j - 1] + 1,
+                one_back[j - 1] + (char_a != char_b),
+            )
+            if j >= 2 and char_a == b[j - 2] and prev_char_a == char_b:
+                value = min(value, two_back[j - 2] + 1)
+            current[j] = value
+        two_back, one_back, current = one_back, current, two_back
+    return one_back[len(b)]

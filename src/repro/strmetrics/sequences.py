@@ -1,0 +1,56 @@
+"""Sequence similarity via longest common subsequence.
+
+The `html-similarity` library the paper uses computes *structural*
+similarity between two pages from the sequences of their HTML tag names,
+scored with a normalised longest-common-subsequence ratio.  This module
+provides that primitive for :mod:`repro.html.similarity`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+
+def longest_common_subsequence_length(
+    a: Sequence[Hashable], b: Sequence[Hashable]
+) -> int:
+    """Length of the longest common subsequence of two sequences.
+
+    Two-row dynamic programme: O(len(a) * len(b)) time,
+    O(min(len(a), len(b))) space.
+
+    Args:
+        a: First sequence (any hashable elements).
+        b: Second sequence.
+
+    Returns:
+        The LCS length (0 when either sequence is empty).
+    """
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return 0
+
+    previous = [0] * (len(b) + 1)
+    current = [0] * (len(b) + 1)
+    for item_a in a:
+        for j, item_b in enumerate(b, start=1):
+            if item_a == item_b:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous, current = current, previous
+    return previous[len(b)]
+
+
+def sequence_similarity(a: Sequence[Hashable], b: Sequence[Hashable]) -> float:
+    """Normalised LCS similarity in [0, 1].
+
+    Defined as ``2 * lcs(a, b) / (len(a) + len(b))`` (the Dice-style
+    normalisation `html-similarity` uses for structural comparison).
+    Two empty sequences score 1.0 (identical emptiness).
+    """
+    total = len(a) + len(b)
+    if total == 0:
+        return 1.0
+    return 2.0 * longest_common_subsequence_length(a, b) / total

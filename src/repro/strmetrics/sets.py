@@ -1,0 +1,69 @@
+"""Set-based similarity: Jaccard, overlap coefficient, and k-shingles.
+
+The `html-similarity` library's *style* similarity compares the sets of
+CSS classes used by two pages: each page's class list is turned into
+k-shingles (contiguous k-grams) and the two shingle sets are scored with
+the Jaccard index.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+
+def jaccard_index(a: Iterable[Hashable], b: Iterable[Hashable]) -> float:
+    """Jaccard index |A ∩ B| / |A ∪ B| in [0, 1].
+
+    Two empty collections score 1.0 (identical emptiness); an empty
+    collection against a non-empty one scores 0.0.
+    """
+    set_a = set(a)
+    set_b = set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 1.0
+    return len(set_a & set_b) / union
+
+
+def overlap_coefficient(a: Iterable[Hashable], b: Iterable[Hashable]) -> float:
+    """Szymkiewicz-Simpson overlap |A ∩ B| / min(|A|, |B|) in [0, 1].
+
+    More forgiving than Jaccard when one page is much larger than the
+    other; used in the ablation comparing similarity definitions.
+    """
+    set_a = set(a)
+    set_b = set(b)
+    if not set_a and not set_b:
+        return 1.0
+    smaller = min(len(set_a), len(set_b))
+    if smaller == 0:
+        return 0.0
+    return len(set_a & set_b) / smaller
+
+
+def shingles(items: Sequence[Hashable], k: int = 4) -> set[tuple[Hashable, ...]]:
+    """The set of contiguous k-grams (shingles) of a sequence.
+
+    Args:
+        items: The sequence to shingle (e.g. a page's CSS class list in
+            document order).
+        k: Shingle width; must be >= 1.  Sequences shorter than ``k``
+            produce a single shingle of the whole sequence (so short
+            pages still compare non-degenerately), and empty sequences
+            produce the empty set.
+
+    Returns:
+        The set of k-length tuples.
+
+    Raises:
+        ValueError: If ``k`` < 1.
+    """
+    if k < 1:
+        raise ValueError(f"shingle width must be >= 1, got {k}")
+    if not items:
+        return set()
+    if len(items) < k:
+        return {tuple(items)}
+    return {tuple(items[i:i + k]) for i in range(len(items) - k + 1)}

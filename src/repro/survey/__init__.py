@@ -1,0 +1,60 @@
+"""The §3 user study: can users determine website relatedness?
+
+The paper's study shows 30 participants up to 20 website pairs each
+(5 drawn from each of 4 groups) and asks whether the two sites are
+related via a common organisation; answers and per-question timings
+are recorded, and participants finally report which cues they used.
+Headline result: 36.8% of same-set pairs are judged *unrelated* —
+privacy-harming errors, since RWS would share data between them anyway.
+
+Human participants are substituted (see DESIGN.md) by a behavioural
+model that *reads the same synthetic pages the HTML-similarity pipeline
+measures* and answers from the cues participants reported using in
+Table 2 (branding, domain names, header/footer text, about pages):
+
+* :mod:`repro.survey.design` — the 822-pair universe (39 / 426 / 141 /
+  216 across the 4 groups) after the paper's liveness+language filter;
+* :mod:`repro.survey.instrument` — per-participant questionnaires and
+  the factor questionnaire;
+* :mod:`repro.survey.respondent` — the perceptual decision model with
+  per-participant skill and decision-time distributions;
+* :mod:`repro.survey.run` — conduct the study end to end;
+* :mod:`repro.survey.analysis` — Table 1, Table 2, Figures 1-2 and the
+  scalar claims (36.8%, 73.3%, 93.7%).
+"""
+
+from repro.survey.analysis import (
+    ConfusionMatrix,
+    confusion_matrix,
+    factor_table,
+    participants_with_errors,
+    table1_summary,
+    timing_split_same_set,
+)
+from repro.survey.dataset import FactorResponse, Response, StudyDataset
+from repro.survey.design import PairGroup, SitePair, build_pair_universe
+from repro.survey.instrument import Factor, Questionnaire, build_questionnaire
+from repro.survey.respondent import RespondentModel, SiteObservation
+from repro.survey.run import StudyConfig, conduct_study
+
+__all__ = [
+    "ConfusionMatrix",
+    "Factor",
+    "FactorResponse",
+    "PairGroup",
+    "Questionnaire",
+    "RespondentModel",
+    "Response",
+    "SiteObservation",
+    "SitePair",
+    "StudyConfig",
+    "StudyDataset",
+    "build_pair_universe",
+    "build_questionnaire",
+    "confusion_matrix",
+    "conduct_study",
+    "factor_table",
+    "participants_with_errors",
+    "table1_summary",
+    "timing_split_same_set",
+]

@@ -1,0 +1,184 @@
+"""Survey analyses: Table 1, Table 2, Figures 1-2, scalar claims."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.stats import KsResult, ks_two_sample
+from repro.survey.dataset import StudyDataset
+from repro.survey.design import PairGroup
+from repro.survey.instrument import Factor
+
+
+@dataclass(frozen=True)
+class GroupSummary:
+    """One row of Table 1.
+
+    Attributes:
+        group: The pair group.
+        related_count: Responses answering "related".
+        related_mean_seconds: Their mean decision time.
+        unrelated_count: Responses answering "unrelated".
+        unrelated_mean_seconds: Their mean decision time.
+    """
+
+    group: PairGroup
+    related_count: int
+    related_mean_seconds: float
+    unrelated_count: int
+    unrelated_mean_seconds: float
+
+    @property
+    def total(self) -> int:
+        return self.related_count + self.unrelated_count
+
+
+def table1_summary(dataset: StudyDataset) -> list[GroupSummary]:
+    """Table 1: per-group answer counts and mean times."""
+    rows: list[GroupSummary] = []
+    for group in PairGroup:
+        responses = dataset.by_group(group)
+        related = [r for r in responses if r.answered_related]
+        unrelated = [r for r in responses if not r.answered_related]
+        rows.append(GroupSummary(
+            group=group,
+            related_count=len(related),
+            related_mean_seconds=(
+                statistics.mean(r.seconds for r in related) if related else 0.0
+            ),
+            unrelated_count=len(unrelated),
+            unrelated_mean_seconds=(
+                statistics.mean(r.seconds for r in unrelated)
+                if unrelated else 0.0
+            ),
+        ))
+    return rows
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Figure 1: expected vs actual answers.
+
+    "Expected related" means the pair is related under RWS (the
+    RWS (same set) group); all other groups are expected unrelated.
+    """
+
+    related_said_related: int
+    related_said_unrelated: int
+    unrelated_said_related: int
+    unrelated_said_unrelated: int
+
+    @property
+    def privacy_harming_fraction(self) -> float:
+        """Fraction of related pairs judged unrelated (paper: 36.8%)."""
+        total = self.related_said_related + self.related_said_unrelated
+        if total == 0:
+            return 0.0
+        return self.related_said_unrelated / total
+
+    @property
+    def unrelated_correct_fraction(self) -> float:
+        """Fraction of unrelated pairs judged unrelated (paper: 93.7%)."""
+        total = self.unrelated_said_related + self.unrelated_said_unrelated
+        if total == 0:
+            return 0.0
+        return self.unrelated_said_unrelated / total
+
+
+def confusion_matrix(dataset: StudyDataset) -> ConfusionMatrix:
+    """Figure 1's matrix over all responses."""
+    rr = rn = nr = nn = 0
+    for response in dataset.responses:
+        if response.pair.rws_related:
+            if response.answered_related:
+                rr += 1
+            else:
+                rn += 1
+        else:
+            if response.answered_related:
+                nr += 1
+            else:
+                nn += 1
+    return ConfusionMatrix(
+        related_said_related=rr,
+        related_said_unrelated=rn,
+        unrelated_said_related=nr,
+        unrelated_said_unrelated=nn,
+    )
+
+
+def timing_split_same_set(dataset: StudyDataset) -> tuple[list[float], list[float], KsResult]:
+    """Figure 2: same-set decision times split by answer, with KS test.
+
+    Returns:
+        (related_times, unrelated_times, ks_result); the paper finds
+        this split statistically significant.
+    """
+    responses = dataset.by_group(PairGroup.RWS_SAME_SET)
+    related = sorted(r.seconds for r in responses if r.answered_related)
+    unrelated = sorted(r.seconds for r in responses if not r.answered_related)
+    result = ks_two_sample(related, unrelated)
+    return related, unrelated, result
+
+
+def pairwise_category_ks(dataset: StudyDataset) -> dict[tuple[str, str], KsResult]:
+    """KS tests between the overall timing distributions per group.
+
+    The paper finds none of these significant.
+    """
+    samples = {
+        group: [r.seconds for r in dataset.by_group(group)]
+        for group in PairGroup
+    }
+    results: dict[tuple[str, str], KsResult] = {}
+    groups = list(PairGroup)
+    for i, group_a in enumerate(groups):
+        for group_b in groups[i + 1:]:
+            if samples[group_a] and samples[group_b]:
+                results[(group_a.value, group_b.value)] = ks_two_sample(
+                    samples[group_a], samples[group_b],
+                )
+    return results
+
+
+def participants_with_errors(dataset: StudyDataset) -> tuple[int, int, float]:
+    """The 73.3% claim: participants with >= 1 privacy-harming error.
+
+    Returns:
+        (participants_with_error, participants_total, fraction) —
+        computed over participants who answered at least one same-set
+        question, mirroring the paper's denominator of all sessions.
+    """
+    erring: set[int] = set()
+    for response in dataset.responses:
+        if response.privacy_harming_error:
+            erring.add(response.participant_id)
+    total = len(dataset.participants())
+    fraction = len(erring) / total if total else 0.0
+    return len(erring), total, fraction
+
+
+def factor_table(dataset: StudyDataset) -> dict[Factor, tuple[int, int, float, float]]:
+    """Table 2: factor usage counts and percentages.
+
+    Returns:
+        Factor -> (related_count, unrelated_count, related_pct,
+        unrelated_pct) over the factor respondents.
+    """
+    respondents = len(dataset.factor_responses)
+    table: dict[Factor, tuple[int, int, float, float]] = {}
+    for factor in Factor:
+        related_count = sum(
+            1 for fr in dataset.factor_responses if fr.answers[factor][0]
+        )
+        unrelated_count = sum(
+            1 for fr in dataset.factor_responses if fr.answers[factor][1]
+        )
+        table[factor] = (
+            related_count,
+            unrelated_count,
+            100.0 * related_count / respondents if respondents else 0.0,
+            100.0 * unrelated_count / respondents if respondents else 0.0,
+        )
+    return table

@@ -1,0 +1,95 @@
+"""Study dataset: responses and factor answers.
+
+Mirrors the shape of the anonymised dataset released with the paper —
+one row per (participant session, question) with the answer and timing,
+plus per-participant factor responses — so the analysis code would run
+unchanged on the real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.survey.design import PairGroup, SitePair
+from repro.survey.instrument import Factor
+
+
+@dataclass(frozen=True)
+class Response:
+    """One answered question.
+
+    Attributes:
+        participant_id: Anonymous session id.
+        question_index: Position in the participant's questionnaire.
+        pair: The pair shown.
+        answered_related: The participant's answer.
+        seconds: Time taken.
+    """
+
+    participant_id: int
+    question_index: int
+    pair: SitePair
+    answered_related: bool
+    seconds: float
+
+    @property
+    def correct(self) -> bool:
+        """Whether the answer matches RWS ground truth."""
+        return self.answered_related == self.pair.rws_related
+
+    @property
+    def privacy_harming_error(self) -> bool:
+        """The paper's key error class: a related pair judged unrelated.
+
+        The user would not expect data sharing, but RWS enables it.
+        """
+        return self.pair.rws_related and not self.answered_related
+
+
+@dataclass(frozen=True)
+class FactorResponse:
+    """One participant's Table 2 factor answers.
+
+    Attributes:
+        participant_id: Anonymous session id.
+        answers: Factor -> (used for related, used for unrelated).
+    """
+
+    participant_id: int
+    answers: dict[Factor, tuple[bool, bool]]
+
+
+@dataclass
+class StudyDataset:
+    """The full study output."""
+
+    responses: list[Response] = field(default_factory=list)
+    factor_responses: list[FactorResponse] = field(default_factory=list)
+    participant_count: int = 0
+
+    def by_group(self, group: PairGroup) -> list[Response]:
+        """All responses to pairs in a group."""
+        return [r for r in self.responses if r.pair.group is group]
+
+    def participants(self) -> list[int]:
+        """Distinct participant ids with at least one response."""
+        return sorted({r.participant_id for r in self.responses})
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Flat anonymised rows (CSV/JSON export shape)."""
+        return [
+            {
+                "participant": response.participant_id,
+                "question": response.question_index,
+                "group": response.pair.group.value,
+                "site_a": response.pair.site_a,
+                "site_b": response.pair.site_b,
+                "rws_related": response.pair.rws_related,
+                "answered_related": response.answered_related,
+                "seconds": round(response.seconds, 1),
+            }
+            for response in self.responses
+        ]
+
+
+_ = SitePair  # Referenced by annotations above.

@@ -1,0 +1,157 @@
+"""Survey pair-universe construction.
+
+§3 of the paper: after manually filtering the RWS list's sites for
+liveness and English-language content (146 -> 31 sites), 822 pairs were
+generated across four groups:
+
+* **RWS (same set)** — 39 pairs: all combinations of eligible sites
+  within each set (related under RWS);
+* **RWS (other set)** — 426 pairs: combinations across different sets;
+* **Top Site (same category)** — 141 pairs: an RWS site and a Tranco
+  top site in the same Forcepoint category;
+* **Top Site (other category)** — 216 pairs: an RWS site and a top
+  site in a different category.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass
+
+from repro.categorize import Category, CategoryDatabase
+from repro.data.builders import survey_eligible_sites
+from repro.data.rws_seed import RWS_SEED_SETS, SeedSet
+from repro.data.sites import SiteSpec
+from repro.data.toplist import build_top_list
+
+# Pair counts per group in the paper's released design.
+PAPER_PAIR_COUNTS = {
+    "RWS_SAME_SET": 39,
+    "RWS_OTHER_SET": 426,
+    "TOP_SAME_CATEGORY": 141,
+    "TOP_OTHER_CATEGORY": 216,
+}
+
+
+class PairGroup(enum.Enum):
+    """The four pair groups of the study design."""
+
+    RWS_SAME_SET = "RWS (same set)"
+    RWS_OTHER_SET = "RWS (other set)"
+    TOP_SAME_CATEGORY = "Top Site (same category)"
+    TOP_OTHER_CATEGORY = "Top Site (other category)"
+
+
+@dataclass(frozen=True)
+class SitePair:
+    """One pair shown to participants.
+
+    Attributes:
+        site_a: First domain.
+        site_b: Second domain.
+        group: The design group the pair belongs to.
+        rws_related: Ground truth under the RWS proposal (True only for
+            RWS_SAME_SET pairs).
+    """
+
+    site_a: str
+    site_b: str
+    group: PairGroup
+    rws_related: bool
+
+
+def build_pair_universe(
+    database: CategoryDatabase,
+    *,
+    seeds: tuple[SeedSet, ...] = RWS_SEED_SETS,
+    top_sites: list[SiteSpec] | None = None,
+    seed: int = 20240501,
+) -> dict[PairGroup, list[SitePair]]:
+    """Generate the full 822-pair universe.
+
+    Args:
+        database: Category lookups for the Top Site groups.
+        seeds: The RWS seed sets (the eligibility filter runs on them).
+        top_sites: The Tranco-style list (generated when omitted).
+        seed: Sampling seed for the Top Site groups (the paper also
+            sampled its Top Site pairs).
+
+    Returns:
+        Group -> pairs, with the paper's exact per-group counts.
+
+    Raises:
+        ValueError: If the universe cannot supply a group's quota.
+    """
+    eligible = survey_eligible_sites(seeds)
+    top_sites = top_sites if top_sites is not None else build_top_list()
+    rng = random.Random(seed)
+
+    # RWS (same set): all within-set combinations of eligible sites.
+    same_set: list[SitePair] = []
+    for primary, specs in sorted(eligible.items()):
+        domains = [spec.domain for spec in specs]
+        for site_a, site_b in itertools.combinations(domains, 2):
+            same_set.append(SitePair(site_a, site_b, PairGroup.RWS_SAME_SET,
+                                     rws_related=True))
+
+    # RWS (other set): all cross-set combinations.
+    other_set: list[SitePair] = []
+    set_of: dict[str, str] = {}
+    all_eligible: list[str] = []
+    for primary, specs in sorted(eligible.items()):
+        for spec in specs:
+            set_of[spec.domain] = primary
+            all_eligible.append(spec.domain)
+    for site_a, site_b in itertools.combinations(sorted(all_eligible), 2):
+        if set_of[site_a] != set_of[site_b]:
+            other_set.append(SitePair(site_a, site_b, PairGroup.RWS_OTHER_SET,
+                                      rws_related=False))
+
+    # Top Site groups: RWS site x top site, split by category match.
+    same_category_pool: list[SitePair] = []
+    other_category_pool: list[SitePair] = []
+    for rws_site in sorted(all_eligible):
+        rws_category = database.category(rws_site)
+        for top_spec in top_sites:
+            top_category = database.category(top_spec.domain)
+            if rws_category is Category.UNKNOWN or top_category is Category.UNKNOWN:
+                continue
+            pair_args = (rws_site, top_spec.domain)
+            if rws_category is top_category:
+                same_category_pool.append(SitePair(
+                    *pair_args, PairGroup.TOP_SAME_CATEGORY, rws_related=False))
+            else:
+                other_category_pool.append(SitePair(
+                    *pair_args, PairGroup.TOP_OTHER_CATEGORY, rws_related=False))
+
+    quota_same = PAPER_PAIR_COUNTS["TOP_SAME_CATEGORY"]
+    quota_other = PAPER_PAIR_COUNTS["TOP_OTHER_CATEGORY"]
+    if len(same_category_pool) < quota_same:
+        raise ValueError(
+            f"only {len(same_category_pool)} same-category pairs available, "
+            f"need {quota_same}"
+        )
+    if len(other_category_pool) < quota_other:
+        raise ValueError(
+            f"only {len(other_category_pool)} other-category pairs "
+            f"available, need {quota_other}"
+        )
+    top_same = rng.sample(same_category_pool, quota_same)
+    top_other = rng.sample(other_category_pool, quota_other)
+
+    universe = {
+        PairGroup.RWS_SAME_SET: same_set,
+        PairGroup.RWS_OTHER_SET: other_set,
+        PairGroup.TOP_SAME_CATEGORY: top_same,
+        PairGroup.TOP_OTHER_CATEGORY: top_other,
+    }
+    for group, pairs in universe.items():
+        expected = PAPER_PAIR_COUNTS[group.name]
+        if len(pairs) != expected:
+            raise ValueError(
+                f"{group.value}: generated {len(pairs)} pairs, the study "
+                f"design requires {expected}"
+            )
+    return universe

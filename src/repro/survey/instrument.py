@@ -1,0 +1,131 @@
+"""Questionnaire construction and the factor instrument.
+
+Each participant sees 5 pairs drawn at random from each of the 4
+groups, in shuffled order (20 questions).  After the pair questions,
+participants are asked which factors they considered when judging
+relatedness and unrelatedness (Table 2's instrument).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.survey.design import PairGroup, SitePair
+
+QUESTIONS_PER_GROUP = 5
+
+
+class Factor(enum.Enum):
+    """The relatedness cues of the paper's Table 2."""
+
+    DOMAIN_NAME = "Domain name"
+    BRANDING = "Branding elements"
+    HEADER_TEXT = "Header text"
+    FOOTER_TEXT = "Footer text"
+    ABOUT_PAGES = "“About” pages or similar"
+    OTHER = "Other"
+
+
+@dataclass(frozen=True)
+class Question:
+    """One questionnaire item."""
+
+    index: int
+    pair: SitePair
+
+
+@dataclass
+class Questionnaire:
+    """One participant's question sequence.
+
+    Attributes:
+        participant_id: Anonymous participant (session) identifier.
+        questions: The 20 items in presentation order.
+    """
+
+    participant_id: int
+    questions: list[Question] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.questions)
+
+
+def build_questionnaire(
+    participant_id: int,
+    universe: dict[PairGroup, list[SitePair]],
+    *,
+    seed: int = 0,
+) -> Questionnaire:
+    """Sample one participant's questionnaire.
+
+    Args:
+        participant_id: The participant's id (mixed into the RNG so
+            every participant sees an independent draw).
+        universe: The full pair universe.
+        seed: Study-level seed.
+
+    Returns:
+        A 20-question questionnaire, 5 per group, shuffled.
+
+    Raises:
+        ValueError: If any group has fewer pairs than needed.
+    """
+    rng = random.Random((seed * 1_000_003) ^ participant_id)
+    selected: list[SitePair] = []
+    for group in PairGroup:
+        pool = universe[group]
+        if len(pool) < QUESTIONS_PER_GROUP:
+            raise ValueError(
+                f"group {group.value} has only {len(pool)} pairs; "
+                f"{QUESTIONS_PER_GROUP} required"
+            )
+        selected.extend(rng.sample(pool, QUESTIONS_PER_GROUP))
+    rng.shuffle(selected)
+    questions = [Question(index=i, pair=pair) for i, pair in enumerate(selected)]
+    return Questionnaire(participant_id=participant_id, questions=questions)
+
+
+# Exact factor-response counts from Table 2 of the paper: of the 21
+# participants who answered the factor question, how many reported each
+# factor for "related" and for "unrelated" determinations.
+TABLE2_COUNTS: dict[Factor, tuple[int, int]] = {
+    Factor.DOMAIN_NAME: (12, 11),
+    Factor.BRANDING: (14, 13),
+    Factor.HEADER_TEXT: (9, 11),
+    Factor.FOOTER_TEXT: (13, 11),
+    Factor.ABOUT_PAGES: (10, 7),
+    Factor.OTHER: (4, 5),
+}
+
+FACTOR_RESPONDENTS = 21
+
+
+def factor_answers_for(participant_index: int) -> dict[Factor, tuple[bool, bool]]:
+    """The factor answers of the ``i``-th factor respondent.
+
+    Deterministic assignment that reproduces Table 2's marginal counts
+    exactly: for each factor, a rotated block of participants answers
+    "yes".  (The paper reports only marginals, so any joint assignment
+    matching them is faithful.)
+
+    Args:
+        participant_index: 0-based index among the 21 respondents.
+
+    Returns:
+        Factor -> (used for related, used for unrelated).
+    """
+    if not 0 <= participant_index < FACTOR_RESPONDENTS:
+        raise ValueError(f"factor respondent index out of range: "
+                         f"{participant_index}")
+    answers: dict[Factor, tuple[bool, bool]] = {}
+    for offset, (factor, (related_count, unrelated_count)) in enumerate(
+            sorted(TABLE2_COUNTS.items(), key=lambda item: item[0].value)):
+        rotation = offset * 5
+        related_yes = ((participant_index + rotation) % FACTOR_RESPONDENTS
+                       < related_count)
+        unrelated_yes = ((participant_index + rotation + 2) % FACTOR_RESPONDENTS
+                         < unrelated_count)
+        answers[factor] = (related_yes, unrelated_yes)
+    return answers

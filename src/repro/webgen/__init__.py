@@ -1,0 +1,33 @@
+"""Synthetic website generation.
+
+Builds the crawlable web the measurements run against: every live site
+in the catalog gets a deterministic HTML homepage (plus an about page
+and the RWS ``.well-known`` document where applicable) served from a
+:class:`repro.netsim.SyntheticWeb`.
+
+Page generation is driven by the site's :class:`repro.data.SiteSpec`:
+
+* **structure** varies with the site's category and a per-domain seed
+  (different tag vocabularies, element counts, and nesting), so
+  unrelated pages measure as structurally dissimilar — matching the
+  paper's Figure 4 finding (median joint similarity 0.04);
+* **branding** follows the spec's :class:`BrandingLevel`: STRONG
+  members share their set primary's logo text, footer copyright, theme
+  colour, a slice of its CSS design system, and an about page naming
+  the organisation; WEAK members carry only a footer mention; NONE
+  members share nothing visible.
+
+The same pages feed both the HTML-similarity pipeline and the survey
+respondent model's perceptual cues, so the two analyses see a
+consistent world.
+"""
+
+from repro.webgen.pagegen import PageBlueprint, PageGenerator
+from repro.webgen.webbuild import WebBuilder, build_web_for_catalog
+
+__all__ = [
+    "PageBlueprint",
+    "PageGenerator",
+    "WebBuilder",
+    "build_web_for_catalog",
+]

@@ -1,0 +1,154 @@
+"""Assemble a SyntheticWeb from the catalog and the RWS list.
+
+The builder registers every *live* catalog site (dead sites stay
+NXDOMAIN, exactly how the paper's liveness filtering encounters them),
+serves each site's homepage and about page, deploys the RWS
+``.well-known`` documents on members of published sets, and sets the
+``X-Robots-Tag`` header on service sites (whose absence is a Table 3
+validation error for new submissions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.sites import SiteCatalog, SiteSpec
+from repro.netsim.headers import Headers
+from repro.netsim.message import Response
+from repro.netsim.server import SyntheticWeb
+from repro.rws.model import RwsList, SiteRole
+from repro.rws.wellknown import (
+    WELL_KNOWN_PATH,
+    member_well_known_document,
+    primary_well_known_document,
+)
+from repro.webgen.pagegen import PageGenerator
+
+
+@dataclass
+class WebBuilder:
+    """Builds and incrementally extends a synthetic web.
+
+    Args:
+        web: The target synthetic web (a fresh one by default).
+        generator: Page generator used for all sites.
+    """
+
+    web: SyntheticWeb
+    generator: PageGenerator
+
+    @classmethod
+    def create(cls, seed: int = 0) -> "WebBuilder":
+        return cls(web=SyntheticWeb(seed=seed), generator=PageGenerator())
+
+    def add_site(
+        self,
+        spec: SiteSpec,
+        primary_spec: SiteSpec | None = None,
+        *,
+        service_site: bool = False,
+    ) -> None:
+        """Register one site and serve its pages.
+
+        Args:
+            spec: The site to add (dead sites are skipped).
+            primary_spec: The site's set primary, for branding.
+            service_site: Serve the ``X-Robots-Tag: noindex`` header on
+                all responses, as deployed service sites do.
+        """
+        if not spec.live:
+            return
+        blueprint = self.generator.blueprint(spec, primary_spec)
+        homepage = self.generator.homepage(blueprint)
+        about = self.generator.about_page(blueprint)
+
+        self.web.add_host(spec.domain)
+        if service_site:
+            headers = Headers({
+                "Content-Type": "text/html; charset=utf-8",
+                "X-Robots-Tag": "noindex",
+            })
+            self.web.set_response(spec.domain, "/",
+                                  Response(status=200, headers=headers,
+                                           body=homepage))
+            about_headers = headers.copy()
+            self.web.set_response(spec.domain, "/about",
+                                  Response(status=200, headers=about_headers,
+                                           body=about))
+        else:
+            self.web.set_page(spec.domain, "/", homepage)
+            self.web.set_page(spec.domain, "/about", about)
+
+    def deploy_well_known(self, rws_list: RwsList,
+                          catalog: SiteCatalog) -> None:
+        """Serve correct ``.well-known`` documents for published sets.
+
+        Dead members are skipped (they cannot serve anything); members
+        of the published list are assumed to have passing deployments,
+        because they survived validation to get merged.
+        """
+        for rws_set in rws_list:
+            for record in rws_set.member_records():
+                spec = catalog.get(record.site)
+                if spec is None or not spec.live:
+                    continue
+                if not self.web.has_host(record.site):
+                    continue
+                if record.role is SiteRole.PRIMARY:
+                    document = primary_well_known_document(rws_set)
+                else:
+                    document = member_well_known_document(rws_set.primary)
+                if record.role is SiteRole.SERVICE:
+                    headers = Headers({
+                        "Content-Type": "application/json",
+                        "X-Robots-Tag": "noindex",
+                    })
+                    self.web.set_response(
+                        record.site, WELL_KNOWN_PATH,
+                        Response(status=200, headers=headers, body=document),
+                    )
+                else:
+                    self.web.set_json(record.site, WELL_KNOWN_PATH, document)
+
+
+def build_web_for_catalog(
+    catalog: SiteCatalog,
+    rws_list: RwsList | None = None,
+    *,
+    seed: int = 0,
+) -> SyntheticWeb:
+    """Build the full synthetic web for a catalog.
+
+    Args:
+        catalog: Site metadata (live flags, branding, organisations).
+        rws_list: When given, member pages brand against their set
+            primary and ``.well-known`` documents are deployed.
+        seed: RNG seed for the web's failure/latency jitter.
+
+    Returns:
+        The populated synthetic web.
+    """
+    builder = WebBuilder.create(seed=seed)
+
+    primary_by_member: dict[str, SiteSpec] = {}
+    service_members: set[str] = set()
+    if rws_list is not None:
+        for rws_set in rws_list:
+            primary_spec = catalog.get(rws_set.primary)
+            for record in rws_set.member_records():
+                if record.role is SiteRole.SERVICE:
+                    service_members.add(record.site)
+                if (primary_spec is not None
+                        and record.site != rws_set.primary):
+                    primary_by_member[record.site] = primary_spec
+
+    for spec in catalog.specs():
+        builder.add_site(
+            spec,
+            primary_by_member.get(spec.domain),
+            service_site=spec.domain in service_members,
+        )
+
+    if rws_list is not None:
+        builder.deploy_well_known(rws_list, catalog)
+    return builder.web

@@ -1,0 +1,133 @@
+"""Integration tests: every experiment pipeline reproduces its artefact."""
+
+import pytest
+
+from repro.analysis import EXPERIMENTS, run_experiment
+from repro.analysis.govchar import figure5, figure6, table3
+from repro.analysis.listchar import (
+    composition_scalars,
+    figure3,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.analysis.surveychar import (
+    figure1,
+    figure2,
+    survey_scalars,
+    table1,
+    table2,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "T1", "T2", "T3", "F1", "F2", "F3", "F4", "F5", "F6", "F7",
+            "F8", "F9", "A1", "A2",
+        }
+
+    def test_unknown_id_raises_with_listing(self):
+        with pytest.raises(KeyError) as info:
+            run_experiment("F99")
+        assert "T1" in str(info.value)
+
+    def test_id_case_insensitive(self):
+        result = run_experiment("f3")
+        assert result.experiment_id == "F3"
+
+
+class TestListPipelines:
+    def test_figure3_exact(self, rws_list):
+        result = figure3(rws_list)
+        assert result.scalars == pytest.approx({
+            "associated_count": 108.0,
+            "service_count": 14.0,
+            "associated_median_distance": 7.0,
+            "associated_identical_fraction": 10 / 108,
+        })
+        assert len(result.series) == 2
+
+    def test_figure7_exact(self, rws_history):
+        result = figure7(rws_history)
+        for key in ("sets_total", "fraction_with_associated",
+                    "fraction_with_service", "fraction_with_cctld"):
+            assert result.scalars[key] == pytest.approx(
+                result.paper_values[key], abs=0.005), key
+        # Series cover the full window and end at the snapshot counts.
+        assert result.series["Associated sites"][-1] == 108.0
+        assert result.series["Service sites"][-1] == 14.0
+
+    def test_figure8_news_largest(self, rws_history, category_db):
+        result = figure8(rws_history, category_db)
+        finals = {name: values[-1] for name, values in result.series.items()}
+        assert finals["news and media"] == max(finals.values())
+        assert sum(finals.values()) == 41.0
+
+    def test_figure9_totals(self, rws_history, category_db):
+        result = figure9(rws_history, category_db)
+        finals = {name: values[-1] for name, values in result.series.items()}
+        assert sum(finals.values()) == 108.0
+        assert "compromised/spam" in finals
+
+    def test_composition_scalars(self, rws_list):
+        result = composition_scalars(rws_list)
+        assert result.scalars["sets"] == 41.0
+        assert result.scalars["associated_members"] == 108.0
+        rows = result.comparison_rows()
+        assert any(row[0] == "sets" for row in rows)
+
+
+class TestSurveyPipelines:
+    def test_table1_totals(self, study_dataset):
+        result = table1(study_dataset)
+        total = sum(result.scalars[key] for key in result.scalars
+                    if key != "total_responses")
+        assert total == result.scalars["total_responses"]
+        assert len(result.rows) == 4
+
+    def test_table2_exact(self, study_dataset):
+        result = table2(study_dataset)
+        for key, paper_value in result.paper_values.items():
+            assert result.scalars[key] == pytest.approx(paper_value,
+                                                        abs=0.1), key
+
+    def test_figure1_consistent_with_table1(self, study_dataset):
+        matrix = figure1(study_dataset)
+        summary = table1(study_dataset)
+        assert matrix.scalars["related_said_related"] == \
+            summary.scalars["rws_same_set_related"]
+        assert (matrix.scalars["related_said_related"]
+                + matrix.scalars["related_said_unrelated"]
+                + matrix.scalars["unrelated_said_related"]
+                + matrix.scalars["unrelated_said_unrelated"]
+                ) == summary.scalars["total_responses"]
+
+    def test_figure2_outcomes(self, study_dataset):
+        result = figure2(study_dataset)
+        assert result.scalars["split_significant"] == 1.0
+        assert result.scalars["significant_category_pairs"] == 0.0
+
+    def test_survey_scalars_match_paper_claims(self, study_dataset):
+        result = survey_scalars(study_dataset)
+        assert abs(result.scalars["privacy_harming_pct"] - 36.8) < 5
+        assert abs(result.scalars["participants_with_error_pct"] - 73.3) < 10
+
+
+class TestGovernancePipelines:
+    def test_table3_exact(self, pr_dataset):
+        result = table3(pr_dataset)
+        assert result.scalars == result.paper_values
+
+    def test_figure5_exact(self, pr_dataset):
+        result = figure5(pr_dataset)
+        assert result.scalars["total_prs"] == 114.0
+        assert result.scalars["unique_primaries"] == 60.0
+        # Cumulative series end at the split.
+        assert result.series["Approved"][-1] == 47.0
+        assert result.series["Closed (without being merged)"][-1] == 67.0
+
+    def test_figure6_exact(self, pr_dataset):
+        result = figure6(pr_dataset)
+        assert result.scalars["approved_median_days"] == 5.0
+        assert result.scalars["merged_ever_failing_checks"] == 1.0

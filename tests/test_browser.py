@@ -1,0 +1,273 @@
+"""Tests for the storage-partitioning browser simulator."""
+
+import pytest
+
+from repro.browser import (
+    BROWSER_POLICIES,
+    Browser,
+    Cookie,
+    CookieJar,
+    GrantDecision,
+    PartitionedStorage,
+    StorageKey,
+    TrackerScenario,
+)
+from repro.rws import RelatedWebsiteSet, RwsList
+
+
+@pytest.fixture()
+def rws() -> RwsList:
+    return RwsList(sets=[RelatedWebsiteSet(
+        primary="timesinternet.in",
+        associated=["indiatimes.com"],
+        service=["timescdn.net"],
+        rationales={"indiatimes.com": "branding", "timescdn.net": "cdn"},
+    )])
+
+
+def chrome(rws_list: RwsList) -> Browser:
+    return Browser(policy=BROWSER_POLICIES["chrome-rws"], rws_list=rws_list)
+
+
+class TestStorageKeys:
+    def test_first_party(self):
+        key = StorageKey.first_party("example.com")
+        assert key.is_first_party
+        assert key.partition == "example.com"
+
+    def test_partitioned_storage_isolation(self):
+        storage = PartitionedStorage()
+        key_a = StorageKey("tracker.example", "site-a.example")
+        key_b = StorageKey("tracker.example", "site-b.example")
+        storage.set(key_a, "uid", "1")
+        assert storage.get(key_a, "uid") == "1"
+        assert storage.get(key_b, "uid") is None
+
+    def test_clear_site_spans_partitions(self):
+        storage = PartitionedStorage()
+        storage.set(StorageKey("t.example", "a.example"), "uid", "1")
+        storage.set(StorageKey("t.example", "b.example"), "uid", "2")
+        storage.clear_site("t.example")
+        assert len(storage) == 0
+
+    def test_keys_for_site(self):
+        storage = PartitionedStorage()
+        storage.set(StorageKey("t.example", "b.example"), "uid", "1")
+        storage.set(StorageKey("t.example", "a.example"), "uid", "2")
+        partitions = [key.partition for key in storage.keys_for_site("t.example")]
+        assert partitions == ["a.example", "b.example"]
+
+
+class TestCookieJar:
+    def test_partitioned_cookies(self):
+        jar = CookieJar()
+        jar.set(Cookie("uid", "1", "t.example", "a.example"))
+        jar.set(Cookie("uid", "2", "t.example", "b.example"))
+        assert jar.get("t.example", "a.example", "uid").value == "1"
+        assert jar.get("t.example", "b.example", "uid").value == "2"
+        assert jar.partitions_for_site("t.example") == ["a.example",
+                                                        "b.example"]
+
+    def test_is_partitioned_flag(self):
+        assert Cookie("a", "1", "t.example", "top.example").is_partitioned
+        assert not Cookie("a", "1", "t.example", "t.example").is_partitioned
+
+    def test_clear_site(self):
+        jar = CookieJar()
+        jar.set(Cookie("a", "1", "x.com", "x.com"))
+        jar.set(Cookie("b", "2", "y.com", "y.com"))
+        jar.clear_site("x.com")
+        assert len(jar) == 1
+
+
+class TestGrantLadder:
+    def test_same_site_frame_trivially_granted(self, rws):
+        browser = chrome(rws)
+        page = browser.visit("timesinternet.in")
+        frame = page.embed("timesinternet.in")
+        decision = browser.request_storage_access(frame)
+        assert decision is GrantDecision.GRANTED_SAME_SITE
+
+    def test_rws_auto_grant_after_interaction(self, rws):
+        browser = chrome(rws)
+        browser.visit("indiatimes.com")  # Prior interaction with the set.
+        page = browser.visit("timesinternet.in")
+        frame = page.embed("indiatimes.com")
+        assert browser.request_storage_access(frame) is \
+            GrantDecision.GRANTED_RWS
+        assert frame.has_storage_access
+
+    def test_rws_requires_prior_interaction_for_non_service(self, rws):
+        browser = chrome(rws)
+        page = browser.visit("timesinternet.in", interact=False)
+        frame = page.embed("indiatimes.com")
+        assert browser.request_storage_access(frame) is \
+            GrantDecision.DENIED_POLICY
+
+    def test_service_site_embedded_is_auto_granted(self, rws):
+        browser = chrome(rws)
+        page = browser.visit("timesinternet.in", interact=False)
+        frame = page.embed("timescdn.net")
+        assert browser.request_storage_access(frame) is \
+            GrantDecision.GRANTED_RWS
+
+    def test_service_site_cannot_be_top_level(self, rws):
+        browser = chrome(rws)
+        browser.visit("timesinternet.in")
+        page = browser.visit("timescdn.net")
+        frame = page.embed("indiatimes.com")
+        assert browser.request_storage_access(frame) is \
+            GrantDecision.DENIED_SERVICE_TOP_LEVEL
+
+    def test_requires_user_gesture(self, rws):
+        browser = chrome(rws)
+        browser.visit("indiatimes.com")
+        page = browser.visit("timesinternet.in")
+        frame = page.embed("indiatimes.com")
+        decision = browser.request_storage_access(frame, user_gesture=False)
+        assert decision is GrantDecision.DENIED_NO_USER_GESTURE
+
+    def test_cross_set_falls_to_prompt_and_declines(self, rws):
+        browser = chrome(rws)
+        page = browser.visit("timesinternet.in")
+        frame = page.embed("unrelated.com")
+        assert browser.request_storage_access(frame) is \
+            GrantDecision.DENIED_PROMPT_DECLINED
+
+    def test_scripted_prompt_acceptance(self, rws):
+        browser = Browser(
+            policy=BROWSER_POLICIES["safari"],
+            rws_list=rws,
+            prompt_responses={("timesinternet.in", "unrelated.com"): True},
+        )
+        page = browser.visit("timesinternet.in")
+        frame = page.embed("unrelated.com")
+        assert browser.request_storage_access(frame) is \
+            GrantDecision.GRANTED_PROMPT
+
+    def test_brave_denies_without_prompt(self, rws):
+        browser = Browser(policy=BROWSER_POLICIES["brave"], rws_list=rws)
+        page = browser.visit("timesinternet.in")
+        frame = page.embed("indiatimes.com")
+        assert browser.request_storage_access(frame) is \
+            GrantDecision.DENIED_POLICY
+
+    def test_safari_ignores_rws(self, rws):
+        browser = Browser(policy=BROWSER_POLICIES["safari"], rws_list=rws)
+        browser.visit("indiatimes.com")
+        page = browser.visit("timesinternet.in")
+        frame = page.embed("indiatimes.com")
+        assert browser.request_storage_access(frame) is \
+            GrantDecision.DENIED_PROMPT_DECLINED
+
+    def test_firefox_autogrant_quota(self, rws):
+        browser = Browser(policy=BROWSER_POLICIES["firefox"], rws_list=rws)
+        browser.visit("widget.com")  # Interacted as first party before.
+        page = browser.visit("timesinternet.in")
+        first = page.embed("widget.com")
+        assert browser.request_storage_access(first) is \
+            GrantDecision.GRANTED_AUTO
+        # Quota (1) consumed; a second embedded site prompts.
+        browser.visit("gadget.com")
+        second = page.embed("gadget.com")
+        assert browser.request_storage_access(second) is \
+            GrantDecision.DENIED_PROMPT_DECLINED
+
+    def test_legacy_profile_has_no_partitioning(self, rws):
+        browser = Browser(policy=BROWSER_POLICIES["chrome-legacy"],
+                          rws_list=rws)
+        page = browser.visit("timesinternet.in")
+        frame = page.embed("anything.net")
+        assert browser.request_storage_access(frame) is \
+            GrantDecision.GRANTED_UNPARTITIONED
+
+    def test_grant_log_records_decisions(self, rws):
+        browser = chrome(rws)
+        page = browser.visit("timesinternet.in")
+        frame = page.embed("unrelated.com")
+        browser.request_storage_access(frame)
+        assert browser.grant_log[-1][:2] == ("timesinternet.in",
+                                             "unrelated.com")
+
+    def test_visit_rejects_bare_suffix(self, rws):
+        with pytest.raises(ValueError):
+            chrome(rws).visit("co.uk")
+
+    def test_visit_reduces_host_to_site(self, rws):
+        page = chrome(rws).visit("www.timesinternet.in")
+        assert page.site == "timesinternet.in"
+
+
+class TestScriptStorage:
+    def test_partitioned_frame_storage(self, rws):
+        browser = chrome(rws)
+        page_a = browser.visit("site-a.com")
+        page_b = browser.visit("site-b.com")
+        frame_a = page_a.embed("tracker.net")
+        frame_b = page_b.embed("tracker.net")
+        browser.frame_set_item(frame_a, "uid", "under-a")
+        assert browser.frame_get_item(frame_b, "uid") is None
+
+    def test_grant_unlocks_first_party_storage(self, rws):
+        browser = chrome(rws)
+        browser.visit("indiatimes.com")
+        page = browser.visit("timesinternet.in")
+        frame = page.embed("indiatimes.com")
+        browser.request_storage_access(frame)
+        browser.frame_set_item(frame, "uid", "linked")
+        # A later first-party visit sees the same storage.
+        self_page = browser.visit("indiatimes.com")
+        self_frame = self_page.embed("indiatimes.com")
+        assert browser.frame_get_item(self_frame, "uid") == "linked"
+
+    def test_cookie_paths_mirror_storage(self, rws):
+        browser = chrome(rws)
+        page = browser.visit("site-a.com")
+        frame = page.embed("tracker.net")
+        browser.frame_set_cookie(frame, "uid", "42")
+        assert browser.frame_get_cookie(frame, "uid") == "42"
+        assert browser.cookies.get("tracker.net", "site-a.com", "uid")
+
+    def test_page_cookie_is_first_party(self, rws):
+        browser = chrome(rws)
+        page = browser.visit("site-a.com")
+        browser.page_set_cookie(page, "session", "s1")
+        assert browser.cookies.get("site-a.com", "site-a.com", "session")
+
+
+class TestTrackerScenario:
+    def test_policy_gradient(self, rws_list):
+        scenario = TrackerScenario(
+            visited_sites=["ya.ru", "kinopoisk.ru", "auto.ru",
+                           "bild.de", "cafemedia.com"],
+            embedded_site="webvisor.com",
+            rws_list=rws_list,
+        )
+        reports = scenario.run_matrix(BROWSER_POLICIES)
+        legacy = reports["chrome-legacy"].linked_pairs
+        with_rws = reports["chrome-rws"].linked_pairs
+        partitioned = reports["brave"].linked_pairs
+        # The paper's privacy ordering: no partitioning links everything,
+        # RWS links within-set, strict partitioning links nothing.
+        assert legacy > with_rws > partitioned == 0
+
+    def test_rws_links_exactly_the_set(self, rws_list):
+        scenario = TrackerScenario(
+            visited_sites=["ya.ru", "kinopoisk.ru", "auto.ru", "bild.de"],
+            embedded_site="webvisor.com",
+            rws_list=rws_list,
+        )
+        report = scenario.run(BROWSER_POLICIES["chrome-rws"])
+        largest = max(report.profiles, key=len)
+        assert set(largest) == {"ya.ru", "kinopoisk.ru", "auto.ru"}
+
+    def test_report_metrics(self, rws_list):
+        scenario = TrackerScenario(
+            visited_sites=["a.com", "b.com"],
+            embedded_site="t.net",
+            rws_list=rws_list,
+        )
+        report = scenario.run(BROWSER_POLICIES["chrome-legacy"])
+        assert report.linked_pairs == 1
+        assert report.max_profile_size == 2
+        assert report.grants == 2

@@ -1,0 +1,95 @@
+"""Tests for requestStorageAccessFor (top-level grant API)."""
+
+import pytest
+
+from repro.browser import BROWSER_POLICIES, Browser, GrantDecision
+from repro.rws import RelatedWebsiteSet, RwsList
+
+
+@pytest.fixture()
+def rws() -> RwsList:
+    return RwsList(sets=[RelatedWebsiteSet(
+        primary="timesinternet.in",
+        associated=["indiatimes.com"],
+        service=["timescdn.net"],
+        rationales={"indiatimes.com": "branding", "timescdn.net": "cdn"},
+    )])
+
+
+def chrome(rws_list: RwsList) -> Browser:
+    return Browser(policy=BROWSER_POLICIES["chrome-rws"], rws_list=rws_list)
+
+
+class TestRequestStorageAccessFor:
+    def test_same_set_grant_after_interaction(self, rws):
+        browser = chrome(rws)
+        browser.visit("indiatimes.com")
+        page = browser.visit("timesinternet.in")
+        decision = browser.request_storage_access_for(page, "indiatimes.com")
+        assert decision is GrantDecision.GRANTED_RWS
+
+    def test_grant_applies_to_later_frames(self, rws):
+        browser = chrome(rws)
+        browser.visit("indiatimes.com")
+        page = browser.visit("timesinternet.in")
+        browser.request_storage_access_for(page, "indiatimes.com")
+        frame = page.embed("indiatimes.com")
+        # The frame starts with access: no per-frame rSA call needed.
+        assert frame.has_storage_access
+
+    def test_cross_set_denied_without_prompt(self, rws):
+        browser = chrome(rws)
+        page = browser.visit("timesinternet.in")
+        decision = browser.request_storage_access_for(page, "bild.de")
+        assert decision is GrantDecision.DENIED_POLICY
+
+    def test_requires_user_gesture(self, rws):
+        browser = chrome(rws)
+        browser.visit("indiatimes.com")
+        page = browser.visit("timesinternet.in")
+        decision = browser.request_storage_access_for(
+            page, "indiatimes.com", user_gesture=False)
+        assert decision is GrantDecision.DENIED_NO_USER_GESTURE
+
+    def test_service_site_still_cannot_be_top_level(self, rws):
+        browser = chrome(rws)
+        browser.visit("timesinternet.in")
+        page = browser.visit("timescdn.net")
+        decision = browser.request_storage_access_for(page, "indiatimes.com")
+        assert decision is GrantDecision.DENIED_SERVICE_TOP_LEVEL
+
+    def test_same_site_trivially_granted(self, rws):
+        browser = chrome(rws)
+        page = browser.visit("timesinternet.in")
+        decision = browser.request_storage_access_for(
+            page, "www.timesinternet.in")
+        assert decision is GrantDecision.GRANTED_SAME_SITE
+
+    def test_unpartitioned_profile_grants_everything(self, rws):
+        browser = Browser(policy=BROWSER_POLICIES["chrome-legacy"],
+                          rws_list=rws)
+        page = browser.visit("timesinternet.in")
+        decision = browser.request_storage_access_for(page, "anything.net")
+        assert decision is GrantDecision.GRANTED_UNPARTITIONED
+
+    def test_partitioning_browser_without_rws_denies(self, rws):
+        browser = Browser(policy=BROWSER_POLICIES["safari"], rws_list=rws)
+        browser.visit("indiatimes.com")
+        page = browser.visit("timesinternet.in")
+        decision = browser.request_storage_access_for(page, "indiatimes.com")
+        assert decision is GrantDecision.DENIED_POLICY
+
+    def test_bare_suffix_rejected(self, rws):
+        browser = chrome(rws)
+        page = browser.visit("timesinternet.in")
+        with pytest.raises(ValueError):
+            browser.request_storage_access_for(page, "co.uk")
+
+    def test_grant_logged(self, rws):
+        browser = chrome(rws)
+        browser.visit("indiatimes.com")
+        page = browser.visit("timesinternet.in")
+        browser.request_storage_access_for(page, "indiatimes.com")
+        assert browser.grant_log[-1] == (
+            "timesinternet.in", "indiatimes.com", GrantDecision.GRANTED_RWS,
+        )

@@ -1,0 +1,100 @@
+"""Tests for the ThreatSeeker-substitute categoriser."""
+
+from repro.categorize import (
+    CATEGORY_MERGE_MAP,
+    Category,
+    CategoryDatabase,
+    KeywordClassifier,
+    merge_category,
+)
+
+
+class TestTaxonomy:
+    def test_merge_known_labels(self):
+        assert merge_category("sports") is Category.NEWS_AND_MEDIA
+        assert merge_category("shopping") is Category.BUSINESS_AND_ECONOMY
+        assert merge_category("web analytics") is \
+            Category.ANALYTICS_INFRASTRUCTURE
+        assert merge_category("travel") is Category.OTHER
+
+    def test_merge_is_case_insensitive(self):
+        assert merge_category("Sports") is Category.NEWS_AND_MEDIA
+        assert merge_category("  NEWS AND MEDIA ") is Category.NEWS_AND_MEDIA
+
+    def test_unknown_labels_merge_to_unknown(self):
+        assert merge_category("no such category") is Category.UNKNOWN
+        assert merge_category("") is Category.UNKNOWN
+
+    def test_every_figure_category_reachable(self):
+        reachable = set(CATEGORY_MERGE_MAP.values())
+        for category in Category:
+            assert category in reachable or category is Category.UNKNOWN or \
+                category in reachable
+
+
+class TestKeywordClassifier:
+    CLASSIFIER = KeywordClassifier()
+
+    def test_news_domain(self):
+        assert self.CLASSIFIER.classify("dailyherald.com") is \
+            Category.NEWS_AND_MEDIA
+
+    def test_analytics_domain(self):
+        assert self.CLASSIFIER.classify("webvisor.com") is \
+            Category.ANALYTICS_INFRASTRUCTURE
+
+    def test_shopping_domain(self):
+        assert self.CLASSIFIER.classify("megamarket.com") is \
+            Category.BUSINESS_AND_ECONOMY
+
+    def test_opaque_domain_unknown(self):
+        assert self.CLASSIFIER.classify("xqzvb.com") is Category.UNKNOWN
+
+    def test_page_text_contributes(self):
+        with_text = self.CLASSIFIER.classify(
+            "xqzvb.com", page_text="latest news headlines daily news report",
+        )
+        assert with_text is Category.NEWS_AND_MEDIA
+
+    def test_deterministic(self):
+        for domain in ("dailyherald.com", "megamarket.com", "xqzvb.com"):
+            assert self.CLASSIFIER.classify(domain) is \
+                self.CLASSIFIER.classify(domain)
+
+
+class TestDatabase:
+    def make_db(self) -> CategoryDatabase:
+        database = CategoryDatabase()
+        database.add("bild.de", Category.NEWS_AND_MEDIA)
+        database.add("ya.ru", Category.SEARCH_ENGINES_AND_PORTALS)
+        return database
+
+    def test_exact_lookup(self):
+        assert self.make_db().category("bild.de") is Category.NEWS_AND_MEDIA
+
+    def test_subdomain_inherits(self):
+        assert self.make_db().category("www.bild.de") is \
+            Category.NEWS_AND_MEDIA
+
+    def test_fallback_to_classifier(self):
+        database = self.make_db()
+        assert database.category("dailyherald.com") is Category.NEWS_AND_MEDIA
+
+    def test_no_fallback_when_disabled(self):
+        database = CategoryDatabase(classifier=None)
+        assert database.category("dailyherald.com") is Category.UNKNOWN
+
+    def test_same_category(self):
+        database = self.make_db()
+        database.add("autobild.de", Category.NEWS_AND_MEDIA)
+        assert database.same_category("bild.de", "autobild.de")
+        assert not database.same_category("bild.de", "ya.ru")
+
+    def test_unknown_never_matches_unknown(self):
+        database = CategoryDatabase(classifier=None)
+        assert not database.same_category("a.test", "b.test")
+
+    def test_add_many_and_len(self):
+        database = CategoryDatabase()
+        database.add_many({"a.com": Category.OTHER, "b.com": Category.OTHER})
+        assert len(database) == 2

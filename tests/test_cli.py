@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data import build_rws_list
+from repro.rws import serialize_rws_json
+
+
+class TestExperimentsCommand:
+    def test_lists_all_ids(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("T1", "T3", "F3", "F9", "A1"):
+            assert experiment_id in output
+
+
+class TestRunCommand:
+    def test_run_single(self, capsys):
+        assert main(["run", "A1"]) == 0
+        output = capsys.readouterr().out
+        assert "41.0" in output
+        assert "paper" in output
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "F3", "A1"]) == 0
+        output = capsys.readouterr().out
+        assert "Levenshtein" in output
+        assert "composition" in output.lower()
+
+    def test_run_with_plots(self, capsys):
+        assert main(["run", "F3", "--plots"]) == 0
+        output = capsys.readouterr().out
+        assert "1.00 |" in output  # The ASCII CDF's y axis.
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["run", "F99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_lowercase_id(self, capsys):
+        assert main(["run", "a1"]) == 0
+
+
+class TestValidateCommand:
+    def test_valid_file_passes(self, tmp_path, capsys):
+        path = tmp_path / "sets.json"
+        path.write_text(serialize_rws_json(build_rws_list()))
+        assert main(["validate", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "[PASS]" in output
+        assert "[FAIL]" not in output
+
+    def test_invalid_set_fails(self, tmp_path, capsys):
+        document = {
+            "sets": [{
+                "primary": "https://example.com",
+                "associatedSites": ["https://blog.example.com"],
+                "rationaleBySite": {"https://blog.example.com": "blog"},
+            }]
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(document))
+        assert main(["validate", str(path)]) == 1
+        output = capsys.readouterr().out
+        assert "[FAIL]" in output
+        assert "eTLD+1" in output
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent/sets.json"]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_malformed_json(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        assert main(["validate", str(path)]) == 2
+
+
+class TestOtherCommands:
+    def test_list_stats(self, capsys):
+        assert main(["list-stats"]) == 0
+        output = capsys.readouterr().out
+        assert "92.68" in output or "92.7" in output
+
+    def test_governance(self, capsys):
+        assert main(["governance"]) == 0
+        output = capsys.readouterr().out
+        assert "202" in output
+        assert "Unable to fetch .well-known JSON file" in output
+
+    @pytest.mark.slow
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        output = capsys.readouterr().out
+        assert "RWS (same set)" in output
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSurveyExport:
+    @pytest.mark.slow
+    def test_export_writes_csv(self, tmp_path, capsys):
+        import csv
+
+        path = tmp_path / "responses.csv"
+        assert main(["survey", "--export", str(path)]) == 0
+        with open(path, encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) > 300
+        first = rows[0]
+        assert {"participant", "group", "site_a", "site_b",
+                "answered_related", "seconds"} <= set(first)
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,141 @@
+"""Tests for the measurement-crawling subsystem."""
+
+import pytest
+
+from repro.crawl import (
+    CrawlStatus,
+    LivenessChecker,
+    SiteSurvey,
+    detect_language,
+)
+from repro.data.builders import survey_eligible_sites
+from repro.netsim import Client, Response, SyntheticWeb
+
+
+class TestLanguageDetection:
+    def test_lang_attribute_wins(self):
+        assert detect_language('<html lang="de"><body>text</body></html>') \
+            == "de"
+
+    def test_regional_tag_normalised(self):
+        assert detect_language('<html lang="en-GB"><body>x</body></html>') \
+            == "en"
+
+    def test_stopword_fallback_english(self):
+        html = ("<html><body><p>The report covers the state of the Web "
+                "and the changes that are coming to it this year, with "
+                "more detail about the plans for the future.</p></body>"
+                "</html>")
+        assert detect_language(html) == "en"
+
+    def test_stopword_fallback_german(self):
+        html = ("<html><body><p>Der Bericht ist eine Übersicht über die "
+                "Lage und die Pläne für das nächste Jahr, mit mehr "
+                "Informationen über die Zukunft und nicht nur über das "
+                "Web.</p></body></html>")
+        assert detect_language(html) == "de"
+
+    def test_unknown_for_garbage(self):
+        assert detect_language("<html><body>zzz qqq</body></html>") \
+            == "unknown"
+        assert detect_language("") == "unknown"
+
+    def test_invalid_lang_attribute_falls_through(self):
+        html = '<html lang="???"><body>the of and to in is for</body></html>'
+        assert detect_language(html) == "en"
+
+
+class TestLivenessChecker:
+    @pytest.fixture()
+    def web(self) -> SyntheticWeb:
+        web = SyntheticWeb(seed=5)
+        web.set_page("alive.com", "/",
+                     '<html lang="en"><body>hello</body></html>')
+        web.add_host("broken.com")
+        web.set_response("broken.com", "/", Response(status=410, body="gone"))
+        return web
+
+    def test_live_site(self, web):
+        checker = LivenessChecker(client=Client(web))
+        result = checker.check("alive.com")
+        assert result.is_live
+        assert result.http_status == 200
+        assert "hello" in result.body
+
+    def test_nxdomain_not_retried(self, web):
+        checker = LivenessChecker(client=Client(web))
+        result = checker.check("gone.example")
+        assert result.status is CrawlStatus.DEAD_NXDOMAIN
+        assert result.attempts == 1
+
+    def test_http_error(self, web):
+        checker = LivenessChecker(client=Client(web))
+        result = checker.check("broken.com")
+        assert result.status is CrawlStatus.DEAD_HTTP_ERROR
+        assert result.http_status == 410
+
+    def test_transient_failure_retried_to_budget(self, web):
+        web.resolver.register("flaky.example")
+        web.resolver.set_failing("flaky.example")
+        checker = LivenessChecker(client=Client(web), max_attempts=3)
+        result = checker.check("flaky.example")
+        assert result.status is CrawlStatus.DEAD_TIMEOUT
+        assert result.attempts == 3
+
+    def test_5xx_retried_then_succeeds_or_fails_deterministically(self):
+        web = SyntheticWeb(seed=2)
+        web.add_host("sometimes.com", error_rate=0.7)
+        web.set_page("sometimes.com", "/", "<html><body>up</body></html>")
+        checker = LivenessChecker(client=Client(web), max_attempts=5)
+        result = checker.check("sometimes.com")
+        assert result.attempts >= 1
+        assert result.status in (CrawlStatus.LIVE,
+                                 CrawlStatus.DEAD_HTTP_ERROR)
+
+    def test_results_cached(self, web):
+        checker = LivenessChecker(client=Client(web))
+        first = checker.check("alive.com")
+        requests_after_first = len(web.request_log)
+        second = checker.check("alive.com")
+        assert first is second
+        assert len(web.request_log) == requests_after_first
+
+    def test_check_many(self, web):
+        checker = LivenessChecker(client=Client(web))
+        results = checker.check_many(["alive.com", "broken.com"])
+        assert results["alive.com"].is_live
+        assert not results["broken.com"].is_live
+
+
+class TestSurveyFilterPipeline:
+    def test_crawl_reproduces_catalog_eligibility(self, rws_list, web_client):
+        """The crawl-driven filter must agree with the catalog metadata:
+        the paper's 146 -> 31 reduction, derived from pages alone."""
+        survey = SiteSurvey(client=web_client)
+        outcome = survey.filter_list(rws_list)
+
+        metadata_eligible = {
+            spec.domain
+            for specs in survey_eligible_sites().values()
+            for spec in specs
+        }
+        assert set(outcome.eligible_sites) == metadata_eligible
+        assert len(outcome.eligible_sites) == 31
+        assert len(outcome.eligible_by_set) == 11
+        assert outcome.within_set_pair_count == 39
+
+    def test_dead_sites_classified(self, rws_list, web_client):
+        outcome = SiteSurvey(client=web_client).filter_list(rws_list)
+        assert not outcome.liveness["trackmetrica.com"].is_live
+        assert not outcome.liveness["globalsoftix.com"].is_live
+
+    def test_language_detected_from_pages(self, rws_list, web_client):
+        outcome = SiteSurvey(client=web_client).filter_list(rws_list)
+        assert outcome.languages["bild.de"] == "de"
+        assert outcome.languages["cafemedia.com"] == "en"
+
+    def test_candidates_cover_primaries_and_associated(self, rws_list,
+                                                       web_client):
+        outcome = SiteSurvey(client=web_client).filter_list(rws_list)
+        expected = sum(1 + len(s.associated) for s in rws_list)
+        assert len(outcome.candidates) == expected

@@ -1,0 +1,189 @@
+"""Calibration tests: the reconstructed datasets must match every
+aggregate the paper reports about the 2024-03-26 list."""
+
+import statistics
+
+from repro.categorize import Category
+from repro.data import (
+    RWS_SEED_SETS,
+    TOP_LIST_SIZE,
+    build_top_list,
+)
+from repro.data.builders import survey_eligible_sites
+from repro.rws.model import SiteRole
+from repro.strmetrics import levenshtein_distance
+
+
+class TestListComposition:
+    def test_41_sets(self, rws_list):
+        assert len(rws_list) == 41
+
+    def test_member_counts(self, rws_list):
+        composition = rws_list.composition()
+        assert composition[SiteRole.ASSOCIATED] == 108
+        assert composition[SiteRole.SERVICE] == 14
+        assert composition[SiteRole.CCTLD] == 10
+
+    def test_subset_prevalence(self, rws_list):
+        total = len(rws_list)
+        with_associated = sum(1 for s in rws_list if s.associated)
+        with_service = sum(1 for s in rws_list if s.service)
+        with_cctld = sum(1 for s in rws_list if s.cctld_sites)
+        assert round(100 * with_associated / total, 1) == 92.7
+        assert round(100 * with_service / total, 1) == 22.0
+        assert round(100 * with_cctld / total, 1) == 14.6
+
+    def test_mean_associated_per_set(self, rws_list):
+        mean = rws_list.composition()[SiteRole.ASSOCIATED] / len(rws_list)
+        assert abs(mean - 2.6) < 0.1
+
+    def test_no_duplicate_members_across_sets(self, rws_list):
+        assert rws_list.duplicate_members() == []
+
+    def test_every_member_is_etld_plus_one(self, rws_list, psl):
+        for record in rws_list.all_members():
+            assert psl.is_etld_plus_one(record.site), record.site
+
+    def test_paper_named_members_present(self, rws_list):
+        # Every set/member the paper names must exist, with the right
+        # relations.
+        assert rws_list.related("timesinternet.in", "indiatimes.com")
+        assert rws_list.related("bild.de", "autobild.de")
+        assert rws_list.related("bild.de", "computerbild.de")
+        assert rws_list.related("ya.ru", "webvisor.com")
+        assert rws_list.related("poalim.site", "poalim.xyz")
+        assert rws_list.related("cafemedia.com", "nourishingpursuits.com")
+
+    def test_rationales_present_for_non_primary_members(self, rws_list):
+        for rws_set in rws_list:
+            for site in rws_set.associated + rws_set.service:
+                assert rws_set.rationales.get(site), (rws_set.primary, site)
+
+
+class TestFigure3Calibration:
+    def test_edit_distance_profile(self, rws_list, psl):
+        distances = []
+        for record in rws_list.members_with_role(SiteRole.ASSOCIATED):
+            member = psl.second_level_label(record.site)
+            primary = psl.second_level_label(record.set_primary)
+            distances.append(levenshtein_distance(member, primary))
+        assert len(distances) == 108
+        identical = sum(1 for d in distances if d == 0)
+        assert round(100 * identical / len(distances), 1) == 9.3
+        assert statistics.median(distances) == 7.0
+
+    def test_paper_distance_examples(self, psl):
+        # autobild.de shares a component with bild.de;
+        # nourishingpursuits.com is entirely distinct from cafemedia.com.
+        shared = levenshtein_distance("autobild", "bild")
+        distinct = levenshtein_distance("nourishingpursuits", "cafemedia")
+        assert shared < distinct
+
+
+class TestSurveyEligibility:
+    def test_31_eligible_sites_over_11_sets(self):
+        eligible = survey_eligible_sites()
+        sites = sum(len(specs) for specs in eligible.values())
+        assert sites == 31
+        assert len(eligible) == 11
+
+    def test_within_set_pairs_total_39(self):
+        eligible = survey_eligible_sites()
+        pairs = sum(len(specs) * (len(specs) - 1) // 2
+                    for specs in eligible.values())
+        assert pairs == 39
+
+    def test_eligible_sites_are_live_english(self, catalog):
+        for specs in survey_eligible_sites().values():
+            for spec in specs:
+                assert spec.live and spec.language == "en"
+
+
+class TestHistorySeed:
+    def test_final_snapshot_is_the_list(self, rws_history, rws_list):
+        final = rws_history.latest.rws_list
+        assert len(final) == len(rws_list)
+        assert final.composition() == rws_list.composition()
+
+    def test_growth_is_monotone(self, rws_history):
+        series = rws_history.composition_series()
+        months = sorted(series)
+        for role in SiteRole:
+            values = [series[m][role] for m in months]
+            assert values == sorted(values), role
+
+    def test_window_spans_paper_months(self, rws_history):
+        months = rws_history.monthly_dates()
+        assert months[0] == "2023-01"
+        assert months[-1] == "2024-03"
+
+
+class TestCategoryShape:
+    def test_primary_categories_match_figure8_shape(self, rws_list,
+                                                    category_db):
+        counts: dict[Category, int] = {}
+        for primary in rws_list.primaries():
+            category = category_db.category(primary)
+            counts[category] = counts.get(category, 0) + 1
+        # News and media is the largest category (the paper's headline
+        # observation about Figure 8).
+        assert counts[Category.NEWS_AND_MEDIA] == max(counts.values())
+        assert sum(counts.values()) == 41
+        assert counts.get(Category.UNKNOWN, 0) > 0
+
+    def test_analytics_in_a_set(self, rws_list, category_db):
+        # ya.ru's set contains analytics infrastructure (webvisor.com).
+        ya_set = rws_list.find_set_for("ya.ru")
+        member_categories = {category_db.category(s) for s in ya_set.members()}
+        assert Category.ANALYTICS_INFRASTRUCTURE in member_categories
+
+
+class TestTopList:
+    def test_size(self):
+        assert len(build_top_list()) == TOP_LIST_SIZE == 200
+
+    def test_unique_live_english(self):
+        specs = build_top_list()
+        domains = [spec.domain for spec in specs]
+        assert len(set(domains)) == 200
+        assert all(spec.live and spec.language == "en" for spec in specs)
+
+    def test_disjoint_from_rws_seeds(self):
+        rws_domains = {
+            spec.domain for seed in RWS_SEED_SETS for spec in seed.all_specs()
+        }
+        top_domains = {spec.domain for spec in build_top_list()}
+        assert not (rws_domains & top_domains)
+
+    def test_all_categorised(self, category_db):
+        for spec in build_top_list():
+            assert category_db.category(spec.domain) is not Category.UNKNOWN
+
+    def test_deterministic(self):
+        first = [spec.domain for spec in build_top_list()]
+        second = [spec.domain for spec in build_top_list()]
+        assert first == second
+
+
+class TestCatalog:
+    def test_covers_all_seed_and_top_sites(self, catalog):
+        for seed in RWS_SEED_SETS:
+            for spec in seed.all_specs():
+                assert spec.domain in catalog
+        for spec in build_top_list():
+            assert spec.domain in catalog
+
+    def test_conflicting_spec_rejected(self, catalog):
+        import pytest
+
+        from repro.data.sites import SiteSpec
+        spec = catalog.specs()[0]
+        conflicting = SiteSpec(domain=spec.domain, organization="Other Org",
+                               brand="Other")
+        with pytest.raises(ValueError):
+            catalog.add(conflicting)
+
+    def test_require_raises_for_missing(self, catalog):
+        import pytest
+        with pytest.raises(KeyError):
+            catalog.require("definitely-not-present.example")

@@ -1,0 +1,156 @@
+"""Tests for the Disconnect entities-list substrate and §5 comparison."""
+
+import pytest
+
+from repro.disconnect import (
+    EntitiesList,
+    Entity,
+    build_entities_list,
+    compare_with_rws,
+    parse_entities_json,
+    serialize_entities_json,
+)
+from repro.disconnect.parse import EntitiesSchemaError
+
+SAMPLE = """
+{
+  "entities": {
+    "Example Org": {
+      "properties": ["example.com", "example-news.com"],
+      "resources": ["examplecdn.net"]
+    },
+    "Solo Corp": {
+      "properties": ["solo.com"]
+    }
+  }
+}
+"""
+
+
+class TestModel:
+    def test_domains_deduplicated(self):
+        entity = Entity(name="X", properties=("a.com", "b.com"),
+                        resources=("b.com", "c.net"))
+        assert entity.domains() == ("a.com", "b.com", "c.net")
+
+    def test_entity_for_exact_and_subdomain(self):
+        entities = EntitiesList(entities=[
+            Entity(name="X", properties=("example.com",)),
+        ])
+        assert entities.entity_for("example.com").name == "X"
+        assert entities.entity_for("deep.sub.example.com").name == "X"
+        assert entities.entity_for("other.com") is None
+
+    def test_same_entity(self):
+        entities = EntitiesList(entities=[
+            Entity(name="X", properties=("a.com",), resources=("acdn.net",)),
+            Entity(name="Y", properties=("b.com",)),
+        ])
+        assert entities.same_entity("a.com", "acdn.net")
+        assert not entities.same_entity("a.com", "b.com")
+        assert not entities.same_entity("a.com", "nowhere.net")
+
+    def test_ownership_is_exclusive(self):
+        entities = EntitiesList(entities=[
+            Entity(name="X", properties=("a.com",)),
+        ])
+        with pytest.raises(ValueError):
+            entities.add(Entity(name="Y", properties=("a.com",)))
+        # Failed add must not leave a partial entry behind.
+        assert len(entities) == 1
+
+    def test_domain_count(self):
+        entities = EntitiesList(entities=[
+            Entity(name="X", properties=("a.com", "b.com")),
+        ])
+        assert entities.domain_count() == 2
+
+
+class TestWireFormat:
+    def test_parse(self):
+        entities = parse_entities_json(SAMPLE)
+        assert len(entities) == 2
+        example = entities.entity_for("example.com")
+        assert example.name == "Example Org"
+        assert "examplecdn.net" in example.resources
+        solo = entities.entity_for("solo.com")
+        assert solo.resources == ()
+
+    def test_round_trip(self):
+        entities = parse_entities_json(SAMPLE)
+        text = serialize_entities_json(entities)
+        reparsed = parse_entities_json(text)
+        assert [e.name for e in reparsed] == [e.name for e in entities]
+        assert reparsed.domain_count() == entities.domain_count()
+
+    @pytest.mark.parametrize("bad", [
+        "not json",
+        "{}",
+        '{"entities": []}',
+        '{"entities": {"X": "oops"}}',
+        '{"entities": {"X": {"properties": "a.com"}}}',
+        '{"entities": {"X": {"properties": [42]}}}',
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(EntitiesSchemaError):
+            parse_entities_json(bad)
+
+
+class TestSnapshot:
+    def test_covers_every_rws_org(self, rws_list):
+        entities = build_entities_list()
+        for rws_set in rws_list:
+            assert entities.entity_for(rws_set.primary) is not None, \
+                rws_set.primary
+
+    def test_ownership_members_present(self):
+        entities = build_entities_list()
+        # Service and ccTLD members require common ownership under RWS,
+        # so the ownership list contains them.
+        assert entities.same_entity("ya.ru", "yastatic.net")
+        assert entities.same_entity("ya.ru", "ya.by")
+        assert entities.same_entity("bild.de", "bildstatic.de")
+
+    def test_affiliation_only_members_absent(self):
+        entities = build_entities_list()
+        # CafeMedia's publishers are independent businesses: affiliated
+        # under RWS, absent from the ownership-based entities list.
+        assert not entities.same_entity("cafemedia.com",
+                                        "nourishingpursuits.com")
+
+    def test_extra_entities_are_disjoint_from_rws(self, rws_list):
+        entities = build_entities_list()
+        findall = entities.entity_for("findall.com")
+        assert findall is not None
+        for domain in findall.domains():
+            assert rws_list.find_set_for(domain) is None
+
+
+class TestComparison:
+    def test_report_aggregates(self, rws_list):
+        entities = build_entities_list()
+        report = compare_with_rws(rws_list, entities)
+        assert len(report.per_set) == len(rws_list)
+        assert report.total_members == (
+            report.covered_members + report.affiliation_only_members
+        )
+        # §5's point: a substantial share of RWS members (all of them
+        # associated sites) are grouped by affiliation alone.
+        assert report.affiliation_only_members > 0
+        assert 0.3 < report.associated_affiliation_only_fraction < 0.9
+
+    def test_affiliation_only_is_associated_only(self, rws_list):
+        entities = build_entities_list()
+        report = compare_with_rws(rws_list, entities)
+        # Service and ccTLD members are always covered (ownership).
+        assert report.affiliation_only_members == \
+            report.affiliation_only_associated
+
+    def test_cafemedia_set_detail(self, rws_list):
+        entities = build_entities_list()
+        report = compare_with_rws(rws_list, entities)
+        cafemedia = next(c for c in report.per_set
+                         if c.primary == "cafemedia.com")
+        assert cafemedia.entity_name == "CafeMedia"
+        assert "nourishingpursuits.com" in cafemedia.affiliation_only
+        assert "cafemediaassets.net" in cafemedia.covered

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; each must execute
+without error and produce its expected headline output.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    output = run_example("quickstart.py", capsys)
+    assert "related(timesinternet.in, indiatimes.com) = True" in output
+    assert "Associated site isn't an eTLD+1" in output
+
+
+def test_privacy_impact(capsys):
+    output = run_example("privacy_impact.py", capsys)
+    assert "requestStorageAccess() -> granted-rws" in output
+    assert "Brave" in output
+    assert "(none linked)" in output
+
+
+def test_submission_checker(capsys):
+    output = run_example("submission_checker.py", capsys)
+    assert "REJECTED" in output
+    assert "MERGEABLE" in output
+    assert "Unable to fetch .well-known JSON file" in output
+
+
+@pytest.mark.slow
+def test_survey_replication(capsys):
+    output = run_example("survey_replication.py", capsys)
+    assert "RWS (same set)" in output
+    assert "paper: 73.3%" in output
+
+
+@pytest.mark.slow
+def test_list_characterisation(capsys):
+    output = run_example("list_characterisation.py", capsys)
+    assert "Levenshtein" in output
+    assert "news and media" in output
+
+
+def test_ownership_audit(capsys):
+    output = run_example("ownership_audit.py", capsys)
+    assert "survey-eligible sites: 31" in output
+    assert "affiliation alone" in output

@@ -1,0 +1,177 @@
+"""Tests for the governance simulation (plan, defects, full run)."""
+
+import pytest
+
+from repro.governance import build_plan, simulate_governance
+from repro.governance.analyze import (
+    cumulative_by_month,
+    days_to_process,
+    merged_with_any_failure,
+    same_day_close_fraction,
+    table3_message_counts,
+)
+from repro.governance.defects import DefectBundle, realize_run
+from repro.governance.model import PrState
+from repro.governance.planner import draft_set
+from repro.netsim import Client
+from repro.rws import Validator
+
+PAPER_TABLE3 = {
+    "Unable to fetch .well-known JSON file": 202,
+    "Associated site isn't an eTLD+1": 65,
+    "Service site without X-Robots-Tag header": 19,
+    "PR set does not match .well-known JSON file": 12,
+    "Alias site isn't an eTLD+1": 10,
+    "Primary site isn't an eTLD+1": 9,
+    "Other": 8,
+    "No rationale for one or more set members": 5,
+}
+
+
+class TestDefectRealization:
+    BASE = draft_set("defector.com")
+
+    @pytest.mark.parametrize("bundle,expected_category,expected_count", [
+        (DefectBundle(wk_missing=3),
+         "Unable to fetch .well-known JSON file", 3),
+        (DefectBundle(assoc_not_etld1=2),
+         "Associated site isn't an eTLD+1", 2),
+        (DefectBundle(service_no_xrobots=2),
+         "Service site without X-Robots-Tag header", 2),
+        (DefectBundle(wk_mismatch=2),
+         "PR set does not match .well-known JSON file", 2),
+        (DefectBundle(alias_not_etld1=2),
+         "Alias site isn't an eTLD+1", 2),
+        (DefectBundle(primary_not_etld1=1),
+         "Primary site isn't an eTLD+1", 1),
+        (DefectBundle(other=2), "Other", 2),
+        (DefectBundle(missing_rationale=1),
+         "No rationale for one or more set members", 1),
+    ])
+    def test_bundle_produces_exactly_expected_findings(
+            self, bundle, expected_category, expected_count):
+        realized = realize_run(self.BASE, bundle, seed=1)
+        report = Validator(client=Client(realized.web)).validate(
+            realized.submission)
+        counts = report.table3_counts()
+        assert counts.get(expected_category, 0) == expected_count
+        # No collateral findings in other categories.
+        assert sum(counts.values()) == expected_count
+
+    def test_clean_bundle_passes(self):
+        realized = realize_run(self.BASE, DefectBundle(), seed=1)
+        report = Validator(client=Client(realized.web)).validate(
+            realized.submission)
+        assert report.passed
+
+    def test_combined_bundle_counts_add(self):
+        bundle = DefectBundle(wk_missing=2, assoc_not_etld1=1)
+        realized = realize_run(self.BASE, bundle, seed=1)
+        report = Validator(client=Client(realized.web)).validate(
+            realized.submission)
+        assert sum(report.table3_counts().values()) == 3
+
+    def test_overfull_bundle_rejected(self):
+        with pytest.raises(ValueError):
+            realize_run(self.BASE, DefectBundle(assoc_not_etld1=99), seed=1)
+
+    def test_total_property(self):
+        bundle = DefectBundle(wk_missing=2, missing_rationale=3)
+        assert bundle.total == 3  # Rationale counts once.
+        assert DefectBundle().is_clean
+
+
+class TestPlan:
+    PLAN = build_plan()
+
+    def test_114_prs(self):
+        assert len(self.PLAN.prs) == 114
+
+    def test_merged_closed_split(self):
+        merged = sum(1 for pr in self.PLAN.prs if pr.merged)
+        assert merged == 47
+        assert len(self.PLAN.prs) - merged == 67
+
+    def test_60_unique_primaries(self):
+        assert len({pr.primary for pr in self.PLAN.prs}) == 60
+
+    def test_sorted_by_open_date(self):
+        dates = [pr.opened for pr in self.PLAN.prs]
+        assert dates == sorted(dates)
+
+    def test_window(self):
+        assert self.PLAN.prs[0].opened.isoformat() >= "2023-03-01"
+        assert self.PLAN.prs[-1].opened.isoformat() <= "2024-03-31"
+
+    def test_resolution_never_before_open(self):
+        for pr in self.PLAN.prs:
+            assert pr.resolved >= pr.opened
+
+    def test_exactly_one_merged_pr_with_failing_run(self):
+        flagged = [
+            pr for pr in self.PLAN.prs
+            if pr.merged and any(not run.bundle.is_clean for run in pr.runs)
+        ]
+        assert len(flagged) == 1
+
+
+class TestSimulation:
+    def test_counts(self, pr_dataset):
+        assert len(pr_dataset) == 114
+        assert len(pr_dataset.with_state(PrState.MERGED)) == 47
+        assert len(pr_dataset.with_state(PrState.CLOSED)) == 67
+
+    def test_closed_percentage_matches_paper(self, pr_dataset):
+        closed = len(pr_dataset.with_state(PrState.CLOSED))
+        assert round(100 * closed / len(pr_dataset), 1) == 58.8
+
+    def test_primaries_and_resubmission_mean(self, pr_dataset):
+        assert len(pr_dataset.unique_primaries()) == 60
+        assert pr_dataset.mean_prs_per_primary() == pytest.approx(1.9)
+
+    def test_table3_exact(self, pr_dataset):
+        assert table3_message_counts(pr_dataset) == PAPER_TABLE3
+
+    def test_same_day_close_fraction(self, pr_dataset):
+        fraction = same_day_close_fraction(pr_dataset)
+        assert abs(100 * fraction - 54.3) < 1.0  # 36/67 = 53.7%.
+
+    def test_approved_median_days(self, pr_dataset):
+        import statistics
+        days = days_to_process(pr_dataset)
+        assert statistics.median(days["approved"]) == 5
+
+    def test_one_merged_pr_failed_checks(self, pr_dataset):
+        assert merged_with_any_failure(pr_dataset) == 1
+
+    def test_cumulative_monotone_and_final(self, pr_dataset):
+        cumulative = cumulative_by_month(pr_dataset)
+        months = sorted(cumulative)
+        approved = [cumulative[m]["approved"] for m in months]
+        closed = [cumulative[m]["closed"] for m in months]
+        assert approved == sorted(approved)
+        assert closed == sorted(closed)
+        assert approved[-1] == 47 and closed[-1] == 67
+
+    def test_every_closed_pr_failed_validation(self, pr_dataset):
+        for pr in pr_dataset.with_state(PrState.CLOSED):
+            assert pr.ever_failed_validation(), pr.number
+
+    def test_merged_prs_end_with_clean_run(self, pr_dataset):
+        for pr in pr_dataset.with_state(PrState.MERGED):
+            assert pr.validation_reports()[-1].passed, pr.number
+
+    def test_events_well_formed(self, pr_dataset):
+        from repro.governance.model import PrEventKind
+        for pr in pr_dataset:
+            kinds = [event.kind for event in pr.events]
+            assert kinds[0] is PrEventKind.OPENED
+            assert kinds[-1] in (PrEventKind.MERGED, PrEventKind.CLOSED)
+            assert PrEventKind.BOT_COMMENT in kinds
+
+    def test_simulation_is_deterministic(self, pr_dataset):
+        again = simulate_governance()
+        assert table3_message_counts(again) == \
+            table3_message_counts(pr_dataset)
+        assert [pr.primary for pr in again] == \
+            [pr.primary for pr in pr_dataset]

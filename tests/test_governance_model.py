@@ -1,0 +1,93 @@
+"""Unit tests for the PR lifecycle model (independent of the simulator)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.governance.model import (
+    PrDataset,
+    PrEvent,
+    PrEventKind,
+    PrState,
+    PullRequest,
+)
+from repro.rws import RelatedWebsiteSet
+from repro.rws.validation import ValidationReport
+
+
+def make_pr(number: int, primary: str, state: PrState,
+            opened: dt.date, resolved: dt.date | None) -> PullRequest:
+    submission = RelatedWebsiteSet(primary=primary,
+                                   associated=[f"a-{primary}"])
+    return PullRequest(
+        number=number,
+        primary=primary,
+        submission=submission,
+        opened=opened,
+        state=state,
+        resolved=resolved,
+        events=[PrEvent(kind=PrEventKind.OPENED, date=opened)],
+    )
+
+
+class TestPullRequest:
+    def test_days_to_process(self):
+        pr = make_pr(1, "a.com", PrState.MERGED,
+                     dt.date(2024, 1, 1), dt.date(2024, 1, 6))
+        assert pr.days_to_process == 5
+
+    def test_days_none_while_open(self):
+        pr = make_pr(2, "a.com", PrState.OPEN, dt.date(2024, 1, 1), None)
+        assert pr.days_to_process is None
+
+    def test_validation_reports_in_order(self):
+        pr = make_pr(3, "a.com", PrState.MERGED,
+                     dt.date(2024, 1, 1), dt.date(2024, 1, 2))
+        failing = ValidationReport()
+        from repro.rws.validation import CheckCode, Finding
+        failing.findings.append(Finding(CheckCode.EMPTY_SET, "a.com", "x"))
+        passing = ValidationReport()
+        pr.events.append(PrEvent(kind=PrEventKind.BOT_COMMENT,
+                                 date=dt.date(2024, 1, 1), report=failing))
+        pr.events.append(PrEvent(kind=PrEventKind.BOT_COMMENT,
+                                 date=dt.date(2024, 1, 2), report=passing))
+        reports = pr.validation_reports()
+        assert [r.passed for r in reports] == [False, True]
+        assert pr.ever_failed_validation()
+
+    def test_never_failed_without_reports(self):
+        pr = make_pr(4, "a.com", PrState.CLOSED,
+                     dt.date(2024, 1, 1), dt.date(2024, 1, 1))
+        assert not pr.ever_failed_validation()
+
+
+class TestPrDataset:
+    @pytest.fixture()
+    def dataset(self) -> PrDataset:
+        return PrDataset(pull_requests=[
+            make_pr(1, "a.com", PrState.CLOSED,
+                    dt.date(2024, 1, 1), dt.date(2024, 1, 1)),
+            make_pr(2, "a.com", PrState.MERGED,
+                    dt.date(2024, 1, 2), dt.date(2024, 1, 7)),
+            make_pr(3, "b.com", PrState.MERGED,
+                    dt.date(2024, 2, 1), dt.date(2024, 2, 4)),
+        ])
+
+    def test_with_state(self, dataset):
+        assert len(dataset.with_state(PrState.MERGED)) == 2
+        assert len(dataset.with_state(PrState.CLOSED)) == 1
+        assert dataset.with_state(PrState.OPEN) == []
+
+    def test_unique_primaries(self, dataset):
+        assert dataset.unique_primaries() == {"a.com", "b.com"}
+
+    def test_mean_prs_per_primary(self, dataset):
+        assert dataset.mean_prs_per_primary() == pytest.approx(1.5)
+
+    def test_empty_dataset(self):
+        dataset = PrDataset()
+        assert dataset.mean_prs_per_primary() == 0.0
+        assert len(dataset) == 0
+
+    def test_iteration(self, dataset):
+        assert [pr.number for pr in dataset] == [1, 2, 3]

@@ -1,0 +1,95 @@
+"""Tests for tree construction and DOM queries."""
+
+from repro.html import Element, Text, parse_html
+
+
+class TestTreeConstruction:
+    def test_basic_nesting(self):
+        root = parse_html("<html><body><div><p>x</p></div></body></html>")
+        body = root.find("body")
+        assert body is not None
+        paragraph = body.find("p")
+        assert paragraph is not None
+        assert paragraph.text() == "x"
+
+    def test_synthetic_root_without_html_tag(self):
+        root = parse_html("<p>bare</p>")
+        assert root.tag == "html"
+        assert root.find("p").text() == "bare"
+
+    def test_html_attributes_merged_to_root(self):
+        root = parse_html('<html lang="de"><body></body></html>')
+        assert root.attributes["lang"] == "de"
+
+    def test_void_elements_take_no_children(self):
+        root = parse_html("<div><br><p>after</p></div>")
+        div = root.find("div")
+        tags = [child.tag for child in div.children
+                if isinstance(child, Element)]
+        assert tags == ["br", "p"]
+
+    def test_implicit_p_close(self):
+        root = parse_html("<p>one<p>two")
+        paragraphs = root.find_all("p")
+        assert [p.text() for p in paragraphs] == ["one", "two"]
+
+    def test_implicit_li_close(self):
+        root = parse_html("<ul><li>a<li>b<li>c</ul>")
+        assert [li.text() for li in root.find_all("li")] == ["a", "b", "c"]
+
+    def test_stray_end_tag_ignored(self):
+        root = parse_html("<div></span><p>ok</p></div>")
+        assert root.find("p").text() == "ok"
+
+    def test_end_tag_closes_intermediates(self):
+        root = parse_html("<div><span><em>x</div><p>y</p>")
+        # </div> closes span and em; p is a sibling of div.
+        assert root.find("p").parent.tag == "html"
+
+
+class TestDomQueries:
+    ROOT = parse_html(
+        '<html><body>'
+        '<div id="main" class="wrap big">'
+        '<p class="intro">Hello <em>world</em></p>'
+        '<p>Second</p>'
+        "</div>"
+        '<a href="/about">About us</a>'
+        "</body></html>"
+    )
+
+    def test_find_by_id(self):
+        assert self.ROOT.find_by_id("main").tag == "div"
+        assert self.ROOT.find_by_id("missing") is None
+
+    def test_find_by_class(self):
+        assert [e.tag for e in self.ROOT.find_by_class("intro")] == ["p"]
+        assert self.ROOT.find_by_class("wrap")[0].id == "main"
+
+    def test_classes_property(self):
+        assert self.ROOT.find_by_id("main").classes == ["wrap", "big"]
+
+    def test_find_all(self):
+        assert len(self.ROOT.find_all("p")) == 2
+
+    def test_text_concatenation(self):
+        assert self.ROOT.find("p").text() == "Hello world"
+
+    def test_get_attribute_case_insensitive(self):
+        anchor = self.ROOT.find("a")
+        assert anchor.get("HREF") == "/about"
+        assert anchor.get("missing", "default") == "default"
+
+    def test_iter_elements_preorder(self):
+        tags = [e.tag for e in self.ROOT.iter_elements()]
+        assert tags[0] == "html"
+        assert tags.index("div") < tags.index("p")
+
+    def test_parent_pointers(self):
+        em = self.ROOT.find("em")
+        assert em.parent.tag == "p"
+
+    def test_text_nodes(self):
+        paragraph = self.ROOT.find("p")
+        text_children = [c for c in paragraph.children if isinstance(c, Text)]
+        assert text_children[0].content.strip() == "Hello"

@@ -1,0 +1,151 @@
+"""Tests for feature extraction and the html-similarity metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.html import (
+    extract_features,
+    joint_similarity,
+    page_similarity,
+    structural_similarity,
+    style_similarity,
+)
+from repro.html.extract import PageFeatures
+
+PAGE = """
+<!DOCTYPE html>
+<html lang="en">
+<head>
+  <title>Example Site</title>
+  <meta name="theme-color" content="#123456">
+  <meta property="og:site_name" content="Example Org">
+</head>
+<body>
+  <header class="top nav-bar"><div id="logo" class="brand">Example Org</div>
+    <nav><a href="/">Home</a><a href="/about">About</a></nav>
+  </header>
+  <main class="content">
+    <section class="card hero"><h2>Welcome</h2>
+      <p class="lead">Hello.</p>
+      <a href="https://other.example.net/page">partner</a>
+    </section>
+  </main>
+  <footer class="footer"><p>© 2024 Example Org. All rights reserved.</p>
+    <a href="/about">About us</a></footer>
+</body>
+</html>
+"""
+
+
+class TestExtraction:
+    FEATURES = extract_features(PAGE)
+
+    def test_title(self):
+        assert self.FEATURES.title == "Example Site"
+
+    def test_theme_color(self):
+        assert self.FEATURES.theme_color == "#123456"
+
+    def test_brand_tokens_include_og_logo_and_copyright(self):
+        assert "example org" in self.FEATURES.brand_tokens
+
+    def test_header_and_footer_text(self):
+        assert "Example Org" in self.FEATURES.header_text
+        assert "© 2024 Example Org" in self.FEATURES.footer_text
+
+    def test_about_links(self):
+        assert "/about" in self.FEATURES.about_links
+
+    def test_outbound_hosts(self):
+        assert "other.example.net" in self.FEATURES.outbound_hosts
+
+    def test_tag_sequence_in_document_order(self):
+        tags = self.FEATURES.tag_sequence
+        assert tags.index("header") < tags.index("main") < tags.index("footer")
+
+    def test_class_sequence_with_repeats(self):
+        assert self.FEATURES.class_sequence.count("brand") == 1
+        assert "card" in self.FEATURES.class_sequence
+
+    def test_script_excluded_from_structure(self):
+        features = extract_features("<body><script>x()</script><p>t</p></body>")
+        assert "script" not in features.tag_sequence
+
+    def test_copyright_holder_with_year(self):
+        features = extract_features(
+            "<footer><p>© 2023 Acme Widgets Ltd. More text.</p></footer>"
+        )
+        assert any("acme" in token for token in features.brand_tokens)
+
+    def test_malformed_html_does_not_raise(self):
+        extract_features("<div <p>><<garbage&&&")
+
+
+class TestStyleSimilarity:
+    def test_identical_pages(self):
+        features = extract_features(PAGE)
+        assert style_similarity(features, features) == 1.0
+
+    def test_disjoint_class_sets(self):
+        a = PageFeatures(class_sequence=["a1", "a2", "a3", "a4", "a5"])
+        b = PageFeatures(class_sequence=["b1", "b2", "b3", "b4", "b5"])
+        assert style_similarity(a, b) == 0.0
+
+    def test_both_unstyled_are_identical(self):
+        assert style_similarity(PageFeatures(), PageFeatures()) == 1.0
+
+    def test_partial_overlap_in_range(self):
+        a = PageFeatures(class_sequence=["x", "y", "z", "w", "v"])
+        b = PageFeatures(class_sequence=["x", "y", "z", "w", "q"])
+        assert 0.0 < style_similarity(a, b) < 1.0
+
+
+class TestStructuralSimilarity:
+    def test_identical(self):
+        a = PageFeatures(tag_sequence=["div", "p", "a"])
+        assert structural_similarity(a, a) == 1.0
+
+    def test_disjoint(self):
+        a = PageFeatures(tag_sequence=["div", "p"])
+        b = PageFeatures(tag_sequence=["table", "tr"])
+        assert structural_similarity(a, b) == 0.0
+
+    def test_size_disparity_bounds_score(self):
+        small = PageFeatures(tag_sequence=["p"] * 10)
+        large = PageFeatures(tag_sequence=["p"] * 90)
+        assert structural_similarity(small, large) == pytest.approx(0.2)
+
+
+class TestJointSimilarity:
+    def test_weighting(self):
+        a = PageFeatures(tag_sequence=["p", "a"], class_sequence=["x"] * 4)
+        b = PageFeatures(tag_sequence=["p", "a"], class_sequence=["y"] * 4)
+        # Structural 1.0, style 0.0 -> joint = k.
+        assert joint_similarity(a, b, k=0.3) == pytest.approx(0.3)
+        assert joint_similarity(a, b, k=0.7) == pytest.approx(0.7)
+
+    def test_invalid_k(self):
+        a = PageFeatures()
+        with pytest.raises(ValueError):
+            joint_similarity(a, a, k=1.5)
+
+    def test_page_similarity_end_to_end(self):
+        scores = page_similarity(PAGE, PAGE)
+        assert scores.style == 1.0
+        assert scores.structural == 1.0
+        assert scores.joint == 1.0
+
+    @given(k=st.floats(0.0, 1.0))
+    def test_joint_within_bounds(self, k):
+        a = PageFeatures(tag_sequence=["p", "a", "div"],
+                         class_sequence=["x", "y", "z", "x"])
+        b = PageFeatures(tag_sequence=["p", "table"],
+                         class_sequence=["x", "q", "y", "z"])
+        assert 0.0 <= joint_similarity(a, b, k=k) <= 1.0
+
+    def test_symmetry(self):
+        html_a = "<div class='a b'><p>1</p></div>"
+        html_b = "<section class='a c'><em>2</em></section>"
+        ab = page_similarity(html_a, html_b)
+        ba = page_similarity(html_b, html_a)
+        assert ab == ba

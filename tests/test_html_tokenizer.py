@@ -1,0 +1,126 @@
+"""Tests for the HTML tokenizer."""
+
+from repro.html import Token, TokenKind, tokenize
+from repro.html.tokenizer import decode_entities
+
+
+def kinds(html: str) -> list[TokenKind]:
+    return [token.kind for token in tokenize(html)]
+
+
+class TestBasicTokens:
+    def test_simple_document(self):
+        tokens = tokenize("<html><body><p>hi</p></body></html>")
+        assert [t.kind for t in tokens] == [
+            TokenKind.START_TAG, TokenKind.START_TAG, TokenKind.START_TAG,
+            TokenKind.TEXT, TokenKind.END_TAG, TokenKind.END_TAG,
+            TokenKind.END_TAG,
+        ]
+        assert tokens[0].data == "html"
+        assert tokens[3].data == "hi"
+
+    def test_tag_names_lowercased(self):
+        tokens = tokenize("<DIV></DIV>")
+        assert tokens[0].data == "div"
+        assert tokens[1].data == "div"
+
+    def test_doctype(self):
+        tokens = tokenize("<!DOCTYPE html><p>x</p>")
+        assert tokens[0].kind is TokenKind.DOCTYPE
+
+    def test_comment(self):
+        tokens = tokenize("<!-- a comment --><p>x</p>")
+        assert tokens[0].kind is TokenKind.COMMENT
+        assert tokens[0].data.strip() == "a comment"
+
+    def test_unterminated_comment(self):
+        tokens = tokenize("<!-- never ends")
+        assert tokens[0].kind is TokenKind.COMMENT
+
+    def test_self_closing(self):
+        tokens = tokenize("<br/><img src='x'/>")
+        assert all(t.self_closing for t in tokens)
+
+    def test_whitespace_only_text_dropped(self):
+        assert kinds("<p>  </p>") == [TokenKind.START_TAG, TokenKind.END_TAG]
+
+
+class TestAttributes:
+    def test_quoted(self):
+        token = tokenize('<a href="https://x.com/p" class="big link">')[0]
+        assert token.attributes == {"href": "https://x.com/p",
+                                    "class": "big link"}
+
+    def test_single_quoted_and_unquoted(self):
+        token = tokenize("<input type='text' value=abc disabled>")[0]
+        assert token.attributes["type"] == "text"
+        assert token.attributes["value"] == "abc"
+        assert token.attributes["disabled"] == ""
+
+    def test_attribute_names_lowercased(self):
+        token = tokenize('<div CLASS="x" ID="y">')[0]
+        assert set(token.attributes) == {"class", "id"}
+
+    def test_first_occurrence_wins(self):
+        token = tokenize('<div class="a" class="b">')[0]
+        assert token.attributes["class"] == "a"
+
+    def test_entities_in_values(self):
+        token = tokenize('<a title="a &amp; b">')[0]
+        assert token.attributes["title"] == "a & b"
+
+
+class TestRawText:
+    def test_script_contents_not_parsed(self):
+        tokens = tokenize("<script>if (a < b) { x(); }</script><p>t</p>")
+        assert tokens[0].data == "script"
+        assert tokens[1].kind is TokenKind.TEXT
+        assert "a < b" in tokens[1].data
+        assert tokens[2].kind is TokenKind.END_TAG
+
+    def test_style_contents_not_parsed(self):
+        tokens = tokenize("<style>p > a { color: red }</style>")
+        assert "p > a" in tokens[1].data
+
+    def test_unterminated_script(self):
+        tokens = tokenize("<script>var x = 1;")
+        assert tokens[-1].kind is TokenKind.TEXT
+
+
+class TestMalformed:
+    def test_dangling_lt_is_text(self):
+        tokens = tokenize("a < b")
+        assert all(t.kind is TokenKind.TEXT for t in tokens)
+
+    def test_empty_tag_is_text(self):
+        tokens = tokenize("<>x")
+        assert tokens[0].kind is TokenKind.TEXT
+
+    def test_invalid_tag_name_is_text(self):
+        tokens = tokenize("<123>x")
+        assert tokens[0].kind is TokenKind.TEXT
+
+    def test_never_raises(self):
+        # Tokenizer must be total over arbitrary text.
+        for garbage in ("<<<<", "<a <b>", "</>", "<p", "&#xZZ;", "<!>"):
+            tokenize(garbage)
+
+
+class TestEntities:
+    def test_named(self):
+        assert decode_entities("a &amp; b &lt;c&gt;") == "a & b <c>"
+
+    def test_numeric(self):
+        assert decode_entities("&#65;&#x42;") == "AB"
+
+    def test_unknown_left_alone(self):
+        assert decode_entities("&unknown;") == "&unknown;"
+
+    def test_bare_ampersand(self):
+        assert decode_entities("fish & chips") == "fish & chips"
+
+
+def test_token_dataclass_defaults():
+    token = Token(TokenKind.TEXT, "x")
+    assert token.attributes == {}
+    assert not token.self_closing

@@ -1,0 +1,240 @@
+"""Tests for headers, messages, DNS, server, and client."""
+
+import pytest
+
+from repro.netsim import (
+    Client,
+    FetchError,
+    FetchPolicy,
+    Headers,
+    Request,
+    ResolutionError,
+    Response,
+    SyntheticResolver,
+    SyntheticWeb,
+    parse_url,
+)
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers({"Content-Type": "text/html"})
+        assert headers.get("content-type") == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+
+    def test_multi_value(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("set-cookie", "b=2")
+        assert headers.get("Set-Cookie") == "a=1"
+        assert headers.get_all("SET-COOKIE") == ["a=1", "b=2"]
+
+    def test_set_replaces(self):
+        headers = Headers()
+        headers.add("X-A", "1")
+        headers.add("X-A", "2")
+        headers.set("x-a", "3")
+        assert headers.get_all("X-A") == ["3"]
+
+    def test_remove_missing_is_noop(self):
+        headers = Headers()
+        headers.remove("X-Nothing")
+        assert len(headers) == 0
+
+    def test_contains_and_iter(self):
+        headers = Headers({"A": "1", "B": "2"})
+        assert "a" in headers
+        assert list(headers) == [("A", "1"), ("B", "2")]
+
+    def test_rejects_header_injection(self):
+        headers = Headers()
+        with pytest.raises(ValueError):
+            headers.add("X-Evil", "a\r\nInjected: yes")
+        with pytest.raises(ValueError):
+            headers.add("Bad\nName", "x")
+
+    def test_equality_is_case_insensitive_on_names(self):
+        assert Headers({"A": "1"}) == Headers({"a": "1"})
+        assert Headers({"A": "1"}) != Headers({"A": "2"})
+
+    def test_copy_is_independent(self):
+        original = Headers({"A": "1"})
+        clone = original.copy()
+        clone.add("B", "2")
+        assert "B" not in original
+
+
+class TestMessages:
+    def test_request_normalises_method(self):
+        request = Request(url=parse_url("https://example.com/"), method="get")
+        assert request.method == "GET"
+
+    def test_request_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            Request(url=parse_url("https://example.com/"), method="BREW")
+
+    def test_response_helpers(self):
+        response = Response.html("<p>hi</p>")
+        assert response.ok
+        assert response.content_type == "text/html"
+        assert response.reason == "OK"
+
+        not_found = Response.not_found()
+        assert not_found.status == 404
+        assert not not_found.ok
+
+        redirect = Response.redirect("https://example.com/next")
+        assert redirect.is_redirect
+        assert redirect.headers.get("Location") == "https://example.com/next"
+
+    def test_json_response(self):
+        response = Response.json('{"a": 1}')
+        assert response.content_type == "application/json"
+
+
+class TestResolver:
+    def test_register_and_resolve(self):
+        resolver = SyntheticResolver()
+        address = resolver.register("example.com")
+        assert resolver.resolve("example.com") == address
+
+    def test_unknown_is_nxdomain(self):
+        resolver = SyntheticResolver()
+        with pytest.raises(ResolutionError) as info:
+            resolver.resolve("nothing.test")
+        assert not info.value.transient
+
+    def test_wildcard_subdomains(self):
+        resolver = SyntheticResolver()
+        address = resolver.register("example.com")
+        assert resolver.resolve("deep.sub.example.com") == address
+
+    def test_strict_mode_disables_wildcard(self):
+        resolver = SyntheticResolver(strict=True)
+        resolver.register("example.com")
+        with pytest.raises(ResolutionError):
+            resolver.resolve("sub.example.com")
+
+    def test_failing_host_is_transient(self):
+        resolver = SyntheticResolver()
+        resolver.register("slow.com")
+        resolver.set_failing("slow.com")
+        with pytest.raises(ResolutionError) as info:
+            resolver.resolve("slow.com")
+        assert info.value.transient
+        resolver.set_failing("slow.com", False)
+        assert resolver.is_live("slow.com")
+
+    def test_is_live_for_bad_name(self):
+        assert not SyntheticResolver().is_live("not a domain")
+
+
+class TestServerAndClient:
+    @pytest.fixture()
+    def web(self):
+        web = SyntheticWeb(seed=3)
+        web.set_page("example.com", "/", "<html><body>home</body></html>")
+        web.set_page("example.com", "/deep", "<html><body>deep</body></html>")
+        return web
+
+    def test_basic_get(self, web):
+        response = Client(web).get("https://example.com/")
+        assert response.ok
+        assert "home" in response.body
+
+    def test_missing_route_is_404(self, web):
+        response = Client(web).get("https://example.com/nothing")
+        assert response.status == 404
+
+    def test_unknown_host_raises_nxdomain(self, web):
+        with pytest.raises(FetchError) as info:
+            Client(web).get("https://unknown.test/")
+        assert info.value.reason == "nxdomain"
+
+    def test_http_upgraded_to_https(self, web):
+        result = Client(web).fetch("http://example.com/deep")
+        assert result.ok
+        assert result.response.url is not None
+        assert result.response.url.scheme == "https"
+        assert len(result.history) == 1
+
+    def test_http_only_host_fails_tls(self):
+        web = SyntheticWeb()
+        web.add_host("legacy.com", https=False)
+        web.set_page("legacy.com", "/", "<html></html>")
+        response = Client(web).get("https://legacy.com/")
+        assert response.status == 502
+
+    def test_redirect_chain_followed(self, web):
+        web.set_redirect("example.com", "/a", "/b")
+        web.set_redirect("example.com", "/b", "/deep")
+        result = Client(web).fetch("https://example.com/a")
+        assert result.ok
+        assert [r.status for r in result.history] == [302, 302]
+
+    def test_redirect_loop_detected(self, web):
+        web.set_redirect("example.com", "/x", "/y")
+        web.set_redirect("example.com", "/y", "/x")
+        with pytest.raises(FetchError) as info:
+            Client(web).get("https://example.com/x")
+        assert info.value.reason == "redirect-loop"
+
+    def test_max_redirects(self, web):
+        for index in range(15):
+            web.set_redirect("example.com", f"/hop{index}", f"/hop{index + 1}")
+        policy = FetchPolicy(max_redirects=5)
+        with pytest.raises(FetchError) as info:
+            Client(web, policy).get("https://example.com/hop0")
+        assert info.value.reason in ("too-many-redirects", "redirect-loop")
+
+    def test_require_https_policy(self, web):
+        policy = FetchPolicy(require_https=True)
+        with pytest.raises(FetchError) as info:
+            Client(web, policy).get("http://example.com/")
+        assert info.value.reason == "insecure-url"
+
+    def test_timeout_budget(self, web):
+        policy = FetchPolicy(timeout_ms=0.001)
+        with pytest.raises(FetchError) as info:
+            Client(web, policy).get("https://example.com/")
+        assert info.value.reason == "timeout"
+
+    def test_head_strips_body(self, web):
+        response = Client(web).head("https://example.com/")
+        assert response.ok
+        assert response.body == ""
+
+    def test_error_injection_is_deterministic(self):
+        def build() -> list[int]:
+            web = SyntheticWeb(seed=11)
+            web.add_host("flaky.com", error_rate=0.5)
+            web.set_page("flaky.com", "/", "<html></html>")
+            client = Client(web)
+            return [client.get("https://flaky.com/").status
+                    for _ in range(20)]
+
+        first = build()
+        second = build()
+        assert first == second
+        assert 503 in first and 200 in first
+
+    def test_remove_host(self, web):
+        web.remove_host("example.com")
+        with pytest.raises(FetchError):
+            Client(web).get("https://example.com/")
+
+    def test_duplicate_host_rejected(self, web):
+        with pytest.raises(ValueError):
+            web.add_host("example.com")
+
+    def test_request_log_records_traffic(self, web):
+        client = Client(web)
+        client.get("https://example.com/")
+        assert any(r.url.host == "example.com" for r in web.request_log)
+
+    def test_dynamic_handler(self):
+        web = SyntheticWeb()
+        web.add_host("api.com",
+                     handler=lambda req: Response.json(f'{{"path": "{req.url.path}"}}'))
+        response = Client(web).get("https://api.com/v1/items")
+        assert '"/v1/items"' in response.body

@@ -1,0 +1,139 @@
+"""Unit + property tests for URL parsing and site semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim import URL, URLError, parse_url
+
+LABEL = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=6)
+
+
+class TestParsing:
+    def test_minimal(self):
+        url = parse_url("https://example.com")
+        assert url.scheme == "https"
+        assert url.host == "example.com"
+        assert url.path == "/"
+        assert url.port is None
+
+    def test_full(self):
+        url = parse_url("http://Sub.Example.COM:8080/a/b?x=1&y=2#frag")
+        assert url.scheme == "http"
+        assert url.host == "sub.example.com"
+        assert url.port == 8080
+        assert url.path == "/a/b"
+        assert url.query == "x=1&y=2"
+        assert url.fragment == "frag"
+
+    def test_default_port_normalised_away(self):
+        assert parse_url("https://example.com:443/").port is None
+        assert parse_url("http://example.com:80/").port is None
+
+    def test_effective_port(self):
+        assert parse_url("https://example.com").effective_port == 443
+        assert parse_url("http://example.com").effective_port == 80
+        assert parse_url("https://example.com:8443").effective_port == 8443
+
+    def test_query_without_path(self):
+        url = parse_url("https://example.com?q=1")
+        assert url.path == "/"
+        assert url.query == "q=1"
+
+    @pytest.mark.parametrize("bad", [
+        "", "example.com", "ftp://example.com", "https://",
+        "https://:8080", "https://example.com:0", "https://example.com:99999",
+        "https://example.com:abc", "https://user@example.com",
+        "https://bad host.com",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(URLError):
+            parse_url(bad)
+
+    def test_str_round_trip(self):
+        for text in (
+            "https://example.com/",
+            "https://example.com:8443/path?q=1#f",
+            "http://a.b.example.co.uk/x/y/",
+        ):
+            assert str(parse_url(text)) == text
+
+
+class TestSiteSemantics:
+    def test_origin(self):
+        url = parse_url("https://a.example.com:8443/p")
+        assert url.origin == ("https", "a.example.com", 8443)
+
+    def test_site_is_etld_plus_one(self, psl):
+        assert parse_url("https://act.eff.org/x").site(psl) == "eff.org"
+        assert parse_url("https://shop.example.co.uk/").site(psl) == \
+            "example.co.uk"
+
+    def test_same_site(self, psl):
+        a = parse_url("https://act.eff.org/1")
+        b = parse_url("https://www.eff.org/2")
+        c = parse_url("https://example.com/")
+        assert a.same_site(b, psl)
+        assert not a.same_site(c, psl)
+
+    def test_is_secure(self):
+        assert parse_url("https://example.com").is_secure
+        assert not parse_url("http://example.com").is_secure
+
+
+class TestReferenceResolution:
+    BASE = parse_url("https://example.com/dir/page?q=1#top")
+
+    def test_absolute(self):
+        resolved = self.BASE.resolve("https://other.net/x")
+        assert str(resolved) == "https://other.net/x"
+
+    def test_scheme_relative(self):
+        resolved = self.BASE.resolve("//other.net/y")
+        assert resolved.scheme == "https"
+        assert resolved.host == "other.net"
+
+    def test_absolute_path(self):
+        resolved = self.BASE.resolve("/root?z=2")
+        assert resolved.host == "example.com"
+        assert resolved.path == "/root"
+        assert resolved.query == "z=2"
+        assert resolved.fragment is None
+
+    def test_relative_path(self):
+        resolved = self.BASE.resolve("sibling")
+        assert resolved.path == "/dir/sibling"
+
+    def test_dot_dot(self):
+        resolved = self.BASE.resolve("../up")
+        assert resolved.path == "/up"
+
+    def test_fragment_only(self):
+        resolved = self.BASE.resolve("#bottom")
+        assert resolved.path == self.BASE.path
+        assert resolved.fragment == "bottom"
+
+    def test_with_path(self):
+        url = parse_url("https://example.com/a?q=1")
+        assert str(url.with_path("b")) == "https://example.com/b"
+
+
+class TestProperties:
+    @given(labels=st.lists(LABEL, min_size=2, max_size=4),
+           path_segments=st.lists(LABEL, max_size=3))
+    def test_parse_str_round_trip(self, labels, path_segments):
+        host = ".".join(labels)
+        path = "/" + "/".join(path_segments)
+        original = f"https://{host}{path}"
+        assert str(parse_url(original)) == original
+
+    @given(labels=st.lists(LABEL, min_size=2, max_size=4))
+    def test_parse_is_idempotent(self, labels):
+        url = parse_url(f"https://{'.'.join(labels)}/x")
+        assert parse_url(str(url)) == url
+
+
+def test_url_is_value_object():
+    a = URL(scheme="https", host="example.com")
+    b = URL(scheme="https", host="example.com")
+    assert a == b
+    assert hash(a) == hash(b)

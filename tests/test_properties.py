@@ -1,0 +1,159 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Covers invariants that span modules: schema round-trips, the membership
+predicate's algebra, storage-key isolation, and page determinism.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.browser.storage import PartitionedStorage, StorageKey
+from repro.data.sites import BrandingLevel, SiteSpec
+from repro.disconnect import parse_entities_json, serialize_entities_json
+from repro.disconnect.model import EntitiesList, Entity
+from repro.html import extract_features, page_similarity
+from repro.rws import RelatedWebsiteSet, RwsList, parse_rws_json, serialize_rws_json
+from repro.webgen import PageGenerator
+
+LABEL = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=8)
+TLD = st.sampled_from(["com", "net", "org", "de", "fr", "io"])
+
+
+@st.composite
+def domains(draw) -> str:
+    return f"{draw(LABEL)}.{draw(TLD)}"
+
+
+@st.composite
+def rws_sets(draw) -> RelatedWebsiteSet:
+    primary = draw(domains())
+    member_pool = draw(st.lists(domains(), min_size=1, max_size=6,
+                                unique=True))
+    members = [domain for domain in member_pool if domain != primary]
+    if not members:
+        members = [f"other-{primary}"]
+    split = draw(st.integers(0, len(members)))
+    associated = members[:split]
+    service = members[split:]
+    rationales = {site: f"rationale for {site}"
+                  for site in associated + service}
+    return RelatedWebsiteSet(primary=primary, associated=associated,
+                             service=service, rationales=rationales)
+
+
+class TestRwsSchemaRoundTrip:
+    @settings(max_examples=50)
+    @given(sets=st.lists(rws_sets(), max_size=4))
+    def test_serialize_parse_identity(self, sets):
+        # Drop cross-set duplicates (invalid lists are out of scope).
+        seen: set[str] = set()
+        unique_sets = []
+        for rws_set in sets:
+            if not (set(rws_set.members()) & seen):
+                unique_sets.append(rws_set)
+                seen.update(rws_set.members())
+        original = RwsList(sets=unique_sets)
+        parsed = parse_rws_json(serialize_rws_json(original))
+        assert parsed.sets == original.sets
+
+    @settings(max_examples=50)
+    @given(rws_set=rws_sets())
+    def test_membership_predicate_algebra(self, rws_set):
+        rws_list = RwsList(sets=[rws_set])
+        members = rws_set.members()
+        # related is reflexive, symmetric, and total within the set.
+        for site_a in members:
+            assert rws_list.related(site_a, site_a)
+            for site_b in members:
+                assert rws_list.related(site_a, site_b)
+                assert rws_list.related(site_b, site_a)
+        # Non-members are related to nothing in the set.
+        outsider = "zz-not-a-member.example"
+        for site in members:
+            assert not rws_list.related(outsider, site)
+
+
+class TestEntitiesRoundTrip:
+    @settings(max_examples=50)
+    @given(
+        names=st.lists(st.text(alphabet=string.ascii_letters + " ",
+                               min_size=1, max_size=16).map(str.strip)
+                       .filter(bool),
+                       min_size=1, max_size=4, unique=True),
+        data=st.data(),
+    )
+    def test_serialize_parse_identity(self, names, data):
+        entities = []
+        used: set[str] = set()
+        for name in names:
+            pool = data.draw(st.lists(domains(), min_size=1, max_size=4,
+                                      unique=True))
+            fresh = tuple(domain for domain in pool if domain not in used)
+            if not fresh:
+                continue
+            used.update(fresh)
+            entities.append(Entity(name=name, properties=fresh))
+        if not entities:
+            return
+        original = EntitiesList(entities=entities)
+        parsed = parse_entities_json(serialize_entities_json(original))
+        assert parsed.domain_count() == original.domain_count()
+        for entity in original:
+            for domain in entity.domains():
+                resolved = parsed.entity_for(domain)
+                assert resolved is not None and resolved.name == entity.name
+
+
+class TestStorageIsolation:
+    @settings(max_examples=50)
+    @given(site=domains(), partitions=st.lists(domains(), min_size=2,
+                                               max_size=5, unique=True),
+           value=st.text(max_size=10))
+    def test_partitions_never_leak(self, site, partitions, value):
+        storage = PartitionedStorage()
+        for index, partition in enumerate(partitions):
+            storage.set(StorageKey(site, partition), "uid",
+                        f"{value}-{index}")
+        for index, partition in enumerate(partitions):
+            assert storage.get(StorageKey(site, partition), "uid") \
+                == f"{value}-{index}"
+
+
+class TestPageGeneration:
+    @settings(max_examples=25, deadline=None)
+    @given(domain=domains())
+    def test_pages_deterministic_and_self_similar(self, domain):
+        spec = SiteSpec(domain=domain, organization="Org",
+                        brand="Brand", branding=BrandingLevel.NONE)
+        generator = PageGenerator()
+        html_a = generator.homepage(generator.blueprint(spec))
+        html_b = generator.homepage(generator.blueprint(spec))
+        assert html_a == html_b
+        scores = page_similarity(html_a, html_b)
+        assert scores.joint == 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(domain_a=domains(), domain_b=domains())
+    def test_similarity_symmetric_and_bounded(self, domain_a, domain_b):
+        generator = PageGenerator()
+        spec_a = SiteSpec(domain=domain_a, organization="A", brand="A")
+        spec_b = SiteSpec(domain=domain_b, organization="B", brand="B")
+        html_a = generator.homepage(generator.blueprint(spec_a))
+        html_b = generator.homepage(generator.blueprint(spec_b))
+        forward = page_similarity(html_a, html_b)
+        backward = page_similarity(html_b, html_a)
+        assert forward == backward
+        for value in (forward.style, forward.structural, forward.joint):
+            assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(domain=domains())
+    def test_generated_pages_always_extract(self, domain):
+        spec = SiteSpec(domain=domain, organization="Org", brand="Brand")
+        generator = PageGenerator()
+        features = extract_features(
+            generator.homepage(generator.blueprint(spec)))
+        assert features.title
+        assert features.tag_sequence
+        assert features.footer_text

@@ -1,0 +1,155 @@
+"""Unit + property tests for public-suffix lookup."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.psl import DomainError, PublicSuffixList
+from repro.psl.lookup import normalize_domain
+
+LABEL = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+                min_size=1, max_size=8)
+
+
+class TestNormalizeDomain:
+    def test_lowercases(self):
+        assert normalize_domain("Example.COM") == "example.com"
+
+    def test_strips_trailing_dot(self):
+        assert normalize_domain("example.com.") == "example.com"
+
+    def test_idna_encodes(self):
+        assert normalize_domain("bücher.de") == "xn--bcher-kva.de"
+
+    @pytest.mark.parametrize("bad", [
+        "", ".", "..", "a..b", "-leading.com", "trailing-.com",
+        "sp ace.com", "under_score.com", "a" * 64 + ".com",
+    ])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(DomainError):
+            normalize_domain(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(DomainError):
+            normalize_domain(42)  # type: ignore[arg-type]
+
+    def test_total_length_limit(self):
+        long_domain = ".".join(["a" * 60] * 5)
+        with pytest.raises(DomainError):
+            normalize_domain(long_domain)
+
+
+class TestResolution:
+    def test_simple_tld(self, psl):
+        assert psl.public_suffix("example.com") == "com"
+        assert psl.etld_plus_one("example.com") == "example.com"
+
+    def test_multi_level_suffix(self, psl):
+        assert psl.public_suffix("shop.example.co.uk") == "co.uk"
+        assert psl.etld_plus_one("shop.example.co.uk") == "example.co.uk"
+
+    def test_bare_suffix_has_no_registrable(self, psl):
+        assert psl.etld_plus_one("co.uk") is None
+        assert psl.is_public_suffix("co.uk")
+
+    def test_wildcard_rule(self, psl):
+        # *.ck: any direct child of ck is itself a public suffix.
+        assert psl.public_suffix("foo.ck") == "foo.ck"
+        assert psl.etld_plus_one("bar.foo.ck") == "bar.foo.ck"
+
+    def test_exception_rule_beats_wildcard(self, psl):
+        assert psl.public_suffix("www.ck") == "ck"
+        assert psl.etld_plus_one("www.ck") == "www.ck"
+
+    def test_unknown_tld_uses_implicit_rule(self, psl):
+        match = psl.resolve("example.zz")
+        assert match.public_suffix == "zz"
+        assert match.registrable_domain == "example.zz"
+        assert match.rule is None
+
+    def test_private_section_suffix(self, psl):
+        match = psl.resolve("mysite.github.io")
+        assert match.public_suffix == "github.io"
+        assert match.is_private_suffix
+        assert match.registrable_domain == "mysite.github.io"
+
+    def test_empty_psl_rejected(self):
+        with pytest.raises(ValueError):
+            PublicSuffixList("// only comments\n")
+
+
+class TestEtldPlusOnePredicate:
+    def test_exact_registrable(self, psl):
+        assert psl.is_etld_plus_one("example.com")
+        assert psl.is_etld_plus_one("example.co.uk")
+
+    def test_subdomain_is_not(self, psl):
+        assert not psl.is_etld_plus_one("a.example.com")
+
+    def test_bare_suffix_is_not(self, psl):
+        assert not psl.is_etld_plus_one("com")
+        assert not psl.is_etld_plus_one("co.uk")
+
+
+class TestSameSite:
+    def test_paper_example(self, psl):
+        # §2: eff.org and act.eff.org are the same site;
+        # facebook.com and mayoclinic.com are not.
+        assert psl.same_site("eff.org", "act.eff.org")
+        assert not psl.same_site("facebook.com", "mayoclinic.com")
+
+    def test_suffix_never_same_site(self, psl):
+        assert not psl.same_site("co.uk", "co.uk")
+
+
+class TestSecondLevelLabel:
+    def test_paper_examples(self, psl):
+        assert psl.second_level_label("autobild.de") == "autobild"
+        assert psl.second_level_label("bild.de") == "bild"
+        assert psl.second_level_label("poalim.xyz") == "poalim"
+
+    def test_multi_level_suffix(self, psl):
+        assert psl.second_level_label("a.example.co.uk") == "example"
+
+    def test_none_for_suffix(self, psl):
+        assert psl.second_level_label("co.uk") is None
+
+
+class TestProperties:
+    @given(labels=st.lists(LABEL, min_size=2, max_size=5))
+    def test_registrable_domain_is_suffix_of_input(self, psl, labels):
+        domain = ".".join(labels)
+        match = psl.resolve(domain)
+        assert match.domain.endswith(match.public_suffix)
+        if match.registrable_domain is not None:
+            assert match.domain.endswith(match.registrable_domain)
+            assert match.registrable_domain.endswith(match.public_suffix)
+
+    @given(labels=st.lists(LABEL, min_size=2, max_size=5))
+    def test_registrable_is_suffix_plus_one_label(self, psl, labels):
+        domain = ".".join(labels)
+        match = psl.resolve(domain)
+        if match.registrable_domain is not None:
+            suffix_labels = match.public_suffix.count(".") + 1
+            registrable_labels = match.registrable_domain.count(".") + 1
+            assert registrable_labels == suffix_labels + 1
+
+    @given(labels=st.lists(LABEL, min_size=2, max_size=4))
+    def test_resolution_is_idempotent(self, psl, labels):
+        domain = ".".join(labels)
+        first = psl.resolve(domain)
+        second = psl.resolve(first.domain)
+        assert first == second
+
+    @given(labels=st.lists(LABEL, min_size=2, max_size=4),
+           extra=LABEL)
+    def test_subdomain_shares_registrable(self, psl, labels, extra):
+        domain = ".".join(labels)
+        base = psl.resolve(domain)
+        if base.registrable_domain is None:
+            return
+        sub = psl.resolve(f"{extra}.{domain}")
+        # Adding a label can only keep or lengthen the public suffix
+        # (wildcards); when the suffix is unchanged, the registrable
+        # domain must be shared.
+        if sub.public_suffix == base.public_suffix:
+            assert sub.registrable_domain == base.registrable_domain

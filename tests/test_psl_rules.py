@@ -1,0 +1,107 @@
+"""Unit tests for PSL rule parsing and matching."""
+
+import pytest
+
+from repro.psl.rules import Rule, RuleIndex, RuleKind, parse_rule, parse_rules
+
+
+class TestParseRule:
+    def test_normal_rule(self):
+        rule = parse_rule("co.uk")
+        assert rule.kind is RuleKind.NORMAL
+        assert rule.labels == ("uk", "co")
+        assert rule.match_length == 2
+
+    def test_wildcard_rule(self):
+        rule = parse_rule("*.ck")
+        assert rule.kind is RuleKind.WILDCARD
+        assert rule.labels == ("ck", "*")
+        assert rule.match_length == 2
+
+    def test_exception_rule(self):
+        rule = parse_rule("!www.ck")
+        assert rule.kind is RuleKind.EXCEPTION
+        assert rule.labels == ("ck", "www")
+        assert rule.match_length == 1  # One fewer than its labels.
+
+    def test_case_folding(self):
+        assert parse_rule("CO.UK").labels == ("uk", "co")
+
+    def test_private_flag(self):
+        rule = parse_rule("github.io", is_private=True)
+        assert rule.is_private
+
+    @pytest.mark.parametrize("bad", ["", "   ", ".", "a..b", ".com", "com.",
+                                     "!single"])
+    def test_malformed_rules_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_rule(bad)
+
+    def test_comment_rejected(self):
+        with pytest.raises(ValueError):
+            parse_rule("// a comment")
+
+    def test_round_trip_text(self):
+        for text in ("com", "co.uk", "*.ck", "!www.ck"):
+            assert parse_rule(text).as_text() == text
+
+
+class TestParseRules:
+    def test_skips_comments_and_blanks(self):
+        rules = list(parse_rules("// header\n\ncom\n  \norg\n"))
+        assert [r.as_text() for r in rules] == ["com", "org"]
+
+    def test_private_section_markers(self):
+        text = (
+            "com\n"
+            "// ===BEGIN PRIVATE DOMAINS===\n"
+            "github.io\n"
+            "// ===END PRIVATE DOMAINS===\n"
+            "org\n"
+        )
+        rules = list(parse_rules(text))
+        assert [r.is_private for r in rules] == [False, True, False]
+
+
+class TestRuleMatching:
+    def test_normal_match(self):
+        rule = parse_rule("co.uk")
+        assert rule.matches(("uk", "co", "example"))
+        assert not rule.matches(("uk",))
+        assert not rule.matches(("com", "example"))
+
+    def test_wildcard_matches_any_label(self):
+        rule = parse_rule("*.ck")
+        assert rule.matches(("ck", "anything", "www"))
+        assert not rule.matches(("ck",))
+
+    def test_exception_matches_like_normal(self):
+        rule = parse_rule("!www.ck")
+        assert rule.matches(("ck", "www"))
+        assert not rule.matches(("ck", "other"))
+
+
+class TestRuleIndex:
+    def test_candidates_bucketed_by_tld(self):
+        index = RuleIndex.from_rules(
+            [parse_rule("com"), parse_rule("co.uk"), parse_rule("org.uk")]
+        )
+        uk_candidates = index.candidates(("uk", "example"))
+        assert {rule.as_text() for rule in uk_candidates} == {"co.uk", "org.uk"}
+        assert index.candidates(("net",)) == []
+
+    def test_len_and_iter(self):
+        rules = [parse_rule("com"), parse_rule("org")]
+        index = RuleIndex.from_rules(rules)
+        assert len(index) == 2
+        assert {rule.as_text() for rule in index} == {"com", "org"}
+
+    def test_empty_labels(self):
+        index = RuleIndex.from_rules([parse_rule("com")])
+        assert index.candidates(()) == []
+
+
+def test_rule_is_hashable_value_object():
+    assert parse_rule("co.uk") == parse_rule("co.uk")
+    assert len({parse_rule("co.uk"), parse_rule("co.uk")}) == 1
+    assert isinstance(Rule(labels=("uk",), kind=RuleKind.NORMAL), Rule)

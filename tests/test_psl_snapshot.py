@@ -1,0 +1,57 @@
+"""Integrity tests for the embedded PSL snapshot."""
+
+from repro.psl import default_psl, parse_rules
+from repro.psl.rules import RuleKind
+from repro.psl.snapshot import PSL_SNAPSHOT
+
+
+class TestSnapshotIntegrity:
+    RULES = list(parse_rules(PSL_SNAPSHOT))
+
+    def test_no_duplicate_rules(self):
+        texts = [rule.as_text() for rule in self.RULES]
+        duplicates = {text for text in texts if texts.count(text) > 1}
+        assert not duplicates, duplicates
+
+    def test_all_rule_kinds_present(self):
+        kinds = {rule.kind for rule in self.RULES}
+        assert kinds == {RuleKind.NORMAL, RuleKind.WILDCARD,
+                         RuleKind.EXCEPTION}
+
+    def test_private_section_marked(self):
+        private = [rule for rule in self.RULES if rule.is_private]
+        assert private, "private section missing"
+        assert any(rule.as_text() == "github.io" for rule in private)
+        # ICANN rules must not be flagged private.
+        assert not any(rule.is_private for rule in self.RULES
+                       if rule.as_text() == "com")
+
+    def test_every_exception_has_matching_wildcard(self):
+        wildcard_tlds = {rule.labels[0] for rule in self.RULES
+                         if rule.kind is RuleKind.WILDCARD}
+        for rule in self.RULES:
+            if rule.kind is RuleKind.EXCEPTION:
+                assert rule.labels[0] in wildcard_tlds, rule.as_text()
+
+    def test_covers_every_dataset_tld(self, rws_list, catalog):
+        """Every domain in the embedded datasets must resolve to a
+        non-implicit rule (i.e. its TLD is actually in the snapshot)."""
+        psl = default_psl()
+        domains = {record.site for record in rws_list.all_members()}
+        domains.update(catalog.domains())
+        for domain in sorted(domains):
+            match = psl.resolve(domain)
+            assert match.rule is not None, (
+                f"{domain}: TLD missing from PSL snapshot"
+            )
+
+    def test_multi_level_suffixes_resolve(self):
+        psl = default_psl()
+        for domain, suffix in [
+            ("example.co.uk", "co.uk"),
+            ("example.com.br", "com.br"),
+            ("example.co.il", "co.il"),
+            ("example.com.tr", "com.tr"),
+            ("example.co.in", "co.in"),
+        ]:
+            assert psl.public_suffix(domain) == suffix

@@ -1,0 +1,120 @@
+"""Tests for rendering and export."""
+
+import csv
+import io
+import json
+
+from repro.analysis.result import ExperimentResult
+from repro.reporting import (
+    render_cdf,
+    render_comparison,
+    render_series,
+    render_table,
+    rows_to_csv,
+    to_json,
+)
+
+
+class TestTables:
+    def test_alignment_and_borders(self):
+        text = render_table(["name", "count"],
+                            [["alpha", 1], ["longer-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # Every row the same width.
+        assert "| alpha" in text
+        assert "| 22" in text
+
+    def test_title(self):
+        text = render_table(["a"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_short_rows_padded(self):
+        text = render_table(["a", "b"], [["only-a"]])
+        assert "only-a" in text
+
+    def test_comparison_rendering(self):
+        result = ExperimentResult(
+            experiment_id="T0", title="Demo",
+            scalars={"metric": 1.23456},
+            paper_values={"metric": 1.2},
+        )
+        text = render_comparison(result)
+        assert "1.235" in text
+        assert "1.2" in text
+
+    def test_comparison_without_scalars(self):
+        result = ExperimentResult(experiment_id="T0", title="Just a title")
+        assert render_comparison(result) == "Just a title"
+
+    def test_comparison_missing_paper_value(self):
+        result = ExperimentResult(
+            experiment_id="T0", title="Demo", scalars={"extra": 5.0},
+        )
+        rows = result.comparison_rows()
+        assert rows == [["extra", 5.0, "—"]]
+
+
+class TestCdfPlot:
+    def test_monotone_curve(self):
+        text = render_cdf({"sample": [1, 2, 3, 4, 5]}, width=30, height=8)
+        assert "1.00 |" in text
+        assert "0.00 |" in text
+        assert "* sample" in text
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        text = render_cdf({"one": [1, 2], "two": [3, 4]}, width=20, height=6)
+        assert "* one" in text
+        assert "o two" in text
+
+    def test_empty_series_handled(self):
+        text = render_cdf({"empty": []}, title="T")
+        assert "(no data)" in text
+
+    def test_constant_sample(self):
+        text = render_cdf({"constant": [5.0, 5.0, 5.0]}, width=20, height=5)
+        assert "constant" in text
+
+    def test_title_first_line(self):
+        text = render_cdf({"s": [1.0]}, title="The Title")
+        assert text.splitlines()[0] == "The Title"
+
+
+class TestSeriesPlot:
+    def test_rows_per_month(self):
+        text = render_series(
+            ["2023-01", "2023-02"],
+            {"a": [1.0, 2.0], "b": [0.0, 5.0]},
+            title="Counts",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Counts"
+        assert any("2023-01" in line for line in lines)
+        assert any("2023-02" in line and "5" in line for line in lines)
+
+    def test_missing_values_zero_filled(self):
+        text = render_series(["m1", "m2"], {"a": [1.0]})
+        assert "m2" in text
+
+
+class TestExport:
+    def test_csv_round_trip(self):
+        text = rows_to_csv(["a", "b"], [["x", 1], ["y, z", 2]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["a", "b"]
+        assert rows[2] == ["y, z", "2"]
+
+    def test_json_serialises_dataclasses_and_enums(self):
+        from repro.rws.model import SiteRole
+        payload = {"role": SiteRole.ASSOCIATED, "values": [1, 2]}
+        parsed = json.loads(to_json(payload))
+        assert parsed["role"] == "associated"
+        assert parsed["values"] == [1, 2]
+
+    def test_json_serialises_experiment_result(self):
+        result = ExperimentResult(experiment_id="F0", title="t",
+                                  scalars={"x": 1.0})
+        parsed = json.loads(to_json(result))
+        assert parsed["experiment_id"] == "F0"
+        assert parsed["scalars"] == {"x": 1.0}

@@ -1,0 +1,110 @@
+"""Tests for snapshot diffing and the history time series."""
+
+import datetime as dt
+
+import pytest
+
+from repro.rws import RelatedWebsiteSet, RwsList, SiteRole
+from repro.rws.diff import diff_lists
+from repro.rws.history import (
+    RwsHistory,
+    iterate_months,
+    month_key,
+    parse_iso_date,
+)
+
+
+def make_list(*sets: RelatedWebsiteSet) -> RwsList:
+    return RwsList(sets=list(sets))
+
+
+SET_A = RelatedWebsiteSet(primary="a.com", associated=["a-news.com"])
+SET_A_GROWN = RelatedWebsiteSet(primary="a.com",
+                                associated=["a-news.com", "a-shop.com"])
+SET_B = RelatedWebsiteSet(primary="b.com", associated=["b-news.com"])
+
+
+class TestDiff:
+    def test_identical_lists_empty_diff(self):
+        diff = diff_lists(make_list(SET_A), make_list(SET_A))
+        assert diff.is_empty
+
+    def test_added_set(self):
+        diff = diff_lists(make_list(SET_A), make_list(SET_A, SET_B))
+        assert diff.added_sets == ["b.com"]
+        assert {r.site for r in diff.added_members} == {"b.com", "b-news.com"}
+        assert not diff.removed_sets
+
+    def test_removed_set(self):
+        diff = diff_lists(make_list(SET_A, SET_B), make_list(SET_A))
+        assert diff.removed_sets == ["b.com"]
+
+    def test_changed_set_membership(self):
+        diff = diff_lists(make_list(SET_A), make_list(SET_A_GROWN))
+        assert diff.changed_sets == ["a.com"]
+        assert [r.site for r in diff.added_members] == ["a-shop.com"]
+        assert not diff.removed_members
+
+
+class TestMonthHelpers:
+    def test_parse_iso_date(self):
+        assert parse_iso_date("2024-03-26") == dt.date(2024, 3, 26)
+        with pytest.raises(ValueError):
+            parse_iso_date("26/03/2024")
+
+    def test_month_key(self):
+        assert month_key(dt.date(2024, 3, 26)) == "2024-03"
+
+    def test_iterate_months_spans_year_boundary(self):
+        months = iterate_months(dt.date(2023, 11, 5), dt.date(2024, 2, 1))
+        assert months == ["2023-11", "2023-12", "2024-01", "2024-02"]
+
+    def test_iterate_months_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            iterate_months(dt.date(2024, 2, 1), dt.date(2024, 1, 1))
+
+
+class TestHistory:
+    @pytest.fixture()
+    def history(self) -> RwsHistory:
+        history = RwsHistory()
+        history.add("2023-06-15", make_list(SET_A))
+        history.add("2023-08-20", make_list(SET_A, SET_B))
+        history.add("2023-07-10", make_list(SET_A_GROWN))
+        return history
+
+    def test_snapshots_sorted(self, history):
+        dates = [s.date for s in history.snapshots]
+        assert dates == sorted(dates)
+
+    def test_earliest_latest(self, history):
+        assert history.earliest.date == dt.date(2023, 6, 15)
+        assert history.latest.date == dt.date(2023, 8, 20)
+
+    def test_as_of(self, history):
+        assert history.as_of("2023-05-01") is None
+        june = history.as_of("2023-06-30")
+        assert june is not None and len(june) == 1
+        july = history.as_of("2023-07-15")
+        assert july.sets[0].associated == ["a-news.com", "a-shop.com"]
+
+    def test_composition_series_ramps(self, history):
+        series = history.composition_series()
+        assert list(series) == ["2023-06", "2023-07", "2023-08"]
+        assert series["2023-06"][SiteRole.PRIMARY] == 1
+        assert series["2023-08"][SiteRole.PRIMARY] == 2
+        assert series["2023-07"][SiteRole.ASSOCIATED] == 2
+
+    def test_diffs(self, history):
+        diffs = history.diffs()
+        assert len(diffs) == 2
+        first_date, first_diff = diffs[0]
+        assert first_date == dt.date(2023, 7, 10)
+        assert first_diff.changed_sets == ["a.com"]
+
+    def test_empty_history(self):
+        history = RwsHistory()
+        assert len(history) == 0
+        assert history.monthly_dates() == []
+        with pytest.raises(IndexError):
+            _ = history.latest

@@ -1,0 +1,124 @@
+"""Tests for the pre-submission remediation engine."""
+
+import pytest
+
+from repro.governance.defects import DefectBundle, realize_run
+from repro.governance.planner import draft_set
+from repro.netsim import Client
+from repro.rws import (
+    CheckCode,
+    RelatedWebsiteSet,
+    RwsList,
+    Validator,
+    remediation_text,
+    suggest_fixes,
+)
+
+
+@pytest.fixture()
+def base_set() -> RelatedWebsiteSet:
+    return RelatedWebsiteSet(
+        primary="acme.com",
+        associated=["acmenews.com"],
+        rationales={"acmenews.com": "branding"},
+    )
+
+
+def suggestions_for(submission: RelatedWebsiteSet,
+                    published: RwsList | None = None):
+    report = Validator(published=published).validate(submission)
+    return suggest_fixes(report)
+
+
+class TestSuggestions:
+    def test_passing_report_has_no_suggestions(self, base_set):
+        report = Validator().validate(base_set)
+        assert suggest_fixes(report) == []
+        assert "No fixes needed" in remediation_text(report)
+
+    def test_one_suggestion_per_finding(self, base_set):
+        base_set.primary = "www.acme.com"
+        base_set.associated.append("a.acmenews.com")
+        base_set.rationales["a.acmenews.com"] = "x"
+        report = Validator().validate(base_set)
+        suggestions = suggest_fixes(report)
+        assert len(suggestions) == len(report.findings)
+
+    def test_etld_suggestion_names_registrable_domain(self, base_set):
+        base_set.associated.append("blog.acmenews.com")
+        base_set.rationales["blog.acmenews.com"] = "x"
+        suggestions = suggestions_for(base_set)
+        etld = next(s for s in suggestions
+                    if s.finding.code is CheckCode.ASSOCIATED_NOT_ETLD_PLUS_ONE)
+        assert "did you mean acmenews.com?" in etld.action
+
+    def test_well_known_suggestion_gives_url_and_shape(self, base_set):
+        realized = realize_run(draft_set("fixme.com"),
+                               DefectBundle(wk_missing=1), seed=3)
+        report = Validator(client=Client(realized.web)).validate(
+            realized.submission)
+        suggestions = suggest_fixes(report)
+        wk = next(s for s in suggestions
+                  if s.finding.code is CheckCode.WELL_KNOWN_UNREACHABLE)
+        assert "/.well-known/related-website-set.json" in wk.action
+        assert '"primary"' in wk.action
+
+    def test_rationale_suggestion(self, base_set):
+        del base_set.rationales["acmenews.com"]
+        suggestions = suggestions_for(base_set)
+        assert any("rationaleBySite" in s.action for s in suggestions)
+
+    def test_overlap_suggestion(self, base_set):
+        published = RwsList(sets=[RelatedWebsiteSet(
+            primary="rival.com", associated=["acmenews.com"],
+            rationales={"acmenews.com": "x"},
+        )])
+        suggestions = suggestions_for(base_set, published)
+        assert any("at most one set" in s.action for s in suggestions)
+
+    def test_service_header_suggestion(self):
+        realized = realize_run(draft_set("fixme.com"),
+                               DefectBundle(service_no_xrobots=1), seed=3)
+        report = Validator(client=Client(realized.web)).validate(
+            realized.submission)
+        assert any("X-Robots-Tag" in s.action
+                   for s in suggest_fixes(report))
+
+    def test_remediation_text_numbered(self, base_set):
+        base_set.primary = "www.acme.com"
+        report = Validator().validate(base_set)
+        text = remediation_text(report)
+        assert text.startswith("Remediation checklist:")
+        assert "1. " in text
+
+    def test_every_check_code_produces_specific_action(self):
+        """No finding may fall through to the generic fallback."""
+        from repro.rws.validation import Finding, ValidationReport
+
+        for code in CheckCode:
+            report = ValidationReport(findings=[
+                Finding(code, "site.example", "generic message"),
+            ])
+            suggestion = suggest_fixes(report)[0]
+            assert suggestion.action != "generic message", code
+
+
+class TestCliIntegration:
+    def test_validate_suggest_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        document = {
+            "sets": [{
+                "primary": "https://example.com",
+                "associatedSites": ["https://blog.example.com"],
+                "rationaleBySite": {"https://blog.example.com": "blog"},
+            }]
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(document))
+        assert main(["validate", str(path), "--suggest"]) == 1
+        output = capsys.readouterr().out
+        assert "Remediation checklist:" in output
+        assert "did you mean example.com?" in output

@@ -1,0 +1,189 @@
+"""Tests for the validation bot: every rule fires when (and only when)
+its defect is present."""
+
+import pytest
+
+from repro.governance.defects import DefectBundle, realize_run
+from repro.netsim import Client
+from repro.rws import CheckCode, RelatedWebsiteSet, RwsList, Validator
+from repro.rws.validation import TABLE3_CATEGORY, Severity
+
+
+def codes(report) -> set[CheckCode]:
+    return {finding.code for finding in report.findings}
+
+
+@pytest.fixture()
+def base_set() -> RelatedWebsiteSet:
+    return RelatedWebsiteSet(
+        primary="acme.com",
+        associated=["acmenews.com", "acmeshop.com"],
+        service=["acmecdn.net"],
+        rationales={
+            "acmenews.com": "Shared branding.",
+            "acmeshop.com": "Shared branding.",
+            "acmecdn.net": "Asset host.",
+        },
+    )
+
+
+class TestStructuralRules:
+    def test_clean_set_passes_structural(self, base_set):
+        report = Validator().validate(base_set)
+        assert report.passed, [f.message for f in report.findings]
+
+    def test_primary_not_etld_plus_one(self, base_set):
+        base_set.primary = "www.acme.com"
+        report = Validator().validate(base_set)
+        assert CheckCode.PRIMARY_NOT_ETLD_PLUS_ONE in codes(report)
+
+    def test_associated_not_etld_plus_one(self, base_set):
+        base_set.associated.append("blog.acmenews.com")
+        base_set.rationales["blog.acmenews.com"] = "subdomain"
+        report = Validator().validate(base_set)
+        assert CheckCode.ASSOCIATED_NOT_ETLD_PLUS_ONE in codes(report)
+
+    def test_service_not_etld_plus_one(self, base_set):
+        base_set.service.append("cdn.acmecdn.net")
+        base_set.rationales["cdn.acmecdn.net"] = "cdn"
+        report = Validator().validate(base_set)
+        assert CheckCode.SERVICE_NOT_ETLD_PLUS_ONE in codes(report)
+
+    def test_missing_rationale_single_finding(self, base_set):
+        del base_set.rationales["acmenews.com"]
+        del base_set.rationales["acmeshop.com"]
+        report = Validator().validate(base_set)
+        rationale_findings = [f for f in report.findings
+                              if f.code is CheckCode.MISSING_RATIONALE]
+        assert len(rationale_findings) == 1
+
+    def test_duplicate_member(self, base_set):
+        base_set.associated.append("acmenews.com")
+        report = Validator().validate(base_set)
+        assert CheckCode.DUPLICATE_IN_SET in codes(report)
+
+    def test_primary_listed_as_member(self, base_set):
+        base_set.associated.append("acme.com")
+        report = Validator().validate(base_set)
+        assert CheckCode.DUPLICATE_IN_SET in codes(report)
+
+    def test_singleton_set_rejected(self):
+        report = Validator().validate(RelatedWebsiteSet(primary="alone.com"))
+        assert CheckCode.EMPTY_SET in codes(report)
+
+    def test_invalid_domain(self, base_set):
+        base_set.associated.append("not a domain")
+        report = Validator().validate(base_set)
+        assert CheckCode.INVALID_DOMAIN in codes(report)
+
+    def test_overlap_with_published_list(self, base_set):
+        published = RwsList(sets=[RelatedWebsiteSet(
+            primary="rival.com", associated=["acmenews.com"],
+            rationales={"acmenews.com": "x"},
+        )])
+        report = Validator(published=published).validate(base_set)
+        assert CheckCode.ALREADY_IN_OTHER_SET in codes(report)
+
+    def test_resubmission_of_own_set_is_not_overlap(self, base_set):
+        published = RwsList(sets=[base_set])
+        report = Validator(published=published).validate(base_set)
+        assert CheckCode.ALREADY_IN_OTHER_SET not in codes(report)
+
+
+class TestCctldRules:
+    def test_valid_variant_passes(self, base_set):
+        base_set.cctlds = {"acme.com": ["acme.de", "acme.fr"]}
+        report = Validator().validate(base_set)
+        assert report.passed
+
+    def test_alias_not_etld_plus_one(self, base_set):
+        base_set.cctlds = {"acme.com": ["www.acme.de"]}
+        report = Validator().validate(base_set)
+        assert CheckCode.ALIAS_NOT_ETLD_PLUS_ONE in codes(report)
+
+    def test_variant_with_different_sld_rejected(self, base_set):
+        base_set.cctlds = {"acme.com": ["totallyother.de"]}
+        report = Validator().validate(base_set)
+        assert CheckCode.INVALID_CCTLD_VARIANT in codes(report)
+
+    def test_variant_with_same_suffix_rejected(self, base_set):
+        base_set.cctlds = {"acme.com": ["acme.com"]}
+        report = Validator().validate(base_set)
+        assert CheckCode.INVALID_CCTLD_VARIANT in codes(report)
+
+    def test_variant_for_non_member_rejected(self, base_set):
+        base_set.cctlds = {"stranger.com": ["stranger.de"]}
+        report = Validator().validate(base_set)
+        assert CheckCode.INVALID_CCTLD_VARIANT in codes(report)
+
+
+class TestNetworkRules:
+    """Network rules run against realize_run's deployed webs."""
+
+    def _validate(self, base_set, bundle):
+        realized = realize_run(base_set, bundle, seed=5)
+        validator = Validator(client=Client(realized.web))
+        return validator.validate(realized.submission)
+
+    def test_fully_deployed_set_passes(self, base_set):
+        report = self._validate(base_set, DefectBundle())
+        assert report.passed, [f.message for f in report.findings]
+
+    def test_missing_well_known(self, base_set):
+        report = self._validate(base_set, DefectBundle(wk_missing=2))
+        unreachable = [f for f in report.findings
+                       if f.code is CheckCode.WELL_KNOWN_UNREACHABLE]
+        assert len(unreachable) == 2
+
+    def test_mismatched_well_known(self, base_set):
+        report = self._validate(base_set, DefectBundle(wk_mismatch=1))
+        assert CheckCode.WELL_KNOWN_MISMATCH in codes(report)
+
+    def test_service_without_x_robots_tag(self, base_set):
+        report = self._validate(base_set, DefectBundle(service_no_xrobots=1))
+        assert CheckCode.SERVICE_MISSING_X_ROBOTS_TAG in codes(report)
+
+    def test_invalid_well_known_json(self, base_set):
+        realized = realize_run(base_set, DefectBundle(), seed=5)
+        realized.web.set_json("acmenews.com",
+                              "/.well-known/related-website-set.json",
+                              "{not json")
+        validator = Validator(client=Client(realized.web))
+        report = validator.validate(realized.submission)
+        assert CheckCode.WELL_KNOWN_INVALID in codes(report)
+
+    def test_dead_member_reported_once(self, base_set):
+        realized = realize_run(base_set, DefectBundle(), seed=5)
+        realized.web.remove_host("acmeshop.com")
+        validator = Validator(client=Client(realized.web))
+        report = validator.validate(realized.submission)
+        unreachable = [f for f in report.findings
+                       if f.code is CheckCode.WELL_KNOWN_UNREACHABLE]
+        assert len(unreachable) == 1
+
+
+class TestReporting:
+    def test_every_code_has_table3_category(self):
+        assert set(TABLE3_CATEGORY) == set(CheckCode)
+
+    def test_bot_comment_lists_errors(self, base_set):
+        base_set.primary = "www.acme.com"
+        report = Validator().validate(base_set)
+        comment = report.bot_comment()
+        assert "eTLD+1" in comment
+
+    def test_bot_comment_for_pass(self, base_set):
+        report = Validator().validate(base_set)
+        assert "passed" in report.bot_comment()
+
+    def test_table3_counts(self, base_set):
+        base_set.primary = "www.acme.com"
+        report = Validator().validate(base_set)
+        counts = report.table3_counts()
+        assert counts["Primary site isn't an eTLD+1"] == 1
+
+    def test_severity_error_fails(self, base_set):
+        base_set.primary = "www.acme.com"
+        report = Validator().validate(base_set)
+        assert not report.passed
+        assert all(f.severity is Severity.ERROR for f in report.findings)

@@ -1,0 +1,167 @@
+"""Tests for ECDF, the KS test (cross-checked against scipy), and
+summary statistics."""
+
+import math
+import random
+
+import pytest
+import scipy.stats
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import (
+    Ecdf,
+    bootstrap_ci,
+    ecdf_points,
+    five_number_summary,
+    ks_two_sample,
+)
+
+SAMPLE = st.lists(st.floats(-100, 100, allow_nan=False), min_size=1,
+                  max_size=50)
+
+
+class TestEcdf:
+    def test_step_values(self):
+        ecdf = Ecdf.from_sample([1.0, 2.0, 3.0, 4.0])
+        assert ecdf(0.5) == 0.0
+        assert ecdf(1.0) == 0.25
+        assert ecdf(2.5) == 0.5
+        assert ecdf(4.0) == 1.0
+        assert ecdf(99.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_sample([])
+
+    def test_median_odd_even(self):
+        assert Ecdf.from_sample([3, 1, 2]).median == 2
+        assert Ecdf.from_sample([1, 2, 3, 4]).median == 2.5
+
+    def test_quantile_bounds(self):
+        ecdf = Ecdf.from_sample([5, 1, 9])
+        assert ecdf.quantile(0.0) == 1
+        assert ecdf.quantile(1.0) == 9
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    @given(sample=SAMPLE)
+    def test_monotone_non_decreasing(self, sample):
+        ecdf = Ecdf.from_sample(sample)
+        points = sorted(set(sample))
+        values = [ecdf(x) for x in points]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_ecdf_points_unique_x(self):
+        points = ecdf_points([1, 1, 2, 2, 3])
+        assert [x for x, _ in points] == [1, 2, 3]
+        assert points[-1][1] == 1.0
+
+
+class TestKsTest:
+    def test_identical_samples_d_zero(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0]
+        result = ks_two_sample(sample, sample)
+        assert result.statistic == 0.0
+        assert result.p_value > 0.99
+
+    def test_disjoint_samples_d_one(self):
+        result = ks_two_sample([1, 2, 3], [10, 11, 12])
+        assert result.statistic == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample([], [1.0])
+
+    def test_detects_clear_shift(self):
+        rng = random.Random(0)
+        sample_a = [rng.gauss(0, 1) for _ in range(80)]
+        sample_b = [rng.gauss(2, 1) for _ in range(80)]
+        assert ks_two_sample(sample_a, sample_b).significant()
+
+    def test_same_distribution_not_significant(self):
+        rng = random.Random(1)
+        sample_a = [rng.gauss(0, 1) for _ in range(80)]
+        sample_b = [rng.gauss(0, 1) for _ in range(80)]
+        assert not ks_two_sample(sample_a, sample_b).significant()
+
+    @settings(max_examples=30)
+    @given(
+        a=st.lists(st.floats(-50, 50, allow_nan=False), min_size=5,
+                   max_size=40),
+        b=st.lists(st.floats(-50, 50, allow_nan=False), min_size=5,
+                   max_size=40),
+    )
+    def test_statistic_matches_scipy(self, a, b):
+        ours = ks_two_sample(a, b)
+        scipys = scipy.stats.ks_2samp(a, b, method="asymp")
+        assert ours.statistic == pytest.approx(scipys.statistic, abs=1e-9)
+
+    def test_p_value_close_to_scipy_on_typical_data(self):
+        rng = random.Random(7)
+        for shift in (0.0, 0.3, 0.8):
+            a = [rng.gauss(0, 1) for _ in range(60)]
+            b = [rng.gauss(shift, 1) for _ in range(70)]
+            ours = ks_two_sample(a, b)
+            scipys = scipy.stats.ks_2samp(a, b, method="asymp")
+            # Same side of alpha and within a loose numeric band (we use
+            # the effective-n continuity correction).
+            assert (ours.p_value < 0.05) == (scipys.pvalue < 0.05)
+            assert ours.p_value == pytest.approx(scipys.pvalue, abs=0.05)
+
+    def test_symmetry(self):
+        a = [1.0, 3.0, 5.0]
+        b = [2.0, 2.5, 6.0, 7.0]
+        forward = ks_two_sample(a, b)
+        backward = ks_two_sample(b, a)
+        assert forward.statistic == pytest.approx(backward.statistic)
+
+
+class TestSummary:
+    def test_five_numbers(self):
+        summary = five_number_summary([1, 2, 3, 4, 5, 6, 7, 8, 9])
+        assert summary.minimum == 1
+        assert summary.median == 5
+        assert summary.maximum == 9
+        assert summary.q1 == 3
+        assert summary.q3 == 7
+
+    def test_single_value(self):
+        summary = five_number_summary([4.0])
+        assert summary.minimum == summary.maximum == summary.median == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            five_number_summary([])
+
+    def test_bootstrap_contains_truth_for_big_sample(self):
+        rng = random.Random(3)
+        sample = [rng.gauss(10, 2) for _ in range(200)]
+        low, high = bootstrap_ci(sample, seed=5)
+        assert low < 10.2 and high > 9.8
+        assert low < high
+
+    def test_bootstrap_deterministic(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(sample, seed=9) == bootstrap_ci(sample, seed=9)
+
+    def test_bootstrap_validations(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], seed=1)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=2.0)
+
+    def test_bootstrap_other_statistic(self):
+        sample = [1.0, 2.0, 100.0]
+        low, high = bootstrap_ci(sample, statistic=lambda s: max(s), seed=2)
+        assert high == 100.0
+
+
+def test_kolmogorov_sf_edge_cases():
+    from repro.stats.ks import _kolmogorov_sf
+    assert _kolmogorov_sf(0.0) == 1.0
+    assert _kolmogorov_sf(-1.0) == 1.0
+    assert _kolmogorov_sf(5.0) < 1e-10
+    assert 0.0 <= _kolmogorov_sf(1.0) <= 1.0
+    # Known value: Q(1.36) ~ 0.049 (the classic 5% critical point).
+    assert math.isclose(_kolmogorov_sf(1.36), 0.049, abs_tol=0.002)

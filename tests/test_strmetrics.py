@@ -1,0 +1,186 @@
+"""Unit + property tests for the string metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.strmetrics import (
+    damerau_levenshtein_distance,
+    jaccard_index,
+    levenshtein_distance,
+    levenshtein_ratio,
+    levenshtein_within,
+    longest_common_subsequence_length,
+    overlap_coefficient,
+    sequence_similarity,
+    shingles,
+)
+
+SHORT_TEXT = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("", "", 0),
+        ("abc", "abc", 0),
+        ("", "abc", 3),
+        ("abc", "", 3),
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("bild", "autobild", 4),
+        ("poalim", "poalim", 0),
+        ("a", "b", 1),
+    ])
+    def test_known_values(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    @given(a=SHORT_TEXT, b=SHORT_TEXT)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(a=SHORT_TEXT, b=SHORT_TEXT)
+    def test_bounds(self, a, b):
+        distance = levenshtein_distance(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+    @given(a=SHORT_TEXT, b=SHORT_TEXT, c=SHORT_TEXT)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(a=SHORT_TEXT, b=SHORT_TEXT)
+    def test_identity_of_indiscernibles(self, a, b):
+        assert (levenshtein_distance(a, b) == 0) == (a == b)
+
+
+class TestLevenshteinWithin:
+    @given(a=SHORT_TEXT, b=SHORT_TEXT, limit=st.integers(0, 12))
+    def test_agrees_with_exact(self, a, b, limit):
+        exact = levenshtein_distance(a, b)
+        banded = levenshtein_within(a, b, limit)
+        if exact <= limit:
+            assert banded == exact
+        else:
+            assert banded is None
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            levenshtein_within("a", "b", -1)
+
+    def test_zero_limit(self):
+        assert levenshtein_within("same", "same", 0) == 0
+        assert levenshtein_within("same", "sane", 0) is None
+
+
+class TestLevenshteinRatio:
+    def test_identical(self):
+        assert levenshtein_ratio("abc", "abc") == 1.0
+
+    def test_empty_pair(self):
+        assert levenshtein_ratio("", "") == 1.0
+
+    def test_disjoint(self):
+        assert levenshtein_ratio("aaa", "bbb") == 0.0
+
+    @given(a=SHORT_TEXT, b=SHORT_TEXT)
+    def test_in_unit_interval(self, a, b):
+        assert 0.0 <= levenshtein_ratio(a, b) <= 1.0
+
+
+class TestDamerau:
+    def test_transposition_costs_one(self):
+        assert levenshtein_distance("ab", "ba") == 2
+        assert damerau_levenshtein_distance("ab", "ba") == 1
+
+    @pytest.mark.parametrize("a,b,expected", [
+        ("", "", 0),
+        ("abc", "acb", 1),
+        ("ca", "abc", 3),   # Optimal-string-alignment value.
+        ("kitten", "sitting", 3),
+    ])
+    def test_known_values(self, a, b, expected):
+        assert damerau_levenshtein_distance(a, b) == expected
+
+    @given(a=SHORT_TEXT, b=SHORT_TEXT)
+    def test_never_exceeds_levenshtein(self, a, b):
+        assert damerau_levenshtein_distance(a, b) <= levenshtein_distance(a, b)
+
+    @given(a=SHORT_TEXT, b=SHORT_TEXT)
+    def test_symmetry(self, a, b):
+        assert (damerau_levenshtein_distance(a, b)
+                == damerau_levenshtein_distance(b, a))
+
+
+class TestLcs:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("", "", 0),
+        ("abc", "abc", 3),
+        ("abc", "def", 0),
+        ("abcde", "ace", 3),
+        ("aggtab", "gxtxayb", 4),
+    ])
+    def test_known_values(self, a, b, expected):
+        assert longest_common_subsequence_length(a, b) == expected
+
+    @given(a=SHORT_TEXT, b=SHORT_TEXT)
+    def test_bounded_by_shorter(self, a, b):
+        lcs = longest_common_subsequence_length(a, b)
+        assert 0 <= lcs <= min(len(a), len(b))
+
+    @given(a=SHORT_TEXT)
+    def test_self_lcs_is_length(self, a):
+        assert longest_common_subsequence_length(a, a) == len(a)
+
+    @given(a=SHORT_TEXT, b=SHORT_TEXT)
+    def test_similarity_unit_interval(self, a, b):
+        assert 0.0 <= sequence_similarity(a, b) <= 1.0
+
+    def test_similarity_of_empties(self):
+        assert sequence_similarity([], []) == 1.0
+
+
+class TestSetMetrics:
+    def test_jaccard_known(self):
+        assert jaccard_index({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard_index(set(), set()) == 1.0
+        assert jaccard_index({1}, set()) == 0.0
+
+    def test_overlap_known(self):
+        assert overlap_coefficient({1, 2}, {2, 3, 4}) == pytest.approx(0.5)
+        assert overlap_coefficient(set(), set()) == 1.0
+        assert overlap_coefficient({1}, set()) == 0.0
+
+    @given(a=st.frozensets(st.integers(0, 20)),
+           b=st.frozensets(st.integers(0, 20)))
+    def test_jaccard_leq_overlap(self, a, b):
+        assert jaccard_index(a, b) <= overlap_coefficient(a, b) + 1e-12
+
+    @given(a=st.frozensets(st.integers(0, 20)))
+    def test_jaccard_self_is_one(self, a):
+        assert jaccard_index(a, a) == 1.0
+
+
+class TestShingles:
+    def test_basic(self):
+        assert shingles("abcd", k=2) == {("a", "b"), ("b", "c"), ("c", "d")}
+
+    def test_short_sequence_single_shingle(self):
+        assert shingles("ab", k=4) == {("a", "b")}
+
+    def test_empty(self):
+        assert shingles("", k=3) == set()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            shingles("abc", k=0)
+
+    @given(items=st.lists(st.integers(0, 5), max_size=20),
+           k=st.integers(1, 6))
+    def test_count_bound(self, items, k):
+        result = shingles(items, k=k)
+        if not items:
+            assert result == set()
+        elif len(items) < k:
+            assert result == {tuple(items)}
+        else:
+            assert len(result) <= len(items) - k + 1

