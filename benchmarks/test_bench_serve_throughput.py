@@ -1,0 +1,79 @@
+"""Bench X4 — serving-layer throughput: compiled index vs naive scan.
+
+Not a paper artefact: the acceptance gate for the `repro.serve`
+subsystem.  Every ``requestStorageAccess`` decision is a membership
+query, so the serving index must answer bulk workloads measurably
+faster than the seed's :meth:`RwsList.related` scan over all 41 sets —
+and give byte-identical verdicts while doing it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.data import build_rws_list
+from repro.serve import MembershipIndex
+
+
+def _bulk_pairs(rws_list) -> list[tuple[str, str]]:
+    """A mixed workload: members × (members + unlisted probes)."""
+    members = [record.site for record in rws_list.all_members()]
+    probes = members + [f"unlisted-{i}.example" for i in range(20)]
+    return [(a, b) for a in members[:40] for b in probes]
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_index_matches_naive_verdicts():
+    """The compiled index gives exactly the scan path's answers."""
+    rws_list = build_rws_list()
+    index = MembershipIndex.from_list(rws_list)
+    pairs = _bulk_pairs(rws_list)
+    indexed = index.related_batch(pairs)
+    naive = [rws_list.related(a, b) for a, b in pairs]
+    assert indexed == naive
+
+
+def test_index_beats_naive_scan():
+    """Bulk membership queries: index >= 3x faster than list scans."""
+    rws_list = build_rws_list()
+    index = MembershipIndex.from_list(rws_list)
+    pairs = _bulk_pairs(rws_list)
+
+    naive_time = _best_of(3, lambda: [rws_list.related(a, b)
+                                      for a, b in pairs])
+    index_time = _best_of(3, lambda: index.related_batch(pairs))
+
+    speedup = naive_time / index_time
+    print(f"\n{len(pairs)} queries: naive scan {naive_time * 1e3:.1f} ms, "
+          f"compiled index {index_time * 1e3:.1f} ms "
+          f"({speedup:.0f}x speedup)")
+    assert speedup >= 3.0, (
+        f"index only {speedup:.1f}x faster than the naive scan"
+    )
+
+
+def test_bench_index_bulk_queries(benchmark):
+    """Steady-state throughput of the compiled index (batch API)."""
+    rws_list = build_rws_list()
+    index = MembershipIndex.from_list(rws_list)
+    pairs = _bulk_pairs(rws_list)
+
+    verdicts = benchmark(index.related_batch, pairs)
+    assert len(verdicts) == len(pairs)
+    assert any(verdicts) and not all(verdicts)
+
+
+def test_bench_index_compile(benchmark):
+    """One-off cost of compiling the index from a list snapshot."""
+    rws_list = build_rws_list()
+
+    index = benchmark(MembershipIndex.from_list, rws_list)
+    assert len(index) == len({r.site for r in rws_list.all_members()})

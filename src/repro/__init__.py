@@ -5,31 +5,38 @@ measures: the Related Website Sets list model and validation bot, the
 browser storage-partitioning policy RWS modifies, the crawling and
 HTML-similarity tooling, the Forcepoint-style categoriser, the GitHub
 governance pipeline, and the §3 user study — plus per-artefact analysis
-pipelines that regenerate every table and figure.
+pipelines that regenerate every table and figure, and a serving layer
+(:mod:`repro.serve`) that compiles the list into an indexed,
+versioned, asynchronously-governed service.
 
 Quickstart::
 
     from repro.data import build_rws_list
     from repro.analysis import run_experiment
+    from repro.serve import MembershipIndex
 
     rws_list = build_rws_list()
-    print(rws_list.related("timesinternet.in", "indiatimes.com"))  # True
+    index = MembershipIndex.from_list(rws_list)
+    print(index.related("timesinternet.in", "indiatimes.com"))  # True
     result = run_experiment("F3")   # Figure 3 pipeline
     print(result.scalars)
 
-See README.md for the architecture overview and DESIGN.md for the
-paper-to-module map.
+See README.md for the architecture overview and the paper-to-module
+map.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.psl import PublicSuffixList, default_psl
 from repro.rws import RelatedWebsiteSet, RwsList, Validator
+from repro.serve import MembershipIndex, RwsService
 
 __all__ = [
+    "MembershipIndex",
     "PublicSuffixList",
     "RelatedWebsiteSet",
     "RwsList",
+    "RwsService",
     "Validator",
     "__version__",
     "default_psl",

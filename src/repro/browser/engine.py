@@ -17,6 +17,7 @@ from repro.browser.policy import BrowserPolicy, GrantDecision, PromptBehavior
 from repro.browser.storage import PartitionedStorage
 from repro.psl import PublicSuffixList, default_psl
 from repro.rws.model import RwsList, SiteRole
+from repro.serve.index import MembershipIndex
 
 
 @dataclass
@@ -26,6 +27,9 @@ class Browser:
     Args:
         policy: The browser's partitioning/storage-access policy.
         rws_list: The RWS list consulted when ``policy.rws_enabled``.
+            Compiled into a :class:`MembershipIndex` on first use, the
+            way Chrome consumes the component-updater payload — call
+            :meth:`refresh_rws_index` after mutating the list in place.
         psl: Public suffix list for site computation.
         prompt_responses: Scripted user answers to storage-access
             prompts, keyed by (top_site, embedded_site); unscripted
@@ -42,6 +46,19 @@ class Browser:
     interacted_sites: set[str] = field(default_factory=set)
     grant_log: list[tuple[str, str, GrantDecision]] = field(default_factory=list)
     _autogrants_used: dict[str, set[str]] = field(default_factory=dict)
+    _rws_index: MembershipIndex | None = field(default=None, init=False,
+                                               repr=False)
+
+    @property
+    def rws_index(self) -> MembershipIndex:
+        """The compiled membership index over ``rws_list``."""
+        if self._rws_index is None:
+            self._rws_index = MembershipIndex(self.rws_list)
+        return self._rws_index
+
+    def refresh_rws_index(self) -> None:
+        """Recompile the index (after an in-place ``rws_list`` update)."""
+        self._rws_index = None
 
     # -- navigation -----------------------------------------------------------
 
@@ -105,7 +122,7 @@ class Browser:
             return self._log(top_site, embedded,
                              GrantDecision.DENIED_NO_USER_GESTURE)
 
-        if self.policy.rws_enabled and self.rws_list.related(top_site, embedded):
+        if self.policy.rws_enabled and self.rws_index.related(top_site, embedded):
             decision = self._decide_rws(top_site, embedded)
             if decision.granted:
                 frame.has_storage_access = True
@@ -149,8 +166,8 @@ class Browser:
         if not user_gesture:
             return self._log(top_site, embedded,
                              GrantDecision.DENIED_NO_USER_GESTURE)
-        if self.policy.rws_enabled and self.rws_list.related(top_site,
-                                                             embedded):
+        if self.policy.rws_enabled and self.rws_index.related(top_site,
+                                                              embedded):
             decision = self._decide_rws(top_site, embedded)
             if decision.granted:
                 page.granted_sites.add(embedded)
@@ -158,7 +175,7 @@ class Browser:
         return self._log(top_site, embedded, GrantDecision.DENIED_POLICY)
 
     def _decide_rws(self, top_site: str, embedded: str) -> GrantDecision:
-        rws_set = self.rws_list.find_set_for(top_site)
+        rws_set = self.rws_index.set_for(top_site)
         assert rws_set is not None  # related() established membership
         if rws_set.role_of(top_site) is SiteRole.SERVICE:
             # Service sites support other members; they cannot be the

@@ -9,7 +9,12 @@ Subcommands:
   the synthetic web);
 * ``survey`` — run the §3 user-study simulation and print Table 1;
 * ``governance`` — run the §4 PR simulation and print Table 3;
-* ``list-stats`` — print the reconstructed list's composition.
+* ``list-stats`` — print the reconstructed list's composition;
+* ``query <site> <site...>`` — answer membership queries against the
+  compiled serving index (the browser's storage-access question);
+* ``serve`` — bring up the serving layer over the reconstructed list,
+  exercise it, and print its counters (a one-shot stand-in for a
+  long-running service).
 """
 
 from __future__ import annotations
@@ -107,6 +112,85 @@ def _cmd_list_stats(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service():
+    from repro.data import build_rws_list
+    from repro.serve import RwsService
+
+    service = RwsService()
+    service.publish(build_rws_list())
+    return service
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if len(args.sites) < 2:
+        print("query needs at least two sites", file=sys.stderr)
+        return 2
+    service = _build_service()
+    subject = args.sites[0]
+    all_related = True
+    unresolvable = False
+    for other in args.sites[1:]:
+        verdict = service.query(subject, other)
+        if verdict.site_a is None or verdict.site_b is None:
+            unresolvable = True
+            bad = subject if verdict.site_a is None else other
+            print(f"error      {subject} ~ {other}: "
+                  f"{bad!r} has no registrable domain")
+            continue
+        if verdict.related:
+            result = verdict.result
+            assert result is not None
+            if result.set_primary is not None:
+                role_a = result.role_a.value if result.role_a else "?"
+                role_b = result.role_b.value if result.role_b else "?"
+                detail = (f"set {result.set_primary} "
+                          f"({role_a} ~ {role_b})")
+            else:
+                detail = "same site"
+            print(f"related    {verdict.site_a} ~ {verdict.site_b}  [{detail}]")
+        else:
+            all_related = False
+            print(f"unrelated  {verdict.site_a} ~ {verdict.site_b}")
+    if unresolvable:
+        return 2
+    return 0 if all_related else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = _build_service()
+    snapshot = service.current_snapshot
+    assert snapshot is not None
+    rws_list = snapshot.rws_list
+    print(f"serving snapshot v{snapshot.version} "
+          f"({snapshot.content_hash[:12]}…): "
+          f"{service.index.set_count} sets, "
+          f"{service.index.site_count} member domains")
+
+    members = [record.site for record in rws_list.all_members()]
+    workload = max(0, args.queries)
+    pairs = [(members[i % len(members)], members[(i * 7 + 3) % len(members)])
+             for i in range(workload)]
+    related = sum(1 for v in service.query_batch(pairs) if v.related)
+    print(f"answered {workload} membership queries "
+          f"({related} related)")
+
+    if args.validate:
+        tickets = service.queue.submit_many(list(rws_list))
+        service.drain()
+        passed = sum(1 for t in tickets
+                     if service.poll(t).value == "passed")
+        print(f"validated {len(tickets)} served sets through the queue "
+              f"({passed} passed)")
+
+    print()
+    print("counter                value")
+    print("---------------------  ----------")
+    for key, value in sorted(service.stats_report().items()):
+        rendered = f"{value:.1f}" if key == "mean_query_ns" else f"{int(value)}"
+        print(f"{key:21s}  {rendered}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -147,6 +231,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser("list-stats",
                                 help="composition of the reconstructed list")
     sub.set_defaults(handler=_cmd_list_stats)
+
+    sub = subparsers.add_parser(
+        "query",
+        help="membership queries against the compiled serving index")
+    sub.add_argument("sites", nargs="+", metavar="SITE",
+                     help="two or more sites; the first is queried "
+                          "against each of the rest")
+    sub.set_defaults(handler=_cmd_query)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="bring up the serving layer and print its counters")
+    sub.add_argument("--queries", type=int, default=1000, metavar="N",
+                     help="size of the self-test query workload "
+                          "(default: 1000)")
+    sub.add_argument("--validate", action="store_true",
+                     help="also push every served set through the "
+                          "asynchronous validation queue")
+    sub.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -14,20 +14,30 @@ from repro.governance.model import (
 )
 from repro.governance.planner import GovernancePlan, build_plan
 from repro.netsim.client import Client
+from repro.rws.model import RwsList
 from repro.rws.validation import ValidationReport, Validator
+from repro.serve.index import MembershipIndex
 
 
-def _validate_run(run_seed: int, planned_run) -> ValidationReport:
+def _validate_run(run_seed: int, planned_run, published: RwsList,
+                  published_index: MembershipIndex) -> ValidationReport:
     realized = realize_run(planned_run.base, planned_run.bundle, seed=run_seed)
-    validator = Validator(client=Client(realized.web))
+    validator = Validator(client=Client(realized.web), published=published,
+                          published_index=published_index)
     return validator.validate(realized.submission)
 
 
-def simulate_governance(plan: GovernancePlan | None = None) -> PrDataset:
+def simulate_governance(plan: GovernancePlan | None = None,
+                        published: RwsList | None = None) -> PrDataset:
     """Run the bot over every planned PR and assemble the dataset.
 
     Args:
         plan: The plan to execute (the calibrated default otherwise).
+        published: The list in force while the PRs are processed, for
+            the bot's overlap rule (empty by default, matching the
+            paper's window where submissions predate their own merge).
+            Compiled once into a shared membership index rather than
+            rescanned per submission.
 
     Returns:
         The full PR dataset — the input to Figures 5-6 and Table 3.
@@ -39,13 +49,16 @@ def simulate_governance(plan: GovernancePlan | None = None) -> PrDataset:
             have drifted apart.
     """
     plan = plan or build_plan()
+    published = published or RwsList()
+    published_index = MembershipIndex(published)
     dataset = PrDataset()
 
     for number, planned in enumerate(plan.prs, start=1):
         events = [PrEvent(kind=PrEventKind.OPENED, date=planned.opened)]
         submission = None
         for run_index, planned_run in enumerate(planned.runs):
-            report = _validate_run(number * 31 + run_index, planned_run)
+            report = _validate_run(number * 31 + run_index, planned_run,
+                                   published, published_index)
             expected_clean = planned_run.bundle.is_clean
             if expected_clean and not report.passed:
                 raise AssertionError(

@@ -18,6 +18,7 @@ https://publicsuffix.org/list/ on top of the rule model in
 from __future__ import annotations
 
 import functools
+import threading
 from dataclasses import dataclass
 
 from repro.psl.rules import Rule, RuleIndex, RuleKind, parse_rules
@@ -107,9 +108,18 @@ def normalize_domain(domain: str) -> str:
 class PublicSuffixList:
     """A queryable Public Suffix List.
 
+    Resolutions are memoised: every subsystem funnels its domains
+    through the same handful of lookups (bench X3 names this the
+    hottest cross-subsystem path), so successful resolutions are kept
+    in a bounded LRU cache keyed by the raw input string.
+    :class:`SuffixMatch` is frozen, so cached results are safe to
+    share; only successful resolutions are cached (invalid domains
+    raise every time, unchanged).
+
     Args:
         text: PSL-format rule text.  Defaults to the embedded snapshot;
             pass the full downloaded list for production use.
+        cache_size: Bound on the resolution cache (0 disables caching).
 
     Example:
         >>> psl = PublicSuffixList()
@@ -121,13 +131,35 @@ class PublicSuffixList:
         False
     """
 
-    def __init__(self, text: str = PSL_SNAPSHOT):
+    def __init__(self, text: str = PSL_SNAPSHOT, *, cache_size: int = 4096):
         self._index = RuleIndex.from_rules(parse_rules(text))
         if len(self._index) == 0:
             raise ValueError("PSL text contains no rules")
+        self._cache_maxsize = max(0, cache_size)
+        self._cache: dict[str, SuffixMatch] = {}
+        self._cache_lock = threading.Lock()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     def __len__(self) -> int:
         return len(self._index)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Resolution-cache counters: hits, misses, size, maxsize."""
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "size": len(self._cache),
+                "maxsize": self._cache_maxsize,
+            }
+
+    def cache_clear(self) -> None:
+        """Empty the resolution cache and reset its counters."""
+        with self._cache_lock:
+            self._cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
 
     def resolve(self, domain: str) -> SuffixMatch:
         """Resolve a domain to its public suffix and registrable domain.
@@ -141,6 +173,26 @@ class PublicSuffixList:
         Raises:
             DomainError: If the domain is syntactically invalid.
         """
+        cacheable = isinstance(domain, str) and self._cache_maxsize > 0
+        if cacheable:
+            with self._cache_lock:
+                cached = self._cache.pop(domain, None)
+                if cached is not None:
+                    # Re-insert so insertion order tracks recency (LRU).
+                    self._cache[domain] = cached
+                    self._cache_hits += 1
+                    return cached
+                self._cache_misses += 1
+        match = self._resolve_uncached(domain)
+        if cacheable:
+            with self._cache_lock:
+                if len(self._cache) >= self._cache_maxsize:
+                    # Evict the oldest insertion (dicts keep that order).
+                    self._cache.pop(next(iter(self._cache)))
+                self._cache[domain] = match
+        return match
+
+    def _resolve_uncached(self, domain: str) -> SuffixMatch:
         normalised = normalize_domain(domain)
         labels = normalised.split(".")
         reversed_labels = tuple(reversed(labels))

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.netsim.client import Client, FetchError
 from repro.psl import PublicSuffixList, default_psl
@@ -39,6 +40,9 @@ from repro.psl.lookup import DomainError
 from repro.rws.model import RelatedWebsiteSet, RwsList
 from repro.rws.schema import SchemaError
 from repro.rws.wellknown import WELL_KNOWN_PATH, parse_well_known, well_known_matches
+
+if TYPE_CHECKING:  # circular at runtime: repro.serve builds on this module
+    from repro.serve.index import MembershipIndex
 
 
 class Severity(enum.Enum):
@@ -155,6 +159,11 @@ class Validator:
             rules are skipped (structure-only validation, as used by the
             submission pre-checker example).
         published: The currently published list, for overlap checks.
+        published_index: A precompiled
+            :class:`~repro.serve.index.MembershipIndex` over
+            ``published``; compiled on first use when omitted.  Sharing
+            one index across many validators (as the governance
+            simulation does) avoids recompiling per submission.
     """
 
     def __init__(
@@ -162,10 +171,32 @@ class Validator:
         psl: PublicSuffixList | None = None,
         client: Client | None = None,
         published: RwsList | None = None,
+        published_index: "MembershipIndex | None" = None,
     ):
         self.psl = psl or default_psl()
         self.client = client
         self.published = published or RwsList()
+        self._published_index = published_index
+
+    @property
+    def published_index(self) -> "MembershipIndex":
+        """The compiled index over the published list (lazily built)."""
+        if self._published_index is None:
+            # Imported here, not at module level: repro.serve depends on
+            # this module, so a top-level import would be circular.
+            from repro.serve.index import MembershipIndex
+
+            self._published_index = MembershipIndex(self.published)
+        return self._published_index
+
+    def set_published(
+        self,
+        published: RwsList,
+        index: "MembershipIndex | None" = None,
+    ) -> None:
+        """Repoint the overlap rule at a new published snapshot."""
+        self.published = published
+        self._published_index = index
 
     # -- entry point -------------------------------------------------------
 
@@ -289,8 +320,9 @@ class Validator:
 
     def _check_overlap(self, submission: RelatedWebsiteSet,
                        report: ValidationReport) -> None:
+        index = self.published_index
         for site in submission.members():
-            existing = self.published.find_set_for(site)
+            existing = index.set_for(site)
             if existing is not None and existing.primary != submission.primary:
                 report.findings.append(Finding(
                     CheckCode.ALREADY_IN_OTHER_SET, site,

@@ -1,0 +1,58 @@
+"""The RWS serving layer: compiled queries, versioned snapshots, queues.
+
+The paper studies an ecosystem that is operationally a *service*:
+Chrome ships the Related Website Sets list to millions of browsers via
+the component updater, every ``requestStorageAccess`` decision performs
+a membership lookup against it, and the GitHub governance pipeline
+accepts submissions asynchronously.  The seed reproduction modelled the
+artefacts (the list, the bot, the browser) but only offered linear
+scans and synchronous validation; this package is the serving layer:
+
+* :mod:`repro.serve.index` — :class:`MembershipIndex`, a compiled
+  eTLD+1 → (set, role) hash index with interned domains and
+  single/batch/streaming query APIs;
+* :mod:`repro.serve.snapshot` — versioned, content-hashed list
+  snapshots with component-updater-style deltas
+  (:class:`SnapshotStore`, :func:`apply_delta`);
+* :mod:`repro.serve.queue` — :class:`ValidationQueue`, the
+  submit → poll → report governance front-end over
+  :class:`~repro.rws.validation.Validator` with a worker pool;
+* :mod:`repro.serve.service` — :class:`RwsService`, the façade wiring
+  those together with an LRU host resolver and request counters.
+"""
+
+from repro.serve.index import IndexEntry, MembershipIndex, QueryResult
+from repro.serve.queue import (
+    QueueStats,
+    Submission,
+    SubmissionStatus,
+    ValidationQueue,
+)
+from repro.serve.service import QueryVerdict, RwsService, ServiceStats
+from repro.serve.snapshot import (
+    ListSnapshot,
+    SnapshotDelta,
+    SnapshotStore,
+    StaleSnapshotError,
+    apply_delta,
+    membership_hash,
+)
+
+__all__ = [
+    "IndexEntry",
+    "ListSnapshot",
+    "MembershipIndex",
+    "QueryResult",
+    "QueryVerdict",
+    "QueueStats",
+    "RwsService",
+    "ServiceStats",
+    "SnapshotDelta",
+    "SnapshotStore",
+    "StaleSnapshotError",
+    "Submission",
+    "SubmissionStatus",
+    "ValidationQueue",
+    "apply_delta",
+    "membership_hash",
+]

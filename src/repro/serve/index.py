@@ -1,0 +1,222 @@
+"""Compiled membership index for RWS queries.
+
+Chrome does not answer ``requestStorageAccess`` decisions by scanning
+the shipped list: the component updater hands the browser a compiled
+form it can query in constant time.  :class:`MembershipIndex` is that
+compiled form for this reproduction — a single pass over an
+:class:`~repro.rws.model.RwsList` builds an eTLD+1 → (set, role) hash
+table with interned domain strings, after which every membership
+question (`lookup`, `related`, batches, streams) is a dictionary probe
+instead of the O(sets × members) scan behind
+:meth:`~repro.rws.model.RwsList.related`.
+
+The index is immutable by convention: compile a new one when the list
+changes (see :mod:`repro.serve.snapshot` for the versioning story).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.rws.model import RelatedWebsiteSet, RwsList, SiteRole
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One domain's compiled membership facts.
+
+    Attributes:
+        site: The member's domain (interned eTLD+1).
+        role: The member's subset role.
+        set_primary: Primary domain of the containing set.
+        variant_of: For ccTLD members, the member they are a variant of.
+    """
+
+    site: str
+    role: SiteRole
+    set_primary: str
+    variant_of: str | None = None
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The answer to one pairwise membership query.
+
+    Attributes:
+        site_a: First queried domain (normalised to lower case).
+        site_b: Second queried domain.
+        related: The browser-facing verdict (same set, or same site).
+        set_primary: Primary of the shared set, when related via RWS.
+        role_a: site_a's role in its set, if any.
+        role_b: site_b's role in its set, if any.
+    """
+
+    site_a: str
+    site_b: str
+    related: bool
+    set_primary: str | None = None
+    role_a: SiteRole | None = None
+    role_b: SiteRole | None = None
+
+
+class MembershipIndex:
+    """A precomputed eTLD+1 → (set, role) index over an RWS list.
+
+    Compilation interns every domain string (the same domains recur
+    across sets, storage keys, and request logs) and maps each to its
+    :class:`IndexEntry` plus its containing
+    :class:`~repro.rws.model.RelatedWebsiteSet`.  When a domain
+    (invalidly) appears in more than one set, the first set in list
+    order wins — the same tie-break :meth:`RwsList.find_set_for`
+    applies.
+
+    Example:
+        >>> from repro.data import build_rws_list
+        >>> index = MembershipIndex.from_list(build_rws_list())
+        >>> index.related("timesinternet.in", "indiatimes.com")
+        True
+    """
+
+    def __init__(self, rws_list: RwsList):
+        self._entries: dict[str, IndexEntry] = {}
+        self._sets_by_primary: dict[str, RelatedWebsiteSet] = {}
+        self._set_for_site: dict[str, RelatedWebsiteSet] = {}
+        for rws_set in rws_list:
+            primary = sys.intern(rws_set.primary)
+            self._sets_by_primary.setdefault(primary, rws_set)
+            for record in rws_set.member_records():
+                site = sys.intern(record.site)
+                if site in self._entries:
+                    continue  # first set in list order wins
+                self._entries[site] = IndexEntry(
+                    site=site,
+                    role=record.role,
+                    set_primary=primary,
+                    variant_of=(sys.intern(record.variant_of)
+                                if record.variant_of else None),
+                )
+                self._set_for_site[site] = rws_set
+
+    @classmethod
+    def from_list(cls, rws_list: RwsList) -> MembershipIndex:
+        """Compile an index from a list snapshot."""
+        return cls(rws_list)
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, site: str) -> bool:
+        return site.lower() in self._entries
+
+    @property
+    def set_count(self) -> int:
+        """Number of distinct sets in the compiled list."""
+        return len(self._sets_by_primary)
+
+    @property
+    def site_count(self) -> int:
+        """Number of distinct member domains indexed."""
+        return len(self._entries)
+
+    # -- single-domain queries ------------------------------------------------
+
+    def lookup(self, site: str) -> IndexEntry | None:
+        """The compiled membership entry for a domain, or None."""
+        return self._entries.get(site.lower())
+
+    def role_of(self, site: str) -> SiteRole | None:
+        """The role a domain plays in its set, or None if unlisted."""
+        entry = self._entries.get(site.lower())
+        return entry.role if entry is not None else None
+
+    def set_for(self, site: str) -> RelatedWebsiteSet | None:
+        """The set containing a domain, or None (O(1) find_set_for)."""
+        return self._set_for_site.get(site.lower())
+
+    def primary_of(self, site: str) -> str | None:
+        """The primary of the set containing a domain, or None."""
+        entry = self._entries.get(site.lower())
+        return entry.set_primary if entry is not None else None
+
+    def members_of(self, primary: str) -> list[str] | None:
+        """All member domains of the set with a given primary, or None."""
+        rws_set = self._sets_by_primary.get(primary.lower())
+        return rws_set.members() if rws_set is not None else None
+
+    # -- pairwise queries -----------------------------------------------------
+
+    def related(self, site_a: str, site_b: str) -> bool:
+        """The browser-facing predicate: same set (or same site)?
+
+        Two hash probes instead of a scan over every set.  Identical to
+        :meth:`RwsList.related` for every valid (disjoint-membership)
+        list.  For *invalid* lists with duplicate members the naive
+        scan is not even symmetric; the index resolves each site to its
+        first containing set, making the predicate a consistent
+        equivalence over the first-wins partition.
+        """
+        a = site_a.lower()
+        b = site_b.lower()
+        if a == b:
+            return True
+        entry_a = self._entries.get(a)
+        if entry_a is None:
+            return False
+        entry_b = self._entries.get(b)
+        return entry_b is not None and entry_a.set_primary == entry_b.set_primary
+
+    def query(self, site_a: str, site_b: str) -> QueryResult:
+        """One pairwise query with full context (set and roles)."""
+        a = site_a.lower()
+        b = site_b.lower()
+        entry_a = self._entries.get(a)
+        entry_b = self._entries.get(b)
+        related = a == b or (
+            entry_a is not None and entry_b is not None
+            and entry_a.set_primary == entry_b.set_primary
+        )
+        shared = (entry_a.set_primary
+                  if related and entry_a is not None and entry_b is not None
+                  and entry_a.set_primary == entry_b.set_primary else None)
+        return QueryResult(
+            site_a=a,
+            site_b=b,
+            related=related,
+            set_primary=shared,
+            role_a=entry_a.role if entry_a is not None else None,
+            role_b=entry_b.role if entry_b is not None else None,
+        )
+
+    def related_batch(self, pairs: Iterable[tuple[str, str]]) -> list[bool]:
+        """Bulk form of :meth:`related` for request batches."""
+        entries = self._entries
+        verdicts: list[bool] = []
+        for site_a, site_b in pairs:
+            a = site_a.lower()
+            b = site_b.lower()
+            if a == b:
+                verdicts.append(True)
+                continue
+            entry_a = entries.get(a)
+            if entry_a is None:
+                verdicts.append(False)
+                continue
+            entry_b = entries.get(b)
+            verdicts.append(entry_b is not None
+                            and entry_a.set_primary == entry_b.set_primary)
+        return verdicts
+
+    def query_stream(
+        self, pairs: Iterable[tuple[str, str]],
+    ) -> Iterator[QueryResult]:
+        """Generator form of :meth:`query` for unbounded request streams."""
+        for site_a, site_b in pairs:
+            yield self.query(site_a, site_b)
+
+    def entries(self) -> Iterator[IndexEntry]:
+        """All compiled entries, in list order."""
+        return iter(self._entries.values())

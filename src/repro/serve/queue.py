@@ -1,0 +1,219 @@
+"""Asynchronous submission queue around the RWS validator.
+
+The paper's §4 bot is driven by GitHub: submitters open a PR, the bot
+validates it *eventually*, and the submitter polls the PR for the
+verdict.  The seed's :class:`~repro.rws.validation.Validator` can only
+be called synchronously, one submission at a time; this module wraps it
+in that governance-pipeline shape — ``submit`` → ``poll`` → ``report``
+— with a thread worker pool so many submissions validate concurrently
+(the structural checks are CPU-light; the network checks wait on the
+synthetic web's client, which is where concurrency pays).
+
+The queue is deterministic from a test's point of view: ``drain()``
+blocks until every accepted submission has a terminal status, and with
+the default structure-only validator every submission's verdict is
+independent of scheduling.  One caveat: a validator whose client runs
+network checks over a *seeded* :class:`SyntheticWeb` draws from that
+web's RNG in fetch order, so with ``workers > 1`` the interleaving —
+and therefore which submission absorbs a seeded error — varies run to
+run.  Use ``workers=1`` when reproducible network-check outcomes
+matter (the governance simulation drives the validator synchronously
+for exactly this reason).
+"""
+
+from __future__ import annotations
+
+import enum
+import queue as _queue
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.rws.model import RelatedWebsiteSet
+
+if TYPE_CHECKING:  # import cycle guard: validation lazily imports serve
+    from repro.rws.validation import ValidationReport, Validator
+
+
+class SubmissionStatus(enum.Enum):
+    """Lifecycle of one queued submission."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    PASSED = "passed"
+    REJECTED = "rejected"
+    ERROR = "error"
+
+    @property
+    def terminal(self) -> bool:
+        """True once the submission will not change status again."""
+        return self in (SubmissionStatus.PASSED, SubmissionStatus.REJECTED,
+                        SubmissionStatus.ERROR)
+
+
+@dataclass
+class Submission:
+    """One tracked submission.
+
+    Attributes:
+        submission_id: The ticket handle returned by ``submit``.
+        rws_set: The proposed set.
+        status: Current lifecycle state.
+        report: The validator's report, once terminal (None on ERROR).
+        error: The exception text when validation itself crashed.
+    """
+
+    submission_id: str
+    rws_set: RelatedWebsiteSet
+    status: SubmissionStatus = SubmissionStatus.QUEUED
+    report: ValidationReport | None = None
+    error: str | None = None
+
+
+@dataclass
+class QueueStats:
+    """Aggregate queue counters (all monotonically increasing)."""
+
+    submitted: int = 0
+    passed: int = 0
+    rejected: int = 0
+    errored: int = 0
+
+    @property
+    def completed(self) -> int:
+        """Submissions with a terminal status."""
+        return self.passed + self.rejected + self.errored
+
+
+class ValidationQueue:
+    """An asynchronous front-end to the RWS validation bot.
+
+    Args:
+        validator: The validation engine to run submissions through.
+        workers: Worker-thread count (1 keeps everything serial).
+
+    Example:
+        >>> from repro.rws.validation import Validator
+        >>> q = ValidationQueue(Validator())
+        >>> ticket = q.submit(some_set)
+        >>> q.drain()
+        >>> q.poll(ticket)  # doctest: +SKIP
+        <SubmissionStatus.PASSED: 'passed'>
+    """
+
+    def __init__(self, validator: Validator, workers: int = 4):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._validator = validator
+        self._workers = workers
+        self._submissions: dict[str, Submission] = {}
+        self._pending: _queue.Queue[str] = _queue.Queue()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._next_id = 0
+        self._threads: list[threading.Thread] = []
+        self._shutdown = False
+        self.stats = QueueStats()
+
+    # -- submitter API --------------------------------------------------------
+
+    def submit(self, rws_set: RelatedWebsiteSet) -> str:
+        """Queue a proposed set for validation; returns a ticket id."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("queue is shut down")
+            self._next_id += 1
+            ticket = f"sub-{self._next_id:04d}"
+            self._submissions[ticket] = Submission(
+                submission_id=ticket, rws_set=rws_set,
+            )
+            self._in_flight += 1
+            self.stats.submitted += 1
+        self._pending.put(ticket)
+        self._ensure_workers()
+        return ticket
+
+    def submit_many(self, sets: list[RelatedWebsiteSet]) -> list[str]:
+        """Queue a batch; returns tickets in submission order."""
+        return [self.submit(rws_set) for rws_set in sets]
+
+    def poll(self, ticket: str) -> SubmissionStatus:
+        """The submission's current status.
+
+        Raises:
+            KeyError: For tickets this queue never issued.
+        """
+        with self._lock:
+            return self._submissions[ticket].status
+
+    def report(self, ticket: str) -> ValidationReport | None:
+        """The validation report, or None while pending (or on ERROR)."""
+        with self._lock:
+            return self._submissions[ticket].report
+
+    def get(self, ticket: str) -> Submission:
+        """The full submission record for a ticket."""
+        with self._lock:
+            return self._submissions[ticket]
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until all accepted submissions are terminal.
+
+        Returns:
+            True when the queue fully drained, False on timeout.
+        """
+        with self._idle:
+            return self._idle.wait_for(lambda: self._in_flight == 0,
+                                       timeout=timeout)
+
+    def shutdown(self) -> None:
+        """Drain, then stop the worker threads."""
+        self.drain()
+        with self._lock:
+            self._shutdown = True
+        for _ in self._threads:
+            self._pending.put("")  # sentinel wake-up
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+
+    # -- worker internals -----------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        with self._lock:
+            missing = self._workers - len(self._threads)
+            for _ in range(missing):
+                thread = threading.Thread(target=self._worker_loop,
+                                          daemon=True)
+                self._threads.append(thread)
+                thread.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self._pending.get()
+            if not ticket:  # shutdown sentinel
+                return
+            with self._lock:
+                submission = self._submissions[ticket]
+                submission.status = SubmissionStatus.RUNNING
+            try:
+                report = self._validator.validate(submission.rws_set)
+            except Exception as exc:  # a crashed check must not kill the pool
+                with self._idle:
+                    submission.status = SubmissionStatus.ERROR
+                    submission.error = f"{type(exc).__name__}: {exc}"
+                    self.stats.errored += 1
+                    self._in_flight -= 1
+                    self._idle.notify_all()
+                continue
+            with self._idle:
+                submission.report = report
+                if report.passed:
+                    submission.status = SubmissionStatus.PASSED
+                    self.stats.passed += 1
+                else:
+                    submission.status = SubmissionStatus.REJECTED
+                    self.stats.rejected += 1
+                self._in_flight -= 1
+                self._idle.notify_all()

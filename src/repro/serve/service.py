@@ -1,0 +1,263 @@
+"""The `repro.serve` façade: one object that serves the RWS ecosystem.
+
+:class:`RwsService` ties the serving layer together the way Chrome's
+deployment does:
+
+* the **snapshot store** versions every published list
+  (:mod:`repro.serve.snapshot`), so clients update by delta;
+* the **membership index** is recompiled per published snapshot
+  (:mod:`repro.serve.index`), so queries never scan the raw list;
+* the **validation queue** accepts new-set submissions asynchronously
+  (:mod:`repro.serve.queue`), modelling the GitHub governance pipeline;
+* a bounded **LRU host resolver** maps raw hostnames to eTLD+1 sites
+  before they hit the index (the paper's privacy boundary is the
+  registrable domain, but real traffic arrives as full hostnames);
+* request and latency **counters** make the hot path observable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.psl import PublicSuffixList, default_psl
+from repro.psl.lookup import DomainError
+from repro.rws.model import RelatedWebsiteSet, RwsList
+from repro.rws.validation import Validator
+from repro.serve.index import MembershipIndex, QueryResult
+from repro.serve.queue import SubmissionStatus, ValidationQueue
+from repro.serve.snapshot import ListSnapshot, SnapshotDelta, SnapshotStore
+
+
+@dataclass
+class ServiceStats:
+    """Request counters for one service instance.
+
+    Attributes:
+        queries: Pairwise membership queries answered.
+        related_hits: Queries answered "related".
+        resolver_hits: Host resolutions served from the LRU cache.
+        resolver_misses: Host resolutions that ran the full PSL match.
+        resolver_errors: Hosts that failed to resolve to an eTLD+1.
+        publishes: Snapshots published (deduplicated republications
+            count too — the request happened).
+        query_ns_total: Cumulative wall-clock nanoseconds in queries.
+    """
+
+    queries: int = 0
+    related_hits: int = 0
+    resolver_hits: int = 0
+    resolver_misses: int = 0
+    resolver_errors: int = 0
+    publishes: int = 0
+    query_ns_total: int = 0
+
+    @property
+    def mean_query_ns(self) -> float:
+        """Mean per-query latency in nanoseconds (0.0 before traffic)."""
+        return self.query_ns_total / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Counters as a flat dict (for reporting/CLI output)."""
+        return {
+            "queries": self.queries,
+            "related_hits": self.related_hits,
+            "resolver_hits": self.resolver_hits,
+            "resolver_misses": self.resolver_misses,
+            "resolver_errors": self.resolver_errors,
+            "publishes": self.publishes,
+            "mean_query_ns": self.mean_query_ns,
+        }
+
+
+class _LruResolver:
+    """A bounded LRU cache over PSL eTLD+1 resolution.
+
+    This fronts the memoisation inside :class:`PublicSuffixList` on
+    purpose rather than duplicating it by accident: the PSL cache is
+    shared process-wide and only keeps *successful* resolutions, while
+    this layer is per-service, keyed by the raw host string, and also
+    caches failures — unresolvable hosts (bare public suffixes,
+    syntactically invalid names) cache as None so repeated junk input
+    stays cheap.  A maxsize of 0 disables caching (every lookup is a
+    miss), matching the :class:`PublicSuffixList` cache_size
+    convention.
+    """
+
+    def __init__(self, psl: PublicSuffixList, maxsize: int, stats: ServiceStats):
+        self._psl = psl
+        self._maxsize = max(0, maxsize)
+        self._stats = stats
+        self._cache: dict[str, str | None] = {}
+
+    def resolve(self, host: str) -> str | None:
+        key = host.strip().lower()
+        if key in self._cache:
+            self._stats.resolver_hits += 1
+            # Move-to-recent: dicts preserve insertion order, so re-insert.
+            value = self._cache.pop(key)
+            self._cache[key] = value
+            return value
+        self._stats.resolver_misses += 1
+        try:
+            value = self._psl.etld_plus_one(key)
+        except DomainError:
+            value = None
+        if value is None:
+            self._stats.resolver_errors += 1
+        if self._maxsize > 0:
+            if len(self._cache) >= self._maxsize:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = value
+        return value
+
+
+@dataclass
+class QueryVerdict:
+    """A service-level answer to "may these two hosts share storage?".
+
+    Attributes:
+        host_a: The raw first host queried.
+        host_b: The raw second host queried.
+        site_a: host_a's resolved eTLD+1 (None when unresolvable).
+        site_b: host_b's resolved eTLD+1.
+        result: The index's pairwise result (None when either host
+            failed to resolve).
+    """
+
+    host_a: str
+    host_b: str
+    site_a: str | None
+    site_b: str | None
+    result: QueryResult | None = None
+
+    @property
+    def related(self) -> bool:
+        """The final verdict; unresolvable hosts are never related."""
+        return self.result is not None and self.result.related
+
+
+@dataclass
+class RwsService:
+    """The serving layer over one (evolving) RWS list.
+
+    Args:
+        psl: Public suffix list used by the resolver and validator.
+        validator: Validation engine for the submission queue (a
+            structure-only validator over the served list by default).
+        workers: Validation worker threads.
+        resolver_cache_size: LRU bound for the host resolver.
+    """
+
+    psl: PublicSuffixList = field(default_factory=default_psl)
+    validator: Validator | None = None
+    workers: int = 4
+    resolver_cache_size: int = 4096
+
+    def __post_init__(self) -> None:
+        self.stats = ServiceStats()
+        self.store = SnapshotStore()
+        self._index = MembershipIndex(RwsList())
+        self._resolver = _LruResolver(self.psl, self.resolver_cache_size,
+                                      self.stats)
+        if self.validator is None:
+            self.validator = Validator(psl=self.psl)
+        self.queue = ValidationQueue(self.validator, workers=self.workers)
+
+    # -- publication ----------------------------------------------------------
+
+    @property
+    def index(self) -> MembershipIndex:
+        """The compiled index for the latest published snapshot."""
+        return self._index
+
+    @property
+    def current_snapshot(self) -> ListSnapshot | None:
+        """The latest published snapshot, or None before any publish."""
+        return self.store.latest
+
+    def publish(self, rws_list: RwsList) -> ListSnapshot:
+        """Publish a list snapshot and recompile the serving index.
+
+        The validator's overlap rule is repointed at the new snapshot,
+        so queued submissions are checked against what is being served.
+        Republishing content identical to the served snapshot is a
+        no-op beyond the counter (the store deduplicates it).
+        """
+        self.stats.publishes += 1
+        previous = self.store.latest
+        snapshot = self.store.publish(rws_list)
+        if previous is not None and snapshot is previous:
+            return snapshot
+        self._index = MembershipIndex(snapshot.rws_list)
+        assert self.validator is not None
+        self.validator.set_published(snapshot.rws_list, index=self._index)
+        return snapshot
+
+    def delta_since(self, version: int) -> SnapshotDelta:
+        """The patch bringing a client at ``version`` up to date."""
+        return self.store.delta(version)
+
+    # -- queries --------------------------------------------------------------
+
+    def resolve_host(self, host: str) -> str | None:
+        """A host's eTLD+1 via the LRU-cached resolver."""
+        return self._resolver.resolve(host)
+
+    def query(self, host_a: str, host_b: str) -> QueryVerdict:
+        """Answer one pairwise storage-access membership query."""
+        started = time.perf_counter_ns()
+        site_a = self._resolver.resolve(host_a)
+        site_b = self._resolver.resolve(host_b)
+        result = None
+        if site_a is not None and site_b is not None:
+            result = self._index.query(site_a, site_b)
+        verdict = QueryVerdict(host_a=host_a, host_b=host_b,
+                               site_a=site_a, site_b=site_b, result=result)
+        self.stats.queries += 1
+        if verdict.related:
+            self.stats.related_hits += 1
+        self.stats.query_ns_total += time.perf_counter_ns() - started
+        return verdict
+
+    def query_batch(self, pairs: list[tuple[str, str]]) -> list[QueryVerdict]:
+        """Bulk form of :meth:`query`."""
+        return [self.query(host_a, host_b) for host_a, host_b in pairs]
+
+    # -- governance -----------------------------------------------------------
+
+    def submit(self, rws_set: RelatedWebsiteSet) -> str:
+        """Queue a proposed set for validation; returns a ticket id."""
+        return self.queue.submit(rws_set)
+
+    def poll(self, ticket: str) -> SubmissionStatus:
+        """Status of a queued submission."""
+        return self.queue.poll(ticket)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for all queued submissions to reach a terminal status."""
+        return self.queue.drain(timeout=timeout)
+
+    # -- observability --------------------------------------------------------
+
+    def stats_report(self) -> dict[str, float]:
+        """All counters: requests, resolver cache, index and PSL stats.
+
+        The ``psl_*`` counters describe the underlying
+        :class:`PublicSuffixList` instance; with the default
+        :func:`default_psl` singleton they are process-wide (shared
+        with every other subsystem using that PSL), not per-service.
+        Construct the service with its own ``PublicSuffixList()`` for
+        isolated counters.
+        """
+        report = self.stats.as_dict()
+        report["index_sites"] = float(self._index.site_count)
+        report["index_sets"] = float(self._index.set_count)
+        snapshot = self.store.latest
+        report["snapshot_version"] = float(snapshot.version) if snapshot else 0.0
+        report["queue_submitted"] = float(self.queue.stats.submitted)
+        report["queue_passed"] = float(self.queue.stats.passed)
+        report["queue_rejected"] = float(self.queue.stats.rejected)
+        for key, value in self.psl.cache_stats().items():
+            report[f"psl_{key}"] = float(value)
+        return report

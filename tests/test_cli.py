@@ -114,3 +114,43 @@ class TestSurveyExport:
         assert {"participant", "group", "site_a", "site_b",
                 "answered_related", "seconds"} <= set(first)
         assert "wrote" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def test_related_pair(self, capsys):
+        assert main(["query", "timesinternet.in", "indiatimes.com"]) == 0
+        output = capsys.readouterr().out
+        assert "related" in output
+        assert "timesinternet.in ~ indiatimes.com" in output
+
+    def test_unrelated_pair_exits_one(self, capsys):
+        assert main(["query", "timesinternet.in", "bild.de"]) == 1
+        assert "unrelated" in capsys.readouterr().out
+
+    def test_hostname_is_resolved_to_site(self, capsys):
+        assert main(["query", "www.timesinternet.in", "indiatimes.com"]) == 0
+        assert "timesinternet.in ~ indiatimes.com" in capsys.readouterr().out
+
+    def test_unresolvable_site_exits_two(self, capsys):
+        assert main(["query", "com", "indiatimes.com"]) == 2
+        assert "no registrable domain" in capsys.readouterr().out
+
+    def test_single_site_errors(self, capsys):
+        assert main(["query", "indiatimes.com"]) == 2
+        assert "at least two" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_reports_snapshot_and_counters(self, capsys):
+        assert main(["serve", "--queries", "100"]) == 0
+        output = capsys.readouterr().out
+        assert "serving snapshot v1" in output
+        assert "41 sets" in output
+        assert "answered 100 membership queries" in output
+        assert "psl_hits" in output
+
+    def test_validate_pushes_sets_through_queue(self, capsys):
+        assert main(["serve", "--queries", "10", "--validate"]) == 0
+        output = capsys.readouterr().out
+        assert "validated 41 served sets" in output
+        assert "(41 passed)" in output

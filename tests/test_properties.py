@@ -13,7 +13,17 @@ from repro.data.sites import BrandingLevel, SiteSpec
 from repro.disconnect import parse_entities_json, serialize_entities_json
 from repro.disconnect.model import EntitiesList, Entity
 from repro.html import extract_features, page_similarity
-from repro.rws import RelatedWebsiteSet, RwsList, parse_rws_json, serialize_rws_json
+from repro.rws import (
+    RelatedWebsiteSet,
+    RwsList,
+    member_well_known_document,
+    parse_rws_json,
+    parse_well_known,
+    primary_well_known_document,
+    serialize_rws_json,
+)
+from repro.rws.wellknown import well_known_matches
+from repro.serve import MembershipIndex
 from repro.webgen import PageGenerator
 
 LABEL = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=8)
@@ -38,8 +48,16 @@ def rws_sets(draw) -> RelatedWebsiteSet:
     service = members[split:]
     rationales = {site: f"rationale for {site}"
                   for site in associated + service}
+    cctlds: dict[str, list[str]] = {}
+    if draw(st.booleans()):
+        sld, primary_tld = primary.split(".", 1)
+        variant_tld = draw(TLD.filter(lambda tld: tld != primary_tld))
+        variant = f"{sld}.{variant_tld}"
+        if variant != primary and variant not in members:
+            cctlds = {primary: [variant]}
     return RelatedWebsiteSet(primary=primary, associated=associated,
-                             service=service, rationales=rationales)
+                             service=service, cctlds=cctlds,
+                             rationales=rationales)
 
 
 class TestRwsSchemaRoundTrip:
@@ -72,6 +90,45 @@ class TestRwsSchemaRoundTrip:
         outsider = "zz-not-a-member.example"
         for site in members:
             assert not rws_list.related(outsider, site)
+
+    @settings(max_examples=50)
+    @given(sets=st.lists(rws_sets(), max_size=4))
+    def test_compiled_index_matches_naive_scan(self, sets):
+        seen: set[str] = set()
+        unique_sets = []
+        for rws_set in sets:
+            if not (set(rws_set.members()) & seen):
+                unique_sets.append(rws_set)
+                seen.update(rws_set.members())
+        rws_list = RwsList(sets=unique_sets)
+        index = MembershipIndex.from_list(rws_list)
+        probes = sorted(seen) + ["zz-not-a-member.example"]
+        for site_a in probes:
+            assert (index.set_for(site_a)
+                    is rws_list.find_set_for(site_a))
+            for site_b in probes:
+                assert index.related(site_a, site_b) == \
+                    rws_list.related(site_a, site_b)
+
+
+class TestWellKnownRoundTrip:
+    @settings(max_examples=50)
+    @given(primary=domains())
+    def test_member_document_identity(self, primary):
+        primary_out, served = parse_well_known(
+            member_well_known_document(primary))
+        assert primary_out == primary
+        assert served is None
+
+    @settings(max_examples=50)
+    @given(rws_set=rws_sets())
+    def test_primary_document_identity(self, rws_set):
+        primary_out, served = parse_well_known(
+            primary_well_known_document(rws_set))
+        assert primary_out == rws_set.primary
+        assert served is not None
+        assert well_known_matches(rws_set, served)
+        assert served == rws_set
 
 
 class TestEntitiesRoundTrip:

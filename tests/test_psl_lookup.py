@@ -153,3 +153,54 @@ class TestProperties:
         # domain must be shared.
         if sub.public_suffix == base.public_suffix:
             assert sub.registrable_domain == base.registrable_domain
+
+
+class TestResolutionCache:
+    def test_cached_result_identical_to_uncached(self):
+        cached = PublicSuffixList()
+        uncached = PublicSuffixList(cache_size=0)
+        domains = ["act.eff.org", "example.co.uk", "a.b.example.com",
+                   "EFF.org.", "xn--bcher-kva.example", "foo.ck", "www.ck"]
+        for domain in domains:
+            first = cached.resolve(domain)
+            second = cached.resolve(domain)  # served from cache
+            assert first == second == uncached.resolve(domain)
+        stats = cached.cache_stats()
+        assert stats["hits"] == len(domains)
+        assert stats["misses"] == len(domains)
+        assert stats["size"] == len(domains)
+
+    def test_invalid_domains_raise_every_time(self):
+        psl = PublicSuffixList()
+        for _ in range(2):
+            with pytest.raises(DomainError):
+                psl.resolve("bad..domain")
+        assert psl.cache_stats()["size"] == 0
+
+    def test_cache_clear_resets_counters(self):
+        psl = PublicSuffixList()
+        psl.resolve("example.com")
+        psl.resolve("example.com")
+        psl.cache_clear()
+        stats = psl.cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "size": 0,
+                         "maxsize": stats["maxsize"]}
+
+    def test_cache_respects_bound_and_evicts_lru(self):
+        psl = PublicSuffixList(cache_size=2)
+        psl.resolve("a.example.com")
+        psl.resolve("b.example.com")
+        psl.resolve("a.example.com")  # refresh a -> b is now the LRU
+        psl.resolve("c.example.com")  # evicts b
+        assert psl.cache_stats()["size"] == 2
+        hits_before = psl.cache_stats()["hits"]
+        psl.resolve("a.example.com")
+        assert psl.cache_stats()["hits"] == hits_before + 1
+        psl.resolve("b.example.com")  # must re-resolve (was evicted)
+        assert psl.cache_stats()["hits"] == hits_before + 1
+
+    def test_disabled_cache_still_resolves(self):
+        psl = PublicSuffixList(cache_size=0)
+        assert psl.etld_plus_one("act.eff.org") == "eff.org"
+        assert psl.cache_stats()["size"] == 0
+        assert psl.cache_stats()["maxsize"] == 0

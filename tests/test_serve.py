@@ -1,0 +1,357 @@
+"""Tests for the serving layer (repro.serve)."""
+
+import pytest
+
+from repro.browser import BROWSER_POLICIES, Browser, GrantDecision
+from repro.rws import RelatedWebsiteSet, RwsList, SiteRole, Validator
+from repro.serve import (
+    MembershipIndex,
+    RwsService,
+    SnapshotStore,
+    StaleSnapshotError,
+    SubmissionStatus,
+    ValidationQueue,
+    apply_delta,
+    membership_hash,
+)
+
+
+def small_list() -> RwsList:
+    return RwsList(sets=[
+        RelatedWebsiteSet(
+            primary="example.com",
+            associated=["example-news.com"],
+            service=["example-cdn.com"],
+            cctlds={"example.com": ["example.co.uk"]},
+            rationales={
+                "example-news.com": "Shared branding with example.com.",
+                "example-cdn.com": "Asset host for example.com.",
+            },
+        ),
+        RelatedWebsiteSet(
+            primary="other.com",
+            associated=["other-shop.com"],
+            rationales={"other-shop.com": "Affiliated storefront."},
+        ),
+    ])
+
+
+class TestMembershipIndex:
+    def setup_method(self):
+        self.rws_list = small_list()
+        self.index = MembershipIndex.from_list(self.rws_list)
+
+    def test_counts(self):
+        assert self.index.set_count == 2
+        assert self.index.site_count == 6
+        assert len(self.index) == 6
+        assert "example.com" in self.index
+        assert "missing.net" not in self.index
+
+    def test_unknown_domain(self):
+        assert self.index.lookup("missing.net") is None
+        assert self.index.role_of("missing.net") is None
+        assert self.index.set_for("missing.net") is None
+        assert self.index.primary_of("missing.net") is None
+        assert not self.index.related("missing.net", "example.com")
+        assert not self.index.related("example.com", "missing.net")
+        # An unknown domain is still trivially related to itself.
+        assert self.index.related("missing.net", "missing.net")
+
+    def test_domain_equal_to_primary(self):
+        entry = self.index.lookup("example.com")
+        assert entry is not None
+        assert entry.role is SiteRole.PRIMARY
+        assert entry.set_primary == "example.com"
+        assert self.index.related("example.com", "example-news.com")
+        assert self.index.related("example.com", "example.com")
+        assert self.index.set_for("example.com") is self.rws_list.sets[0]
+
+    def test_cctld_variant_member(self):
+        entry = self.index.lookup("example.co.uk")
+        assert entry is not None
+        assert entry.role is SiteRole.CCTLD
+        assert entry.variant_of == "example.com"
+        assert self.index.related("example.co.uk", "example.com")
+        assert self.index.related("example.co.uk", "example-cdn.com")
+        assert not self.index.related("example.co.uk", "other.com")
+
+    def test_case_insensitive(self):
+        assert self.index.related("Example.COM", "EXAMPLE-NEWS.com")
+        assert self.index.role_of("OTHER.com") is SiteRole.PRIMARY
+
+    def test_batch_and_stream_agree_with_single(self):
+        pairs = [
+            ("example.com", "example-news.com"),
+            ("example.com", "other.com"),
+            ("missing.net", "missing.net"),
+            ("other-shop.com", "other.com"),
+        ]
+        single = [self.index.related(a, b) for a, b in pairs]
+        assert self.index.related_batch(pairs) == single
+        streamed = list(self.index.query_stream(pairs))
+        assert [r.related for r in streamed] == single
+        assert streamed[0].set_primary == "example.com"
+        assert streamed[0].role_b is SiteRole.ASSOCIATED
+        assert streamed[1].set_primary is None
+
+    def test_members_of(self):
+        assert self.index.members_of("example.com") == [
+            "example.com", "example-news.com", "example-cdn.com",
+            "example.co.uk",
+        ]
+        assert self.index.members_of("missing.net") is None
+
+    def test_interned_domains_are_shared(self):
+        variant = self.index.lookup("example.co.uk")
+        primary = self.index.lookup("example.com")
+        assert variant is not None and primary is not None
+        assert variant.set_primary is primary.site
+
+
+class TestSnapshotStore:
+    def test_publish_and_dedup(self):
+        store = SnapshotStore()
+        first = store.publish(small_list())
+        again = store.publish(small_list())
+        assert first.version == 1
+        assert again is first  # identical content: no new version
+        grown = small_list()
+        grown.sets.append(RelatedWebsiteSet(
+            primary="new.com", associated=["new-blog.com"],
+            rationales={"new-blog.com": "Same publisher."},
+        ))
+        second = store.publish(grown)
+        assert second.version == 2
+        assert store.versions() == [1, 2]
+        assert second.content_hash != first.content_hash
+
+    def test_unknown_version_is_stale(self):
+        store = SnapshotStore()
+        with pytest.raises(StaleSnapshotError):
+            store.delta(1)
+        store.publish(small_list())
+        with pytest.raises(StaleSnapshotError):
+            store.get(7)
+        with pytest.raises(StaleSnapshotError):
+            store.delta(0)
+
+    def test_delta_application(self):
+        store = SnapshotStore()
+        store.publish(small_list())
+        grown = small_list()
+        grown.sets[0].associated.append("example-mail.com")
+        grown.sets[0].rationales["example-mail.com"] = "Webmail brand."
+        grown.sets.append(RelatedWebsiteSet(
+            primary="new.com", associated=["new-blog.com"],
+            rationales={"new-blog.com": "Same publisher."},
+        ))
+        target = store.publish(grown)
+
+        delta = store.delta(1)
+        assert not delta.is_empty
+        assert delta.diff.added_sets == ["new.com"]
+        assert "example.com" in delta.diff.changed_sets
+
+        client_copy = small_list()  # a faithful v1 client
+        patched = apply_delta(client_copy, delta)
+        assert membership_hash(patched) == target.content_hash
+        patched_index = MembershipIndex.from_list(patched)
+        assert patched_index.related("example-mail.com", "example.co.uk")
+        assert patched_index.related("new.com", "new-blog.com")
+
+    def test_stale_client_copy_is_rejected(self):
+        store = SnapshotStore()
+        store.publish(small_list())
+        grown = small_list()
+        grown.sets.append(RelatedWebsiteSet(
+            primary="new.com", associated=["new-blog.com"],
+            rationales={"new-blog.com": "Same publisher."},
+        ))
+        store.publish(grown)
+        delta = store.delta(1)
+
+        diverged = small_list()
+        diverged.sets[1].associated.append("rogue.com")
+        with pytest.raises(StaleSnapshotError):
+            apply_delta(diverged, delta)
+
+    def test_metadata_only_change_is_not_a_new_version(self):
+        # Rationale/contact edits are submitter metadata, not membership:
+        # they must neither mint a version nor break the delta protocol.
+        store = SnapshotStore()
+        first = store.publish(small_list())
+        reworded = small_list()
+        reworded.sets[0].rationales["example-news.com"] = "New wording."
+        reworded.sets[0].contact = "pressdesk@example.com"
+        assert store.publish(reworded) is first
+        delta = store.delta(1)
+        assert delta.is_empty
+        patched = apply_delta(small_list(), delta)
+        assert membership_hash(patched) == first.content_hash
+
+    def test_empty_delta_round_trips(self):
+        store = SnapshotStore()
+        store.publish(small_list())
+        delta = store.delta(1, 1)
+        assert delta.is_empty
+        patched = apply_delta(small_list(), delta)
+        assert membership_hash(patched) == delta.to_hash
+
+
+class TestValidationQueue:
+    def test_passing_submission(self):
+        queue = ValidationQueue(Validator(), workers=2)
+        ticket = queue.submit(small_list().sets[0])
+        assert queue.drain(timeout=30)
+        assert queue.poll(ticket) is SubmissionStatus.PASSED
+        report = queue.report(ticket)
+        assert report is not None and report.passed
+        assert queue.stats.passed == 1
+        queue.shutdown()
+
+    def test_failing_submission(self):
+        bad = RelatedWebsiteSet(
+            primary="example.com",
+            associated=["example-news.com"],  # no rationale declared
+        )
+        queue = ValidationQueue(Validator())
+        ticket = queue.submit(bad)
+        assert queue.drain(timeout=30)
+        assert queue.poll(ticket) is SubmissionStatus.REJECTED
+        report = queue.report(ticket)
+        assert report is not None and not report.passed
+        assert any("rationale" in f.message.lower()
+                   for f in report.findings)
+        assert queue.stats.rejected == 1
+        queue.shutdown()
+
+    def test_batch_statuses_are_per_submission(self):
+        queue = ValidationQueue(Validator(), workers=4)
+        good = small_list().sets[0]
+        bad = RelatedWebsiteSet(primary="lonely.com")  # empty set
+        tickets = queue.submit_many([good, bad, good])
+        assert queue.drain(timeout=30)
+        statuses = [queue.poll(t) for t in tickets]
+        assert statuses == [SubmissionStatus.PASSED,
+                            SubmissionStatus.REJECTED,
+                            SubmissionStatus.PASSED]
+        assert queue.stats.completed == 3
+        queue.shutdown()
+
+    def test_unknown_ticket(self):
+        queue = ValidationQueue(Validator())
+        with pytest.raises(KeyError):
+            queue.poll("sub-9999")
+
+
+class TestRwsService:
+    def setup_method(self):
+        self.service = RwsService(workers=2)
+        self.service.publish(small_list())
+
+    def teardown_method(self):
+        self.service.queue.shutdown()
+
+    def test_query_resolves_hostnames(self):
+        verdict = self.service.query("www.example.com", "example-news.com")
+        assert verdict.related
+        assert verdict.site_a == "example.com"
+
+    def test_query_unknown_domain(self):
+        verdict = self.service.query("stranger.org", "example.com")
+        assert not verdict.related
+        assert verdict.result is not None
+        assert verdict.result.set_primary is None
+
+    def test_query_unresolvable_host(self):
+        verdict = self.service.query("com", "example.com")
+        assert not verdict.related
+        assert verdict.site_a is None
+        assert self.service.stats.resolver_errors == 1
+
+    def test_disabled_resolver_cache_still_serves(self):
+        service = RwsService(resolver_cache_size=0)
+        service.publish(small_list())
+        assert service.query("www.example.com", "example-news.com").related
+        assert service.query("www.example.com", "example-news.com").related
+        assert service.stats.resolver_hits == 0  # nothing is cached
+        service.queue.shutdown()
+
+    def test_republish_identical_content_keeps_index(self):
+        index_before = self.service.index
+        snapshot = self.service.publish(small_list())
+        assert snapshot.version == 1
+        assert self.service.index is index_before  # no recompile
+
+    def test_republish_recompiles_index(self):
+        grown = small_list()
+        grown.sets.append(RelatedWebsiteSet(
+            primary="new.com", associated=["new-blog.com"],
+            rationales={"new-blog.com": "Same publisher."},
+        ))
+        snapshot = self.service.publish(grown)
+        assert snapshot.version == 2
+        assert self.service.query("new.com", "new-blog.com").related
+        delta = self.service.delta_since(1)
+        patched = apply_delta(small_list(), delta)
+        assert membership_hash(patched) == snapshot.content_hash
+
+    def test_submission_checked_against_served_list(self):
+        # Overlaps with the served list must be rejected...
+        overlapping = RelatedWebsiteSet(
+            primary="intruder.com",
+            associated=["example-news.com"],
+            rationales={"example-news.com": "We want this one too."},
+        )
+        ticket = self.service.submit(overlapping)
+        assert self.service.drain(timeout=30)
+        assert self.service.poll(ticket) is SubmissionStatus.REJECTED
+        report = self.service.queue.report(ticket)
+        assert report is not None
+        assert any("already belongs" in f.message for f in report.findings)
+        # ...while disjoint submissions pass.
+        fresh = RelatedWebsiteSet(
+            primary="fresh.com",
+            associated=["fresh-shop.com"],
+            rationales={"fresh-shop.com": "Same operator."},
+        )
+        ticket = self.service.submit(fresh)
+        assert self.service.drain(timeout=30)
+        assert self.service.poll(ticket) is SubmissionStatus.PASSED
+
+    def test_stats_report_counters(self):
+        self.service.query_batch([
+            ("example.com", "example-news.com"),
+            ("example.com", "example-news.com"),
+            ("other.com", "example.com"),
+        ])
+        report = self.service.stats_report()
+        assert report["queries"] == 3
+        assert report["related_hits"] == 2
+        assert report["resolver_hits"] > 0  # repeated hosts hit the LRU
+        assert report["index_sets"] == 2
+        assert report["snapshot_version"] == 2 or report["snapshot_version"] == 1
+        assert report["mean_query_ns"] > 0
+
+
+class TestBrowserUsesIndex:
+    def test_engine_grants_via_compiled_index(self):
+        browser = Browser(policy=BROWSER_POLICIES["chrome-rws"],
+                          rws_list=small_list())
+        browser.visit("example.com")
+        page = browser.visit("example.com")
+        frame = page.embed("example-news.com")
+        decision = browser.request_storage_access(frame)
+        assert decision is GrantDecision.GRANTED_RWS
+        assert browser.rws_index.related("example.com", "example-news.com")
+
+    def test_refresh_after_list_update(self):
+        browser = Browser(policy=BROWSER_POLICIES["chrome-rws"],
+                          rws_list=small_list())
+        assert not browser.rws_index.related("example.com", "late.com")
+        browser.rws_list.sets[0].associated.append("late.com")
+        # The compiled index is a snapshot; refresh picks up the change.
+        assert not browser.rws_index.related("example.com", "late.com")
+        browser.refresh_rws_index()
+        assert browser.rws_index.related("example.com", "late.com")
