@@ -5,9 +5,11 @@ measures: the Related Website Sets list model and validation bot, the
 browser storage-partitioning policy RWS modifies, the crawling and
 HTML-similarity tooling, the Forcepoint-style categoriser, the GitHub
 governance pipeline, and the §3 user study — plus per-artefact analysis
-pipelines that regenerate every table and figure, and a serving layer
+pipelines that regenerate every table and figure, a serving layer
 (:mod:`repro.serve`) that compiles the list into an indexed,
-versioned, asynchronously-governed service.
+versioned, asynchronously-governed service, and a workload engine
+(:mod:`repro.workload`) that synthesizes browser-population traffic
+and drives it through that service serially or across shards.
 
 Quickstart::
 
@@ -25,11 +27,12 @@ See README.md for the architecture overview and the paper-to-module
 map.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.psl import PublicSuffixList, default_psl
 from repro.rws import RelatedWebsiteSet, RwsList, Validator
 from repro.serve import MembershipIndex, RwsService
+from repro.workload import SCENARIOS, Scenario, WorkloadResult, run_workload
 
 __all__ = [
     "MembershipIndex",
@@ -37,7 +40,11 @@ __all__ = [
     "RelatedWebsiteSet",
     "RwsList",
     "RwsService",
+    "SCENARIOS",
+    "Scenario",
     "Validator",
+    "WorkloadResult",
     "__version__",
     "default_psl",
+    "run_workload",
 ]

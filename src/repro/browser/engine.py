@@ -60,6 +60,18 @@ class Browser:
         """Recompile the index (after an in-place ``rws_list`` update)."""
         self._rws_index = None
 
+    def adopt_index(self, index: MembershipIndex) -> None:
+        """Serve storage-access decisions from a pre-compiled index.
+
+        Real deployments compile the component-updater payload once and
+        share it across every profile on the machine; workload drivers
+        simulate thousands of browsers against one served snapshot and
+        must not pay one index compilation per browser.  The adopted
+        index replaces ``rws_list`` as the source of truth until
+        :meth:`refresh_rws_index` drops it.
+        """
+        self._rws_index = index
+
     # -- navigation -----------------------------------------------------------
 
     def visit(self, host: str, *, interact: bool = True) -> Page:

@@ -14,7 +14,10 @@ Subcommands:
   compiled serving index (the browser's storage-access question);
 * ``serve`` — bring up the serving layer over the reconstructed list,
   exercise it, and print its counters (a one-shot stand-in for a
-  long-running service).
+  long-running service);
+* ``load`` — run a named traffic scenario through the workload engine
+  (``--scenario steady --users 100000 --shards 4``) and print
+  throughput, latency percentiles, and the reproducible run digest.
 """
 
 from __future__ import annotations
@@ -191,6 +194,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_load(args: argparse.Namespace) -> int:
+    from repro.workload import SCENARIOS, get_scenario, run_workload
+
+    if args.list_scenarios:
+        width = max(len(name) for name in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            print(f"{name:{width}s}  {SCENARIOS[name].description}")
+        return 0
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    if args.users < 0 or args.shards < 1:
+        print("load needs --users >= 0 and --shards >= 1", file=sys.stderr)
+        return 2
+    result = run_workload(scenario, args.users, shards=args.shards,
+                          seed=args.seed, executor=args.executor)
+    for line in result.report_lines():
+        print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -250,6 +276,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also push every served set through the "
                           "asynchronous validation queue")
     sub.set_defaults(handler=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "load",
+        help="run a traffic scenario through the workload engine")
+    sub.add_argument("--scenario", default="steady", metavar="NAME",
+                     help="scenario registry name (default: steady; "
+                          "see --list-scenarios)")
+    sub.add_argument("--users", type=int, default=10000, metavar="N",
+                     help="simulated user sessions (default: 10000)")
+    sub.add_argument("--shards", type=int, default=1, metavar="K",
+                     help="worker shards; 1 runs the serial reference "
+                          "driver (default: 1)")
+    sub.add_argument("--seed", type=int, default=0, metavar="SEED",
+                     help="run seed; decision outcomes and the digest "
+                          "are bit-reproducible per seed (default: 0)")
+    sub.add_argument("--executor", default="auto",
+                     choices=["auto", "inline", "thread", "process"],
+                     help="how shards run (default: auto — processes "
+                          "on multi-core hosts, threads otherwise)")
+    sub.add_argument("--list-scenarios", action="store_true",
+                     help="print the scenario registry and exit")
+    sub.set_defaults(handler=_cmd_load)
     return parser
 
 

@@ -17,6 +17,7 @@ deployment does:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -82,33 +83,45 @@ class _LruResolver:
     stays cheap.  A maxsize of 0 disables caching (every lookup is a
     miss), matching the :class:`PublicSuffixList` cache_size
     convention.
+
+    The shared service lock guards the cache dict and the stats object:
+    resolutions arrive concurrently from query threads while validation
+    workers update the same counters.
     """
 
-    def __init__(self, psl: PublicSuffixList, maxsize: int, stats: ServiceStats):
+    def __init__(self, psl: PublicSuffixList, maxsize: int,
+                 stats: ServiceStats, lock: threading.RLock):
         self._psl = psl
         self._maxsize = max(0, maxsize)
         self._stats = stats
+        self._lock = lock
         self._cache: dict[str, str | None] = {}
 
     def resolve(self, host: str) -> str | None:
         key = host.strip().lower()
-        if key in self._cache:
-            self._stats.resolver_hits += 1
-            # Move-to-recent: dicts preserve insertion order, so re-insert.
-            value = self._cache.pop(key)
-            self._cache[key] = value
-            return value
-        self._stats.resolver_misses += 1
+        with self._lock:
+            if key in self._cache:
+                self._stats.resolver_hits += 1
+                # Move-to-recent: dicts preserve insertion order, so
+                # re-insert.
+                value = self._cache.pop(key)
+                self._cache[key] = value
+                return value
+            self._stats.resolver_misses += 1
+        # The PSL walk runs outside the lock (it has its own); two
+        # threads may race to resolve the same cold key, which only
+        # costs a duplicate lookup, never a wrong answer.
         try:
             value = self._psl.etld_plus_one(key)
         except DomainError:
             value = None
-        if value is None:
-            self._stats.resolver_errors += 1
-        if self._maxsize > 0:
-            if len(self._cache) >= self._maxsize:
-                self._cache.pop(next(iter(self._cache)))
-            self._cache[key] = value
+        with self._lock:
+            if value is None:
+                self._stats.resolver_errors += 1
+            if self._maxsize > 0:
+                if len(self._cache) >= self._maxsize:
+                    self._cache.pop(next(iter(self._cache)))
+                self._cache[key] = value
         return value
 
 
@@ -155,11 +168,17 @@ class RwsService:
     resolver_cache_size: int = 4096
 
     def __post_init__(self) -> None:
+        # One reentrant lock covers publication swaps, the stats
+        # counters, and the resolver cache: queries, publishes, and
+        # ValidationQueue worker threads all touch that state
+        # concurrently.  Index *reads* stay lock-free — queries grab
+        # the reference once and keep serving the snapshot they saw.
+        self._lock = threading.RLock()
         self.stats = ServiceStats()
         self.store = SnapshotStore()
         self._index = MembershipIndex(RwsList())
         self._resolver = _LruResolver(self.psl, self.resolver_cache_size,
-                                      self.stats)
+                                      self.stats, self._lock)
         if self.validator is None:
             self.validator = Validator(psl=self.psl)
         self.queue = ValidationQueue(self.validator, workers=self.workers)
@@ -183,15 +202,21 @@ class RwsService:
         so queued submissions are checked against what is being served.
         Republishing content identical to the served snapshot is a
         no-op beyond the counter (the store deduplicates it).
+
+        Thread-safe: the snapshot/index/validator swap happens under
+        the service lock, so concurrent publishers serialize and a
+        validation worker never observes a half-published state.
         """
-        self.stats.publishes += 1
-        previous = self.store.latest
-        snapshot = self.store.publish(rws_list)
-        if previous is not None and snapshot is previous:
-            return snapshot
-        self._index = MembershipIndex(snapshot.rws_list)
-        assert self.validator is not None
-        self.validator.set_published(snapshot.rws_list, index=self._index)
+        with self._lock:
+            self.stats.publishes += 1
+            previous = self.store.latest
+            snapshot = self.store.publish(rws_list)
+            if previous is not None and snapshot is previous:
+                return snapshot
+            new_index = MembershipIndex(snapshot.rws_list)
+            self._index = new_index
+            assert self.validator is not None
+            self.validator.set_published(snapshot.rws_list, index=new_index)
         return snapshot
 
     def delta_since(self, version: int) -> SnapshotDelta:
@@ -205,19 +230,27 @@ class RwsService:
         return self._resolver.resolve(host)
 
     def query(self, host_a: str, host_b: str) -> QueryVerdict:
-        """Answer one pairwise storage-access membership query."""
+        """Answer one pairwise storage-access membership query.
+
+        Thread-safe: the index reference is read once, so a query
+        serves one consistent snapshot even if a publish lands
+        mid-flight, and the stats counters update under the lock.
+        """
         started = time.perf_counter_ns()
+        index = self._index
         site_a = self._resolver.resolve(host_a)
         site_b = self._resolver.resolve(host_b)
         result = None
         if site_a is not None and site_b is not None:
-            result = self._index.query(site_a, site_b)
+            result = index.query(site_a, site_b)
         verdict = QueryVerdict(host_a=host_a, host_b=host_b,
                                site_a=site_a, site_b=site_b, result=result)
-        self.stats.queries += 1
-        if verdict.related:
-            self.stats.related_hits += 1
-        self.stats.query_ns_total += time.perf_counter_ns() - started
+        elapsed = time.perf_counter_ns() - started
+        with self._lock:
+            self.stats.queries += 1
+            if verdict.related:
+                self.stats.related_hits += 1
+            self.stats.query_ns_total += elapsed
         return verdict
 
     def query_batch(self, pairs: list[tuple[str, str]]) -> list[QueryVerdict]:
@@ -250,11 +283,13 @@ class RwsService:
         Construct the service with its own ``PublicSuffixList()`` for
         isolated counters.
         """
-        report = self.stats.as_dict()
-        report["index_sites"] = float(self._index.site_count)
-        report["index_sets"] = float(self._index.set_count)
-        snapshot = self.store.latest
-        report["snapshot_version"] = float(snapshot.version) if snapshot else 0.0
+        with self._lock:
+            report = self.stats.as_dict()
+            report["index_sites"] = float(self._index.site_count)
+            report["index_sets"] = float(self._index.set_count)
+            snapshot = self.store.latest
+            report["snapshot_version"] = (float(snapshot.version)
+                                          if snapshot else 0.0)
         report["queue_submitted"] = float(self.queue.stats.submitted)
         report["queue_passed"] = float(self.queue.stats.passed)
         report["queue_rejected"] = float(self.queue.stats.rejected)

@@ -1,0 +1,81 @@
+"""Scenario-driven traffic generation and sharded load simulation.
+
+The ROADMAP's north star is serving RWS membership traffic "from
+millions of users, as fast as the hardware allows, as many scenarios as
+you can imagine"; this package is the engine that produces and replays
+that traffic reproducibly:
+
+* :mod:`repro.workload.generator` — deterministic, seeded session
+  generators: Zipf-distributed site popularity, configurable member vs
+  non-member mixes, per-user session models (page visits, embedded
+  third parties, ``requestStorageAccess[For]`` calls);
+* :mod:`repro.workload.scenarios` — the named scenario registry
+  (steady-state, flash-crowd, mid-flight list updates, abusive-set
+  probing, cold/warm cache, bulk firehose) — new workloads are one
+  dict entry;
+* :mod:`repro.workload.driver` — the serial reference driver and the
+  sharded executor that partitions users across workers and merges
+  results;
+* :mod:`repro.workload.metrics` — throughput counters and mergeable
+  latency histograms (p50/p95/p99), plus the partition-independent
+  outcome digest that makes runs bit-comparable.
+
+Entry point::
+
+    PYTHONPATH=src python -m repro load --scenario steady \\
+        --users 100000 --shards 4 --seed 7
+"""
+
+from repro.workload.driver import (
+    ShardTask,
+    WorkloadResult,
+    run_serial,
+    run_shard,
+    run_sharded,
+    run_workload,
+)
+from repro.workload.generator import (
+    EmbedCall,
+    PageVisit,
+    Session,
+    SessionGenerator,
+    SiteUniverse,
+    ZipfSampler,
+)
+from repro.workload.metrics import (
+    LatencyHistogram,
+    WorkloadMetrics,
+    combine_digests,
+    digest_hex,
+    user_digest,
+)
+from repro.workload.scenarios import (
+    LIST_PROFILES,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+)
+
+__all__ = [
+    "EmbedCall",
+    "LIST_PROFILES",
+    "LatencyHistogram",
+    "PageVisit",
+    "SCENARIOS",
+    "Scenario",
+    "Session",
+    "SessionGenerator",
+    "ShardTask",
+    "SiteUniverse",
+    "WorkloadMetrics",
+    "WorkloadResult",
+    "ZipfSampler",
+    "combine_digests",
+    "digest_hex",
+    "get_scenario",
+    "run_serial",
+    "run_shard",
+    "run_sharded",
+    "run_workload",
+    "user_digest",
+]

@@ -1,0 +1,510 @@
+"""Workload drivers: a serial reference path and a sharded executor.
+
+Two execution paths drive generated sessions through the serving layer
+(:class:`~repro.serve.service.RwsService`) and the browser engine
+(:class:`~repro.browser.engine.Browser`):
+
+* the **serial reference path** (:func:`run_serial`) executes every
+  event individually through the full-fidelity APIs
+  (``RwsService.query`` per decision, a latency sample per decision) —
+  the readable, obviously-correct baseline;
+* the **sharded fast path** (:func:`run_sharded`) partitions users into
+  contiguous shards, answers each shard's queries with direct compiled
+  index probes (session-batched, no per-decision service round-trip or
+  verdict objects) over a local resolver table with *sampled* latency
+  timing, and merges shard metrics.  Shards run in worker processes
+  (real parallelism on multi-core hosts) or threads; on a single core
+  the fast path still wins because each decision does strictly less
+  work.
+
+Both paths produce **identical decision outcomes**: the run digest —
+an order- and partition-independent fold of every per-user outcome
+stream (see :mod:`repro.workload.metrics`) — is bit-identical for a
+given seed across runs, shard counts, and the two paths, which the
+tier-1 suite asserts.  Timing figures (decisions/sec, percentiles) are
+the only non-reproducible outputs.
+
+Mid-flight list updates (the ``list-update`` scenario) key off the
+*global* user index, not shard progress: users below the cutoff are
+served the old snapshot, users at or above it the new one, so the
+outcome stream stays partition-independent.  Each shard also replays
+the published delta onto a simulated v1 client and verifies the
+patched copy's membership hash — the component-updater contract under
+load.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.browser.engine import Browser
+from repro.browser.policy import BROWSER_POLICIES
+from repro.psl.lookup import DomainError
+from repro.rws.model import RwsList
+from repro.serve.service import RwsService
+from repro.serve.snapshot import apply_delta, membership_hash
+from repro.workload.generator import Session, SessionGenerator, SiteUniverse
+from repro.workload.metrics import (
+    WorkloadMetrics,
+    combine_digests,
+    digest_hex,
+    user_digest,
+)
+from repro.workload.scenarios import LIST_PROFILES, Scenario, get_scenario
+
+#: Sampling stride for fast-path latency timing (one in N).
+_SAMPLE_STRIDE = 32
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's picklable work order.
+
+    Attributes:
+        scenario: The traffic shape (pure data, travels to workers).
+        seed: The run seed.
+        user_start: First user id in this shard (inclusive).
+        user_end: One past the last user id.
+        total_users: The whole run's user count (mid-flight update
+            cutoffs are computed against this, not the shard size).
+        reference: True for the full-fidelity serial path.
+    """
+
+    scenario: Scenario
+    seed: int
+    user_start: int
+    user_end: int
+    total_users: int
+    reference: bool
+
+
+@dataclass
+class WorkloadResult:
+    """The merged outcome of one workload run.
+
+    The digest and all decision counts (rsa/rsa-for/queries, grants,
+    denies, related hits) are deterministic for a given
+    (scenario, users, seed) triple — across runs, shard counts, and
+    driver paths.  Wall-clock figures are not, and per-shard
+    implementation counters (resolver hits/misses, ``list_updates`` /
+    ``delta_applied``, which count once per shard that crosses the
+    update cutoff) vary with the partition.
+    """
+
+    scenario: Scenario
+    users: int
+    shards: int
+    executor: str
+    seed: int
+    metrics: WorkloadMetrics
+    digest: int
+    wall_seconds: float
+    snapshot_version: int
+
+    @property
+    def decisions(self) -> int:
+        """Total decisions made (rSA + rSAFor + membership queries)."""
+        return self.metrics.decisions
+
+    @property
+    def decisions_per_sec(self) -> float:
+        """End-to-end throughput (generation + execution + merge)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.decisions / self.wall_seconds
+
+    @property
+    def digest_hex(self) -> str:
+        """The run digest as 64 hex characters."""
+        return digest_hex(self.digest)
+
+    def report_lines(self) -> list[str]:
+        """Human-readable report; deterministic lines first."""
+        counters = self.metrics.counters
+        lines = [
+            f"scenario {self.scenario.name}: {self.scenario.description}",
+            f"users {self.users}  shards {self.shards} ({self.executor})  "
+            f"seed {self.seed}  snapshot v{self.snapshot_version}",
+            f"decisions {self.decisions}  "
+            f"(rsa {counters.get('rsa_calls', 0)}, "
+            f"rsa-for {counters.get('rsa_for_calls', 0)}, "
+            f"queries {counters.get('queries', 0)})",
+            f"grants {counters.get('rsa_granted', 0)}  "
+            f"denies {counters.get('rsa_denied', 0)}  "
+            f"related {counters.get('related_hits', 0)}",
+            f"digest {self.digest_hex}",
+        ]
+        if counters.get("list_updates"):
+            # One logical update; each shard at/above the cutoff
+            # republishes into its private service and re-verifies.
+            lines.append(
+                f"mid-flight list update applied in "
+                f"{counters['list_updates']} shard(s); delta clients "
+                f"converged in {counters.get('delta_applied', 0)}"
+            )
+        lines.append(
+            f"throughput {self.decisions_per_sec:,.0f} decisions/sec "
+            f"({self.wall_seconds:.2f}s wall)"
+        )
+        for name in sorted(self.metrics.histograms):
+            summary = self.metrics.histograms[name].summary()
+            lines.append(
+                f"latency {name}: p50 {summary['p50_ns'] / 1e3:.1f}us  "
+                f"p95 {summary['p95_ns'] / 1e3:.1f}us  "
+                f"p99 {summary['p99_ns'] / 1e3:.1f}us  "
+                f"({int(summary['count'])} samples)"
+            )
+        return lines
+
+
+# -- shard execution ----------------------------------------------------------
+
+
+class _ShardState:
+    """Mutable per-shard context threaded through session execution."""
+
+    __slots__ = ("scenario", "service", "index", "psl", "metrics",
+                 "digests", "resolver_cache", "policy", "rsa_seen",
+                 "query_seen", "resolver_hits", "resolver_misses",
+                 "resolver_bound")
+
+    def __init__(self, scenario: Scenario, service: RwsService):
+        self.scenario = scenario
+        self.service = service
+        self.index = service.index
+        self.psl = service.psl
+        self.metrics = WorkloadMetrics()
+        self.digests: list[int] = []
+        self.resolver_cache: dict[str, str | None] = {}
+        self.policy = BROWSER_POLICIES["chrome-rws"]
+        self.rsa_seen = 0
+        self.query_seen = 0
+        self.resolver_hits = 0
+        self.resolver_misses = 0
+        self.resolver_bound = max(0, scenario.resolver_cache_size)
+
+    def resolve_local(self, host: str) -> str | None:
+        """Shard-local host resolution (the fast path's resolver).
+
+        Honours the scenario's ``resolver_cache_size``: 0 (cold-cache)
+        resolves every host through the PSL, a positive bound evicts —
+        FIFO rather than the service LRU's move-to-recent, which keeps
+        the hit path to one dict probe (hit/miss counts near the bound
+        may therefore differ slightly from the reference path).
+        Hit/miss counts live in plain attributes (folded into the
+        metrics when the shard finishes): this is the hottest call in
+        the fast path and a dict-counter update per resolution costs
+        more than the resolution itself.
+        """
+        cache = self.resolver_cache
+        if host in cache:
+            self.resolver_hits += 1
+            return cache[host]
+        self.resolver_misses += 1
+        try:
+            site = self.psl.etld_plus_one(host)
+        except DomainError:
+            site = None
+        if self.resolver_bound > 0:
+            if len(cache) >= self.resolver_bound:
+                cache.pop(next(iter(cache)))
+            cache[host] = site
+        return site
+
+
+def _browse_session(state: _ShardState, session: Session, *,
+                    reference: bool) -> tuple[list[str],
+                                              list[tuple[str, str]]]:
+    """Run a session's browser-engine traffic.
+
+    Returns the rSA outcome tokens (in event order) and the
+    (top_host, embed_host) pairs for the serving-layer queries.
+    """
+    metrics = state.metrics
+    rsa_tokens: list[str] = []
+    pairs: list[tuple[str, str]] = []
+    browser = Browser(policy=state.policy, rws_list=RwsList(),
+                      psl=state.psl)
+    browser.adopt_index(state.index)
+    resolver = (state.service.resolve_host if reference
+                else state.resolve_local)
+    for page_visit in session.pages:
+        page = browser.visit(page_visit.top_host,
+                             interact=page_visit.interact)
+        metrics.count("page_visits")
+        for embed in page_visit.embeds:
+            embed_site = resolver(embed.host)
+            pairs.append((page_visit.top_host, embed.host))
+            if embed_site is None:
+                continue
+            frame = page.embed(embed_site)
+            state.rsa_seen += 1
+            timed = reference or state.rsa_seen % _SAMPLE_STRIDE == 0
+            started = time.perf_counter_ns() if timed else 0
+            decision = browser.request_storage_access(
+                frame, user_gesture=embed.user_gesture)
+            if timed:
+                metrics.record_latency("rsa",
+                                       time.perf_counter_ns() - started)
+            metrics.count("rsa_calls")
+            metrics.count("rsa_granted" if decision.granted
+                          else "rsa_denied")
+            rsa_tokens.append(decision.value)
+        for host in page_visit.rsa_for_hosts:
+            decision = browser.request_storage_access_for(page, host)
+            metrics.count("rsa_for_calls")
+            metrics.count("rsa_granted" if decision.granted
+                          else "rsa_denied")
+            rsa_tokens.append(f"for:{decision.value}")
+    return rsa_tokens, pairs
+
+
+def _query_pairs(session: Session) -> list[tuple[str, str]]:
+    """The (top, embed) query pairs for a browserless (bulk) session."""
+    return [(page.top_host, embed.host)
+            for page in session.pages for embed in page.embeds]
+
+
+def _execute_reference(state: _ShardState, session: Session) -> None:
+    """Full-fidelity execution: one service round-trip per decision."""
+    metrics = state.metrics
+    if state.scenario.browser_traffic:
+        rsa_tokens, pairs = _browse_session(state, session, reference=True)
+    else:
+        rsa_tokens, pairs = [], _query_pairs(session)
+    query_tokens: list[str] = []
+    for top_host, embed_host in pairs:
+        started = time.perf_counter_ns()
+        verdict = state.service.query(top_host, embed_host)
+        metrics.record_latency("query", time.perf_counter_ns() - started)
+        metrics.count("queries")
+        if verdict.related:
+            metrics.count("related_hits")
+        query_tokens.append("1" if verdict.related else "0")
+    state.digests.append(
+        user_digest(session.user_id, rsa_tokens + ["#"] + query_tokens))
+
+
+def _execute_fast(state: _ShardState, session: Session) -> None:
+    """Fast-path execution: batched index probes, sampled timing."""
+    metrics = state.metrics
+    if state.scenario.browser_traffic:
+        rsa_tokens, pairs = _browse_session(state, session, reference=False)
+    else:
+        rsa_tokens, pairs = [], _query_pairs(session)
+    resolve = state.resolve_local
+    related = state.index.related
+    state.query_seen += 1
+    timed = pairs and state.query_seen % _SAMPLE_STRIDE == 0
+    started = time.perf_counter_ns() if timed else 0
+    query_tokens: list[str] = []
+    hits = 0
+    for top_host, embed_host in pairs:
+        site_a = resolve(top_host)
+        site_b = resolve(embed_host)
+        if site_a is not None and site_b is not None \
+                and related(site_a, site_b):
+            hits += 1
+            query_tokens.append("1")
+        else:
+            query_tokens.append("0")
+    if timed:
+        # One sample per sampled session: the per-decision mean.
+        elapsed = time.perf_counter_ns() - started
+        metrics.record_latency("query", elapsed // len(pairs))
+    metrics.count("queries", len(pairs))
+    if hits:
+        metrics.count("related_hits", hits)
+    state.digests.append(
+        user_digest(session.user_id, rsa_tokens + ["#"] + query_tokens))
+
+
+def _apply_mid_flight_update(state: _ShardState) -> None:
+    """Publish the profile's next list version and verify delta catch-up."""
+    build_v1, build_v2 = LIST_PROFILES[state.scenario.list_profile]
+    assert build_v2 is not None
+    base_version = state.service.current_snapshot.version \
+        if state.service.current_snapshot else 0
+    snapshot = state.service.publish(build_v2())
+    state.index = state.service.index
+    state.metrics.count("list_updates")
+    # A v1 client catches up by delta; its patched copy must converge
+    # on the served content hash (the component-updater contract).
+    delta = state.service.delta_since(base_version)
+    patched = apply_delta(build_v1(), delta)
+    if membership_hash(patched) == snapshot.content_hash:
+        state.metrics.count("delta_applied")
+
+
+def run_shard(task: ShardTask) -> dict:
+    """Execute one shard; returns a picklable outcome dict.
+
+    Top-level (not a closure) so process executors can pickle it.
+    """
+    scenario = task.scenario
+    started = time.perf_counter()
+    build_v1, build_v2 = LIST_PROFILES[scenario.list_profile]
+    rws_list = build_v1()
+    service = RwsService(resolver_cache_size=scenario.resolver_cache_size)
+    service.publish(rws_list)
+    state = _ShardState(scenario, service)
+    universe = SiteUniverse(rws_list, trackers=scenario.trackers,
+                            outside_sites=scenario.outside_sites)
+    generator = SessionGenerator(scenario, task.seed, universe)
+    execute = _execute_reference if task.reference else _execute_fast
+
+    if scenario.warm_cache:
+        for site in universe.member_sites:
+            for host in (site, f"www.{site}", f"m.{site}"):
+                if task.reference:
+                    service.resolve_host(host)
+                else:
+                    state.resolve_local(host)
+        state.metrics.count("warmup_resolutions",
+                            3 * len(universe.member_sites))
+
+    cutoff = None
+    if scenario.update_at_fraction is not None and build_v2 is not None:
+        cutoff = int(task.total_users * scenario.update_at_fraction)
+    updated = False
+    for user_id in range(task.user_start, task.user_end):
+        if cutoff is not None and not updated and user_id >= cutoff:
+            _apply_mid_flight_update(state)
+            updated = True
+        execute(state, generator.session(user_id))
+
+    if task.reference:
+        state.metrics.count("resolver_hits", service.stats.resolver_hits)
+        state.metrics.count("resolver_misses", service.stats.resolver_misses)
+    else:
+        state.metrics.count("resolver_hits", state.resolver_hits)
+        state.metrics.count("resolver_misses", state.resolver_misses)
+    snapshot = service.current_snapshot
+    return {
+        "users": task.user_end - task.user_start,
+        "metrics": state.metrics.to_portable(),
+        "digest": combine_digests(state.digests),
+        "wall_seconds": time.perf_counter() - started,
+        "snapshot_version": snapshot.version if snapshot else 0,
+    }
+
+
+# -- run orchestration --------------------------------------------------------
+
+
+def _partition(users: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous, ascending user-id ranges (empty ranges dropped)."""
+    base, extra = divmod(users, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        if size > 0:
+            bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _resolve_executor(executor: str, shards: int) -> str:
+    if executor == "auto":
+        if shards <= 1:
+            return "inline"
+        return "process" if (os.cpu_count() or 1) > 1 else "thread"
+    if executor not in ("inline", "thread", "process"):
+        raise ValueError(f"unknown executor {executor!r} "
+                         "(known: auto, inline, thread, process)")
+    return executor
+
+
+def _merge(scenario: Scenario, users: int, shards: int, executor: str,
+           seed: int, outcomes: list[dict],
+           wall_seconds: float) -> WorkloadResult:
+    metrics = WorkloadMetrics()
+    digests: list[int] = []
+    snapshot_version = 0
+    for outcome in outcomes:
+        metrics.merge(WorkloadMetrics.from_portable(outcome["metrics"]))
+        digests.append(outcome["digest"])
+        snapshot_version = max(snapshot_version,
+                               outcome["snapshot_version"])
+    return WorkloadResult(
+        scenario=scenario, users=users, shards=shards, executor=executor,
+        seed=seed, metrics=metrics, digest=combine_digests(digests),
+        wall_seconds=wall_seconds, snapshot_version=snapshot_version,
+    )
+
+
+def run_serial(scenario: Scenario | str, users: int, *,
+               seed: int = 0) -> WorkloadResult:
+    """The serial driver: one shard, full-fidelity execution."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    started = time.perf_counter()
+    outcomes = []
+    if users > 0:
+        outcomes.append(run_shard(ShardTask(
+            scenario=scenario, seed=seed, user_start=0, user_end=users,
+            total_users=users, reference=True,
+        )))
+    return _merge(scenario, users, 1, "serial", seed, outcomes,
+                  time.perf_counter() - started)
+
+
+def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
+                seed: int = 0, executor: str = "auto") -> WorkloadResult:
+    """The sharded executor: partition users, run shards, merge.
+
+    Args:
+        scenario: Registry name or scenario object.
+        users: Total simulated users across all shards.
+        shards: Worker count (contiguous user ranges).
+        seed: Run seed; outcomes are identical for any shard count.
+        executor: ``process`` (default on multi-core), ``thread``,
+            ``inline`` (run shards in-loop; useful for tests), or
+            ``auto``.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    mode = _resolve_executor(executor, shards)
+    started = time.perf_counter()
+    tasks = [
+        ShardTask(scenario=scenario, seed=seed, user_start=start,
+                  user_end=end, total_users=users, reference=False)
+        for start, end in _partition(users, shards)
+    ]
+    if len(tasks) <= 1:
+        mode = "inline"  # no pool spun up: report what actually ran
+    # Shards are independent and the pool drains its queue, so capping
+    # workers at the core count bounds memory/scheduler churn for large
+    # --shards values without changing any outcome.
+    workers = min(len(tasks), os.cpu_count() or 1)
+    if mode == "inline":
+        outcomes = [run_shard(task) for task in tasks]
+    elif mode == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(run_shard, tasks))
+    else:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            outcomes = list(pool.map(run_shard, tasks))
+    return _merge(scenario, users, shards, mode, seed, outcomes,
+                  time.perf_counter() - started)
+
+
+def run_workload(scenario: Scenario | str, users: int, *, shards: int = 1,
+                 seed: int = 0, executor: str = "auto") -> WorkloadResult:
+    """Run a workload, serial for one shard, sharded otherwise."""
+    if shards <= 1:
+        return run_serial(scenario, users, seed=seed)
+    return run_sharded(scenario, users, shards, seed=seed,
+                       executor=executor)

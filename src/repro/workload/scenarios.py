@@ -1,0 +1,231 @@
+"""Named workload scenarios: one dict entry per traffic shape.
+
+A scenario is pure data (:class:`Scenario` is a frozen dataclass of
+primitives, picklable across process shards).  Adding a workload means
+adding an entry to :data:`SCENARIOS`, not writing driver code:
+
+* ``steady`` — steady-state browsing over the served list;
+* ``flash-crowd`` — traffic collapses onto a few hot sets (high Zipf
+  exponent, short sessions, many embeds);
+* ``list-update`` — a new list version is published mid-flight and
+  clients catch up via :class:`~repro.serve.snapshot.SnapshotStore`
+  deltas;
+* ``abusive`` — probing traffic against an oversized "conglomerate"
+  set: gestureless rSA calls, service sites as top-level, cross-set
+  scraping (the paper's governance concern as a workload);
+* ``cold-cache`` / ``warm-cache`` — the resolver LRU disabled vs
+  pre-warmed, bracketing the cache's contribution;
+* ``bulk`` — a pure membership-decision firehose (no browser
+  simulation), the throughput benchmark's workload.
+
+List contents come from named *profiles* (:data:`LIST_PROFILES`) so a
+scenario can reference "the seed list plus an abusive set" or "the seed
+list's next version" without carrying unpicklable objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data import build_rws_list
+from repro.rws.model import RelatedWebsiteSet, RwsList
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named traffic shape (all fields primitive and picklable).
+
+    Attributes:
+        name: Registry key and RNG-stream component.
+        description: One line for ``--list-scenarios`` output.
+        list_profile: Key into :data:`LIST_PROFILES` choosing the
+            served list (and its mid-flight successor, if any).
+        browser_traffic: When False, sessions skip the browser engine
+            and only produce service membership queries (the ``bulk``
+            firehose).
+        pages_per_session: Inclusive (min, max) page visits per user.
+        embeds_per_page: Inclusive (min, max) third-party embeds.
+        member_top_fraction: Probability a page's top-level site is an
+            RWS member (vs a synthetic outside site).
+        mix_same_set: Probability an embed comes from the top site's own
+            set (falls back to a tracker for non-member tops).
+        mix_other_set: Probability an embed comes from a *different*
+            set; the remainder are unlisted trackers.
+        service_top_fraction: Probability the top-level site is a
+            service-role member (RWS forbids granting those).
+        rsa_for_fraction: Probability a page issues a top-level
+            ``requestStorageAccessFor`` call.
+        no_gesture_fraction: Probability an rSA call arrives without a
+            user gesture (abuse probing).
+        interact_fraction: Probability the user interacts with a page.
+        zipf_exponent: Popularity skew for all site pools.
+        trackers: Size of the synthetic unlisted third-party pool.
+        outside_sites: Size of the synthetic non-member top-site pool.
+        resolver_cache_size: The service's host-resolver LRU bound
+            (0 disables it — the cold-cache scenario).
+        warm_cache: Pre-resolve every member host before traffic runs.
+        update_at_fraction: When set, publish the profile's next list
+            version once this fraction of all users has been served,
+            and verify a delta-patched client converges.
+    """
+
+    name: str
+    description: str
+    list_profile: str = "seed"
+    browser_traffic: bool = True
+    pages_per_session: tuple[int, int] = (2, 4)
+    embeds_per_page: tuple[int, int] = (1, 3)
+    member_top_fraction: float = 0.6
+    mix_same_set: float = 0.5
+    mix_other_set: float = 0.2
+    service_top_fraction: float = 0.0
+    rsa_for_fraction: float = 0.10
+    no_gesture_fraction: float = 0.05
+    interact_fraction: float = 0.7
+    zipf_exponent: float = 1.2
+    trackers: int = 256
+    outside_sites: int = 512
+    resolver_cache_size: int = 4096
+    warm_cache: bool = False
+    update_at_fraction: float | None = None
+
+
+# -- list profiles ------------------------------------------------------------
+
+
+def _seed_v2() -> RwsList:
+    """The seed list's successor: one grown set, one new set."""
+    rws_list = build_rws_list()
+    first = rws_list.sets[0]
+    first.associated.append("midflight-news.com")
+    first.rationales["midflight-news.com"] = (
+        "Same newsroom; added in the mid-flight list update."
+    )
+    rws_list.sets.append(RelatedWebsiteSet(
+        primary="midflight.com",
+        associated=["midflight-shop.com"],
+        rationales={"midflight-shop.com": "Storefront of midflight.com."},
+    ))
+    return rws_list
+
+
+def _abusive_list() -> RwsList:
+    """The seed list plus an oversized 'conglomerate' set.
+
+    The paper's governance analysis worries about sets that stretch
+    "clear affiliation" to span dozens of loosely related properties;
+    this profile serves one so abusive-probing traffic has a target.
+    """
+    rws_list = build_rws_list()
+    associated = [f"conglomerate-brand{i:02d}.com" for i in range(40)]
+    service = [f"conglomerate-cdn{i}.com" for i in range(5)]
+    rws_list.sets.append(RelatedWebsiteSet(
+        primary="conglomerate-hub.com",
+        associated=associated,
+        service=service,
+        rationales={site: "Part of the conglomerate family."
+                    for site in associated + service},
+    ))
+    return rws_list
+
+
+def _abusive_list_v2() -> RwsList:
+    """The abusive profile after governance removes the oversized set."""
+    return build_rws_list()
+
+
+#: Profile name -> (initial list builder, mid-flight successor builder).
+LIST_PROFILES: dict[str, tuple[Callable[[], RwsList],
+                               Callable[[], RwsList] | None]] = {
+    "seed": (build_rws_list, _seed_v2),
+    "abusive": (_abusive_list, _abusive_list_v2),
+}
+
+
+# -- the registry -------------------------------------------------------------
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario for scenario in (
+        Scenario(
+            name="steady",
+            description="steady-state browsing over the served seed list",
+        ),
+        Scenario(
+            name="flash-crowd",
+            description="traffic collapses onto a few hot sets",
+            zipf_exponent=2.2,
+            member_top_fraction=0.92,
+            pages_per_session=(1, 2),
+            embeds_per_page=(3, 5),
+            mix_same_set=0.7,
+            mix_other_set=0.1,
+        ),
+        Scenario(
+            name="list-update",
+            description="new list version published mid-flight; "
+                        "clients catch up by delta",
+            update_at_fraction=0.5,
+        ),
+        Scenario(
+            name="abusive",
+            description="gestureless/service-top probing of an "
+                        "oversized conglomerate set",
+            list_profile="abusive",
+            member_top_fraction=0.8,
+            service_top_fraction=0.25,
+            no_gesture_fraction=0.35,
+            mix_same_set=0.6,
+            mix_other_set=0.3,
+            interact_fraction=0.2,
+            rsa_for_fraction=0.25,
+        ),
+        Scenario(
+            name="takedown",
+            description="governance removes the abusive set mid-flight; "
+                        "probes keep coming",
+            list_profile="abusive",
+            member_top_fraction=0.8,
+            service_top_fraction=0.25,
+            no_gesture_fraction=0.35,
+            mix_same_set=0.6,
+            mix_other_set=0.3,
+            interact_fraction=0.2,
+            rsa_for_fraction=0.25,
+            update_at_fraction=0.5,
+        ),
+        Scenario(
+            name="cold-cache",
+            description="steady traffic with the host-resolver LRU disabled",
+            resolver_cache_size=0,
+        ),
+        Scenario(
+            name="warm-cache",
+            description="steady traffic with the resolver pre-warmed",
+            warm_cache=True,
+        ),
+        Scenario(
+            name="bulk",
+            description="pure membership-decision firehose "
+                        "(no browser simulation)",
+            browser_traffic=False,
+            pages_per_session=(4, 8),
+            embeds_per_page=(4, 8),
+            rsa_for_fraction=0.0,
+            no_gesture_fraction=0.0,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by registry name.
+
+    Raises:
+        KeyError: With the known names, for unknown scenarios.
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None

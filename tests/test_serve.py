@@ -1,5 +1,8 @@
 """Tests for the serving layer (repro.serve)."""
 
+import threading
+import time
+
 import pytest
 
 from repro.browser import BROWSER_POLICIES, Browser, GrantDecision
@@ -198,6 +201,75 @@ class TestSnapshotStore:
         patched = apply_delta(small_list(), delta)
         assert membership_hash(patched) == delta.to_hash
 
+    @staticmethod
+    def _three_versions() -> tuple[SnapshotStore, RwsList, RwsList, RwsList]:
+        """A store holding v1 -> v2 (grown set) -> v3 (new set, removal)."""
+        v1 = small_list()
+        v2 = small_list()
+        v2.sets[0].associated.append("example-mail.com")
+        v2.sets[0].rationales["example-mail.com"] = "Webmail brand."
+        v3 = small_list()
+        v3.sets[0].associated.append("example-mail.com")
+        v3.sets[0].rationales["example-mail.com"] = "Webmail brand."
+        del v3.sets[1:]  # other.com's set is withdrawn
+        v3.sets.append(RelatedWebsiteSet(
+            primary="new.com", associated=["new-blog.com"],
+            rationales={"new-blog.com": "Same publisher."},
+        ))
+        store = SnapshotStore()
+        for version in (v1, v2, v3):
+            store.publish(version)
+        assert store.versions() == [1, 2, 3]
+        return store, v1, v2, v3
+
+    def test_multi_hop_delta_chain(self):
+        # A client can walk v1 -> v2 -> v3 hop by hop, and each hop's
+        # result is a valid base for the next.
+        store, _, _, _ = self._three_versions()
+        client = small_list()
+        for hop in (2, 3):
+            delta = store.delta(hop - 1, hop)
+            client = apply_delta(client, delta)
+            assert membership_hash(client) == store.get(hop).content_hash
+        index = MembershipIndex.from_list(client)
+        assert index.related("example-mail.com", "example.co.uk")
+        assert index.related("new.com", "new-blog.com")
+        assert not index.related("other.com", "other-shop.com")
+
+    def test_multi_hop_chain_equals_direct_delta(self):
+        # Hopping v1->v2->v3 and jumping v1->v3 converge on the same
+        # membership content.
+        store, _, _, _ = self._three_versions()
+        hopped = apply_delta(apply_delta(small_list(), store.delta(1, 2)),
+                             store.delta(2, 3))
+        jumped = apply_delta(small_list(), store.delta(1, 3))
+        assert membership_hash(hopped) == membership_hash(jumped)
+        assert membership_hash(jumped) == store.get(3).content_hash
+
+    def test_stale_client_mid_chain_is_rejected(self):
+        # A client that skipped the v1->v2 hop (or diverged after it)
+        # must not be able to apply the v2->v3 delta.
+        store, _, _, _ = self._three_versions()
+        delta_2_to_3 = store.delta(2, 3)
+        still_at_v1 = small_list()
+        with pytest.raises(StaleSnapshotError, match="does not match"):
+            apply_delta(still_at_v1, delta_2_to_3)
+
+        diverged = apply_delta(small_list(), store.delta(1, 2))
+        diverged.sets[0].associated.append("rogue.com")
+        with pytest.raises(StaleSnapshotError):
+            apply_delta(diverged, delta_2_to_3)
+
+    def test_recovery_after_stale_rejection(self):
+        # The recovering client re-syncs from its true version and the
+        # chain works again (the component-updater fallback story).
+        store, _, _, _ = self._three_versions()
+        client = small_list()  # honest v1 client
+        with pytest.raises(StaleSnapshotError):
+            apply_delta(client, store.delta(2, 3))
+        client = apply_delta(client, store.delta(1, 3))
+        assert membership_hash(client) == store.get(3).content_hash
+
 
 class TestValidationQueue:
     def test_passing_submission(self):
@@ -243,6 +315,33 @@ class TestValidationQueue:
         queue = ValidationQueue(Validator())
         with pytest.raises(KeyError):
             queue.poll("sub-9999")
+
+    def test_shutdown_with_pending_jobs_completes_them(self):
+        # shutdown() must drain: jobs still queued when it is called
+        # reach a terminal status, none are dropped, and the pool stops.
+        release = threading.Event()
+
+        class SlowValidator:
+            def __init__(self):
+                self._real = Validator()
+
+            def validate(self, rws_set):
+                release.wait(timeout=10)
+                time.sleep(0.01)
+                return self._real.validate(rws_set)
+
+        queue = ValidationQueue(SlowValidator(), workers=2)
+        tickets = queue.submit_many([small_list().sets[0]] * 6)
+        # With 2 workers stalled on the event, most jobs are pending.
+        assert any(not queue.poll(t).terminal for t in tickets)
+        release.set()
+        queue.shutdown()
+        statuses = [queue.poll(t) for t in tickets]
+        assert all(status.terminal for status in statuses)
+        assert statuses.count(SubmissionStatus.PASSED) == 6
+        assert queue.stats.completed == 6
+        with pytest.raises(RuntimeError, match="shut down"):
+            queue.submit(small_list().sets[0])
 
 
 class TestRwsService:
@@ -319,6 +418,47 @@ class TestRwsService:
         ticket = self.service.submit(fresh)
         assert self.service.drain(timeout=30)
         assert self.service.poll(ticket) is SubmissionStatus.PASSED
+
+    def test_concurrent_queries_publishes_and_submissions(self):
+        # The publication swap and the stats counters are shared with
+        # query threads and validation workers; under a rapid switch
+        # interval every counted event must still land exactly once.
+        import sys
+
+        grown = small_list()
+        grown.sets.append(RelatedWebsiteSet(
+            primary="new.com", associated=["new-blog.com"],
+            rationales={"new-blog.com": "Same publisher."},
+        ))
+        per_thread, threads_n = 250, 4
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            def query_loop():
+                for _ in range(per_thread):
+                    self.service.query("www.example.com", "example-news.com")
+
+            def publish_loop():
+                for i in range(40):
+                    self.service.publish(grown if i % 2 else small_list())
+
+            threads = [threading.Thread(target=query_loop)
+                       for _ in range(threads_n)]
+            threads.append(threading.Thread(target=publish_loop))
+            for _ in range(8):
+                self.service.submit(small_list().sets[0])
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert self.service.drain(timeout=30)
+        finally:
+            sys.setswitchinterval(old_interval)
+        report = self.service.stats_report()
+        assert report["queries"] == per_thread * threads_n
+        assert report["related_hits"] == per_thread * threads_n
+        assert report["publishes"] == 40 + 1  # setup publish included
+        assert report["queue_passed"] == 8
 
     def test_stats_report_counters(self):
         self.service.query_batch([
