@@ -7,9 +7,12 @@ HTML-similarity tooling, the Forcepoint-style categoriser, the GitHub
 governance pipeline, and the §3 user study — plus per-artefact analysis
 pipelines that regenerate every table and figure, a serving layer
 (:mod:`repro.serve`) that compiles the list into an indexed,
-versioned, asynchronously-governed service, and a workload engine
-(:mod:`repro.workload`) that synthesizes browser-population traffic
-and drives it through that service serially or across shards.
+versioned, asynchronously-governed service, a typed and versioned
+protocol layer (:mod:`repro.api`) that fronts that service with
+request/response envelopes, a middleware chain, and a JSON wire
+codec, and a workload engine (:mod:`repro.workload`) that synthesizes
+browser-population traffic and drives it through the protocol
+serially or across shards.
 
 Quickstart::
 
@@ -27,14 +30,18 @@ See README.md for the architecture overview and the paper-to-module
 map.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
+from repro.api import ApiError, Dispatcher, ErrorCode
 from repro.psl import PublicSuffixList, default_psl
 from repro.rws import RelatedWebsiteSet, RwsList, Validator
 from repro.serve import MembershipIndex, RwsService
 from repro.workload import SCENARIOS, Scenario, WorkloadResult, run_workload
 
 __all__ = [
+    "ApiError",
+    "Dispatcher",
+    "ErrorCode",
     "MembershipIndex",
     "PublicSuffixList",
     "RelatedWebsiteSet",

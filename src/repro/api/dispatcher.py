@@ -1,0 +1,431 @@
+"""The dispatcher: envelopes in, envelopes out, middleware in between.
+
+:class:`Dispatcher` is the one routing point between API consumers and
+:class:`~repro.serve.service.RwsService`.  Every consumer — the CLI's
+``query``/``serve``/``load``/``api`` subcommands, both workload driver
+paths, and the governance simulation — sends typed envelopes from
+:mod:`repro.api.envelopes` through :meth:`Dispatcher.dispatch`; nothing
+outside the serve package should call service methods ad hoc anymore.
+
+Routing is table-driven and composed once at construction: each request
+type maps to a handler already wrapped in the middleware chain, so a
+dispatch costs one dict probe plus the chain — the overhead budget over
+a direct ``RwsService.query`` call is ≤15%
+(``benchmarks/test_bench_api_dispatch.py``).
+
+A middleware is any ``callable(request, call_next) -> response``; the
+chain runs outermost-first.  Four ship here:
+
+* :class:`RequestCounter` — per-operation request/error counts;
+* :class:`LatencyRecorder` — dispatch latency into the mergeable
+  power-of-two-bucket histograms from :mod:`repro.workload.metrics`;
+* :class:`TokenBucketLimiter` — load shedding with ``RATE_LIMITED``
+  errors;
+* :class:`VerdictCache` — short-TTL memoisation of single-pair query
+  responses, invalidated by publishes flowing through the same chain.
+
+Domain failures map onto the :class:`~repro.api.envelopes.ApiError`
+taxonomy (``UNRESOLVABLE_HOST``, ``STALE_SNAPSHOT``,
+``UNKNOWN_TICKET``, ``MALFORMED``); unexpected exceptions become
+``INTERNAL`` errors instead of tearing down the transport.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.api.envelopes import (
+    ApiError,
+    BatchQueryRequest,
+    BatchQueryResponse,
+    DeltaRequest,
+    DeltaResponse,
+    ErrorCode,
+    ErrorResponse,
+    PollRequest,
+    PollResponse,
+    PublishRequest,
+    PublishResponse,
+    QueryRequest,
+    QueryResponse,
+    Request,
+    ResolveRequest,
+    ResolveResponse,
+    Response,
+    StatsRequest,
+    StatsResponse,
+    SubmitRequest,
+    SubmitResponse,
+)
+from repro.serve.service import RwsService
+from repro.serve.snapshot import StaleSnapshotError
+
+if TYPE_CHECKING:  # import cycle guard: workload.driver imports this module
+    from repro.workload.metrics import WorkloadMetrics
+
+Handler = Callable[[Request], Response]
+Middleware = Callable[[Request, Handler], Response]
+
+
+class RequestCounter:
+    """Middleware: per-operation request and error counts.
+
+    Counts are plain dict bumps without a lock — under concurrent
+    dispatch they are approximate (increments can race), which is the
+    usual observability trade; they are exact for single-threaded
+    consumers like the CLI and the per-shard workload dispatchers.
+    """
+
+    def __init__(self) -> None:
+        self.requests: dict[str, int] = {}
+        self.errors: dict[str, int] = {}
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        op = request.op
+        self.requests[op] = self.requests.get(op, 0) + 1
+        response = call_next(request)
+        if type(response) is ErrorResponse:
+            self.errors[op] = self.errors.get(op, 0) + 1
+        return response
+
+    def snapshot(self) -> dict[str, int]:
+        """Flat ``{op: requests, op_errors: errors}`` counter view."""
+        report = dict(self.requests)
+        for op, errors in self.errors.items():
+            report[f"{op}_errors"] = errors
+        return report
+
+
+class LatencyRecorder:
+    """Middleware: dispatch latency into pow2-bucket histograms.
+
+    Records every dispatch under ``<prefix><op>`` in a
+    :class:`~repro.workload.metrics.WorkloadMetrics` — the same
+    mergeable histogram shape the workload engine reports, so API
+    latency from any consumer can be folded into a load run's metrics.
+    """
+
+    def __init__(self, metrics: "WorkloadMetrics | None" = None,
+                 prefix: str = "api_"):
+        if metrics is None:
+            # Imported lazily: repro.workload.driver imports repro.api,
+            # so a module-level import here would be circular.
+            from repro.workload.metrics import WorkloadMetrics
+            metrics = WorkloadMetrics()
+        self.metrics = metrics
+        self.prefix = prefix
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        started = time.perf_counter_ns()
+        response = call_next(request)
+        self.metrics.record_latency(self.prefix + request.op,
+                                    time.perf_counter_ns() - started)
+        return response
+
+
+class TokenBucketLimiter:
+    """Middleware: classic token-bucket load shedding.
+
+    Each dispatch (batches included — admission is per envelope, not
+    per pair) spends one token; tokens refill at ``rate`` per second up
+    to ``burst``.  An empty bucket answers ``RATE_LIMITED`` with a
+    ``retry_after_s`` hint instead of calling the service.
+
+    Args:
+        rate: Sustained requests per second.
+        burst: Bucket capacity (momentary excursion above ``rate``).
+        clock: Monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError(f"rate and burst must be > 0, "
+                             f"got rate={rate}, burst={burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.shed = 0
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last) * self.rate)
+            self._last = now
+            if self._tokens < 1.0:
+                self.shed += 1
+                wait = (1.0 - self._tokens) / self.rate
+                return ErrorResponse(op=request.op, error=ApiError(
+                    code=ErrorCode.RATE_LIMITED,
+                    message=f"rate limit exceeded for {request.op!r}",
+                    detail={"retry_after_s": f"{wait:.3f}"},
+                ))
+            self._tokens -= 1.0
+        return call_next(request)
+
+
+class VerdictCache:
+    """Middleware: short-TTL memoisation of single-pair query verdicts.
+
+    Caches :class:`QueryRequest` responses (successes *and*
+    unresolvable-host errors — both are deterministic for a snapshot)
+    keyed by the raw host pair; transient failures from deeper in the
+    chain (``RATE_LIMITED``, ``INTERNAL``) are never stored.  A
+    :class:`PublishRequest` flowing through the same chain clears the
+    cache, and the TTL bounds staleness against publishes that bypass
+    this dispatcher.  Other operations pass straight through.
+
+    FIFO eviction at ``maxsize`` keeps the hit path to one dict probe.
+    """
+
+    def __init__(self, ttl: float = 1.0, maxsize: int = 4096,
+                 clock: Callable[[], float] = time.monotonic):
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        self.ttl = float(ttl)
+        self.maxsize = max(0, maxsize)
+        self.hits = 0
+        self.misses = 0
+        self._clock = clock
+        self._cache: dict[tuple[str, str], tuple[float, Response]] = {}
+        self._lock = threading.Lock()
+
+    def __call__(self, request: Request, call_next: Handler) -> Response:
+        request_type = type(request)
+        if request_type is PublishRequest:
+            response = call_next(request)
+            with self._lock:
+                self._cache.clear()
+            return response
+        if request_type is not QueryRequest or self.maxsize == 0:
+            return call_next(request)
+        key = (request.host_a, request.host_b)
+        now = self._clock()
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None and now - entry[0] <= self.ttl:
+                self.hits += 1
+                return entry[1]
+        response = call_next(request)
+        cacheable = (type(response) is not ErrorResponse
+                     or response.error.code is ErrorCode.UNRESOLVABLE_HOST)
+        with self._lock:
+            self.misses += 1
+            if cacheable:
+                if key not in self._cache \
+                        and len(self._cache) >= self.maxsize:
+                    self._cache.pop(next(iter(self._cache)))
+                self._cache[key] = (now, response)
+        return response
+
+
+class Dispatcher:
+    """Routes request envelopes to an :class:`RwsService`.
+
+    Args:
+        service: The service every handler calls into.
+        middlewares: The chain, outermost first.  Empty by default —
+            the bare dispatcher is the ≤15%-overhead hot path; consumers
+            opt into counting/latency/limiting/memoisation per use.
+    """
+
+    def __init__(self, service: RwsService,
+                 middlewares: Iterable[Middleware] = ()):
+        self.service = service
+        self.middlewares: tuple[Middleware, ...] = tuple(middlewares)
+        handlers: dict[type, Handler] = {
+            QueryRequest: self._make_query_handler(service),
+            BatchQueryRequest: self._make_batch_handler(service),
+            ResolveRequest: self._handle_resolve,
+            PublishRequest: self._handle_publish,
+            DeltaRequest: self._handle_delta,
+            SubmitRequest: self._handle_submit,
+            PollRequest: self._handle_poll,
+            StatsRequest: self._handle_stats,
+        }
+        # Compose each route once: dispatch-time cost is one dict probe
+        # plus the pre-built chain, never per-call wrapping.  With
+        # middleware installed, handler exceptions are converted to
+        # INTERNAL errors *inside* the chain so counters and latency
+        # recorders observe them; the bare dispatcher skips that frame
+        # (dispatch()'s own catch-all covers it) to stay on the
+        # overhead budget.
+        self._routes: dict[type, Handler] = {}
+        for request_type, handler in handlers.items():
+            chain = self._guard(handler) if self.middlewares else handler
+            for middleware in reversed(self.middlewares):
+                chain = self._wrap(middleware, chain)
+            self._routes[request_type] = chain
+        self._route_for = self._routes.get
+
+    @staticmethod
+    def _wrap(middleware: Middleware, call_next: Handler) -> Handler:
+        def step(request: Request) -> Response:
+            return middleware(request, call_next)
+        return step
+
+    @staticmethod
+    def _guard(handler: Handler) -> Handler:
+        def step(request: Request) -> Response:
+            try:
+                return handler(request)
+            except Exception as exc:  # noqa: BLE001 — protocol boundary
+                return ErrorResponse(op=request.op, error=ApiError(
+                    code=ErrorCode.INTERNAL,
+                    message=f"{type(exc).__name__}: {exc}",
+                ))
+        return step
+
+    def dispatch(self, request: Request) -> Response:
+        """Route one envelope through the middleware chain.
+
+        Unexpected exceptions — from handlers or middleware alike —
+        come back as ``INTERNAL`` error envelopes rather than tearing
+        down the caller (this is the protocol boundary).  Handler
+        failures surface inside the chain (so middleware counts them);
+        this catch-all covers the middleware itself.
+        """
+        route = self._route_for(request.__class__)
+        if route is None:
+            return ErrorResponse(error=ApiError(
+                code=ErrorCode.MALFORMED,
+                message=f"unknown request type "
+                        f"{type(request).__name__}",
+            ))
+        try:
+            return route(request)
+        except Exception as exc:  # noqa: BLE001 — protocol boundary
+            return ErrorResponse(op=request.op, error=ApiError(
+                code=ErrorCode.INTERNAL,
+                message=f"{type(exc).__name__}: {exc}",
+            ))
+
+    def dispatch_wire(self, text: str) -> str:
+        """Decode a wire request, dispatch it, encode the response.
+
+        Never raises for bad input: undecodable requests come back as
+        encoded ``MALFORMED`` error envelopes, so a transport can pipe
+        bytes through without its own error handling.
+        """
+        from repro.api.codec import (  # local: codec imports envelopes only
+            API_VERSION,
+            WireError,
+            decode_request,
+            encode_response,
+        )
+        try:
+            request, version = decode_request(text)
+        except WireError as exc:
+            return encode_response(ErrorResponse(error=exc.error),
+                                   version=API_VERSION)
+        return encode_response(self.dispatch(request), version=version)
+
+    # -- handlers -------------------------------------------------------------
+    #
+    # The two query handlers are built as closures over pre-bound
+    # service methods: they run once per decision under load, and the
+    # saved `self.service.<method>` attribute walks are measurable at
+    # that rate (see the overhead budget in the module docstring).
+
+    @staticmethod
+    def _make_query_handler(service: RwsService) -> Handler:
+        service_query = service.query
+
+        def handle_query(request: QueryRequest) -> Response:
+            verdict = service_query(request.host_a, request.host_b)
+            if verdict.result is not None:
+                return QueryResponse(verdict)
+            # result is None exactly when a host failed to resolve.
+            detail: dict[str, str] = {}
+            if verdict.site_a is None:
+                detail["host_a"] = request.host_a
+            if verdict.site_b is None:
+                detail["host_b"] = request.host_b
+            return ErrorResponse(op=request.op, error=ApiError(
+                code=ErrorCode.UNRESOLVABLE_HOST,
+                message="no registrable domain for "
+                        + ", ".join(sorted(detail.values())),
+                detail=detail,
+            ))
+
+        return handle_query
+
+    @staticmethod
+    def _make_batch_handler(service: RwsService) -> Handler:
+        query_batch = service.query_batch
+        related_batch = service.related_batch
+        related_sites_batch = service.related_sites_batch
+
+        def handle_batch_query(request: BatchQueryRequest) -> Response:
+            if request.resolved:
+                # Site-level pairs: resolver skipped, bits-only answer.
+                return BatchQueryResponse(
+                    related=related_sites_batch(request.pairs))
+            if request.detail:
+                verdicts = query_batch(request.pairs)
+                return BatchQueryResponse(
+                    related=[verdict.related for verdict in verdicts],
+                    verdicts=verdicts,
+                )
+            return BatchQueryResponse(related=related_batch(request.pairs))
+
+        return handle_batch_query
+
+    def _handle_resolve(self, request: ResolveRequest) -> Response:
+        site = self.service.resolve_host(request.host)
+        if site is None:
+            return ErrorResponse(op=request.op, error=ApiError(
+                code=ErrorCode.UNRESOLVABLE_HOST,
+                message=f"no registrable domain for {request.host!r}",
+                detail={"host": request.host},
+            ))
+        return ResolveResponse(host=request.host, site=site)
+
+    def _handle_publish(self, request: PublishRequest) -> Response:
+        snapshot = self.service.publish(request.rws_list)
+        return PublishResponse(version=snapshot.version,
+                               content_hash=snapshot.content_hash)
+
+    def _handle_delta(self, request: DeltaRequest) -> Response:
+        try:
+            delta = self.service.delta_since(request.from_version,
+                                             request.to_version)
+        except StaleSnapshotError as exc:
+            return ErrorResponse(op=request.op, error=ApiError(
+                code=ErrorCode.STALE_SNAPSHOT,
+                message=str(exc),
+                detail={"from_version": str(request.from_version)},
+            ))
+        return DeltaResponse(delta=delta)
+
+    def _handle_submit(self, request: SubmitRequest) -> Response:
+        return SubmitResponse(ticket=self.service.submit(request.rws_set))
+
+    def _handle_poll(self, request: PollRequest) -> Response:
+        try:
+            status = self.service.poll(request.ticket)
+        except KeyError:
+            return ErrorResponse(op=request.op, error=ApiError(
+                code=ErrorCode.UNKNOWN_TICKET,
+                message=f"unknown ticket {request.ticket!r}",
+                detail={"ticket": request.ticket},
+            ))
+        passed: bool | None = None
+        findings: list[str] = []
+        if status.terminal:
+            report = self.service.queue.report(request.ticket)
+            if report is not None:
+                passed = report.passed
+                findings = [finding.message for finding in report.findings]
+        return PollResponse(ticket=request.ticket, status=status.value,
+                            terminal=status.terminal, passed=passed,
+                            findings=findings)
+
+    def _handle_stats(self, _request: StatsRequest) -> Response:
+        return StatsResponse(report=self.service.stats_report())

@@ -17,7 +17,13 @@ Subcommands:
   long-running service);
 * ``load`` — run a named traffic scenario through the workload engine
   (``--scenario steady --users 100000 --shards 4``) and print
-  throughput, latency percentiles, and the reproducible run digest.
+  throughput, latency percentiles, and the reproducible run digest;
+* ``api`` — dispatch one wire-format JSON request envelope and print
+  the JSON response (the ``repro.api`` protocol over stdin/argv).
+
+The serving subcommands (``query``, ``serve``, ``load``, ``api``) all
+route through the :class:`repro.api.Dispatcher` protocol layer rather
+than calling :class:`~repro.serve.service.RwsService` directly.
 """
 
 from __future__ import annotations
@@ -115,31 +121,43 @@ def _cmd_list_stats(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_service():
+def _build_api(middlewares=()):
+    """The serving stack behind every API-routed subcommand."""
+    from repro.api import Dispatcher
     from repro.data import build_rws_list
     from repro.serve import RwsService
 
     service = RwsService()
     service.publish(build_rws_list())
-    return service
+    return service, Dispatcher(service, middlewares=middlewares)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.api import ErrorCode, ErrorResponse, QueryRequest, VerdictCache
+
     if len(args.sites) < 2:
         print("query needs at least two sites", file=sys.stderr)
         return 2
-    service = _build_service()
+    _service, dispatcher = _build_api(middlewares=(VerdictCache(),))
     subject = args.sites[0]
     all_related = True
-    unresolvable = False
+    failed = False
     for other in args.sites[1:]:
-        verdict = service.query(subject, other)
-        if verdict.site_a is None or verdict.site_b is None:
-            unresolvable = True
-            bad = subject if verdict.site_a is None else other
-            print(f"error      {subject} ~ {other}: "
-                  f"{bad!r} has no registrable domain")
+        response = dispatcher.dispatch(QueryRequest(host_a=subject,
+                                                    host_b=other))
+        if isinstance(response, ErrorResponse):
+            failed = True
+            if response.error.code is ErrorCode.UNRESOLVABLE_HOST:
+                detail = response.error.detail
+                bad = detail.get("host_a", detail.get("host_b", subject))
+                print(f"error      {subject} ~ {other}: "
+                      f"{bad!r} has no registrable domain")
+            else:
+                print(f"error      {subject} ~ {other}: "
+                      f"{response.error.code.value}: "
+                      f"{response.error.message}")
             continue
+        verdict = response.verdict
         if verdict.related:
             result = verdict.result
             assert result is not None
@@ -154,13 +172,34 @@ def _cmd_query(args: argparse.Namespace) -> int:
         else:
             all_related = False
             print(f"unrelated  {verdict.site_a} ~ {verdict.site_b}")
-    if unresolvable:
+    if failed:
         return 2
     return 0 if all_related else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    service = _build_service()
+    from repro.api import (
+        BatchQueryRequest,
+        ErrorResponse,
+        LatencyRecorder,
+        PollRequest,
+        RequestCounter,
+        StatsRequest,
+        SubmitRequest,
+    )
+
+    def dispatch_ok(request):
+        """Dispatch, surfacing error envelopes instead of crashing."""
+        response = dispatcher.dispatch(request)
+        if isinstance(response, ErrorResponse):
+            print(f"{request.op} failed: {response.error.code.value}: "
+                  f"{response.error.message}", file=sys.stderr)
+            raise SystemExit(1)
+        return response
+
+    counter = RequestCounter()
+    latency = LatencyRecorder()
+    service, dispatcher = _build_api(middlewares=(counter, latency))
     snapshot = service.current_snapshot
     assert snapshot is not None
     rws_list = snapshot.rws_list
@@ -173,25 +212,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     workload = max(0, args.queries)
     pairs = [(members[i % len(members)], members[(i * 7 + 3) % len(members)])
              for i in range(workload)]
-    related = sum(1 for v in service.query_batch(pairs) if v.related)
+    # Compact path: only the verdict bits are reported, so skip the
+    # per-query verdict objects the detail path would allocate.
+    response = dispatch_ok(BatchQueryRequest(pairs=pairs, detail=False))
+    related = sum(response.related)
     print(f"answered {workload} membership queries "
           f"({related} related)")
 
     if args.validate:
-        tickets = service.queue.submit_many(list(rws_list))
+        tickets = [dispatch_ok(SubmitRequest(rws_set=rws_set)).ticket
+                   for rws_set in rws_list]
         service.drain()
-        passed = sum(1 for t in tickets
-                     if service.poll(t).value == "passed")
+        passed = sum(1 for ticket in tickets
+                     if dispatch_ok(PollRequest(ticket=ticket)).passed)
         print(f"validated {len(tickets)} served sets through the queue "
               f"({passed} passed)")
 
+    report = dispatch_ok(StatsRequest()).report
+    for op, count in sorted(counter.snapshot().items()):
+        report[f"api_{op}"] = float(count)
+    for name, histogram in sorted(latency.metrics.histograms.items()):
+        report[f"{name}_p99_ns"] = histogram.percentile(0.99)
     print()
     print("counter                value")
     print("---------------------  ----------")
-    for key, value in sorted(service.stats_report().items()):
-        rendered = f"{value:.1f}" if key == "mean_query_ns" else f"{int(value)}"
+    for key, value in sorted(report.items()):
+        rendered = (f"{value:.1f}" if key.endswith(("_query_ns", "_p99_ns"))
+                    else f"{int(value)}")
         print(f"{key:21s}  {rendered}")
     return 0
+
+
+def _cmd_api(args: argparse.Namespace) -> int:
+    import json
+
+    text = args.request if args.request is not None else sys.stdin.read()
+    _service, dispatcher = _build_api()
+    envelope = json.loads(dispatcher.dispatch_wire(text))
+    print(json.dumps(envelope, indent=2 if args.pretty else None,
+                     sort_keys=True))
+    return 0 if envelope.get("ok") else 1
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
@@ -276,6 +336,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also push every served set through the "
                           "asynchronous validation queue")
     sub.set_defaults(handler=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "api",
+        help="dispatch one wire-format JSON request envelope",
+        description="Dispatch a repro.api wire request against the "
+                    "serving layer and print the JSON response. "
+                    'Example: {"api_version": 1, "op": "query", '
+                    '"payload": {"host_a": "www.timesinternet.in", '
+                    '"host_b": "indiatimes.com"}}')
+    sub.add_argument("request", nargs="?", metavar="JSON",
+                     help="the request envelope (read from stdin "
+                          "when omitted)")
+    sub.add_argument("--pretty", action="store_true",
+                     help="indent the response JSON")
+    sub.set_defaults(handler=_cmd_api)
 
     sub = subparsers.add_parser(
         "load",

@@ -40,9 +40,14 @@ class IndexEntry:
     variant_of: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class QueryResult:
     """The answer to one pairwise membership query.
+
+    A plain slotted value object rather than a frozen dataclass: one is
+    allocated per answered query, and ``object.__setattr__``-based
+    frozen construction costs ~3x a plain slot fill on that hot path.
+    Treat instances as immutable by convention.
 
     Attributes:
         site_a: First queried domain (normalised to lower case).
@@ -183,12 +188,12 @@ class MembershipIndex:
                   if related and entry_a is not None and entry_b is not None
                   and entry_a.set_primary == entry_b.set_primary else None)
         return QueryResult(
-            site_a=a,
-            site_b=b,
-            related=related,
-            set_primary=shared,
-            role_a=entry_a.role if entry_a is not None else None,
-            role_b=entry_b.role if entry_b is not None else None,
+            a,
+            b,
+            related,
+            shared,
+            entry_a.role if entry_a is not None else None,
+            entry_b.role if entry_b is not None else None,
         )
 
     def related_batch(self, pairs: Iterable[tuple[str, str]]) -> list[bool]:
@@ -206,6 +211,36 @@ class MembershipIndex:
                 verdicts.append(False)
                 continue
             entry_b = entries.get(b)
+            verdicts.append(entry_b is not None
+                            and entry_a.set_primary == entry_b.set_primary)
+        return verdicts
+
+    def related_batch_normalized(
+        self, pairs: Iterable[tuple[str | None, str | None]],
+    ) -> list[bool]:
+        """:meth:`related_batch` minus input normalisation.
+
+        The serving fast path hands this method *sites* straight out of
+        a resolver — already lower-case eTLD+1 values, with None for
+        hosts that failed to resolve (never related) — so the
+        per-pair ``lower()`` calls in :meth:`related_batch` would be
+        pure overhead.  Callers own the precondition; a non-normalised
+        site simply fails to match, like any unknown site.
+        """
+        entries = self._entries
+        verdicts: list[bool] = []
+        for site_a, site_b in pairs:
+            if site_a is None or site_b is None:
+                verdicts.append(False)
+                continue
+            if site_a == site_b:
+                verdicts.append(True)
+                continue
+            entry_a = entries.get(site_a)
+            if entry_a is None:
+                verdicts.append(False)
+                continue
+            entry_b = entries.get(site_b)
             verdicts.append(entry_b is not None
                             and entry_a.set_primary == entry_b.set_primary)
         return verdicts

@@ -157,6 +157,21 @@ class ValidationQueue:
         with self._lock:
             return self._submissions[ticket]
 
+    def stats_snapshot(self) -> QueueStats:
+        """A consistent copy of the counters, taken under the lock.
+
+        Reading ``queue.stats`` fields one by one races the worker
+        threads (a submission can complete between two reads); this
+        returns all four counters from a single locked instant.
+        """
+        with self._lock:
+            return QueueStats(
+                submitted=self.stats.submitted,
+                passed=self.stats.passed,
+                rejected=self.stats.rejected,
+                errored=self.stats.errored,
+            )
+
     def drain(self, timeout: float | None = None) -> bool:
         """Block until all accepted submissions are terminal.
 

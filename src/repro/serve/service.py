@@ -13,6 +13,13 @@ deployment does:
   before they hit the index (the paper's privacy boundary is the
   registrable domain, but real traffic arrives as full hostnames);
 * request and latency **counters** make the hot path observable.
+
+:class:`RwsService` is the engine, not the front door: consumers are
+expected to enter through the :class:`~repro.api.dispatcher.Dispatcher`
+in :mod:`repro.api`, which wraps these methods in typed request/response
+envelopes, a uniform error taxonomy, a middleware chain, and a
+versioned wire codec.  Call the service directly only from within the
+serving layer itself.
 """
 
 from __future__ import annotations
@@ -124,10 +131,102 @@ class _LruResolver:
                 self._cache[key] = value
         return value
 
+    _MISSING = object()  # resolve_many sentinel: None is a cached value
 
-@dataclass
+    def resolve_many(self, hosts: list[str]) -> list[str | None]:
+        """Resolve a batch of hosts with one locked cache pass.
+
+        Value- and accounting-equivalent to
+        ``[self.resolve(h) for h in hosts]`` — same sites, same
+        hit/miss/error counts (within-batch repeats of a host count as
+        hits once the first occurrence has resolved, and with caching
+        disabled every occurrence is its own miss) — but the cache
+        probes share one lock acquisition, the stats fold once, and the
+        PSL walks for cold keys run outside the lock, so a batch does
+        not serialize against queries host-by-host.  This is the
+        workload fast path's hottest call, so two shortcuts keep batch
+        probes to one dict access: hits deliberately skip
+        :meth:`resolve`'s move-to-recent refresh (which only shifts
+        *which* entry a later eviction picks, never a resolution
+        result), and repeats of a raw host within the batch are served
+        from a batch-local memo without re-normalising.  The one
+        observable corner: duplicates that differ in case or whitespace
+        are accounted (and PSL-walked) independently within a batch,
+        where the sequential loop would normalise them onto one cache
+        entry.
+        """
+        sites: list[str | None] = [None] * len(hosts)
+        dedupe = self._maxsize > 0
+        missing = self._MISSING
+        #: raw host -> value, for batch repeats of cache-hit hosts
+        done: dict[str, str | None] = {}
+        #: raw host -> [positions, probes counted as miss, key]
+        pending: dict[str, list] = {}
+        hits = misses = 0
+        with self._lock:
+            cache_get = self._cache.get
+            done_get = done.get
+            pending_get = pending.get
+            for i, host in enumerate(hosts):
+                value = done_get(host, missing)
+                if value is not missing:
+                    hits += 1
+                    sites[i] = value
+                    continue
+                entry = pending_get(host)
+                if entry is not None:
+                    # Will be filled by the first occurrence's walk;
+                    # sequentially it would have hit the cache —
+                    # unless caching is off, where every probe misses.
+                    entry[0].append(i)
+                    if dedupe:
+                        hits += 1
+                    else:
+                        misses += 1
+                        entry[1] += 1
+                    continue
+                key = host.strip().lower()
+                value = cache_get(key, missing)
+                if value is not missing:
+                    hits += 1
+                    sites[i] = value
+                    if dedupe:
+                        done[host] = value
+                else:
+                    misses += 1
+                    pending[host] = [[i], 1, key]
+            self._stats.resolver_hits += hits
+            self._stats.resolver_misses += misses
+        if not pending:
+            return sites
+        resolved: list[tuple[str, str | None, int]] = []
+        for positions, miss_count, key in pending.values():
+            try:
+                value = self._psl.etld_plus_one(key)
+            except DomainError:
+                value = None
+            for position in positions:
+                sites[position] = value
+            resolved.append((key, value, miss_count))
+        with self._lock:
+            for key, value, miss_count in resolved:
+                if value is None:
+                    self._stats.resolver_errors += miss_count
+                if self._maxsize > 0:
+                    if key not in self._cache \
+                            and len(self._cache) >= self._maxsize:
+                        self._cache.pop(next(iter(self._cache)))
+                    self._cache[key] = value
+        return sites
+
+
+@dataclass(slots=True)
 class QueryVerdict:
     """A service-level answer to "may these two hosts share storage?".
+
+    Slotted for the same reason as
+    :class:`~repro.serve.index.QueryResult`: one is allocated per
+    query, so construction cost is throughput.
 
     Attributes:
         host_a: The raw first host queried.
@@ -219,9 +318,15 @@ class RwsService:
             self.validator.set_published(snapshot.rws_list, index=new_index)
         return snapshot
 
-    def delta_since(self, version: int) -> SnapshotDelta:
-        """The patch bringing a client at ``version`` up to date."""
-        return self.store.delta(version)
+    def delta_since(self, version: int,
+                    to_version: int | None = None) -> SnapshotDelta:
+        """The patch bringing a client at ``version`` up to date.
+
+        Args:
+            version: The client's current snapshot version.
+            to_version: Target version (the latest when omitted).
+        """
+        return self.store.delta(version, to_version)
 
     # -- queries --------------------------------------------------------------
 
@@ -254,8 +359,99 @@ class RwsService:
         return verdict
 
     def query_batch(self, pairs: list[tuple[str, str]]) -> list[QueryVerdict]:
-        """Bulk form of :meth:`query`."""
-        return [self.query(host_a, host_b) for host_a, host_b in pairs]
+        """Bulk form of :meth:`query`, batched end to end.
+
+        Instead of looping :meth:`query` — which takes the service lock
+        and a ``perf_counter_ns`` pair per element — this resolves all
+        hosts through one batched cache pass
+        (:meth:`_LruResolver.resolve_many`), probes the index lock-free
+        against the snapshot seen at entry, and folds the stats
+        counters in a single locked update.  Verdicts are identical to
+        the per-element loop; ≥1.5x faster on bulk workloads
+        (``benchmarks/test_bench_api_dispatch.py``).
+        """
+        if not pairs:
+            return []
+        started = time.perf_counter_ns()
+        index = self._index
+        sites = self._resolver.resolve_many(
+            [host for pair in pairs for host in pair])
+        verdicts: list[QueryVerdict] = []
+        related_hits = 0
+        for i, (host_a, host_b) in enumerate(pairs):
+            site_a = sites[2 * i]
+            site_b = sites[2 * i + 1]
+            result = (index.query(site_a, site_b)
+                      if site_a is not None and site_b is not None else None)
+            verdict = QueryVerdict(host_a=host_a, host_b=host_b,
+                                   site_a=site_a, site_b=site_b,
+                                   result=result)
+            if verdict.related:
+                related_hits += 1
+            verdicts.append(verdict)
+        elapsed = time.perf_counter_ns() - started
+        with self._lock:
+            self.stats.queries += len(pairs)
+            self.stats.related_hits += related_hits
+            self.stats.query_ns_total += elapsed
+        return verdicts
+
+    def related_batch(self, pairs: list[tuple[str, str]]) -> list[bool]:
+        """The verdict bits of :meth:`query_batch`, minus the objects.
+
+        Same batched resolution, lock-free probing, and single stats
+        fold, but answering only the browser-facing related/unrelated
+        bit per pair — the workload fast path's shape, where a verdict
+        object per decision is pure allocation overhead.
+        """
+        if not pairs:
+            return []
+        started = time.perf_counter_ns()
+        related = self._index.related
+        sites = self._resolver.resolve_many(
+            [host for pair in pairs for host in pair])
+        verdicts: list[bool] = []
+        related_hits = 0
+        for i in range(len(pairs)):
+            site_a = sites[2 * i]
+            site_b = sites[2 * i + 1]
+            bit = (site_a is not None and site_b is not None
+                   and related(site_a, site_b))
+            if bit:
+                related_hits += 1
+            verdicts.append(bit)
+        elapsed = time.perf_counter_ns() - started
+        with self._lock:
+            self.stats.queries += len(pairs)
+            self.stats.related_hits += related_hits
+            self.stats.query_ns_total += elapsed
+        return verdicts
+
+    def related_sites_batch(
+        self, pairs: list[tuple[str | None, str | None]],
+    ) -> list[bool]:
+        """Verdict bits for pairs of already-resolved sites.
+
+        The component-updater deployment's own shape: clients resolve
+        host → site themselves (Chrome's renderer does) and ask the
+        service site-level questions, so this skips the host resolver
+        entirely — pre-normalised (lower-case) eTLD+1 values in, one
+        lock-free index pass, one locked stats fold.  ``None`` sites
+        (the client's own resolution failures) answer False and still
+        count as queries, matching how :meth:`query` accounts
+        unresolvable hosts.
+        """
+        if not pairs:
+            return []
+        started = time.perf_counter_ns()
+        verdicts = self._index.related_batch_normalized(pairs)
+        related_hits = sum(verdicts)
+        elapsed = time.perf_counter_ns() - started
+        with self._lock:
+            self.stats.queries += len(pairs)
+            self.stats.related_hits += related_hits
+            self.stats.query_ns_total += elapsed
+        return verdicts
 
     # -- governance -----------------------------------------------------------
 
@@ -282,6 +478,13 @@ class RwsService:
         with every other subsystem using that PSL), not per-service.
         Construct the service with its own ``PublicSuffixList()`` for
         isolated counters.
+
+        The whole report is assembled under the service lock, with the
+        queue counters taken as one locked snapshot
+        (:meth:`~repro.serve.queue.ValidationQueue.stats_snapshot`), so
+        a report scraped during a concurrent load run never mixes
+        counter values from different instants (e.g. ``related_hits``
+        from after a query burst with ``queries`` from before it).
         """
         with self._lock:
             report = self.stats.as_dict()
@@ -290,9 +493,10 @@ class RwsService:
             snapshot = self.store.latest
             report["snapshot_version"] = (float(snapshot.version)
                                           if snapshot else 0.0)
-        report["queue_submitted"] = float(self.queue.stats.submitted)
-        report["queue_passed"] = float(self.queue.stats.passed)
-        report["queue_rejected"] = float(self.queue.stats.rejected)
-        for key, value in self.psl.cache_stats().items():
-            report[f"psl_{key}"] = float(value)
+            queue_stats = self.queue.stats_snapshot()
+            report["queue_submitted"] = float(queue_stats.submitted)
+            report["queue_passed"] = float(queue_stats.passed)
+            report["queue_rejected"] = float(queue_stats.rejected)
+            for key, value in self.psl.cache_stats().items():
+                report[f"psl_{key}"] = float(value)
         return report

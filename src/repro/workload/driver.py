@@ -1,21 +1,26 @@
 """Workload drivers: a serial reference path and a sharded executor.
 
-Two execution paths drive generated sessions through the serving layer
-(:class:`~repro.serve.service.RwsService`) and the browser engine
+Two execution paths drive generated sessions through the serving
+layer's protocol boundary (a per-shard
+:class:`~repro.api.dispatcher.Dispatcher` over a private
+:class:`~repro.serve.service.RwsService`) and the browser engine
 (:class:`~repro.browser.engine.Browser`):
 
 * the **serial reference path** (:func:`run_serial`) executes every
-  event individually through the full-fidelity APIs
-  (``RwsService.query`` per decision, a latency sample per decision) —
-  the readable, obviously-correct baseline;
+  event individually through the full-fidelity APIs (one
+  :class:`~repro.api.envelopes.QueryRequest` dispatch per decision, a
+  latency sample per decision) — the readable, obviously-correct
+  baseline;
 * the **sharded fast path** (:func:`run_sharded`) partitions users into
-  contiguous shards, answers each shard's queries with direct compiled
-  index probes (session-batched, no per-decision service round-trip or
-  verdict objects) over a local resolver table with *sampled* latency
-  timing, and merges shard metrics.  Shards run in worker processes
-  (real parallelism on multi-core hosts) or threads; on a single core
-  the fast path still wins because each decision does strictly less
-  work.
+  contiguous shards, resolves hosts through a shard-local table (the
+  way Chrome's renderer resolves origin → site before consulting the
+  list), buffers a few sessions' site pairs, and answers them with one
+  ``resolved`` :class:`~repro.api.envelopes.BatchQueryRequest`
+  dispatch per buffer — no per-decision round-trip, no verdict
+  objects, one latency sample per flush — then merges shard metrics.
+  Shards run in worker processes (real parallelism on multi-core
+  hosts) or threads; on a single core the fast path still wins because
+  each decision does strictly less work.
 
 Both paths produce **identical decision outcomes**: the run digest —
 an order- and partition-independent fold of every per-user outcome
@@ -40,6 +45,14 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.api.dispatcher import Dispatcher, RequestCounter
+from repro.api.envelopes import (
+    BatchQueryRequest,
+    BatchQueryResponse,
+    ErrorCode,
+    QueryRequest,
+    QueryResponse,
+)
 from repro.browser.engine import Browser
 from repro.browser.policy import BROWSER_POLICIES
 from repro.psl.lookup import DomainError
@@ -55,8 +68,13 @@ from repro.workload.metrics import (
 )
 from repro.workload.scenarios import LIST_PROFILES, Scenario, get_scenario
 
-#: Sampling stride for fast-path latency timing (one in N).
+#: Sampling stride for fast-path rSA latency timing (one in N).
 _SAMPLE_STRIDE = 32
+
+#: Sessions buffered per fast-path batch dispatch: large enough to
+#: amortise the envelope and stats fold across a few hundred pairs,
+#: small enough that a buffer never spans a mid-flight list update.
+_FLUSH_SESSIONS = 8
 
 
 @dataclass(frozen=True)
@@ -166,14 +184,18 @@ class WorkloadResult:
 class _ShardState:
     """Mutable per-shard context threaded through session execution."""
 
-    __slots__ = ("scenario", "service", "index", "psl", "metrics",
-                 "digests", "resolver_cache", "policy", "rsa_seen",
-                 "query_seen", "resolver_hits", "resolver_misses",
-                 "resolver_bound")
+    __slots__ = ("scenario", "service", "dispatcher", "api_counter",
+                 "index", "psl", "metrics", "digests", "resolver_cache",
+                 "policy", "rsa_seen", "resolver_hits",
+                 "resolver_misses", "resolver_bound", "pending_users",
+                 "pending_pairs")
 
     def __init__(self, scenario: Scenario, service: RwsService):
         self.scenario = scenario
         self.service = service
+        self.api_counter = RequestCounter()
+        self.dispatcher = Dispatcher(service,
+                                     middlewares=(self.api_counter,))
         self.index = service.index
         self.psl = service.psl
         self.metrics = WorkloadMetrics()
@@ -181,14 +203,21 @@ class _ShardState:
         self.resolver_cache: dict[str, str | None] = {}
         self.policy = BROWSER_POLICIES["chrome-rws"]
         self.rsa_seen = 0
-        self.query_seen = 0
         self.resolver_hits = 0
         self.resolver_misses = 0
         self.resolver_bound = max(0, scenario.resolver_cache_size)
+        # Fast-path batch buffer: (user_id, rsa tokens, pair count) per
+        # session, plus the flat resolved site pairs awaiting dispatch.
+        self.pending_users: list[tuple[int, list[str], int]] = []
+        self.pending_pairs: list[tuple[str | None, str | None]] = []
 
     def resolve_local(self, host: str) -> str | None:
         """Shard-local host resolution (the fast path's resolver).
 
+        The client side of the protocol: hosts resolve here before the
+        resulting sites are dispatched as a ``resolved`` batch query,
+        the way Chrome's renderer resolves origin → site before
+        consulting the list.
         Honours the scenario's ``resolver_cache_size``: 0 (cold-cache)
         resolves every host through the PSL, a positive bound evicts —
         FIFO rather than the service LRU's move-to-recent, which keeps
@@ -269,61 +298,106 @@ def _query_pairs(session: Session) -> list[tuple[str, str]]:
 
 
 def _execute_reference(state: _ShardState, session: Session) -> None:
-    """Full-fidelity execution: one service round-trip per decision."""
+    """Full-fidelity execution: one API dispatch per decision."""
     metrics = state.metrics
     if state.scenario.browser_traffic:
         rsa_tokens, pairs = _browse_session(state, session, reference=True)
     else:
         rsa_tokens, pairs = [], _query_pairs(session)
+    dispatch = state.dispatcher.dispatch
     query_tokens: list[str] = []
     for top_host, embed_host in pairs:
         started = time.perf_counter_ns()
-        verdict = state.service.query(top_host, embed_host)
+        response = dispatch(QueryRequest(top_host, embed_host))
         metrics.record_latency("query", time.perf_counter_ns() - started)
         metrics.count("queries")
-        if verdict.related:
+        if type(response) is QueryResponse:
+            related = response.verdict.related
+        else:
+            # Unresolvable hosts fold into the outcome stream as "not
+            # related" (exactly how the pre-protocol verdicts encoded
+            # them); any other error — INTERNAL, rate limiting — must
+            # fail the shard loudly rather than silently skew digests.
+            if response.error.code is not ErrorCode.UNRESOLVABLE_HOST:
+                raise RuntimeError(
+                    f"query dispatch failed for "
+                    f"({top_host!r}, {embed_host!r}): "
+                    f"{response.error.code.value}: "
+                    f"{response.error.message}")
+            related = False
+        if related:
             metrics.count("related_hits")
-        query_tokens.append("1" if verdict.related else "0")
+        query_tokens.append("1" if related else "0")
     state.digests.append(
         user_digest(session.user_id, rsa_tokens + ["#"] + query_tokens))
 
 
 def _execute_fast(state: _ShardState, session: Session) -> None:
-    """Fast-path execution: batched index probes, sampled timing."""
-    metrics = state.metrics
+    """Fast-path execution: buffer resolved site pairs, flush in batches.
+
+    Hosts resolve through the shard-local table (as before the protocol
+    rewiring — the client side of the renderer's origin → site step);
+    the buffered sites flush through one ``resolved``
+    :class:`BatchQueryRequest` dispatch every :data:`_FLUSH_SESSIONS`
+    sessions (see :func:`_flush_fast`), which amortises the envelope
+    and the service's stats fold across a few hundred decisions.
+    """
     if state.scenario.browser_traffic:
         rsa_tokens, pairs = _browse_session(state, session, reference=False)
     else:
         rsa_tokens, pairs = [], _query_pairs(session)
     resolve = state.resolve_local
-    related = state.index.related
-    state.query_seen += 1
-    timed = pairs and state.query_seen % _SAMPLE_STRIDE == 0
-    started = time.perf_counter_ns() if timed else 0
-    query_tokens: list[str] = []
-    hits = 0
-    for top_host, embed_host in pairs:
-        site_a = resolve(top_host)
-        site_b = resolve(embed_host)
-        if site_a is not None and site_b is not None \
-                and related(site_a, site_b):
-            hits += 1
-            query_tokens.append("1")
-        else:
-            query_tokens.append("0")
-    if timed:
-        # One sample per sampled session: the per-decision mean.
-        elapsed = time.perf_counter_ns() - started
-        metrics.record_latency("query", elapsed // len(pairs))
-    metrics.count("queries", len(pairs))
-    if hits:
-        metrics.count("related_hits", hits)
-    state.digests.append(
-        user_digest(session.user_id, rsa_tokens + ["#"] + query_tokens))
+    state.pending_pairs.extend(
+        (resolve(top_host), resolve(embed_host))
+        for top_host, embed_host in pairs)
+    state.pending_users.append((session.user_id, rsa_tokens, len(pairs)))
+    if len(state.pending_users) >= _FLUSH_SESSIONS:
+        _flush_fast(state)
+
+
+def _flush_fast(state: _ShardState) -> None:
+    """Dispatch the fast path's buffered site pairs and fold outcomes.
+
+    Per-user digests are reassembled from the batched verdict bits in
+    buffer order, so they are bit-identical to per-session execution —
+    the buffer never spans a mid-flight list update
+    (:func:`_apply_mid_flight_update` flushes first) or a shard
+    boundary, which keeps outcomes partition-independent.
+    """
+    if not state.pending_users:
+        return
+    metrics = state.metrics
+    pairs = state.pending_pairs
+    bits: list[bool] = []
+    if pairs:
+        started = time.perf_counter_ns()
+        response = state.dispatcher.dispatch(
+            BatchQueryRequest(pairs=pairs, detail=False, resolved=True))
+        assert type(response) is BatchQueryResponse, response
+        bits = response.related
+        # One sample per flush: the per-decision mean over the batch.
+        metrics.record_latency(
+            "query", (time.perf_counter_ns() - started) // len(pairs))
+        metrics.count("queries", len(pairs))
+        hits = sum(bits)
+        if hits:
+            metrics.count("related_hits", hits)
+    offset = 0
+    for user_id, rsa_tokens, pair_count in state.pending_users:
+        query_tokens = ["1" if bit else "0"
+                        for bit in bits[offset:offset + pair_count]]
+        offset += pair_count
+        state.digests.append(
+            user_digest(user_id, rsa_tokens + ["#"] + query_tokens))
+    state.pending_users.clear()
+    state.pending_pairs = []
 
 
 def _apply_mid_flight_update(state: _ShardState) -> None:
     """Publish the profile's next list version and verify delta catch-up."""
+    # Buffered fast-path queries belong to pre-cutoff users: answer
+    # them against the old snapshot before the index swaps.
+    _flush_fast(state)
     build_v1, build_v2 = LIST_PROFILES[state.scenario.list_profile]
     assert build_v2 is not None
     base_version = state.service.current_snapshot.version \
@@ -375,13 +449,17 @@ def run_shard(task: ShardTask) -> dict:
             _apply_mid_flight_update(state)
             updated = True
         execute(state, generator.session(user_id))
+    _flush_fast(state)  # drain the fast path's tail buffer
 
-    if task.reference:
-        state.metrics.count("resolver_hits", service.stats.resolver_hits)
-        state.metrics.count("resolver_misses", service.stats.resolver_misses)
-    else:
-        state.metrics.count("resolver_hits", state.resolver_hits)
-        state.metrics.count("resolver_misses", state.resolver_misses)
+    # The reference path resolves inside the service, the fast path in
+    # its shard-local table; fold both so either driver reports its
+    # resolver traffic (the other side's counters are zero).
+    state.metrics.count("resolver_hits",
+                        service.stats.resolver_hits + state.resolver_hits)
+    state.metrics.count("resolver_misses",
+                        service.stats.resolver_misses + state.resolver_misses)
+    for op, count in sorted(state.api_counter.requests.items()):
+        state.metrics.count(f"api_{op}_requests", count)
     snapshot = service.current_snapshot
     return {
         "users": task.user_end - task.user_start,

@@ -140,6 +140,21 @@ class TestQueryCommand:
         assert "at least two" in capsys.readouterr().err
 
 
+class TestQueryErrorPaths:
+    def test_every_site_unresolvable_exits_two(self, capsys):
+        assert main(["query", "com", "net", "org"]) == 2
+        output = capsys.readouterr().out
+        assert output.count("no registrable domain") == 2
+
+    def test_mixed_outcomes_still_reports_each_pair(self, capsys):
+        assert main(["query", "timesinternet.in", "indiatimes.com",
+                     "com", "bild.de"]) == 2
+        output = capsys.readouterr().out
+        assert "related    timesinternet.in ~ indiatimes.com" in output
+        assert "'com' has no registrable domain" in output
+        assert "unrelated  timesinternet.in ~ bild.de" in output
+
+
 class TestServeCommand:
     def test_reports_snapshot_and_counters(self, capsys):
         assert main(["serve", "--queries", "100"]) == 0
@@ -148,9 +163,86 @@ class TestServeCommand:
         assert "41 sets" in output
         assert "answered 100 membership queries" in output
         assert "psl_hits" in output
+        # The dispatcher's middleware counters ride along.
+        assert "api_batch_query" in output
+        assert "api_stats" in output
 
     def test_validate_pushes_sets_through_queue(self, capsys):
         assert main(["serve", "--queries", "10", "--validate"]) == 0
         output = capsys.readouterr().out
         assert "validated 41 served sets" in output
         assert "(41 passed)" in output
+
+
+class TestLoadErrorPaths:
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["load", "--scenario", "no-such-traffic"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "steady" in err  # the known names are suggested
+
+    def test_negative_users_exits_two(self, capsys):
+        assert main(["load", "--users", "-5"]) == 2
+        assert "--users >= 0" in capsys.readouterr().err
+
+    def test_zero_shards_exits_two(self, capsys):
+        assert main(["load", "--shards", "0"]) == 2
+        assert "--shards >= 1" in capsys.readouterr().err
+
+
+class TestApiCommand:
+    def test_query_request_round_trips(self, capsys):
+        request = json.dumps({
+            "api_version": 1, "op": "query",
+            "payload": {"host_a": "www.timesinternet.in",
+                        "host_b": "indiatimes.com"},
+        })
+        assert main(["api", request]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        assert envelope["op"] == "query"
+        assert envelope["payload"]["verdict"]["result"]["related"] is True
+
+    def test_stats_request(self, capsys):
+        assert main(["api", '{"op": "stats", "payload": {}}']) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["payload"]["report"]["index_sets"] == 41.0
+
+    def test_unresolvable_host_error_shape(self, capsys):
+        request = json.dumps({
+            "op": "query",
+            "payload": {"host_a": "com", "host_b": "indiatimes.com"},
+        })
+        assert main(["api", request]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "UNRESOLVABLE_HOST"
+        assert envelope["error"]["detail"] == {"host_a": "com"}
+
+    def test_unknown_ticket_error_shape(self, capsys):
+        request = json.dumps({"op": "poll",
+                              "payload": {"ticket": "sub-9999"}})
+        assert main(["api", request]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["error"]["code"] == "UNKNOWN_TICKET"
+
+    def test_malformed_request_exits_one_with_envelope(self, capsys):
+        assert main(["api", "{not json"]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "MALFORMED"
+
+    def test_reads_stdin_when_no_argument(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO('{"op": "stats", "payload": {}}'))
+        assert main(["api"]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_pretty_prints_indented_json(self, capsys):
+        assert main(["api", "--pretty",
+                     '{"op": "stats", "payload": {}}']) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("{\n")
+        assert json.loads(output)["ok"] is True
