@@ -1,0 +1,7 @@
+"""Benchmark harnesses and the trajectory runner.
+
+``benchmarks/`` is both a pytest directory (the ``test_bench_*``
+acceptance gates) and a package so that ``python -m benchmarks.run``
+can import the same measurement functions and append machine-readable
+results to a ``BENCH_*.json`` trajectory file.
+"""

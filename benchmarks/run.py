@@ -1,0 +1,160 @@
+"""Benchmark-trajectory harness: run perf benches, append JSON results.
+
+The pytest benches assert thresholds but throw their measured numbers
+away; this runner re-uses the same measurement functions and appends
+one machine-readable record per invocation, so successive PRs build a
+``BENCH_*.json`` trajectory to compare against::
+
+    PYTHONPATH=src python -m benchmarks.run --json BENCH_psl.json
+
+The output file holds a JSON array of run records (created on first
+use, appended to afterwards), each shaped::
+
+    {"timestamp": "...", "commit": "...", "benches": {
+        "psl_uncached_resolve": {"trie_per_sec": ..., "speedup": ...},
+        "psl_threaded_hits": {...},
+        "workload_cold_cache": {...}}}
+
+Benches are registered in :data:`BENCHES`; ``--only`` selects a
+subset, ``--repeat`` takes the best figures over N repetitions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Callable
+
+
+def _bench_psl_uncached() -> dict:
+    from benchmarks.test_bench_psl_resolve import measure_uncached_resolve
+    return measure_uncached_resolve()
+
+
+def _bench_psl_threaded() -> dict:
+    from benchmarks.test_bench_psl_resolve import measure_threaded_hits
+    return measure_threaded_hits()
+
+
+def _bench_workload_cold() -> dict:
+    from benchmarks.test_bench_psl_resolve import measure_workload_digests
+    return measure_workload_digests()
+
+
+#: name -> zero-argument measurement returning a flat JSON-able dict.
+BENCHES: dict[str, Callable[[], dict]] = {
+    "psl_uncached_resolve": _bench_psl_uncached,
+    "psl_threaded_hits": _bench_psl_threaded,
+    "workload_cold_cache": _bench_workload_cold,
+}
+
+
+def _merge_best(previous: dict | None, current: dict) -> dict:
+    """Keep the best figure per key across repetitions.
+
+    Numeric *_per_sec / speedup / qps values take the max (best run);
+    everything else keeps the latest value.
+    """
+    if previous is None:
+        return current
+    merged = dict(previous)
+    for key, value in current.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                and any(tag in key for tag in ("per_sec", "speedup", "qps")):
+            merged[key] = max(previous.get(key, value), value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def _git_commit() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def run_benches(names: list[str], repeat: int) -> dict:
+    """Run the named benches ``repeat`` times; return one run record."""
+    results: dict[str, dict] = {}
+    for name in names:
+        bench = BENCHES[name]
+        best: dict | None = None
+        for _ in range(repeat):
+            best = _merge_best(best, bench())
+        assert best is not None
+        results[name] = best
+        print(f"{name}: " + ", ".join(
+            f"{key}={value:,.2f}" if isinstance(value, float)
+            else f"{key}={value}" for key, value in best.items()))
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+                     .isoformat(timespec="seconds"),
+        "commit": _git_commit(),
+        "python": sys.version.split()[0],
+        "benches": results,
+    }
+
+
+def append_record(path: Path, record: dict) -> int:
+    """Append a run record to the JSON-array trajectory file.
+
+    Returns the number of records now in the file.  A corrupt or
+    non-array file is an error — the trajectory is append-only history
+    and must not be silently clobbered.
+    """
+    history: list = []
+    if path.exists():
+        text = path.read_text()
+        if text.strip():
+            history = json.loads(text)
+            if not isinstance(history, list):
+                raise SystemExit(
+                    f"{path} is not a JSON array of run records")
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return len(history)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.run",
+        description="run perf benches and append results to a "
+                    "BENCH_*.json trajectory file",
+    )
+    parser.add_argument("--json", metavar="PATH", default="BENCH_psl.json",
+                        help="trajectory file to append to "
+                             "(default: %(default)s)")
+    parser.add_argument("--only", action="append", choices=sorted(BENCHES),
+                        help="run only this bench (repeatable; "
+                             "default: all)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="repetitions per bench, best figures kept "
+                             "(default: %(default)s)")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered benches and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(BENCHES):
+            print(name)
+        return 0
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    names = args.only or sorted(BENCHES)
+    record = run_benches(names, args.repeat)
+    count = append_record(Path(args.json), record)
+    print(f"appended run record #{count} to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -358,6 +358,12 @@ class Dispatcher:
 
     @staticmethod
     def _make_batch_handler(service: RwsService) -> Handler:
+        # All three service batch methods ride the bulk resolution
+        # path end to end: one _LruResolver.resolve_many cache pass
+        # whose cold keys resolve through the PSL's own batch engine
+        # (PublicSuffixList.etld_plus_one_many — lock-free probes, one
+        # write-lock promotion), so a BatchQueryRequest never loops
+        # single host resolutions at any layer.
         query_batch = service.query_batch
         related_batch = service.related_batch
         related_sites_batch = service.related_sites_batch

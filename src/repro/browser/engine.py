@@ -96,6 +96,49 @@ class Browser:
             self.interacted_sites.add(site)
         return Page(site=site)
 
+    def resolve_sites(self, hosts: list[str]) -> list[str | None]:
+        """Batch host → site resolution through the engine's PSL.
+
+        One bulk PSL call (lock-free cache probes, a single write-lock
+        promotion for cold hosts) instead of a resolution per host;
+        unresolvable hosts — invalid names or bare public suffixes —
+        come back as None, the way the engine treats them everywhere.
+        """
+        return self.psl.etld_plus_one_many(hosts)
+
+    def visit_with_embeds(
+        self, top_host: str, embed_hosts: list[str], *,
+        interact: bool = True,
+    ) -> tuple[Page, list[str | None]]:
+        """Navigate to a page and resolve its embedded hosts in one call.
+
+        A page load is the browser's natural resolution batch: the
+        top-level host and every embedded frame's host reduce to sites
+        together, so the engine makes one bulk PSL call for all of them
+        rather than looping :meth:`visit` plus one resolution per
+        embed.  Embeds that do not resolve map to None — callers skip
+        those frames, matching per-embed behaviour.
+
+        Args:
+            top_host: Host being visited (reduced to its site).
+            embed_hosts: Hosts of the page's embedded frames.
+            interact: Whether the user interacts with the page.
+
+        Returns:
+            The new top-level page and the embeds' sites, in order.
+
+        Raises:
+            ValueError: If the top-level host has no registrable
+                domain (invalid hosts included — an unloadable page).
+        """
+        sites = self.psl.etld_plus_one_many([top_host, *embed_hosts])
+        top_site = sites[0]
+        if top_site is None:
+            raise ValueError(f"cannot visit a bare public suffix: {top_host!r}")
+        if interact:
+            self.interacted_sites.add(top_site)
+        return Page(site=top_site), sites[1:]
+
     # -- storage access -------------------------------------------------------
 
     def request_storage_access(self, frame: Frame, *,

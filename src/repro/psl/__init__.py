@@ -19,15 +19,24 @@ IDNA/punycode normalisation.  The rule set itself is an embedded snapshot
 reproduction's datasets use, plus representative private-section entries.
 """
 
-from repro.psl.lookup import DomainError, PublicSuffixList, default_psl
-from repro.psl.rules import Rule, RuleKind, parse_rule, parse_rules
+from repro.psl.lookup import (
+    DomainError,
+    PublicSuffixList,
+    SuffixMatch,
+    default_psl,
+    normalize_domain,
+)
+from repro.psl.rules import Rule, RuleKind, SuffixTrie, parse_rule, parse_rules
 
 __all__ = [
     "DomainError",
     "PublicSuffixList",
     "Rule",
     "RuleKind",
+    "SuffixMatch",
+    "SuffixTrie",
     "default_psl",
+    "normalize_domain",
     "parse_rule",
     "parse_rules",
 ]

@@ -13,28 +13,66 @@ https://publicsuffix.org/list/ on top of the rule model in
    public suffix length.
 5. The registrable domain (eTLD+1) is the public suffix plus the next
    label to its left, if any.
+
+Every RWS decision in this reproduction funnels through this module —
+the browser's ``requestStorageAccess`` boundary, the bot's eTLD+1
+validity check, the same-set predicate — so the resolution core is a
+**compiled engine** rather than a literal transcription of the spec:
+
+* rules compile once into a reversed-label
+  :class:`~repro.psl.rules.SuffixTrie`, so resolving a domain is a
+  single O(labels) dict-walk instead of a candidate scan with a
+  per-rule ``matches()`` re-check (the scan survives as
+  :meth:`PublicSuffixList._resolve_scan`, the differential-testing and
+  benchmark reference);
+* :func:`normalize_domain` front-runs the per-character validation
+  loop with one precompiled-regex probe that accepts already-clean
+  ASCII hosts — the overwhelming case in served traffic;
+* the memoisation cache is **generational and lock-free on the read
+  path**: hits probe two plain dicts without taking a lock, misses are
+  promoted in batches under a short write lock (see
+  :class:`PublicSuffixList`).
 """
 
 from __future__ import annotations
 
 import functools
+import re
 import threading
 from dataclasses import dataclass
 
-from repro.psl.rules import Rule, RuleIndex, RuleKind, parse_rules
+from repro.psl.rules import Rule, RuleIndex, RuleKind, SuffixTrie, parse_rules
 from repro.psl.snapshot import PSL_SNAPSHOT
+from typing import Iterable
 
 _MAX_DOMAIN_LENGTH = 253
 _MAX_LABEL_LENGTH = 63
+
+#: Already-normalised ASCII hosts: dot-separated labels of [a-z0-9-],
+#: 1-63 chars each, no leading/trailing hyphen.  Exactly the set of
+#: ASCII strings the structural checks in :func:`_normalize_slow`
+#: accept (IDNA encoding is the identity on them), so a match skips
+#: the codec round-trip and the per-character loop.
+_CLEAN_HOST_RE = re.compile(
+    r"(?:[a-z0-9](?:[a-z0-9-]{0,61}[a-z0-9])?\.)*"
+    r"[a-z0-9](?:[a-z0-9-]{0,61}[a-z0-9])?\Z"
+).match
 
 
 class DomainError(ValueError):
     """Raised for syntactically invalid domain names."""
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class SuffixMatch:
     """The result of resolving a domain against the PSL.
+
+    A plain slotted value object rather than a frozen dataclass: one is
+    allocated per uncached resolution on the hottest cross-subsystem
+    path, and ``object.__setattr__``-based frozen construction costs
+    ~3x a plain slot fill (the same win measured for
+    :class:`~repro.serve.index.QueryResult`).  Instances are shared by
+    the resolution cache — treat them as immutable by convention.
 
     Attributes:
         domain: The normalised input domain.
@@ -54,23 +92,8 @@ class SuffixMatch:
     is_private_suffix: bool
 
 
-def normalize_domain(domain: str) -> str:
-    """Normalise a domain name for PSL matching.
-
-    Lower-cases, strips one trailing dot, and IDNA-encodes non-ASCII
-    labels to punycode (the PSL matches on punycode forms).
-
-    Args:
-        domain: A host name, possibly with a trailing dot or non-ASCII
-            labels.
-
-    Returns:
-        The normalised ASCII domain.
-
-    Raises:
-        DomainError: If the name is empty, too long, has empty labels,
-            or contains characters invalid in a host name.
-    """
+def _check_candidate(domain: str) -> str:
+    """Shared normalisation prelude: lower-case, strip one trailing dot."""
     if not isinstance(domain, str):
         raise DomainError(f"domain must be a string, got {type(domain).__name__}")
     candidate = domain.strip().lower()
@@ -78,7 +101,11 @@ def normalize_domain(domain: str) -> str:
         candidate = candidate[:-1]
     if not candidate:
         raise DomainError("empty domain name")
+    return candidate
 
+
+def _normalize_slow(candidate: str, domain: str) -> str:
+    """The full IDNA + per-character validation path."""
     try:
         ascii_form = candidate.encode("idna").decode("ascii")
     except UnicodeError:
@@ -105,16 +132,80 @@ def normalize_domain(domain: str) -> str:
     return ascii_form
 
 
+def normalize_domain(domain: str) -> str:
+    """Normalise a domain name for PSL matching.
+
+    Lower-cases, strips one trailing dot, and IDNA-encodes non-ASCII
+    labels to punycode (the PSL matches on punycode forms).  Hosts that
+    are already clean ASCII — the hot-path shape — are accepted by one
+    precompiled-regex probe without the IDNA round-trip or the
+    per-character loop; everything else takes the full validation path
+    with unchanged semantics.
+
+    Args:
+        domain: A host name, possibly with a trailing dot or non-ASCII
+            labels.
+
+    Returns:
+        The normalised ASCII domain.
+
+    Raises:
+        DomainError: If the name is empty, too long, has empty labels,
+            or contains characters invalid in a host name.
+    """
+    if isinstance(domain, str) and _CLEAN_HOST_RE(domain) is not None:
+        # Already normalised (the regex only matches lower-case, fully
+        # clean hosts): skip even the strip/lower copies.
+        if len(domain) > _MAX_DOMAIN_LENGTH:
+            raise DomainError(
+                f"domain exceeds {_MAX_DOMAIN_LENGTH} octets: {domain!r}")
+        return domain
+    candidate = _check_candidate(domain)
+    if _CLEAN_HOST_RE(candidate) is not None:
+        if len(candidate) > _MAX_DOMAIN_LENGTH:
+            raise DomainError(
+                f"domain exceeds {_MAX_DOMAIN_LENGTH} octets: {domain!r}")
+        return candidate
+    return _normalize_slow(candidate, domain)
+
+
+def _normalize_reference(domain: str) -> str:
+    """:func:`normalize_domain` without the fast-path regex guard.
+
+    The pre-compiled-engine behaviour, kept for differential tests
+    (the guard must never change what is accepted) and as the honest
+    baseline for ``benchmarks/test_bench_psl_resolve.py``.
+    """
+    return _normalize_slow(_check_candidate(domain), domain)
+
+
 class PublicSuffixList:
     """A queryable Public Suffix List.
 
-    Resolutions are memoised: every subsystem funnels its domains
-    through the same handful of lookups (bench X3 names this the
-    hottest cross-subsystem path), so successful resolutions are kept
-    in a bounded LRU cache keyed by the raw input string.
-    :class:`SuffixMatch` is frozen, so cached results are safe to
-    share; only successful resolutions are cached (invalid domains
-    raise every time, unchanged).
+    Resolution rides a compiled engine: the parsed rules are baked into
+    a :class:`~repro.psl.rules.SuffixTrie` (one dict-walk per domain),
+    and successful resolutions are memoised in a **generational
+    read-mostly cache**:
+
+    * the read path is lock-free — a hit probes two plain dict
+      snapshots (``gen1`` holds recent promotions, ``gen0`` the folded
+      bulk) and stamps the entry's recency tick with a single atomic
+      list-slot store, never touching a lock;
+    * misses resolve outside any lock, then promote into ``gen1`` under
+      a short write lock; once a batch of promotions accumulates (or
+      capacity is exceeded) ``gen1`` folds into ``gen0`` — merged in
+      place when nothing needs evicting (GIL-safe against the lock-free
+      ``get`` probes), rebuilt as a fresh snapshot when evicting
+      least-recently-used entries by tick.
+
+    Under concurrency the ``hits`` counter is a plain racy increment
+    (exact when uncontended; may undercount under heavy parallel
+    hitting), while ``misses``/``errors`` are updated under the write
+    lock.  Only successful resolutions are cached; invalid domains
+    raise every time and are tallied under ``errors`` (they never
+    inflate ``misses``, which counts resolutions that entered the
+    cache path).  Cached :class:`SuffixMatch` objects are shared —
+    treat them as immutable.
 
     Args:
         text: PSL-format rule text.  Defaults to the embedded snapshot;
@@ -135,31 +226,84 @@ class PublicSuffixList:
         self._index = RuleIndex.from_rules(parse_rules(text))
         if len(self._index) == 0:
             raise ValueError("PSL text contains no rules")
+        self._trie: SuffixTrie = self._index.compile()
         self._cache_maxsize = max(0, cache_size)
-        self._cache: dict[str, SuffixMatch] = {}
+        # Fold gen1 into gen0 every _promote_batch promotions; keep a
+        # little headroom below maxsize after an eviction pass so a
+        # full cache does not re-sort on every subsequent miss.
+        self._promote_batch = max(1, min(64, self._cache_maxsize))
+        self._keep_size = self._cache_maxsize - self._cache_maxsize // 8
+        self._gen0: dict[str, list] = {}  # folded snapshot, replaced wholesale
+        self._gen1: dict[str, list] = {}  # recent promotions
+        self._tick = 0
         self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
+        self._cache_errors = 0
 
     def __len__(self) -> int:
         return len(self._index)
 
     def cache_stats(self) -> dict[str, int]:
-        """Resolution-cache counters: hits, misses, size, maxsize."""
+        """Resolution-cache counters: hits, misses, errors, size, maxsize.
+
+        ``errors`` counts failed resolutions (:class:`DomainError`),
+        which are never cached; ``misses`` counts only resolutions that
+        ran the engine successfully and entered the cache.
+        """
         with self._cache_lock:
             return {
                 "hits": self._cache_hits,
                 "misses": self._cache_misses,
-                "size": len(self._cache),
+                "errors": self._cache_errors,
+                "size": len(self._gen0) + len(self._gen1),
                 "maxsize": self._cache_maxsize,
             }
 
     def cache_clear(self) -> None:
         """Empty the resolution cache and reset its counters."""
         with self._cache_lock:
-            self._cache.clear()
+            # Fresh dicts, not .clear(): concurrent lock-free readers
+            # keep probing a consistent (old) snapshot.
+            self._gen0 = {}
+            self._gen1 = {}
             self._cache_hits = 0
             self._cache_misses = 0
+            self._cache_errors = 0
+
+    # -- cache internals ------------------------------------------------------
+
+    def _promote_locked(self, domain: str, match: SuffixMatch) -> None:
+        """Insert one resolved domain (caller holds the write lock)."""
+        if domain in self._gen1 or domain in self._gen0:
+            return  # another thread promoted it while we resolved
+        self._tick += 1
+        self._gen1[domain] = [match, self._tick]
+        if (len(self._gen1) >= self._promote_batch
+                or len(self._gen0) + len(self._gen1) > self._cache_maxsize):
+            self._fold_locked()
+
+    def _fold_locked(self) -> None:
+        """Fold gen1 into gen0, evicting LRU overflow.
+
+        The common (non-evicting) fold merges in place: lock-free
+        readers only ever ``dict.get`` gen0, which is safe against a
+        concurrent ``update`` under the GIL, so no copy is needed.  A
+        fresh dict is built only when evicting — keeping the newest
+        ``_keep_size`` entries by recency tick, with the headroom
+        amortising the sort across the next misses.
+        """
+        if len(self._gen0) + len(self._gen1) <= self._cache_maxsize:
+            self._gen0.update(self._gen1)
+        else:
+            merged = dict(self._gen0)
+            merged.update(self._gen1)
+            ranked = sorted(merged.items(), key=lambda kv: kv[1][1],
+                            reverse=True)
+            self._gen0 = dict(ranked[:self._keep_size])
+        self._gen1 = {}
+
+    # -- resolution -----------------------------------------------------------
 
     def resolve(self, domain: str) -> SuffixMatch:
         """Resolve a domain to its public suffix and registrable domain.
@@ -173,27 +317,182 @@ class PublicSuffixList:
         Raises:
             DomainError: If the domain is syntactically invalid.
         """
-        cacheable = isinstance(domain, str) and self._cache_maxsize > 0
-        if cacheable:
+        if self._cache_maxsize > 0 and isinstance(domain, str):
+            # Probe the folded snapshot first: gen1 drains into gen0
+            # every _promote_batch promotions, so steady-state hits
+            # land in gen0 with a single dict probe.
+            entry = self._gen0.get(domain)
+            if entry is None:
+                entry = self._gen1.get(domain)
+            if entry is not None:
+                # Lock-free hit: stamp recency with one slot store.
+                tick = self._tick + 1
+                self._tick = tick
+                entry[1] = tick
+                self._cache_hits += 1
+                return entry[0]
+            try:
+                match = self._resolve_uncached(domain)
+            except DomainError:
+                with self._cache_lock:
+                    self._cache_errors += 1
+                raise
             with self._cache_lock:
-                cached = self._cache.pop(domain, None)
-                if cached is not None:
-                    # Re-insert so insertion order tracks recency (LRU).
-                    self._cache[domain] = cached
-                    self._cache_hits += 1
-                    return cached
                 self._cache_misses += 1
-        match = self._resolve_uncached(domain)
-        if cacheable:
-            with self._cache_lock:
-                if len(self._cache) >= self._cache_maxsize:
-                    # Evict the oldest insertion (dicts keep that order).
-                    self._cache.pop(next(iter(self._cache)))
-                self._cache[domain] = match
-        return match
+                self._promote_locked(domain, match)
+            return match
+        return self._resolve_uncached(domain)
+
+    def resolve_many(self, domains: Iterable[str]) -> list[SuffixMatch]:
+        """Bulk :meth:`resolve`: probe, resolve, and promote as a batch.
+
+        All cache probes run lock-free up front; cold domains resolve
+        through the trie outside any lock (once per distinct domain —
+        within-batch repeats are served from the first resolution, and
+        accounted as the hits they would have been sequentially); the
+        promotions and counter updates then land under **one** write
+        lock acquisition instead of one per miss.
+
+        Raises:
+            DomainError: On the first syntactically invalid domain
+                (counted under ``errors``); successes resolved before
+                the error are cached and counted as misses, exactly as
+                a sequential loop would have left them.
+        """
+        matches, _ = self._resolve_batch(list(domains), strict=True)
+        return matches
+
+    def etld_plus_one_many(self, domains: Iterable[str]) -> list[str | None]:
+        """Bulk :meth:`etld_plus_one` with errors folded to ``None``.
+
+        The serving stack's shape: every consumer that feeds raw hosts
+        in bulk (the service resolver, the workload fast path, the
+        browser engine) treats an invalid host exactly like a bare
+        public suffix — no registrable domain — so this returns None
+        for both instead of raising, while still counting failures
+        under ``errors``.  Value-equivalent to calling
+        :meth:`etld_plus_one` per element with ``DomainError`` mapped
+        to None, at one write-lock acquisition per batch.
+        """
+        matches, failed = self._resolve_batch(list(domains), strict=False)
+        if not failed:
+            return [match.registrable_domain for match in matches]
+        return [match.registrable_domain if match is not None else None
+                for match in matches]
+
+    def _resolve_batch(
+        self, domains: list[str], *, strict: bool,
+    ) -> tuple[list, bool]:
+        """Shared bulk core; returns (matches, any_failed).
+
+        In strict mode the first :class:`DomainError` propagates after
+        being counted; otherwise failures leave None in the result.
+        """
+        results: list[SuffixMatch | None] = [None] * len(domains)
+        if self._cache_maxsize <= 0:
+            failed = False
+            for i, domain in enumerate(domains):
+                if strict:
+                    results[i] = self._resolve_uncached(domain)
+                else:
+                    try:
+                        results[i] = self._resolve_uncached(domain)
+                    except DomainError:
+                        failed = True
+            return results, failed
+
+        gen1 = self._gen1
+        gen0 = self._gen0
+        pending: dict[str, list[int]] = {}
+        hits = 0
+        for i, domain in enumerate(domains):
+            entry = gen1.get(domain)
+            if entry is None:
+                entry = gen0.get(domain)
+            if entry is not None:
+                self._tick += 1
+                entry[1] = self._tick
+                hits += 1
+                results[i] = entry[0]
+            else:
+                positions = pending.get(domain)
+                if positions is None:
+                    pending[domain] = [i]
+                else:
+                    # Sequentially the repeat would have hit the cache.
+                    positions.append(i)
+                    hits += 1
+
+        misses = 0
+        errors = 0
+        failed = False
+        resolved: list[tuple[str, SuffixMatch]] = []
+        first_error: DomainError | None = None
+        for domain, positions in pending.items():
+            try:
+                match = self._resolve_uncached(domain)
+            except DomainError as exc:
+                errors += len(positions)
+                failed = True
+                if strict:
+                    first_error = exc
+                    break
+                continue
+            misses += 1
+            for position in positions:
+                results[position] = match
+            resolved.append((domain, match))
+
+        with self._cache_lock:
+            self._cache_hits += hits
+            self._cache_misses += misses
+            self._cache_errors += errors
+            # Promote even when about to raise: every counted miss
+            # must correspond to a resolution that entered the cache.
+            for domain, match in resolved:
+                self._promote_locked(domain, match)
+        if first_error is not None:
+            raise first_error
+        return results, failed
 
     def _resolve_uncached(self, domain: str) -> SuffixMatch:
         normalised = normalize_domain(domain)
+        labels = normalised.split(".")
+        winner, suffix_length = self._trie.resolve(labels)
+
+        # Join elision for the dominant shapes: a single-label suffix
+        # needs no join, and when the whole domain is the eTLD+1 the
+        # registrable form *is* the normalised input.
+        total = len(labels)
+        if suffix_length == 1:
+            public_suffix = labels[-1]
+        else:
+            public_suffix = ".".join(labels[total - suffix_length:])
+        if total == suffix_length:
+            registrable = None
+        elif total == suffix_length + 1:
+            registrable = normalised
+        else:
+            registrable = ".".join(labels[total - suffix_length - 1:])
+
+        return SuffixMatch(
+            domain=normalised,
+            public_suffix=public_suffix,
+            registrable_domain=registrable,
+            rule=winner,
+            is_private_suffix=bool(winner is not None and winner.is_private),
+        )
+
+    def _resolve_scan(self, domain: str) -> SuffixMatch:
+        """Reference resolver: the pre-trie candidate scan.
+
+        Kept verbatim (per-character normalisation, bucket scan with a
+        :meth:`~repro.psl.rules.Rule.matches` re-check per candidate)
+        so property tests can assert the compiled engine is
+        semantics-identical and benchmarks can measure the win against
+        the real former hot path.  Bypasses the cache entirely.
+        """
+        normalised = _normalize_reference(domain)
         labels = normalised.split(".")
         reversed_labels = tuple(reversed(labels))
 
@@ -233,6 +532,8 @@ class PublicSuffixList:
             rule=winner,
             is_private_suffix=bool(winner is not None and winner.is_private),
         )
+
+    # -- derived queries ------------------------------------------------------
 
     def public_suffix(self, domain: str) -> str:
         """The domain's effective TLD (public suffix)."""

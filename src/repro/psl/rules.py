@@ -144,13 +144,176 @@ def parse_rules(text: str) -> Iterator[Rule]:
         yield parse_rule(line, is_private=in_private)
 
 
+class SuffixTrie:
+    """A compiled reversed-label trie over a PSL rule set.
+
+    The candidate-scan resolver must re-check every bucketed rule with
+    :meth:`Rule.matches` (a per-label Python loop) on every lookup.
+    Compiling the rules into a trie keyed by reversed labels turns
+    resolution into a single O(labels) descent: each node is a
+    ``[children, normal, exception, star]`` list where ``children``
+    maps the next (more specific) label to a child node, the two
+    terminal slots hold ``(rule, seq)`` for a normal/wildcard rule and
+    an exception rule ending at that node, and ``star`` is the node's
+    ``*`` (wildcard-label) child.  ``seq`` is the rule's position in
+    compilation order, which reproduces the scan's first-wins
+    tie-break exactly when two rules match at the same depth (e.g.
+    ``*.ck`` and a hypothetical ``foo.ck``).
+
+    The hot walk is single-path — one ``children`` probe and one
+    ``star`` slot read per level, no allocations.  When a level
+    matches *both* an exact child and a wildcard child (e.g.
+    ``city.kawasaki.jp`` against ``*.kawasaki.jp`` +
+    ``!city.kawasaki.jp``), the walk restarts on the fully general
+    multi-path form, which tracks every simultaneously active node —
+    rare in real rule sets, and bounded by rule depth.
+
+    The trie is immutable once compiled; :meth:`resolve` is safe to
+    call from any number of threads without locking.
+    """
+
+    __slots__ = ("_root", "_count")
+
+    def __init__(self, rules: Iterable[Rule]):
+        self._root: list = [{}, None, None, None]
+        self._count = 0
+        for seq, rule in enumerate(rules):
+            node = self._root
+            for position, label in enumerate(rule.labels):
+                # A "*" in TLD position goes into the exact-children
+                # dict, not the star slot: the bucketed scan keys its
+                # candidate lookup on the literal TLD label, so such a
+                # rule can never match a real domain (no valid domain
+                # has a "*" label) — the trie reproduces that exactly.
+                if label == "*" and position > 0:
+                    child = node[3]
+                    if child is None:
+                        child = [{}, None, None, None]
+                        node[3] = child
+                else:
+                    child = node[0].get(label)
+                    if child is None:
+                        child = [{}, None, None, None]
+                        node[0][label] = child
+                node = child
+            slot = 2 if rule.kind is RuleKind.EXCEPTION else 1
+            if node[slot] is None:
+                # First rule with these labels wins ties (scan order).
+                node[slot] = (rule, seq)
+            self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def resolve(self, labels: list[str]) -> tuple[Rule | None, int]:
+        """The prevailing rule and public-suffix length for a domain.
+
+        Args:
+            labels: The domain's labels in display order (TLD last).
+
+        Returns:
+            ``(winner, suffix_length)`` — the prevailing :class:`Rule`
+            (None when only the implicit ``*`` rule applied) and the
+            number of labels in the public suffix.  Identical to
+            collecting every matching rule and applying the PSL
+            precedence (exception beats all, else longest match, else
+            the implicit single-label rule).
+        """
+        node = self._root
+        best: Rule | None = None
+        best_depth = 0
+        exc: Rule | None = None
+        exc_depth = 0
+        depth = 0
+        i = len(labels)
+        while i:
+            i -= 1
+            depth += 1
+            child = node[0].get(labels[i])
+            star = node[3]
+            if star is None:
+                if child is None:
+                    break
+                node = child
+            elif child is None:
+                node = star
+            else:
+                # Both an exact and a wildcard path are live: hand the
+                # whole resolution to the multi-path walk.
+                return self._resolve_general(labels)
+            terminal = node[1]
+            if terminal is not None:
+                # Depth strictly increases on a single path, so the
+                # deepest terminal seen always prevails.
+                best = terminal[0]
+                best_depth = depth
+            terminal = node[2]
+            if terminal is not None:
+                exc = terminal[0]
+                exc_depth = depth
+        if exc is not None:
+            # An exception rule wins outright and matches one label
+            # fewer than it contains.
+            return exc, exc_depth - 1
+        if best is not None:
+            return best, best_depth
+        return None, 1  # implicit "*": the bare TLD is the suffix
+
+    def _resolve_general(self, labels: list[str]) -> tuple[Rule | None, int]:
+        """Multi-path descent for domains matching exact + wildcard."""
+        nodes = [self._root]
+        best: Rule | None = None
+        best_depth = 0
+        best_seq = 0
+        exc: Rule | None = None
+        exc_depth = 0
+        exc_seq = 0
+        depth = 0
+        for i in range(len(labels) - 1, -1, -1):
+            label = labels[i]
+            depth += 1
+            matched: list = []
+            for node in nodes:
+                child = node[0].get(label)
+                if child is not None:
+                    matched.append(child)
+                star = node[3]
+                if star is not None:
+                    matched.append(star)
+            if not matched:
+                break
+            for node in matched:
+                terminal = node[1]
+                if terminal is not None and (
+                        depth > best_depth
+                        or (depth == best_depth and terminal[1] < best_seq)):
+                    best = terminal[0]
+                    best_depth = depth
+                    best_seq = terminal[1]
+                terminal = node[2]
+                if terminal is not None and (
+                        depth > exc_depth
+                        or (depth == exc_depth and terminal[1] < exc_seq)):
+                    exc = terminal[0]
+                    exc_depth = depth
+                    exc_seq = terminal[1]
+            nodes = matched
+        if exc is not None:
+            return exc, exc_depth - 1
+        if best is not None:
+            return best, best_depth
+        return None, 1
+
+
 @dataclass
 class RuleIndex:
     """Index of rules bucketed by TLD label for fast candidate lookup.
 
     The PSL algorithm must consider every rule that could match a domain;
     bucketing rules by their first (right-most) label reduces that to a
-    handful of candidates per lookup.
+    handful of candidates per lookup.  :meth:`compile` bakes the same
+    rules into a :class:`SuffixTrie` for the serving hot path; the
+    bucketed form remains the differential-testing reference.
     """
 
     _by_tld: dict[str, list[Rule]] = field(default_factory=dict)
@@ -180,3 +343,11 @@ class RuleIndex:
     def __iter__(self) -> Iterator[Rule]:
         for bucket in self._by_tld.values():
             yield from bucket
+
+    def compile(self) -> SuffixTrie:
+        """Compile the indexed rules into a :class:`SuffixTrie`.
+
+        Iteration order preserves per-bucket (file) order, so the
+        trie's tie-breaks match the candidate scan's rule-list order.
+        """
+        return SuffixTrie(self)

@@ -180,13 +180,13 @@ class MembershipIndex:
         b = site_b.lower()
         entry_a = self._entries.get(a)
         entry_b = self._entries.get(b)
-        related = a == b or (
-            entry_a is not None and entry_b is not None
-            and entry_a.set_primary == entry_b.set_primary
-        )
+        # One set_primary comparison decides both fields: a shared
+        # primary means related, and same-site pairs are related even
+        # when unlisted (shared stays None unless both are members).
         shared = (entry_a.set_primary
-                  if related and entry_a is not None and entry_b is not None
+                  if entry_a is not None and entry_b is not None
                   and entry_a.set_primary == entry_b.set_primary else None)
+        related = shared is not None or a == b
         return QueryResult(
             a,
             b,

@@ -199,12 +199,14 @@ class _LruResolver:
             self._stats.resolver_misses += misses
         if not pending:
             return sites
+        # One bulk PSL walk for every cold key: the PSL's own batch
+        # path probes its lock-free cache, resolves distinct domains
+        # once, and promotes them under a single write lock — errors
+        # fold to None exactly like the sequential DomainError catch.
+        entries = list(pending.values())
+        values = self._psl.etld_plus_one_many([entry[2] for entry in entries])
         resolved: list[tuple[str, str | None, int]] = []
-        for positions, miss_count, key in pending.values():
-            try:
-                value = self._psl.etld_plus_one(key)
-            except DomainError:
-                value = None
+        for (positions, miss_count, key), value in zip(entries, values):
             for position in positions:
                 sites[position] = value
             resolved.append((key, value, miss_count))
@@ -333,6 +335,15 @@ class RwsService:
     def resolve_host(self, host: str) -> str | None:
         """A host's eTLD+1 via the LRU-cached resolver."""
         return self._resolver.resolve(host)
+
+    def resolve_hosts(self, hosts: list[str]) -> list[str | None]:
+        """Bulk :meth:`resolve_host`: one batched cache pass.
+
+        Rides :meth:`_LruResolver.resolve_many` (and, for cold keys,
+        the PSL's own bulk path), so a batch costs two short lock
+        acquisitions instead of one per host.
+        """
+        return self._resolver.resolve_many(hosts)
 
     def query(self, host_a: str, host_b: str) -> QueryVerdict:
         """Answer one pairwise storage-access membership query.

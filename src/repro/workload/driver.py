@@ -243,6 +243,52 @@ class _ShardState:
             cache[host] = site
         return site
 
+    def resolve_local_many(self, hosts: list[str]) -> list[str | None]:
+        """Batch form of :meth:`resolve_local` for whole-session buffers.
+
+        Probes the shard-local table per host, then resolves every cold
+        host through **one** bulk PSL call
+        (:meth:`~repro.psl.lookup.PublicSuffixList.etld_plus_one_many`)
+        instead of a walk per host.  Accounting mirrors the sequential
+        loop: repeats of a cold host within the batch count as the hits
+        they would have been once the first occurrence had been cached
+        — except with caching disabled (cold-cache scenarios), where
+        every occurrence is its own miss, exactly like
+        :meth:`resolve_local`.
+        """
+        cache = self.resolver_cache
+        bound = self.resolver_bound
+        sites: list[str | None] = [None] * len(hosts)
+        pending: dict[str, list[int]] = {}
+        hits = misses = 0
+        for i, host in enumerate(hosts):
+            if host in cache:
+                hits += 1
+                sites[i] = cache[host]
+                continue
+            positions = pending.get(host)
+            if positions is None:
+                pending[host] = [i]
+                misses += 1
+            else:
+                positions.append(i)
+                if bound > 0:
+                    hits += 1
+                else:
+                    misses += 1
+        if pending:
+            values = self.psl.etld_plus_one_many(list(pending))
+            for (host, positions), site in zip(pending.items(), values):
+                for position in positions:
+                    sites[position] = site
+                if bound > 0:
+                    if len(cache) >= bound:
+                        cache.pop(next(iter(cache)))
+                    cache[host] = site
+        self.resolver_hits += hits
+        self.resolver_misses += misses
+        return sites
+
 
 def _browse_session(state: _ShardState, session: Session, *,
                     reference: bool) -> tuple[list[str],
@@ -258,14 +304,21 @@ def _browse_session(state: _ShardState, session: Session, *,
     browser = Browser(policy=state.policy, rws_list=RwsList(),
                       psl=state.psl)
     browser.adopt_index(state.index)
-    resolver = (state.service.resolve_host if reference
-                else state.resolve_local)
     for page_visit in session.pages:
-        page = browser.visit(page_visit.top_host,
-                             interact=page_visit.interact)
+        # One bulk PSL call per page load resolves the top-level host
+        # and every embed's host together (the engine's natural
+        # resolution batch).  The serving-layer query pairs still
+        # carry the raw hosts, but browse-step resolutions now ride
+        # the PSL layer instead of the per-path resolver, so the
+        # reported resolver_hits/resolver_misses counters reflect
+        # query-path traffic only (they no longer include the embed
+        # warm-up the pre-batch code did); outcomes are unaffected.
+        page, embed_sites = browser.visit_with_embeds(
+            page_visit.top_host,
+            [embed.host for embed in page_visit.embeds],
+            interact=page_visit.interact)
         metrics.count("page_visits")
-        for embed in page_visit.embeds:
-            embed_site = resolver(embed.host)
+        for embed, embed_site in zip(page_visit.embeds, embed_sites):
             pairs.append((page_visit.top_host, embed.host))
             if embed_site is None:
                 continue
@@ -346,10 +399,13 @@ def _execute_fast(state: _ShardState, session: Session) -> None:
         rsa_tokens, pairs = _browse_session(state, session, reference=False)
     else:
         rsa_tokens, pairs = [], _query_pairs(session)
-    resolve = state.resolve_local
-    state.pending_pairs.extend(
-        (resolve(top_host), resolve(embed_host))
-        for top_host, embed_host in pairs)
+    # Pre-resolve the whole session's hosts as one batch through the
+    # shard table: cold hosts ride a single bulk PSL walk instead of
+    # one resolver call per pair side.
+    sites = state.resolve_local_many(
+        [host for pair in pairs for host in pair])
+    site_iter = iter(sites)
+    state.pending_pairs.extend(zip(site_iter, site_iter))
     state.pending_users.append((session.user_id, rsa_tokens, len(pairs)))
     if len(state.pending_users) >= _FLUSH_SESSIONS:
         _flush_fast(state)

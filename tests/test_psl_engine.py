@@ -1,0 +1,313 @@
+"""Tests for the compiled PSL resolution engine.
+
+Three concerns, matching the engine's three claims:
+
+* **Equivalence** — the suffix-trie resolver must be
+  semantics-identical to the candidate scan it replaced
+  (:meth:`PublicSuffixList._resolve_scan`), including wildcard,
+  exception, and implicit-``*`` rules, on the full embedded snapshot
+  *and* on randomised rule sets; the fast-path normaliser must accept
+  and reject exactly what the reference normaliser does.
+* **Concurrency** — lock-free cached reads stay correct under
+  concurrent resolve/cache_clear, and the cache counters stay
+  consistent (misses/errors exact under the write lock, hits exact
+  when uncontended, size bounded).
+* **Bulk APIs** — ``resolve_many`` / ``etld_plus_one_many`` are value-
+  and accounting-equivalent to the sequential loops they replace, at
+  every layer that now batches (PSL, service resolver, browser
+  engine).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.browser.engine import Browser
+from repro.browser.policy import BROWSER_POLICIES
+from repro.psl import DomainError, PublicSuffixList, normalize_domain
+from repro.psl.lookup import _normalize_reference
+from repro.rws.model import RwsList
+from repro.serve.service import RwsService
+
+LABEL = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+                min_size=1, max_size=8)
+
+#: Suffix tails exercising every rule kind in the embedded snapshot:
+#: plain TLD, multi-label, wildcard (*.ck), exception (www.ck),
+#: private section, deep wildcard (*.kawasaki.jp), unknown TLD.
+SNAPSHOT_TAILS = ["com", "org", "co.uk", "ck", "www.ck", "github.io",
+                  "kawasaki.jp", "city.kawasaki.jp", "zz"]
+
+#: Labels for randomised rule sets: a tiny alphabet forces collisions
+#: between exact, wildcard, and exception paths.
+RULE_LABEL = st.sampled_from(["aa", "bb", "cc", "top", "alt", "*"])
+DOMAIN_LABEL = st.sampled_from(["aa", "bb", "cc", "dd", "top", "alt", "www"])
+
+
+class TestTrieEquivalence:
+    @given(labels=st.lists(LABEL, min_size=1, max_size=4),
+           tail=st.sampled_from(SNAPSHOT_TAILS))
+    def test_trie_matches_scan_on_snapshot(self, psl, labels, tail):
+        domain = ".".join(labels + [tail])
+        assert psl._resolve_uncached(domain) == psl._resolve_scan(domain)
+
+    @given(labels=st.lists(LABEL, min_size=1, max_size=5))
+    def test_trie_matches_scan_on_random_domains(self, psl, labels):
+        domain = ".".join(labels)
+        assert psl._resolve_uncached(domain) == psl._resolve_scan(domain)
+
+    @settings(max_examples=200)
+    @given(rules=st.lists(
+        st.tuples(st.booleans(), st.lists(RULE_LABEL, min_size=1, max_size=3)),
+        min_size=1, max_size=8,
+    ), domains=st.lists(
+        st.lists(DOMAIN_LABEL, min_size=1, max_size=5), min_size=1,
+        max_size=8,
+    ))
+    def test_trie_matches_scan_on_random_rule_sets(self, rules, domains):
+        """Wildcard + exception + implicit-* equivalence, fuzzed.
+
+        Rule texts are label sequences over a tiny alphabet (so exact,
+        ``*``, and ``!`` paths collide constantly); the candidate scan
+        is ground truth for every generated domain, including domains
+        no rule matches (the implicit ``*`` rule).
+        """
+        lines = []
+        for is_exception, labels in rules:
+            body = ".".join(labels)
+            lines.append("!" + body if is_exception and len(labels) >= 2
+                         else body)
+        psl = PublicSuffixList("\n".join(lines), cache_size=0)
+        for labels in domains:
+            domain = ".".join(labels)
+            assert psl._resolve_uncached(domain) == psl._resolve_scan(domain)
+
+    def test_exception_inside_wildcard_takes_general_path(self, psl):
+        # city.kawasaki.jp matches both *.kawasaki.jp and the
+        # exception — the exact+wildcard collision the multi-path
+        # walk exists for.
+        match = psl.resolve("a.city.kawasaki.jp")
+        assert match == psl._resolve_scan("a.city.kawasaki.jp")
+
+    @given(raw=st.text(alphabet="abcXYZ019-._* ü", max_size=40))
+    def test_fast_normalizer_equivalent_to_reference(self, raw):
+        try:
+            fast = normalize_domain(raw)
+        except DomainError:
+            fast = None
+        try:
+            reference = _normalize_reference(raw)
+        except DomainError:
+            reference = None
+        assert fast == reference
+
+    @given(labels=st.lists(LABEL, min_size=1, max_size=4))
+    def test_fast_normalizer_is_identity_on_clean_hosts(self, labels):
+        domain = ".".join(labels)
+        assert normalize_domain(domain) == _normalize_reference(domain)
+
+
+class TestErrorAccounting:
+    def test_failed_resolutions_count_as_errors_not_misses(self):
+        psl = PublicSuffixList()
+        psl.resolve("example.com")
+        before = psl.cache_stats()
+        for _ in range(3):
+            with pytest.raises(DomainError):
+                psl.resolve("bad..domain")
+        stats = psl.cache_stats()
+        assert stats["errors"] == before["errors"] + 3
+        assert stats["misses"] == before["misses"]  # never inflated
+        assert stats["size"] == before["size"]
+
+    def test_bulk_counts_errors_per_occurrence(self):
+        psl = PublicSuffixList()
+        sites = psl.etld_plus_one_many(
+            ["bad..domain", "example.com", "bad..domain"])
+        assert sites == [None, "example.com", None]
+        stats = psl.cache_stats()
+        assert stats["errors"] == 2
+        assert stats["misses"] == 1
+
+    def test_disabled_cache_counts_nothing(self):
+        psl = PublicSuffixList(cache_size=0)
+        with pytest.raises(DomainError):
+            psl.resolve("bad..domain")
+        assert psl.etld_plus_one_many(["bad..domain", "example.com"]) \
+            == [None, "example.com"]
+        assert psl.cache_stats() == {"hits": 0, "misses": 0, "errors": 0,
+                                     "size": 0, "maxsize": 0}
+
+
+class TestBulkApis:
+    DOMAINS = ["act.eff.org", "example.co.uk", "foo.ck", "www.ck",
+               "mysite.github.io", "example.zz", "co.uk", "act.eff.org",
+               "bad..domain", "shop.city.kawasaki.jp"]
+
+    def test_etld_plus_one_many_matches_sequential_loop(self):
+        batched = PublicSuffixList()
+        looped = PublicSuffixList()
+
+        def sequential(domain):
+            try:
+                return looped.etld_plus_one(domain)
+            except DomainError:
+                return None
+
+        assert batched.etld_plus_one_many(self.DOMAINS) \
+            == [sequential(domain) for domain in self.DOMAINS]
+        assert batched.cache_stats() == looped.cache_stats()
+
+    def test_resolve_many_matches_resolve(self):
+        psl = PublicSuffixList()
+        valid = [d for d in self.DOMAINS if d != "bad..domain"]
+        assert psl.resolve_many(valid) == [psl.resolve(d) for d in valid]
+
+    def test_resolve_many_raises_on_invalid(self):
+        psl = PublicSuffixList()
+        with pytest.raises(DomainError):
+            psl.resolve_many(["example.com", "bad..domain"])
+        assert psl.cache_stats()["errors"] == 1
+
+    def test_bulk_promotions_respect_cache_bound(self):
+        psl = PublicSuffixList(cache_size=4)
+        psl.etld_plus_one_many([f"site-{i}.example.com" for i in range(32)])
+        assert psl.cache_stats()["size"] <= 4
+
+    def test_service_resolve_hosts_matches_loop(self):
+        batched = RwsService()
+        looped = RwsService()
+        hosts = ["www.example.com", "example.com", "co.uk", "bad..host",
+                 "www.example.com"]
+        try:
+            assert batched.resolve_hosts(hosts) \
+                == [looped.resolve_host(host) for host in hosts]
+            assert batched.stats.resolver_errors \
+                == looped.stats.resolver_errors
+        finally:
+            batched.queue.shutdown()
+            looped.queue.shutdown()
+
+    def test_browser_visit_with_embeds_matches_singles(self, psl):
+        browser = Browser(policy=BROWSER_POLICIES["chrome-rws"],
+                          rws_list=RwsList(), psl=psl)
+        embeds = ["cdn.example.com", "co.uk", "bad..host", "eff.org"]
+        page, sites = browser.visit_with_embeds("www.example.com", embeds)
+        assert page.site == browser.visit("www.example.com").site
+
+        def single(host):
+            try:
+                return psl.etld_plus_one(host)
+            except DomainError:
+                return None
+
+        assert sites == [single(host) for host in embeds]
+        assert browser.resolve_sites(embeds) == sites
+
+    def test_browser_visit_with_embeds_rejects_bare_suffix_top(self, psl):
+        browser = Browser(policy=BROWSER_POLICIES["chrome-rws"],
+                          rws_list=RwsList(), psl=psl)
+        with pytest.raises(ValueError):
+            browser.visit_with_embeds("co.uk", ["example.com"])
+
+
+class TestConcurrency:
+    VALID = ["act.eff.org", "www.example.co.uk", "a.example.com",
+             "foo.ck", "www.ck", "mysite.github.io", "example.zz",
+             "shop.city.kawasaki.jp", "co.uk", "example.org"]
+    INVALID = ["bad..domain", "-leading.example", "sp ace.example"]
+
+    def test_concurrent_resolve_and_clear_stay_correct(self):
+        psl = PublicSuffixList(cache_size=64)
+        reference = PublicSuffixList(cache_size=0)
+        expected = {}
+        for domain in self.VALID:
+            expected[domain] = reference.resolve(domain)
+        pool = self.VALID * 3 + self.INVALID
+        failures: list = []
+        barrier = threading.Barrier(5)
+
+        def hammer(seed: int) -> None:
+            rng = random.Random(seed)
+            barrier.wait()
+            for _ in range(1500):
+                domain = rng.choice(pool)
+                try:
+                    match = psl.resolve(domain)
+                except DomainError:
+                    if domain not in self.INVALID:
+                        failures.append(("unexpected DomainError", domain))
+                    continue
+                if match != expected[domain]:
+                    failures.append((domain, match))
+
+        def clear() -> None:
+            barrier.wait()
+            for _ in range(40):
+                psl.cache_clear()
+
+        threads = [threading.Thread(target=hammer, args=(seed,))
+                   for seed in range(4)]
+        threads.append(threading.Thread(target=clear))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures
+        stats = psl.cache_stats()
+        # Counter consistency: misses/errors are lock-exact, hits may
+        # undercount under contention but never overcount, and the
+        # generational fold keeps size bounded.
+        total_ops = 4 * 1500
+        assert 0 <= stats["size"] <= stats["maxsize"]
+        assert 0 < stats["misses"] <= total_ops
+        assert 0 <= stats["hits"] <= total_ops
+        assert 0 <= stats["errors"] <= total_ops
+        assert stats["hits"] + stats["misses"] + stats["errors"] <= total_ops
+
+    def test_counters_exact_after_quiescence(self):
+        # The same instance is exact again once contention stops.
+        psl = PublicSuffixList(cache_size=64)
+        psl.resolve("example.com")
+        psl.cache_clear()
+        for domain in self.VALID:
+            psl.resolve(domain)
+        for domain in self.VALID:
+            psl.resolve(domain)
+        with pytest.raises(DomainError):
+            psl.resolve("bad..domain")
+        stats = psl.cache_stats()
+        assert stats["misses"] == len(self.VALID)
+        assert stats["hits"] == len(self.VALID)
+        assert stats["errors"] == 1
+        assert stats["size"] == len(self.VALID)
+
+    def test_concurrent_bulk_and_single_resolution(self):
+        psl = PublicSuffixList(cache_size=128)
+        reference = PublicSuffixList(cache_size=0)
+        expected = {d: reference.resolve(d).registrable_domain
+                    for d in self.VALID}
+        failures: list = []
+
+        def bulk(seed: int) -> None:
+            rng = random.Random(seed)
+            for _ in range(200):
+                batch = [rng.choice(self.VALID) for _ in range(8)]
+                sites = psl.etld_plus_one_many(batch)
+                for domain, site in zip(batch, sites):
+                    if site != expected[domain]:
+                        failures.append((domain, site))
+
+        threads = [threading.Thread(target=bulk, args=(seed,))
+                   for seed in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert psl.cache_stats()["size"] <= 128

@@ -183,7 +183,7 @@ class TestResolutionCache:
         psl.resolve("example.com")
         psl.cache_clear()
         stats = psl.cache_stats()
-        assert stats == {"hits": 0, "misses": 0, "size": 0,
+        assert stats == {"hits": 0, "misses": 0, "errors": 0, "size": 0,
                          "maxsize": stats["maxsize"]}
 
     def test_cache_respects_bound_and_evicts_lru(self):
