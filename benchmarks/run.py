@@ -45,11 +45,17 @@ def _bench_workload_cold() -> dict:
     return measure_workload_digests()
 
 
+def _bench_cluster() -> dict:
+    from benchmarks.test_bench_cluster import measure_cluster_throughput
+    return measure_cluster_throughput()
+
+
 #: name -> zero-argument measurement returning a flat JSON-able dict.
 BENCHES: dict[str, Callable[[], dict]] = {
     "psl_uncached_resolve": _bench_psl_uncached,
     "psl_threaded_hits": _bench_psl_threaded,
     "workload_cold_cache": _bench_workload_cold,
+    "cluster": _bench_cluster,
 }
 
 

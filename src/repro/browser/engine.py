@@ -17,6 +17,7 @@ from repro.browser.policy import BrowserPolicy, GrantDecision, PromptBehavior
 from repro.browser.storage import PartitionedStorage
 from repro.psl import PublicSuffixList, default_psl
 from repro.rws.model import RwsList, SiteRole
+from repro.serve.epoch import Epoch
 from repro.serve.index import MembershipIndex
 
 
@@ -71,6 +72,19 @@ class Browser:
         :meth:`refresh_rws_index` drops it.
         """
         self._rws_index = index
+
+    def adopt_epoch(self, epoch: Epoch) -> None:
+        """Serve storage-access decisions from a serving epoch.
+
+        The epoch-handle form of :meth:`adopt_index` — the browser
+        consumes the same immutable (index, snapshot, version) unit
+        the serving layer and its replicas swap, exactly how Chrome
+        consumes one component-updater payload generation.  Because an
+        epoch is never mutated, the browser's decisions stay pinned to
+        the generation it adopted until the caller hands it a newer
+        one (or :meth:`refresh_rws_index` drops it).
+        """
+        self._rws_index = epoch.index
 
     # -- navigation -----------------------------------------------------------
 

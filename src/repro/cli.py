@@ -15,15 +15,22 @@ Subcommands:
 * ``serve`` — bring up the serving layer over the reconstructed list,
   exercise it, and print its counters (a one-shot stand-in for a
   long-running service);
+* ``cluster`` — bring up a replicated deployment (a
+  :class:`~repro.cluster.Router` over ``--replicas`` read replicas
+  with ``--lag`` propagation delay and a ``--policy`` routing policy),
+  publish a list update mid-run so stale reads are visible, and print
+  the merged cluster counters;
 * ``load`` — run a named traffic scenario through the workload engine
-  (``--scenario steady --users 100000 --shards 4``) and print
-  throughput, latency percentiles, and the reproducible run digest;
+  (``--scenario steady --users 100000 --shards 4``, optionally
+  replicated via ``--replicas/--lag/--policy``) and print throughput,
+  latency percentiles, and the reproducible run digest;
 * ``api`` — dispatch one wire-format JSON request envelope and print
   the JSON response (the ``repro.api`` protocol over stdin/argv).
 
-The serving subcommands (``query``, ``serve``, ``load``, ``api``) all
-route through the :class:`repro.api.Dispatcher` protocol layer rather
-than calling :class:`~repro.serve.service.RwsService` directly.
+The serving subcommands (``query``, ``serve``, ``cluster``, ``load``,
+``api``) all route through the :class:`repro.api.Dispatcher` protocol
+layer rather than calling :class:`~repro.serve.service.RwsService` (or
+the cluster router) directly.
 """
 
 from __future__ import annotations
@@ -243,6 +250,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.api import (
+        BatchQueryRequest,
+        Dispatcher,
+        ErrorResponse,
+        PublishRequest,
+        RequestCounter,
+        StatsRequest,
+    )
+    from repro.cluster import Router
+    from repro.data import build_rws_list
+    from repro.serve import RwsService
+    from repro.workload.scenarios import LIST_PROFILES
+
+    if args.replicas < 1 or args.lag < 0:
+        print("cluster needs --replicas >= 1 and --lag >= 0",
+              file=sys.stderr)
+        return 2
+
+    def dispatch_ok(request):
+        response = dispatcher.dispatch(request)
+        if isinstance(response, ErrorResponse):
+            print(f"{request.op} failed: {response.error.code.value}: "
+                  f"{response.error.message}", file=sys.stderr)
+            raise SystemExit(1)
+        return response
+
+    service = RwsService()
+    service.publish(build_rws_list())
+    router = Router(service, replicas=args.replicas, lag=args.lag,
+                    policy=args.policy)
+    counter = RequestCounter()
+    dispatcher = Dispatcher(router, middlewares=(counter,))
+    snapshot = service.current_snapshot
+    assert snapshot is not None
+    print(f"cluster: primary + {args.replicas} replica(s), "
+          f"policy {args.policy}, lag {args.lag} tick(s); "
+          f"serving snapshot v{snapshot.version} "
+          f"({snapshot.content_hash[:12]}…)")
+
+    members = [record.site for record in snapshot.rws_list.all_members()]
+    workload = max(0, args.queries)
+    pairs = [(members[i % len(members)], members[(i * 7 + 3) % len(members)])
+             for i in range(workload)]
+    related = sum(dispatch_ok(
+        BatchQueryRequest(pairs=pairs, detail=False)).related)
+    print(f"answered {workload} membership queries across the replica "
+          f"set ({related} related)")
+
+    # Publish the seed profile's successor so replica propagation (and
+    # staleness at --lag > 0) is observable: probe the update's new
+    # members, which a stale replica still answers "unrelated".
+    _, build_v2 = LIST_PROFILES["seed"]
+    assert build_v2 is not None
+    v2_list = build_v2()
+    response = dispatch_ok(PublishRequest(rws_list=v2_list))
+    print(f"published v{response.version}; replica epochs now "
+          f"{router.replica_versions()}"
+          + (" (stale until the lag elapses)"
+             if not router.converged else ""))
+    grown_primary = v2_list.sets[0].primary
+    probes = [(grown_primary, "midflight-news.com"),
+              ("midflight.com", "midflight-shop.com")] * 8
+    stale = sum(dispatch_ok(
+        BatchQueryRequest(pairs=probes, detail=False)).related)
+    router.converge()
+    converged = sum(dispatch_ok(
+        BatchQueryRequest(pairs=probes, detail=False)).related)
+    print(f"probed the update's new members mid-propagation "
+          f"({stale}/{len(probes)} related) and after convergence "
+          f"({converged}/{len(probes)} related); replica epochs "
+          f"{router.replica_versions()}")
+
+    report = dispatch_ok(StatsRequest()).report
+    for op, count in sorted(counter.snapshot().items()):
+        report[f"api_{op}"] = float(count)
+    print()
+    print("counter                   value")
+    print("------------------------  ----------")
+    for key, value in sorted(report.items()):
+        rendered = (f"{value:.1f}" if key.endswith("_query_ns")
+                    else f"{int(value)}")
+        print(f"{key:24s}  {rendered}")
+    return 0
+
+
 def _cmd_api(args: argparse.Namespace) -> int:
     import json
 
@@ -256,6 +349,7 @@ def _cmd_api(args: argparse.Namespace) -> int:
 
 def _cmd_load(args: argparse.Namespace) -> int:
     from repro.workload import SCENARIOS, get_scenario, run_workload
+    from repro.workload.driver import replicated
 
     if args.list_scenarios:
         width = max(len(name) for name in SCENARIOS)
@@ -270,6 +364,19 @@ def _cmd_load(args: argparse.Namespace) -> int:
     if args.users < 0 or args.shards < 1:
         print("load needs --users >= 0 and --shards >= 1", file=sys.stderr)
         return 2
+    if args.replicas is not None or args.lag is not None \
+            or args.policy is not None:
+        # Unset flags keep the scenario's own replication settings, so
+        # e.g. `--scenario stale-replica --replicas 5` preserves the
+        # scenario's staggered lag.
+        scenario = replicated(
+            scenario,
+            args.replicas if args.replicas is not None
+            else scenario.replicas,
+            lag=args.lag if args.lag is not None
+            else scenario.replica_lag,
+            policy=args.policy or scenario.router_policy,
+        )
     result = run_workload(scenario, args.users, shards=args.shards,
                           seed=args.seed, executor=args.executor)
     for line in result.report_lines():
@@ -338,6 +445,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(handler=_cmd_serve)
 
     sub = subparsers.add_parser(
+        "cluster",
+        help="bring up a replicated serving cluster and exercise it")
+    sub.add_argument("--replicas", type=int, default=3, metavar="N",
+                     help="read replicas behind the router "
+                          "(default: 3)")
+    sub.add_argument("--lag", type=int, default=0, metavar="TICKS",
+                     help="replica propagation lag in logical-clock "
+                          "ticks (default: 0 — replicas converge "
+                          "inside the publish)")
+    sub.add_argument("--policy", default="round-robin",
+                     choices=["round-robin", "rendezvous"],
+                     help="read-routing policy (default: round-robin)")
+    sub.add_argument("--queries", type=int, default=1000, metavar="N",
+                     help="size of the self-test query workload "
+                          "(default: 1000)")
+    sub.set_defaults(handler=_cmd_cluster)
+
+    sub = subparsers.add_parser(
         "api",
         help="dispatch one wire-format JSON request envelope",
         description="Dispatch a repro.api wire request against the "
@@ -370,6 +495,16 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["auto", "inline", "thread", "process"],
                      help="how shards run (default: auto — processes "
                           "on multi-core hosts, threads otherwise)")
+    sub.add_argument("--replicas", type=int, default=None, metavar="N",
+                     help="serve through a router over N read replicas "
+                          "(default: the scenario's own setting)")
+    sub.add_argument("--lag", type=int, default=None, metavar="USERS",
+                     help="replica propagation-lag stagger in users "
+                          "(default: the scenario's own setting)")
+    sub.add_argument("--policy", default=None,
+                     choices=["round-robin", "rendezvous"],
+                     help="cluster routing policy (default: the "
+                          "scenario's own setting)")
     sub.add_argument("--list-scenarios", action="store_true",
                      help="print the scenario registry and exit")
     sub.set_defaults(handler=_cmd_load)

@@ -1,0 +1,34 @@
+"""Replicated serving: epochs propagated by delta behind one front-end.
+
+The paper's deployment is not one server — it is millions of browser
+instances, each holding a versioned copy of the RWS list and
+converging on updates at different times via the component updater.
+``repro.cluster`` models that shape on top of the epoch-immutable
+serving core:
+
+* :mod:`repro.cluster.replica` — :class:`Replica`: the lock-free
+  :class:`~repro.serve.service.EpochShell` read surface over an epoch
+  that advances by applying the primary's
+  :class:`~repro.serve.snapshot.SnapshotDelta` broadcasts after a
+  configurable propagation lag, squashing accumulated hops into one
+  patch (:func:`~repro.serve.snapshot.squash_deltas`);
+* :mod:`repro.cluster.router` — :class:`Router`: the cluster
+  front-end that spreads query/batch traffic across replicas
+  (round-robin or rendezvous-hash routing) while pinning publishes
+  and governance writes to the primary, with cluster-wide merged
+  stats.
+
+The :class:`Router` exposes the same surface the API layer drives on
+a single service, so ``Dispatcher(Router(...))`` is a drop-in
+replicated deployment — the CLI's ``cluster`` subcommand and the
+workload engine's replicated execution mode are both built that way.
+"""
+
+from repro.cluster.replica import Replica
+from repro.cluster.router import POLICIES, Router
+
+__all__ = [
+    "POLICIES",
+    "Replica",
+    "Router",
+]

@@ -1,0 +1,206 @@
+"""Read replicas: the primary's epochs, delivered by delta, with lag.
+
+A :class:`Replica` is the same lock-free
+:class:`~repro.serve.service.EpochShell` read surface as the primary
+:class:`~repro.serve.service.RwsService`, but its epoch advances by
+*catching up* instead of by local publishes: the
+:class:`~repro.cluster.router.Router` broadcasts one
+:class:`~repro.serve.snapshot.SnapshotDelta` per publish, each replica
+holds the broadcast until its configured propagation lag has elapsed
+on the cluster's logical clock, and a lagging replica that has
+accumulated several hops applies **one squashed delta**
+(:func:`~repro.serve.snapshot.squash_deltas`) rather than replaying
+the chain.  This is the paper's real deployment shape: millions of
+browser instances converge on a list update at different times, each
+patching its local copy and recompiling its own index.
+
+Lag is measured on a deterministic logical clock (the workload driver
+advances it with the global user index), never wall time, so staleness
+— and therefore every decision a stale replica serves — is
+bit-reproducible across runs, shard counts, and executors.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.epoch import Epoch
+from repro.serve.service import EpochShell, RwsService
+from repro.serve.snapshot import (
+    ListSnapshot,
+    SnapshotDelta,
+    apply_delta,
+    squash_deltas,
+)
+
+
+class Replica(EpochShell):
+    """One read replica converging on the primary's snapshots by delta.
+
+    A freshly constructed replica boots from the primary's *current*
+    epoch (the full-snapshot bootstrap every component-updater client
+    performs once), then follows per-publish deltas delivered through
+    :meth:`receive`.
+
+    Args:
+        replica_id: Stable identity (rendezvous routing hashes it).
+        primary: The service whose snapshots this replica follows.
+        lag: Propagation delay in logical-clock ticks: a delta
+            published at clock ``t`` becomes applicable at
+            ``t + lag``.  0 means the replica converges inside the
+            router's publish call.
+        resolver_cache_size: Bound on this replica's resolver
+            accounting dict (see
+            :class:`~repro.serve.service._ResolverShim`).
+    """
+
+    def __init__(self, replica_id: int, primary: RwsService, *,
+                 lag: int = 0, resolver_cache_size: int = 4096):
+        self.replica_id = replica_id
+        self.primary = primary
+        self.lag = max(0, lag)
+        self._shell_init(primary.psl, resolver_cache_size)
+        self._epoch = primary.epoch  # full-snapshot bootstrap
+        #: (due_clock, payload) queue; payloads are deltas, or a full
+        #: ListSnapshot when the hop has no delta base (first publish).
+        self._pending: list[tuple[int, SnapshotDelta | ListSnapshot]] = []
+        self._clock = 0
+        #: Catch-up bookkeeping: how many squashed applications ran,
+        #: and how many broadcast hops they covered.
+        self.catch_ups = 0
+        self.deltas_applied = 0
+        # Guards _pending and the catch-up sequence only; the query
+        # path (EpochShell) never touches it.
+        self._sync_lock = threading.Lock()
+
+    @property
+    def version(self) -> int:
+        """The snapshot version this replica currently serves."""
+        return self._epoch.version
+
+    @property
+    def lagging(self) -> bool:
+        """True while broadcast updates are waiting to be applied."""
+        return bool(self._pending)
+
+    @property
+    def pending_updates(self) -> int:
+        """How many broadcast hops are waiting on this replica's lag."""
+        return len(self._pending)
+
+    # -- propagation ----------------------------------------------------------
+
+    def receive(self, update: SnapshotDelta | ListSnapshot, *,
+                published_clock: int) -> None:
+        """Accept one broadcast publish, applicable after this lag.
+
+        Args:
+            update: The per-hop delta (or the full snapshot when the
+                replica's bootstrap epoch has no delta base).
+            published_clock: The cluster clock when the primary
+                published; the update applies at
+                ``published_clock + self.lag``.
+        """
+        with self._sync_lock:
+            self._pending.append((published_clock + self.lag, update))
+
+    def has_due(self, clock: int) -> bool:
+        """True when advancing to ``clock`` would apply an update."""
+        pending = self._pending
+        return bool(pending) and pending[0][0] <= clock
+
+    def advance(self, clock: int) -> bool:
+        """Advance the logical clock, applying every due update.
+
+        Contiguous due delta hops are squashed into one application;
+        a due full-snapshot bootstrap adopts the snapshot directly.
+
+        Returns:
+            True when the replica's epoch changed.
+        """
+        with self._sync_lock:
+            self._clock = max(self._clock, clock)
+            if not self._pending or self._pending[0][0] > self._clock:
+                return False
+            due: list[SnapshotDelta | ListSnapshot] = []
+            while self._pending and self._pending[0][0] <= self._clock:
+                due.append(self._pending.pop(0)[1])
+            self._apply_updates(due)
+        return True
+
+    def sync(self) -> bool:
+        """Catch up fully, ignoring lag (drain everything pending).
+
+        The recovery path — and the convergence step a zero-lag
+        cluster rides on every publish.  Draining does **not** move
+        the replica's logical clock: a synced replica still owes its
+        configured lag on every subsequent publish.
+
+        Returns:
+            True when the replica's epoch changed.
+        """
+        with self._sync_lock:
+            if not self._pending:
+                return False
+            due = [update for _, update in self._pending]
+            self._pending.clear()
+            self._apply_updates(due)
+        return True
+
+    # -- catch-up internals (caller holds _sync_lock) -------------------------
+
+    def _apply_updates(self,
+                       due: list[SnapshotDelta | ListSnapshot]) -> None:
+        """Apply drained updates in order, squashing delta runs."""
+        chain: list[SnapshotDelta] = []
+        for update in due:
+            if isinstance(update, SnapshotDelta):
+                chain.append(update)
+                continue
+            self._apply_chain(chain)
+            chain = []
+            self._adopt(update)
+        self._apply_chain(chain)
+
+    def _adopt(self, snapshot: ListSnapshot) -> None:
+        """Adopt a full snapshot (the no-delta-base bootstrap hop)."""
+        self._epoch = Epoch.compile(snapshot, self._epoch.psl)
+        self.catch_ups += 1
+        self.deltas_applied += 1
+
+    def _apply_chain(self, chain: list[SnapshotDelta]) -> None:
+        """Apply a contiguous delta chain as one squashed patch."""
+        if not chain:
+            return
+        delta = squash_deltas(chain)
+        epoch = self._epoch
+        epoch.require_version(delta.from_version)
+        patched = apply_delta(epoch.rws_list, delta)
+        snapshot = ListSnapshot(version=delta.to_version,
+                                content_hash=delta.to_hash,
+                                rws_list=patched)
+        # The replica compiles its *own* index from the patched copy —
+        # the client-side recompilation every browser instance pays.
+        self._epoch = Epoch.compile(snapshot, epoch.psl)
+        self.catch_ups += 1
+        self.deltas_applied += len(chain)
+
+    # -- observability --------------------------------------------------------
+
+    def stats_report(self) -> dict[str, float]:
+        """This replica's counters, captured once.
+
+        Request counters fold from the per-thread cells; the epoch
+        fields come from a single captured reference.
+        """
+        epoch = self._epoch
+        report = self._cells.fold().as_dict()
+        report["replica"] = float(self.replica_id)
+        report["epoch"] = float(epoch.version)
+        report["snapshot_version"] = float(epoch.version)
+        report["index_sites"] = float(epoch.index.site_count)
+        report["index_sets"] = float(epoch.index.set_count)
+        report["catch_ups"] = float(self.catch_ups)
+        report["deltas_applied"] = float(self.deltas_applied)
+        report["pending_updates"] = float(len(self._pending))
+        return report

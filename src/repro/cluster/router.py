@@ -1,0 +1,367 @@
+"""The cluster front-end: replicated reads, primary-pinned writes.
+
+:class:`Router` exposes the same surface the
+:class:`~repro.api.dispatcher.Dispatcher` drives on a single
+:class:`~repro.serve.service.RwsService`, so it drops into the API
+layer unchanged — but read traffic (queries, batches, resolutions)
+spreads across a set of :class:`~repro.cluster.replica.Replica`
+instances while every write (publish, submit) and every
+store-anchored read (deltas, poll, queue reports) pins to the primary.
+
+Two routing policies ship:
+
+* ``round-robin`` — each dispatch goes to the next replica in turn
+  (an atomic counter; batches stay whole).  The right default when
+  all replicas serve the same epoch.
+* ``rendezvous`` — highest-random-weight hashing of the *query key*
+  (the first host/site of a pair) onto the replica set, with batches
+  split per pair and reassembled in request order.  Routing then
+  depends only on the query content — never on arrival order or how
+  traffic was batched — which is what makes stale-replica workloads
+  bit-reproducible across shard counts and executors, and what keeps
+  a client's repeat questions on the replica whose staleness it
+  already observed (read-your-staleness, the component-updater
+  behaviour).
+
+Propagation: :meth:`publish` publishes to the primary, broadcasts the
+per-hop delta to every replica stamped with the cluster's logical
+clock, and immediately applies whatever is due (a zero-lag cluster
+therefore converges inside the publish call).  :meth:`advance` moves
+the clock — the workload driver feeds it the global user index — and
+lagging replicas apply their accumulated hops as one squashed delta.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from typing import Iterable, Sequence
+
+from repro.psl.lookup import DomainError
+from repro.rws.model import RelatedWebsiteSet, RwsList
+from repro.serve.epoch import Epoch
+from repro.serve.index import MembershipIndex
+from repro.serve.queue import SubmissionStatus, ValidationQueue
+from repro.serve.service import QueryVerdict, RwsService, ServiceStats
+from repro.serve.snapshot import ListSnapshot, SnapshotDelta
+
+from repro.cluster.replica import Replica
+
+#: Routing policies :class:`Router` understands.
+POLICIES = ("round-robin", "rendezvous")
+
+
+def _weight(replica_id: int, key: str) -> int:
+    """Rendezvous weight: stable across processes and runs.
+
+    ``zlib.crc32`` rather than ``hash()`` — the builtin string hash is
+    salted per process (PYTHONHASHSEED), which would make routing (and
+    therefore stale-replica outcome digests) differ between the
+    process-pool executor's workers and an inline run.
+    """
+    return zlib.crc32(f"{replica_id}|{key}".encode("utf-8", "replace"))
+
+
+class Router:
+    """Spread reads across replicas; pin writes to the primary.
+
+    Args:
+        primary: The write-side service (owns the snapshot store and
+            the validation queue).
+        replicas: How many read replicas to build.
+        lag: Propagation lag in logical-clock ticks — one int for a
+            uniform cluster, or a per-replica sequence (the
+            ``stale-replica`` workload staggers them).
+        policy: ``round-robin`` or ``rendezvous`` (see module doc).
+        resolver_cache_size: Per-replica resolver accounting bound.
+    """
+
+    def __init__(self, primary: RwsService, replicas: int = 2, *,
+                 lag: int | Sequence[int] = 0,
+                 policy: str = "round-robin",
+                 resolver_cache_size: int = 4096):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r} "
+                             f"(known: {', '.join(POLICIES)})")
+        if isinstance(lag, int):
+            lags = [lag] * replicas
+        else:
+            lags = list(lag)
+            if len(lags) != replicas:
+                raise ValueError(f"got {len(lags)} lag values for "
+                                 f"{replicas} replicas")
+        self.primary = primary
+        self.policy = policy
+        self.replicas: list[Replica] = [
+            Replica(i, primary, lag=lags[i],
+                    resolver_cache_size=resolver_cache_size)
+            for i in range(replicas)
+        ]
+        self._clock = 0
+        self._rr = itertools.count()  # C-level counter: atomic next()
+
+    # -- propagation ----------------------------------------------------------
+
+    def publish(self, rws_list: RwsList, *,
+                published_clock: int | None = None) -> ListSnapshot:
+        """Publish to the primary and broadcast the hop to replicas.
+
+        Deduplicated republications broadcast nothing.  Replicas whose
+        lag has already elapsed (always true at lag 0) converge before
+        this returns.
+
+        Args:
+            rws_list: The list to publish.
+            published_clock: The logical clock to stamp the broadcast
+                with (defaults to the router's current clock).  The
+                workload driver passes the *global* update cutoff so a
+                shard that starts past it schedules identical due
+                times.
+        """
+        clock = self._clock if published_clock is None else published_clock
+        before = self.primary.epoch.version
+        snapshot = self.primary.publish(rws_list)
+        if snapshot.version == before:
+            return snapshot
+        update: SnapshotDelta | ListSnapshot
+        if before == 0:
+            update = snapshot  # no delta base: broadcast the snapshot
+        else:
+            update = self.primary.store.delta(before, snapshot.version)
+        # A publish stamped at `clock` means the cluster has reached
+        # that instant: advance to it so zero-lag replicas converge
+        # inside this call even when the stamp is ahead of the
+        # router's clock (the workload driver stamps the global
+        # cutoff); staggered-lag replicas stay due strictly later.
+        if clock > self._clock:
+            self._clock = clock
+        for replica in self.replicas:
+            replica.receive(update, published_clock=clock)
+            replica.advance(self._clock)
+        return snapshot
+
+    def advance(self, clock: int) -> None:
+        """Move the cluster clock; lagging replicas apply due hops."""
+        if clock > self._clock:
+            self._clock = clock
+        for replica in self.replicas:
+            replica.advance(clock)
+
+    def has_due(self, clock: int) -> bool:
+        """True when :meth:`advance` to ``clock`` would swap an epoch.
+
+        The workload fast path flushes its batch buffer before such an
+        advance, so buffered decisions are answered by the epochs their
+        users actually saw.
+        """
+        return any(replica.has_due(clock) for replica in self.replicas)
+
+    def converge(self) -> None:
+        """Force every replica up to date, ignoring lag."""
+        for replica in self.replicas:
+            replica.sync()
+
+    @property
+    def converged(self) -> bool:
+        """True when no replica holds pending updates."""
+        return not any(replica.lagging for replica in self.replicas)
+
+    # -- routing --------------------------------------------------------------
+
+    def _route_key(self, host: str | None) -> str:
+        """The rendezvous key for a host: its resolved eTLD+1 site.
+
+        Raw hosts and pre-resolved sites must route one logical query
+        identically — the reference workload path dispatches
+        ``www.example.com`` while the fast path dispatches the
+        resolved ``example.com`` for the same decision, and under
+        replica lag a key mismatch would send them to replicas serving
+        different epochs (diverging the outcome digest between driver
+        paths).  Resolution rides the PSL's lock-free cache;
+        unresolvable hosts key as "" (their verdict is epoch-
+        independent anyway).
+        """
+        if host is None:
+            return ""
+        try:
+            site = self.primary.psl.etld_plus_one(host.strip().lower())
+        except DomainError:
+            return ""
+        return site or ""
+
+    def _pick(self, key: str | None) -> Replica:
+        replicas = self.replicas
+        if len(replicas) == 1:
+            return replicas[0]
+        if self.policy == "round-robin" or key is None:
+            return replicas[next(self._rr) % len(replicas)]
+        return max(replicas,
+                   key=lambda replica: _weight(replica.replica_id, key))
+
+    def _split(self, keys: list[str]) -> list[Replica]:
+        """Per-item rendezvous assignment for a batch."""
+        replicas = self.replicas
+        assignments: list[Replica] = []
+        memo: dict[str, Replica] = {}
+        for key in keys:
+            replica = memo.get(key)
+            if replica is None:
+                replica = max(replicas, key=lambda r: _weight(r.replica_id,
+                                                              key))
+                memo[key] = replica
+            assignments.append(replica)
+        return assignments
+
+    def _route_batch(self, pairs: list, method_name: str,
+                     key_of) -> list:
+        """Dispatch a batch, split per key under rendezvous routing.
+
+        Round-robin keeps the batch whole on one replica (``key_of``
+        is never called).  Rendezvous partitions by ``key_of(pair)``,
+        answers each sub-batch on its replica, and reassembles results
+        in request order — so routing depends only on pair content,
+        never on how the traffic was batched.
+        """
+        if self.policy == "round-robin" or len(self.replicas) == 1:
+            return getattr(self._pick(None), method_name)(pairs)
+        assignments = self._split([key_of(pair) for pair in pairs])
+        buckets: dict[int, tuple[list[int], list]] = {}
+        for i, replica in enumerate(assignments):
+            bucket = buckets.get(replica.replica_id)
+            if bucket is None:
+                bucket = buckets[replica.replica_id] = ([], [])
+            bucket[0].append(i)
+            bucket[1].append(pairs[i])
+        results: list = [None] * len(pairs)
+        by_id = {replica.replica_id: replica for replica in self.replicas}
+        for replica_id, (positions, sub) in buckets.items():
+            answered = getattr(by_id[replica_id], method_name)(sub)
+            for position, answer in zip(positions, answered):
+                results[position] = answer
+        return results
+
+    # -- read surface (the Dispatcher's query operations) ---------------------
+
+    def query(self, host_a: str, host_b: str) -> QueryVerdict:
+        """One pairwise query, routed to a replica."""
+        key = (self._route_key(host_a)
+               if self.policy == "rendezvous" else None)
+        return self._pick(key).query(host_a, host_b)
+
+    def query_batch(self, pairs: list[tuple[str, str]]) -> list[QueryVerdict]:
+        """Bulk queries; split per pair under rendezvous routing."""
+        if not pairs:
+            return []
+        return self._route_batch(pairs, "query_batch",
+                                 lambda pair: self._route_key(pair[0]))
+
+    def related_batch(self, pairs: list[tuple[str, str]]) -> list[bool]:
+        """Bulk verdict bits; split per pair under rendezvous routing."""
+        if not pairs:
+            return []
+        return self._route_batch(pairs, "related_batch",
+                                 lambda pair: self._route_key(pair[0]))
+
+    def related_sites_batch(
+        self, pairs: list[tuple[str | None, str | None]],
+    ) -> list[bool]:
+        """Pre-resolved site pairs; split per pair under rendezvous."""
+        if not pairs:
+            return []
+        return self._route_batch(pairs, "related_sites_batch",
+                                 lambda pair: pair[0] or "")
+
+    def resolve_host(self, host: str) -> str | None:
+        """Resolve one host on a routed replica."""
+        return self._pick(host).resolve_host(host)
+
+    def resolve_hosts(self, hosts: list[str]) -> list[str | None]:
+        """Resolve a batch; kept whole (resolution is epoch-free)."""
+        if not hosts:
+            return []
+        return self._pick(hosts[0]).resolve_hosts(hosts)
+
+    # -- primary-pinned surface -----------------------------------------------
+
+    def delta_since(self, version: int,
+                    to_version: int | None = None) -> SnapshotDelta:
+        """Component-updater deltas come from the primary's store."""
+        return self.primary.delta_since(version, to_version)
+
+    def submit(self, rws_set: RelatedWebsiteSet) -> str:
+        """Governance submissions pin to the primary's queue."""
+        return self.primary.submit(rws_set)
+
+    def poll(self, ticket: str) -> SubmissionStatus:
+        """Ticket polls pin to the primary's queue."""
+        return self.primary.poll(ticket)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait out the primary's validation queue."""
+        return self.primary.drain(timeout=timeout)
+
+    @property
+    def queue(self) -> ValidationQueue:
+        """The primary's validation queue (terminal report access)."""
+        return self.primary.queue
+
+    @property
+    def psl(self):
+        """The cluster-wide PSL handle (the primary's)."""
+        return self.primary.psl
+
+    @property
+    def epoch(self) -> Epoch:
+        """The primary's current epoch."""
+        return self.primary.epoch
+
+    @property
+    def index(self) -> MembershipIndex:
+        """The primary's current index."""
+        return self.primary.index
+
+    @property
+    def current_snapshot(self) -> ListSnapshot | None:
+        """The primary's current snapshot."""
+        return self.primary.current_snapshot
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Cluster-wide request counters (primary + every replica)."""
+        total = self.primary.stats
+        for replica in self.replicas:
+            total.merge(replica.stats)
+        return total
+
+    def replica_versions(self) -> list[int]:
+        """Each replica's served snapshot version, in replica order."""
+        return [replica.version for replica in self.replicas]
+
+    def stats_report(self) -> dict[str, float]:
+        """The merged cluster report: every node captured exactly once.
+
+        Request counters sum across the primary and all replicas; the
+        epoch/index/queue/PSL fields ride the primary's single-capture
+        :meth:`~repro.serve.service.RwsService.stats_report` (replica
+        folds are passed in via its ``merge`` hook rather than
+        re-assembling — and re-locking — one sub-report per node); the
+        cluster adds replica-fleet fields on top.
+        """
+        replica_stats: Iterable[ServiceStats] = [replica.stats
+                                                 for replica in self.replicas]
+        report = self.primary.stats_report(merge=tuple(replica_stats))
+        versions = self.replica_versions()
+        report["replicas"] = float(len(self.replicas))
+        report["replica_epoch_min"] = float(min(versions))
+        report["replica_epoch_max"] = float(max(versions))
+        report["replica_catch_ups"] = float(
+            sum(replica.catch_ups for replica in self.replicas))
+        report["replica_deltas_applied"] = float(
+            sum(replica.deltas_applied for replica in self.replicas))
+        report["replica_pending_updates"] = float(
+            sum(replica.pending_updates for replica in self.replicas))
+        return report

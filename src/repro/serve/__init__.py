@@ -17,10 +17,17 @@ scans and synchronous validation; this package is the serving layer:
 * :mod:`repro.serve.queue` — :class:`ValidationQueue`, the
   submit → poll → report governance front-end over
   :class:`~repro.rws.validation.Validator` with a worker pool;
-* :mod:`repro.serve.service` — :class:`RwsService`, the façade wiring
-  those together with an LRU host resolver and request counters.
+* :mod:`repro.serve.epoch` — :class:`Epoch`, the immutable
+  (index, snapshot, PSL) unit of serving truth a publish compiles
+  once and swaps atomically;
+* :mod:`repro.serve.service` — :class:`RwsService`, the thin stateful
+  shell over the epoch model: lock-free queries (per-thread counter
+  cells, a counting resolver shim over the PSL's own cache) with the
+  read surface factored into :class:`EpochShell` so the cluster
+  layer's replicas (:mod:`repro.cluster`) reuse it verbatim.
 """
 
+from repro.serve.epoch import Epoch
 from repro.serve.index import IndexEntry, MembershipIndex, QueryResult
 from repro.serve.queue import (
     QueueStats,
@@ -28,7 +35,12 @@ from repro.serve.queue import (
     SubmissionStatus,
     ValidationQueue,
 )
-from repro.serve.service import QueryVerdict, RwsService, ServiceStats
+from repro.serve.service import (
+    EpochShell,
+    QueryVerdict,
+    RwsService,
+    ServiceStats,
+)
 from repro.serve.snapshot import (
     ListSnapshot,
     SnapshotDelta,
@@ -36,9 +48,12 @@ from repro.serve.snapshot import (
     StaleSnapshotError,
     apply_delta,
     membership_hash,
+    squash_deltas,
 )
 
 __all__ = [
+    "Epoch",
+    "EpochShell",
     "IndexEntry",
     "ListSnapshot",
     "MembershipIndex",
@@ -55,4 +70,5 @@ __all__ = [
     "ValidationQueue",
     "apply_delta",
     "membership_hash",
+    "squash_deltas",
 ]

@@ -1,0 +1,96 @@
+"""Immutable serving epochs: one compiled, versioned unit of truth.
+
+An :class:`Epoch` bundles everything a reader needs to answer
+membership questions — the compiled :class:`MembershipIndex`, the
+:class:`ListSnapshot` it was compiled from, and the PSL handle the
+snapshot's domains were resolved against — into one value that is
+**constructed once and never mutated**.  Publication does not update
+an epoch; it builds a new one and swaps a single reference, so a
+reader that captured an epoch keeps a consistent
+(index, snapshot, version) triple for as long as it holds the
+reference, no matter how many publishes land mid-request.
+
+This is the unit the whole serving stack moves:
+
+* :class:`~repro.serve.service.RwsService` holds the *current* epoch
+  and swaps it atomically on publish (the thin stateful shell);
+* :class:`~repro.cluster.Replica` catches up to the primary's epochs
+  by applying :class:`~repro.serve.snapshot.SnapshotDelta` chains and
+  compiling its own;
+* :class:`~repro.browser.engine.Browser` adopts an epoch the way
+  Chrome consumes a component-updater payload
+  (:meth:`~repro.browser.engine.Browser.adopt_epoch`).
+
+Version checks live here too: :meth:`Epoch.require_version` is how a
+reader (or a delta application) asserts it is looking at the base it
+thinks it is, raising :class:`StaleSnapshotError` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.psl import PublicSuffixList
+from repro.rws.model import RwsList
+from repro.serve.index import MembershipIndex
+from repro.serve.snapshot import ListSnapshot, StaleSnapshotError
+
+
+@dataclass(frozen=True, slots=True)
+class Epoch:
+    """One immutable, queryable generation of the served list.
+
+    Attributes:
+        index: The compiled membership index over the snapshot's list.
+        snapshot: The published snapshot this epoch serves (None only
+            for the bootstrap epoch, before any publish).
+        psl: The public suffix list the serving stack resolves hosts
+            against; carried so an adopted epoch is self-contained.
+    """
+
+    index: MembershipIndex
+    snapshot: ListSnapshot | None
+    psl: PublicSuffixList
+
+    @property
+    def version(self) -> int:
+        """The served snapshot version (0 before any publish)."""
+        return self.snapshot.version if self.snapshot is not None else 0
+
+    @property
+    def content_hash(self) -> str:
+        """The served membership hash ("" before any publish)."""
+        return (self.snapshot.content_hash
+                if self.snapshot is not None else "")
+
+    @property
+    def rws_list(self) -> RwsList:
+        """The served list (empty before any publish)."""
+        return (self.snapshot.rws_list
+                if self.snapshot is not None else RwsList())
+
+    def require_version(self, version: int) -> None:
+        """Assert this epoch serves exactly ``version``.
+
+        The stale-base check a delta application (or any
+        version-pinned read) performs against the epoch it captured.
+
+        Raises:
+            StaleSnapshotError: When the epoch serves a different
+                version.
+        """
+        if version != self.version:
+            raise StaleSnapshotError(
+                f"epoch serves v{self.version}, not v{version}"
+            )
+
+    @classmethod
+    def bootstrap(cls, psl: PublicSuffixList) -> Epoch:
+        """The pre-publish epoch: an empty index, no snapshot."""
+        return cls(index=MembershipIndex(RwsList()), snapshot=None, psl=psl)
+
+    @classmethod
+    def compile(cls, snapshot: ListSnapshot, psl: PublicSuffixList) -> Epoch:
+        """Compile a fresh epoch from a published snapshot."""
+        return cls(index=MembershipIndex(snapshot.rws_list),
+                   snapshot=snapshot, psl=psl)

@@ -1,25 +1,43 @@
-"""The `repro.serve` façade: one object that serves the RWS ecosystem.
+"""The `repro.serve` façade: an epoch-swapping shell over immutable state.
 
 :class:`RwsService` ties the serving layer together the way Chrome's
-deployment does:
+deployment does, but the core is **epoch-immutable**: every publish
+compiles a fresh :class:`~repro.serve.epoch.Epoch` (index + snapshot +
+PSL handle, constructed once, never mutated) and swaps one reference
+under the publication lock.  Queries never take that lock — they
+capture the current epoch reference once and serve it to completion,
+so a publish landing mid-request can never show a reader a
+half-swapped (index, snapshot, version) triple.
+
+The moving parts:
 
 * the **snapshot store** versions every published list
-  (:mod:`repro.serve.snapshot`), so clients update by delta;
-* the **membership index** is recompiled per published snapshot
-  (:mod:`repro.serve.index`), so queries never scan the raw list;
+  (:mod:`repro.serve.snapshot`), so clients and replicas update by
+  delta;
+* each publish compiles a new **epoch**
+  (:mod:`repro.serve.epoch`) — the membership index is part of the
+  immutable value, not mutable service state;
 * the **validation queue** accepts new-set submissions asynchronously
   (:mod:`repro.serve.queue`), modelling the GitHub governance pipeline;
-* a bounded **LRU host resolver** maps raw hostnames to eTLD+1 sites
-  before they hit the index (the paper's privacy boundary is the
-  registrable domain, but real traffic arrives as full hostnames);
-* request and latency **counters** make the hot path observable.
+* a **counting resolver shim** fronts
+  :meth:`PublicSuffixList.etld_plus_one` — the PSL's generational
+  cache is the only value cache; the shim just keeps per-service
+  hit/miss/error accounting (see :class:`_ResolverShim`);
+* request and latency **counters** live in per-thread cells
+  (:class:`_StatsCells`): the query hot path bumps plain attributes on
+  its own thread's cell — no lock after the epoch capture — and
+  reports fold the cells on demand.
+
+The read surface lives in :class:`EpochShell`, which
+:class:`~repro.cluster.Replica` reuses verbatim: a replica is the same
+lock-free shell over an epoch it advances by snapshot deltas instead
+of by local publishes.
 
 :class:`RwsService` is the engine, not the front door: consumers are
 expected to enter through the :class:`~repro.api.dispatcher.Dispatcher`
-in :mod:`repro.api`, which wraps these methods in typed request/response
-envelopes, a uniform error taxonomy, a middleware chain, and a
-versioned wire codec.  Call the service directly only from within the
-serving layer itself.
+in :mod:`repro.api` (which accepts a single service or a
+:class:`~repro.cluster.Router` over replicas interchangeably).  Call
+the service directly only from within the serving layer itself.
 """
 
 from __future__ import annotations
@@ -32,6 +50,7 @@ from repro.psl import PublicSuffixList, default_psl
 from repro.psl.lookup import DomainError
 from repro.rws.model import RelatedWebsiteSet, RwsList
 from repro.rws.validation import Validator
+from repro.serve.epoch import Epoch
 from repro.serve.index import MembershipIndex, QueryResult
 from repro.serve.queue import SubmissionStatus, ValidationQueue
 from repro.serve.snapshot import ListSnapshot, SnapshotDelta, SnapshotStore
@@ -39,13 +58,13 @@ from repro.serve.snapshot import ListSnapshot, SnapshotDelta, SnapshotStore
 
 @dataclass
 class ServiceStats:
-    """Request counters for one service instance.
+    """Request counters for one service (or replica) instance.
 
     Attributes:
         queries: Pairwise membership queries answered.
         related_hits: Queries answered "related".
-        resolver_hits: Host resolutions served from the LRU cache.
-        resolver_misses: Host resolutions that ran the full PSL match.
+        resolver_hits: Host resolutions whose key the shim had seen.
+        resolver_misses: First-seen host resolutions.
         resolver_errors: Hosts that failed to resolve to an eTLD+1.
         publishes: Snapshots published (deduplicated republications
             count too — the request happened).
@@ -65,6 +84,16 @@ class ServiceStats:
         """Mean per-query latency in nanoseconds (0.0 before traffic)."""
         return self.query_ns_total / self.queries if self.queries else 0.0
 
+    def merge(self, other: ServiceStats) -> None:
+        """Fold another stats object into this one (element-wise add)."""
+        self.queries += other.queries
+        self.related_hits += other.related_hits
+        self.resolver_hits += other.resolver_hits
+        self.resolver_misses += other.resolver_misses
+        self.resolver_errors += other.resolver_errors
+        self.publishes += other.publishes
+        self.query_ns_total += other.query_ns_total
+
     def as_dict(self) -> dict[str, float]:
         """Counters as a flat dict (for reporting/CLI output)."""
         return {
@@ -78,147 +107,177 @@ class ServiceStats:
         }
 
 
-class _LruResolver:
-    """A bounded LRU cache over PSL eTLD+1 resolution.
+class _StatsCells:
+    """Per-thread :class:`ServiceStats` cells, folded on demand.
 
-    This fronts the memoisation inside :class:`PublicSuffixList` on
-    purpose rather than duplicating it by accident: the PSL cache is
-    shared process-wide and only keeps *successful* resolutions, while
-    this layer is per-service, keyed by the raw host string, and also
-    caches failures — unresolvable hosts (bare public suffixes,
-    syntactically invalid names) cache as None so repeated junk input
-    stays cheap.  A maxsize of 0 disables caching (every lookup is a
-    miss), matching the :class:`PublicSuffixList` cache_size
-    convention.
+    The epoch refactor's accounting half: a query thread bumps plain
+    attributes on a cell only it writes, so the hot path never takes a
+    lock and never loses an increment (the old design folded counters
+    under the service RLock on every query).  The registry lock is
+    touched once per thread lifetime, when its cell is created.
 
-    The shared service lock guards the cache dict and the stats object:
-    resolutions arrive concurrently from query threads while validation
-    workers update the same counters.
+    Folding reads other threads' cells without stopping them, so a
+    report scraped *during* a burst is a momentary approximation; once
+    the writing threads are done (or joined), folds are exact.
     """
 
-    def __init__(self, psl: PublicSuffixList, maxsize: int,
-                 stats: ServiceStats, lock: threading.RLock):
+    __slots__ = ("_local", "_cells", "_lock")
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._cells: list[ServiceStats] = []
+        self._lock = threading.Lock()
+
+    def cell(self) -> ServiceStats:
+        """This thread's private counter cell (created on first use)."""
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = ServiceStats()
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        return cell
+
+    def fold(self) -> ServiceStats:
+        """All cells summed into one fresh :class:`ServiceStats`."""
+        total = ServiceStats()
+        with self._lock:
+            cells = list(self._cells)
+        for cell in cells:
+            total.merge(cell)
+        return total
+
+
+class _ResolverShim:
+    """Per-service resolution accounting over the PSL's own cache.
+
+    The pre-epoch service kept a second LRU of host → site values in
+    front of :class:`PublicSuffixList` — re-caching exactly what the
+    PSL's generational cache already holds, and guarding it with the
+    service lock.  The shim deletes that value cache: every
+    *successful* resolution rides
+    :meth:`PublicSuffixList.etld_plus_one` /
+    :meth:`~PublicSuffixList.etld_plus_one_many` (lock-free on warm
+    hits), and what remains per service is a bounded *seen-key* dict
+    used for hit/miss/error accounting — a key counts as a hit once
+    the service has resolved it before, mirroring the old LRU's
+    counters.  The one value the dict does keep is the failure bit:
+    the PSL deliberately never caches failed resolutions, so a key
+    whose value is False short-circuits to None without re-walking the
+    engine — repeated junk input stays cheap, exactly the old
+    failure-caching behaviour, without duplicating any successful
+    value the PSL already holds.
+
+    ``maxsize`` bounds the seen-key dict (FIFO eviction); 0 disables
+    it entirely — every resolution counts as a miss, the cold-cache
+    convention the old resolver had.  The dict is touched without a
+    lock: under concurrent resolution a probe may misclassify hit vs
+    miss (never a wrong *value* — values come from the PSL), the
+    standard observability trade, and eviction tolerates a racing
+    insert (:meth:`_evict_one`).
+    """
+
+    __slots__ = ("_psl", "_maxsize", "_seen")
+
+    #: Sentinel distinguishing "never seen" from the stored booleans.
+    _MISSING = object()
+
+    def __init__(self, psl: PublicSuffixList, maxsize: int):
         self._psl = psl
         self._maxsize = max(0, maxsize)
-        self._stats = stats
-        self._lock = lock
-        self._cache: dict[str, str | None] = {}
+        #: key -> resolves? (False short-circuits repeat failures).
+        self._seen: dict[str, bool] = {}
 
-    def resolve(self, host: str) -> str | None:
+    def _remember(self, key: str, resolves: bool) -> None:
+        seen = self._seen
+        if len(seen) >= self._maxsize:
+            # Lock-free FIFO eviction: next(iter(...)) can race a
+            # concurrent insert (RuntimeError) or a concurrent evict
+            # of the last key (StopIteration); both just mean another
+            # thread is maintaining the dict — skip this eviction.
+            try:
+                seen.pop(next(iter(seen)), None)
+            except (RuntimeError, StopIteration):
+                pass
+        seen[key] = resolves
+
+    def resolve(self, host: str, stats: ServiceStats) -> str | None:
         key = host.strip().lower()
-        with self._lock:
-            if key in self._cache:
-                self._stats.resolver_hits += 1
-                # Move-to-recent: dicts preserve insertion order, so
-                # re-insert.
-                value = self._cache.pop(key)
-                self._cache[key] = value
-                return value
-            self._stats.resolver_misses += 1
-        # The PSL walk runs outside the lock (it has its own); two
-        # threads may race to resolve the same cold key, which only
-        # costs a duplicate lookup, never a wrong answer.
+        cached = self._seen.get(key, self._MISSING)
+        if cached is not self._MISSING:
+            stats.resolver_hits += 1
+            if cached is False:
+                return None  # known-unresolvable: skip the PSL walk
+        else:
+            stats.resolver_misses += 1
         try:
             value = self._psl.etld_plus_one(key)
         except DomainError:
             value = None
-        with self._lock:
+        if cached is self._MISSING:
             if value is None:
-                self._stats.resolver_errors += 1
+                stats.resolver_errors += 1
             if self._maxsize > 0:
-                if len(self._cache) >= self._maxsize:
-                    self._cache.pop(next(iter(self._cache)))
-                self._cache[key] = value
+                self._remember(key, value is not None)
         return value
 
-    _MISSING = object()  # resolve_many sentinel: None is a cached value
+    def resolve_many(self, hosts: list[str],
+                     stats: ServiceStats) -> list[str | None]:
+        """Batch :meth:`resolve`: one bulk PSL walk, one stats fold.
 
-    def resolve_many(self, hosts: list[str]) -> list[str | None]:
-        """Resolve a batch of hosts with one locked cache pass.
-
-        Value- and accounting-equivalent to
-        ``[self.resolve(h) for h in hosts]`` — same sites, same
-        hit/miss/error counts (within-batch repeats of a host count as
-        hits once the first occurrence has resolved, and with caching
-        disabled every occurrence is its own miss) — but the cache
-        probes share one lock acquisition, the stats fold once, and the
-        PSL walks for cold keys run outside the lock, so a batch does
-        not serialize against queries host-by-host.  This is the
-        workload fast path's hottest call, so two shortcuts keep batch
-        probes to one dict access: hits deliberately skip
-        :meth:`resolve`'s move-to-recent refresh (which only shifts
-        *which* entry a later eviction picks, never a resolution
-        result), and repeats of a raw host within the batch are served
-        from a batch-local memo without re-normalising.  The one
-        observable corner: duplicates that differ in case or whitespace
-        are accounted (and PSL-walked) independently within a batch,
-        where the sequential loop would normalise them onto one cache
-        entry.
+        Accounting-equivalent to ``[self.resolve(h) for h in hosts]``:
+        within-batch repeats of a raw host count as the hits they would
+        have been once the first occurrence had been seen (every
+        occurrence is its own miss when accounting is disabled), and a
+        first-seen host resolving to no registrable domain counts one
+        error per probe counted as a miss.  Known-unresolvable keys
+        answer None without re-walking; every other distinct host
+        resolves through one
+        :meth:`PublicSuffixList.etld_plus_one_many` call.
         """
         sites: list[str | None] = [None] * len(hosts)
         dedupe = self._maxsize > 0
+        seen = self._seen
         missing = self._MISSING
-        #: raw host -> value, for batch repeats of cache-hit hosts
-        done: dict[str, str | None] = {}
-        #: raw host -> [positions, probes counted as miss, key]
+        #: raw host -> [positions, probes counted as miss, key, cached]
         pending: dict[str, list] = {}
         hits = misses = 0
-        with self._lock:
-            cache_get = self._cache.get
-            done_get = done.get
-            pending_get = pending.get
-            for i, host in enumerate(hosts):
-                value = done_get(host, missing)
-                if value is not missing:
-                    hits += 1
-                    sites[i] = value
-                    continue
-                entry = pending_get(host)
-                if entry is not None:
-                    # Will be filled by the first occurrence's walk;
-                    # sequentially it would have hit the cache —
-                    # unless caching is off, where every probe misses.
-                    entry[0].append(i)
-                    if dedupe:
-                        hits += 1
-                    else:
-                        misses += 1
-                        entry[1] += 1
-                    continue
+        for i, host in enumerate(hosts):
+            entry = pending.get(host)
+            if entry is None:
                 key = host.strip().lower()
-                value = cache_get(key, missing)
-                if value is not missing:
+                cached = seen.get(key, missing)
+                if cached is not missing:
                     hits += 1
-                    sites[i] = value
-                    if dedupe:
-                        done[host] = value
+                    pending[host] = [[i], 0, key, cached]
                 else:
                     misses += 1
-                    pending[host] = [[i], 1, key]
-            self._stats.resolver_hits += hits
-            self._stats.resolver_misses += misses
-        if not pending:
-            return sites
-        # One bulk PSL walk for every cold key: the PSL's own batch
-        # path probes its lock-free cache, resolves distinct domains
-        # once, and promotes them under a single write lock — errors
-        # fold to None exactly like the sequential DomainError catch.
+                    pending[host] = [[i], 1, key, missing]
+            else:
+                entry[0].append(i)
+                if dedupe:
+                    hits += 1
+                else:
+                    misses += 1
+                    entry[1] += 1
         entries = list(pending.values())
-        values = self._psl.etld_plus_one_many([entry[2] for entry in entries])
-        resolved: list[tuple[str, str | None, int]] = []
-        for (positions, miss_count, key), value in zip(entries, values):
+        # Known failures skip the walk; everything else resolves in
+        # one bulk PSL call, consumed back in entry order.
+        values = iter(self._psl.etld_plus_one_many(
+            [entry[2] for entry in entries if entry[3] is not False]))
+        errors = 0
+        for positions, miss_count, key, cached in entries:
+            value = None if cached is False else next(values)
             for position in positions:
                 sites[position] = value
-            resolved.append((key, value, miss_count))
-        with self._lock:
-            for key, value, miss_count in resolved:
-                if value is None:
-                    self._stats.resolver_errors += miss_count
-                if self._maxsize > 0:
-                    if key not in self._cache \
-                            and len(self._cache) >= self._maxsize:
-                        self._cache.pop(next(iter(self._cache)))
-                    self._cache[key] = value
+            if value is None:
+                errors += miss_count
+            if cached is missing and dedupe:
+                self._remember(key, value is not None)
+        stats.resolver_hits += hits
+        stats.resolver_misses += misses
+        if errors:
+            stats.resolver_errors += errors
         return sites
 
 
@@ -251,148 +310,110 @@ class QueryVerdict:
         return self.result is not None and self.result.related
 
 
-@dataclass
-class RwsService:
-    """The serving layer over one (evolving) RWS list.
+class EpochShell:
+    """The lock-free read surface over one swappable epoch reference.
 
-    Args:
-        psl: Public suffix list used by the resolver and validator.
-        validator: Validation engine for the submission queue (a
-            structure-only validator over the served list by default).
-        workers: Validation worker threads.
-        resolver_cache_size: LRU bound for the host resolver.
+    Everything a *reader* can do to the serving layer lives here:
+    capture ``self._epoch`` once, resolve hosts through the counting
+    shim, probe the captured index, bump this thread's stats cell.  No
+    method on this class acquires a lock after the epoch capture — the
+    property the threaded publish/query stress test in
+    ``tests/test_serve.py`` pins down.
+
+    Two shells exist: :class:`RwsService` (which adds the write side —
+    store, publishes, validation queue) and
+    :class:`~repro.cluster.Replica` (which advances its epoch by
+    applying the primary's snapshot deltas).  Subclasses call
+    :meth:`_shell_init` before serving.
     """
 
-    psl: PublicSuffixList = field(default_factory=default_psl)
-    validator: Validator | None = None
-    workers: int = 4
-    resolver_cache_size: int = 4096
+    _epoch: Epoch
+    _resolver: _ResolverShim
+    _cells: _StatsCells
 
-    def __post_init__(self) -> None:
-        # One reentrant lock covers publication swaps, the stats
-        # counters, and the resolver cache: queries, publishes, and
-        # ValidationQueue worker threads all touch that state
-        # concurrently.  Index *reads* stay lock-free — queries grab
-        # the reference once and keep serving the snapshot they saw.
-        self._lock = threading.RLock()
-        self.stats = ServiceStats()
-        self.store = SnapshotStore()
-        self._index = MembershipIndex(RwsList())
-        self._resolver = _LruResolver(self.psl, self.resolver_cache_size,
-                                      self.stats, self._lock)
-        if self.validator is None:
-            self.validator = Validator(psl=self.psl)
-        self.queue = ValidationQueue(self.validator, workers=self.workers)
+    def _shell_init(self, psl: PublicSuffixList,
+                    resolver_cache_size: int) -> None:
+        self._epoch = Epoch.bootstrap(psl)
+        self._resolver = _ResolverShim(psl, resolver_cache_size)
+        self._cells = _StatsCells()
 
-    # -- publication ----------------------------------------------------------
+    # -- epoch capture --------------------------------------------------------
+
+    @property
+    def epoch(self) -> Epoch:
+        """The current epoch; capture once for a consistent view."""
+        return self._epoch
 
     @property
     def index(self) -> MembershipIndex:
-        """The compiled index for the latest published snapshot."""
-        return self._index
+        """The compiled index of the current epoch."""
+        return self._epoch.index
 
     @property
     def current_snapshot(self) -> ListSnapshot | None:
-        """The latest published snapshot, or None before any publish."""
-        return self.store.latest
+        """The current epoch's snapshot, or None before any publish."""
+        return self._epoch.snapshot
 
-    def publish(self, rws_list: RwsList) -> ListSnapshot:
-        """Publish a list snapshot and recompile the serving index.
-
-        The validator's overlap rule is repointed at the new snapshot,
-        so queued submissions are checked against what is being served.
-        Republishing content identical to the served snapshot is a
-        no-op beyond the counter (the store deduplicates it).
-
-        Thread-safe: the snapshot/index/validator swap happens under
-        the service lock, so concurrent publishers serialize and a
-        validation worker never observes a half-published state.
-        """
-        with self._lock:
-            self.stats.publishes += 1
-            previous = self.store.latest
-            snapshot = self.store.publish(rws_list)
-            if previous is not None and snapshot is previous:
-                return snapshot
-            new_index = MembershipIndex(snapshot.rws_list)
-            self._index = new_index
-            assert self.validator is not None
-            self.validator.set_published(snapshot.rws_list, index=new_index)
-        return snapshot
-
-    def delta_since(self, version: int,
-                    to_version: int | None = None) -> SnapshotDelta:
-        """The patch bringing a client at ``version`` up to date.
-
-        Args:
-            version: The client's current snapshot version.
-            to_version: Target version (the latest when omitted).
-        """
-        return self.store.delta(version, to_version)
+    @property
+    def stats(self) -> ServiceStats:
+        """All per-thread counter cells folded into one snapshot."""
+        return self._cells.fold()
 
     # -- queries --------------------------------------------------------------
 
     def resolve_host(self, host: str) -> str | None:
-        """A host's eTLD+1 via the LRU-cached resolver."""
-        return self._resolver.resolve(host)
+        """A host's eTLD+1 via the counting shim over the PSL cache."""
+        return self._resolver.resolve(host, self._cells.cell())
 
     def resolve_hosts(self, hosts: list[str]) -> list[str | None]:
-        """Bulk :meth:`resolve_host`: one batched cache pass.
-
-        Rides :meth:`_LruResolver.resolve_many` (and, for cold keys,
-        the PSL's own bulk path), so a batch costs two short lock
-        acquisitions instead of one per host.
-        """
-        return self._resolver.resolve_many(hosts)
+        """Bulk :meth:`resolve_host`: one batched PSL pass."""
+        return self._resolver.resolve_many(hosts, self._cells.cell())
 
     def query(self, host_a: str, host_b: str) -> QueryVerdict:
         """Answer one pairwise storage-access membership query.
 
-        Thread-safe: the index reference is read once, so a query
-        serves one consistent snapshot even if a publish lands
-        mid-flight, and the stats counters update under the lock.
+        Thread-safe and lock-free: the epoch reference is captured
+        once, so a query serves one consistent snapshot even if a
+        publish lands mid-flight, and the stats land in this thread's
+        private cell.
         """
         started = time.perf_counter_ns()
-        index = self._index
-        site_a = self._resolver.resolve(host_a)
-        site_b = self._resolver.resolve(host_b)
+        epoch = self._epoch
+        cell = self._cells.cell()
+        site_a = self._resolver.resolve(host_a, cell)
+        site_b = self._resolver.resolve(host_b, cell)
         result = None
         if site_a is not None and site_b is not None:
-            result = index.query(site_a, site_b)
+            result = epoch.index.query(site_a, site_b)
         verdict = QueryVerdict(host_a=host_a, host_b=host_b,
                                site_a=site_a, site_b=site_b, result=result)
-        elapsed = time.perf_counter_ns() - started
-        with self._lock:
-            self.stats.queries += 1
-            if verdict.related:
-                self.stats.related_hits += 1
-            self.stats.query_ns_total += elapsed
+        cell.queries += 1
+        if verdict.related:
+            cell.related_hits += 1
+        cell.query_ns_total += time.perf_counter_ns() - started
         return verdict
 
     def query_batch(self, pairs: list[tuple[str, str]]) -> list[QueryVerdict]:
         """Bulk form of :meth:`query`, batched end to end.
 
-        Instead of looping :meth:`query` — which takes the service lock
-        and a ``perf_counter_ns`` pair per element — this resolves all
-        hosts through one batched cache pass
-        (:meth:`_LruResolver.resolve_many`), probes the index lock-free
-        against the snapshot seen at entry, and folds the stats
-        counters in a single locked update.  Verdicts are identical to
-        the per-element loop; ≥1.5x faster on bulk workloads
-        (``benchmarks/test_bench_api_dispatch.py``).
+        One epoch capture, one batched resolver pass, one stats fold
+        into this thread's cell — verdicts identical to the
+        per-element loop.
         """
         if not pairs:
             return []
         started = time.perf_counter_ns()
-        index = self._index
+        epoch = self._epoch
+        cell = self._cells.cell()
         sites = self._resolver.resolve_many(
-            [host for pair in pairs for host in pair])
+            [host for pair in pairs for host in pair], cell)
+        index_query = epoch.index.query
         verdicts: list[QueryVerdict] = []
         related_hits = 0
         for i, (host_a, host_b) in enumerate(pairs):
             site_a = sites[2 * i]
             site_b = sites[2 * i + 1]
-            result = (index.query(site_a, site_b)
+            result = (index_query(site_a, site_b)
                       if site_a is not None and site_b is not None else None)
             verdict = QueryVerdict(host_a=host_a, host_b=host_b,
                                    site_a=site_a, site_b=site_b,
@@ -400,27 +421,26 @@ class RwsService:
             if verdict.related:
                 related_hits += 1
             verdicts.append(verdict)
-        elapsed = time.perf_counter_ns() - started
-        with self._lock:
-            self.stats.queries += len(pairs)
-            self.stats.related_hits += related_hits
-            self.stats.query_ns_total += elapsed
+        cell.queries += len(pairs)
+        cell.related_hits += related_hits
+        cell.query_ns_total += time.perf_counter_ns() - started
         return verdicts
 
     def related_batch(self, pairs: list[tuple[str, str]]) -> list[bool]:
         """The verdict bits of :meth:`query_batch`, minus the objects.
 
-        Same batched resolution, lock-free probing, and single stats
-        fold, but answering only the browser-facing related/unrelated
-        bit per pair — the workload fast path's shape, where a verdict
-        object per decision is pure allocation overhead.
+        Same batched resolution and epoch capture, but answering only
+        the browser-facing related/unrelated bit per pair — the
+        workload fast path's shape, where a verdict object per decision
+        is pure allocation overhead.
         """
         if not pairs:
             return []
         started = time.perf_counter_ns()
-        related = self._index.related
+        related = self._epoch.index.related
+        cell = self._cells.cell()
         sites = self._resolver.resolve_many(
-            [host for pair in pairs for host in pair])
+            [host for pair in pairs for host in pair], cell)
         verdicts: list[bool] = []
         related_hits = 0
         for i in range(len(pairs)):
@@ -431,11 +451,9 @@ class RwsService:
             if bit:
                 related_hits += 1
             verdicts.append(bit)
-        elapsed = time.perf_counter_ns() - started
-        with self._lock:
-            self.stats.queries += len(pairs)
-            self.stats.related_hits += related_hits
-            self.stats.query_ns_total += elapsed
+        cell.queries += len(pairs)
+        cell.related_hits += related_hits
+        cell.query_ns_total += time.perf_counter_ns() - started
         return verdicts
 
     def related_sites_batch(
@@ -447,22 +465,98 @@ class RwsService:
         host → site themselves (Chrome's renderer does) and ask the
         service site-level questions, so this skips the host resolver
         entirely — pre-normalised (lower-case) eTLD+1 values in, one
-        lock-free index pass, one locked stats fold.  ``None`` sites
-        (the client's own resolution failures) answer False and still
-        count as queries, matching how :meth:`query` accounts
-        unresolvable hosts.
+        lock-free index pass against the captured epoch, one cell
+        update.  ``None`` sites (the client's own resolution failures)
+        answer False and still count as queries, matching how
+        :meth:`query` accounts unresolvable hosts.
         """
         if not pairs:
             return []
         started = time.perf_counter_ns()
-        verdicts = self._index.related_batch_normalized(pairs)
-        related_hits = sum(verdicts)
-        elapsed = time.perf_counter_ns() - started
-        with self._lock:
-            self.stats.queries += len(pairs)
-            self.stats.related_hits += related_hits
-            self.stats.query_ns_total += elapsed
+        verdicts = self._epoch.index.related_batch_normalized(pairs)
+        cell = self._cells.cell()
+        cell.queries += len(pairs)
+        cell.related_hits += sum(verdicts)
+        cell.query_ns_total += time.perf_counter_ns() - started
         return verdicts
+
+
+@dataclass
+class RwsService(EpochShell):
+    """The serving layer over one (evolving) RWS list.
+
+    The write side of the epoch model: :meth:`publish` compiles a new
+    :class:`~repro.serve.epoch.Epoch` and swaps the shell's single
+    epoch reference under the publication lock (publishers serialize;
+    readers never wait).  All read traffic is inherited from
+    :class:`EpochShell`.
+
+    Args:
+        psl: Public suffix list used by the resolver and validator.
+        validator: Validation engine for the submission queue (a
+            structure-only validator over the served list by default).
+        workers: Validation worker threads.
+        resolver_cache_size: Bound on the resolver shim's seen-key
+            accounting dict (0 counts every resolution as a miss).
+    """
+
+    psl: PublicSuffixList = field(default_factory=default_psl)
+    validator: Validator | None = None
+    workers: int = 4
+    resolver_cache_size: int = 4096
+
+    def __post_init__(self) -> None:
+        # The lock covers the *write* side only: the store append, the
+        # epoch-reference swap, and the validator repoint.  Queries
+        # never touch it — they capture the epoch reference and their
+        # own thread's stats cell.
+        self._lock = threading.RLock()
+        self.store = SnapshotStore()
+        self._shell_init(self.psl, self.resolver_cache_size)
+        if self.validator is None:
+            self.validator = Validator(psl=self.psl)
+        self.queue = ValidationQueue(self.validator, workers=self.workers)
+
+    # -- publication ----------------------------------------------------------
+
+    def publish(self, rws_list: RwsList) -> ListSnapshot:
+        """Publish a list snapshot and swap in a freshly compiled epoch.
+
+        The validator's overlap rule is repointed at the new snapshot,
+        so queued submissions are checked against what is being served.
+        Republishing content identical to the served snapshot is a
+        no-op beyond the counter (the store deduplicates it, and the
+        current epoch — index identity included — stays in place).
+
+        Thread-safe: the store append, the epoch swap, and the
+        validator repoint happen under the publication lock, so
+        concurrent publishers serialize and a validation worker never
+        observes a half-published state.  Readers are unaffected — the
+        swap is one reference store, and any epoch they already
+        captured stays internally consistent.
+        """
+        with self._lock:
+            self._cells.cell().publishes += 1
+            previous = self.store.latest
+            snapshot = self.store.publish(rws_list)
+            if previous is not None and snapshot is previous:
+                return snapshot
+            epoch = Epoch.compile(snapshot, self.psl)
+            self._epoch = epoch
+            assert self.validator is not None
+            self.validator.set_published(snapshot.rws_list,
+                                         index=epoch.index)
+        return snapshot
+
+    def delta_since(self, version: int,
+                    to_version: int | None = None) -> SnapshotDelta:
+        """The patch bringing a client at ``version`` up to date.
+
+        Args:
+            version: The client's current snapshot version.
+            to_version: Target version (the latest when omitted).
+        """
+        return self.store.delta(version, to_version)
 
     # -- governance -----------------------------------------------------------
 
@@ -480,8 +574,23 @@ class RwsService:
 
     # -- observability --------------------------------------------------------
 
-    def stats_report(self) -> dict[str, float]:
-        """All counters: requests, resolver cache, index and PSL stats.
+    def stats_report(self, merge: tuple[ServiceStats, ...] = ()
+                     ) -> dict[str, float]:
+        """All counters: requests, resolver, epoch, queue and PSL stats.
+
+        Everything is captured **once**: the per-thread cells fold into
+        one :class:`ServiceStats`, the epoch is captured as a single
+        reference (its index/snapshot fields cannot drift apart), and
+        the queue counters are taken as one locked snapshot
+        (:meth:`~repro.serve.queue.ValidationQueue.stats_snapshot`).
+        There is no service-wide lock to hold any more — a report
+        scraped during a burst is a momentary approximation of
+        in-flight threads' cells, and exact once they finish.
+
+        ``merge`` folds additional pre-captured stats into the request
+        counters before assembly — the :class:`~repro.cluster.Router`
+        passes its replicas' folds here so a cluster-wide report is
+        one capture per node, not a re-lock per sub-report.
 
         The ``psl_*`` counters describe the underlying
         :class:`PublicSuffixList` instance; with the default
@@ -489,25 +598,20 @@ class RwsService:
         with every other subsystem using that PSL), not per-service.
         Construct the service with its own ``PublicSuffixList()`` for
         isolated counters.
-
-        The whole report is assembled under the service lock, with the
-        queue counters taken as one locked snapshot
-        (:meth:`~repro.serve.queue.ValidationQueue.stats_snapshot`), so
-        a report scraped during a concurrent load run never mixes
-        counter values from different instants (e.g. ``related_hits``
-        from after a query burst with ``queries`` from before it).
         """
-        with self._lock:
-            report = self.stats.as_dict()
-            report["index_sites"] = float(self._index.site_count)
-            report["index_sets"] = float(self._index.set_count)
-            snapshot = self.store.latest
-            report["snapshot_version"] = (float(snapshot.version)
-                                          if snapshot else 0.0)
-            queue_stats = self.queue.stats_snapshot()
-            report["queue_submitted"] = float(queue_stats.submitted)
-            report["queue_passed"] = float(queue_stats.passed)
-            report["queue_rejected"] = float(queue_stats.rejected)
-            for key, value in self.psl.cache_stats().items():
-                report[f"psl_{key}"] = float(value)
+        folded = self._cells.fold()
+        for extra in merge:
+            folded.merge(extra)
+        epoch = self._epoch
+        report = folded.as_dict()
+        report["index_sites"] = float(epoch.index.site_count)
+        report["index_sets"] = float(epoch.index.set_count)
+        report["snapshot_version"] = float(epoch.version)
+        report["epoch"] = float(epoch.version)
+        queue_stats = self.queue.stats_snapshot()
+        report["queue_submitted"] = float(queue_stats.submitted)
+        report["queue_passed"] = float(queue_stats.passed)
+        report["queue_rejected"] = float(queue_stats.rejected)
+        for key, value in self.psl.cache_stats().items():
+            report[f"psl_{key}"] = float(value)
         return report

@@ -29,6 +29,7 @@ Entry point::
 from repro.workload.driver import (
     ShardTask,
     WorkloadResult,
+    replicated,
     run_serial,
     run_shard,
     run_sharded,
@@ -73,6 +74,7 @@ __all__ = [
     "combine_digests",
     "digest_hex",
     "get_scenario",
+    "replicated",
     "run_serial",
     "run_shard",
     "run_sharded",

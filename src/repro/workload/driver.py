@@ -36,10 +36,26 @@ outcome stream stays partition-independent.  Each shard also replays
 the published delta onto a simulated v1 client and verifies the
 patched copy's membership hash — the component-updater contract under
 load.
+
+**Replicated execution** (``scenario.replicas > 0``, or
+:func:`replicated`): each shard dispatches through a
+:class:`~repro.cluster.Router` over a replica set instead of a bare
+service.  The router's logical clock is the *global* user index, and a
+mid-flight publish is broadcast stamped with the global cutoff, so
+replica ``i`` converges exactly at ``cutoff + (i + 1) * replica_lag``
+regardless of how users were partitioned.  With ``replica_lag == 0``
+every replica converges inside the publish and the outcome digest is
+bit-identical to single-service execution; with a positive lag the
+``rendezvous`` policy keeps routing a function of query content alone,
+so the stale reads — observable in the digest — are still
+deterministic across shard counts and executors (the fast path flushes
+its batch buffer before any replica transition, so buffered decisions
+are answered by the epochs their users actually saw).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -55,6 +71,7 @@ from repro.api.envelopes import (
 )
 from repro.browser.engine import Browser
 from repro.browser.policy import BROWSER_POLICIES
+from repro.cluster.router import Router
 from repro.psl.lookup import DomainError
 from repro.rws.model import RwsList
 from repro.serve.service import RwsService
@@ -184,19 +201,28 @@ class WorkloadResult:
 class _ShardState:
     """Mutable per-shard context threaded through session execution."""
 
-    __slots__ = ("scenario", "service", "dispatcher", "api_counter",
-                 "index", "psl", "metrics", "digests", "resolver_cache",
-                 "policy", "rsa_seen", "resolver_hits",
+    __slots__ = ("scenario", "service", "router", "backend", "dispatcher",
+                 "api_counter", "epoch", "psl", "metrics", "digests",
+                 "resolver_cache", "policy", "rsa_seen", "resolver_hits",
                  "resolver_misses", "resolver_bound", "pending_users",
                  "pending_pairs")
 
-    def __init__(self, scenario: Scenario, service: RwsService):
+    def __init__(self, scenario: Scenario, service: RwsService,
+                 router: Router | None = None):
         self.scenario = scenario
         self.service = service
+        #: The replica cluster front-end in replicated execution mode,
+        #: None for single-service runs.
+        self.router = router
+        self.backend: RwsService | Router = \
+            router if router is not None else service
         self.api_counter = RequestCounter()
-        self.dispatcher = Dispatcher(service,
+        self.dispatcher = Dispatcher(self.backend,
                                      middlewares=(self.api_counter,))
-        self.index = service.index
+        # Browsers adopt the primary's epoch handle: the client-side
+        # rSA decisions follow the publish instant (the primary), while
+        # the serving-layer queries may lag behind on stale replicas.
+        self.epoch = service.epoch
         self.psl = service.psl
         self.metrics = WorkloadMetrics()
         self.digests: list[int] = []
@@ -303,7 +329,7 @@ def _browse_session(state: _ShardState, session: Session, *,
     pairs: list[tuple[str, str]] = []
     browser = Browser(policy=state.policy, rws_list=RwsList(),
                       psl=state.psl)
-    browser.adopt_index(state.index)
+    browser.adopt_epoch(state.epoch)
     for page_visit in session.pages:
         # One bulk PSL call per page load resolves the top-level host
         # and every embed's host together (the engine's natural
@@ -449,8 +475,15 @@ def _flush_fast(state: _ShardState) -> None:
     state.pending_pairs = []
 
 
-def _apply_mid_flight_update(state: _ShardState) -> None:
-    """Publish the profile's next list version and verify delta catch-up."""
+def _apply_mid_flight_update(state: _ShardState, cutoff: int) -> None:
+    """Publish the profile's next list version and verify delta catch-up.
+
+    In replicated mode the publish goes through the router, stamped
+    with the *global* cutoff as its logical publish clock: replica
+    ``i`` then owes its catch-up at ``cutoff + lag_i`` no matter where
+    this shard's user range starts, which is what keeps stale-replica
+    staleness (and the digest) partition-independent.
+    """
     # Buffered fast-path queries belong to pre-cutoff users: answer
     # them against the old snapshot before the index swaps.
     _flush_fast(state)
@@ -458,8 +491,11 @@ def _apply_mid_flight_update(state: _ShardState) -> None:
     assert build_v2 is not None
     base_version = state.service.current_snapshot.version \
         if state.service.current_snapshot else 0
-    snapshot = state.service.publish(build_v2())
-    state.index = state.service.index
+    if state.router is not None:
+        snapshot = state.router.publish(build_v2(), published_clock=cutoff)
+    else:
+        snapshot = state.service.publish(build_v2())
+    state.epoch = state.service.epoch
     state.metrics.count("list_updates")
     # A v1 client catches up by delta; its patched copy must converge
     # on the served content hash (the component-updater contract).
@@ -480,7 +516,19 @@ def run_shard(task: ShardTask) -> dict:
     rws_list = build_v1()
     service = RwsService(resolver_cache_size=scenario.resolver_cache_size)
     service.publish(rws_list)
-    state = _ShardState(scenario, service)
+    router = None
+    if scenario.replicas > 0:
+        # Replicas boot from the already-published epoch; staggered
+        # propagation lag (i + 1) * replica_lag applies to every
+        # *subsequent* publish broadcast.
+        router = Router(
+            service, replicas=scenario.replicas,
+            lag=[(i + 1) * scenario.replica_lag
+                 for i in range(scenario.replicas)],
+            policy=scenario.router_policy,
+            resolver_cache_size=scenario.resolver_cache_size,
+        )
+    state = _ShardState(scenario, service, router)
     universe = SiteUniverse(rws_list, trackers=scenario.trackers,
                             outside_sites=scenario.outside_sites)
     generator = SessionGenerator(scenario, task.seed, universe)
@@ -502,18 +550,36 @@ def run_shard(task: ShardTask) -> dict:
     updated = False
     for user_id in range(task.user_start, task.user_end):
         if cutoff is not None and not updated and user_id >= cutoff:
-            _apply_mid_flight_update(state)
+            _apply_mid_flight_update(state, cutoff)
             updated = True
+        if router is not None:
+            # The cluster clock is the global user index.  Flush the
+            # fast path's buffer before any replica transition so
+            # buffered decisions are answered by the epochs their
+            # users actually saw.
+            if router.has_due(user_id):
+                _flush_fast(state)
+            router.advance(user_id)
         execute(state, generator.session(user_id))
     _flush_fast(state)  # drain the fast path's tail buffer
 
-    # The reference path resolves inside the service, the fast path in
-    # its shard-local table; fold both so either driver reports its
-    # resolver traffic (the other side's counters are zero).
+    # The reference path resolves inside the service (or its
+    # replicas), the fast path in its shard-local table; fold both so
+    # either driver reports its resolver traffic (the other side's
+    # counters are zero).
+    backend_stats = state.backend.stats
     state.metrics.count("resolver_hits",
-                        service.stats.resolver_hits + state.resolver_hits)
+                        backend_stats.resolver_hits + state.resolver_hits)
     state.metrics.count("resolver_misses",
-                        service.stats.resolver_misses + state.resolver_misses)
+                        backend_stats.resolver_misses
+                        + state.resolver_misses)
+    if router is not None:
+        state.metrics.count(
+            "replica_catch_ups",
+            sum(replica.catch_ups for replica in router.replicas))
+        state.metrics.count(
+            "replica_deltas_applied",
+            sum(replica.deltas_applied for replica in router.replicas))
     for op, count in sorted(state.api_counter.requests.items()):
         state.metrics.count(f"api_{op}_requests", count)
     snapshot = service.current_snapshot
@@ -642,3 +708,23 @@ def run_workload(scenario: Scenario | str, users: int, *, shards: int = 1,
         return run_serial(scenario, users, seed=seed)
     return run_sharded(scenario, users, shards, seed=seed,
                        executor=executor)
+
+
+def replicated(scenario: Scenario | str, replicas: int, *, lag: int = 0,
+               policy: str = "rendezvous") -> Scenario:
+    """A copy of a scenario executing through a replica cluster.
+
+    Args:
+        scenario: Registry name or scenario object.
+        replicas: Read-replica count behind the router (0 restores
+            single-service execution).
+        lag: Propagation-lag stagger in users (replica ``i`` converges
+            ``(i + 1) * lag`` users after a mid-flight publish).
+        policy: Router policy; keep ``rendezvous`` whenever ``lag > 0``
+            so digests stay partition-independent.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    return dataclasses.replace(scenario, replicas=max(0, replicas),
+                               replica_lag=max(0, lag),
+                               router_policy=policy)

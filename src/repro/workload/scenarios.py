@@ -13,8 +13,11 @@ adding an entry to :data:`SCENARIOS`, not writing driver code:
 * ``abusive`` — probing traffic against an oversized "conglomerate"
   set: gestureless rSA calls, service sites as top-level, cross-set
   scraping (the paper's governance concern as a workload);
-* ``cold-cache`` / ``warm-cache`` — the resolver LRU disabled vs
-  pre-warmed, bracketing the cache's contribution;
+* ``stale-replica`` — the mid-flight publish served through a replica
+  cluster whose members converge at staggered propagation lag, so
+  stale reads (and eventual convergence) land in the outcome digest;
+* ``cold-cache`` / ``warm-cache`` — the resolver cache accounting
+  disabled vs pre-warmed, bracketing the cache's contribution;
 * ``bulk`` — a pure membership-decision firehose (no browser
   simulation), the throughput benchmark's workload.
 
@@ -62,12 +65,27 @@ class Scenario:
         zipf_exponent: Popularity skew for all site pools.
         trackers: Size of the synthetic unlisted third-party pool.
         outside_sites: Size of the synthetic non-member top-site pool.
-        resolver_cache_size: The service's host-resolver LRU bound
-            (0 disables it — the cold-cache scenario).
+        resolver_cache_size: The service's host-resolver accounting
+            bound (0 counts every resolution as a miss — the
+            cold-cache scenario).
         warm_cache: Pre-resolve every member host before traffic runs.
         update_at_fraction: When set, publish the profile's next list
             version once this fraction of all users has been served,
             and verify a delta-patched client converges.
+        replicas: When > 0, serve through a
+            :class:`~repro.cluster.Router` over this many read
+            replicas instead of one service (the replicated execution
+            mode).
+        replica_lag: Propagation lag *stagger*, in users: replica
+            ``i`` applies a mid-flight publish once
+            ``(i + 1) * replica_lag`` further users have been served
+            (0 converges every replica inside the publish).
+        router_policy: Cluster routing policy.  ``rendezvous`` routes
+            by query content and is therefore partition-independent —
+            required for reproducible digests whenever
+            ``replica_lag > 0``; ``round-robin`` routes by arrival
+            order (digest-stable only while every replica serves the
+            same epoch, i.e. at lag 0).
     """
 
     name: str
@@ -89,6 +107,9 @@ class Scenario:
     resolver_cache_size: int = 4096
     warm_cache: bool = False
     update_at_fraction: float | None = None
+    replicas: int = 0
+    replica_lag: int = 0
+    router_policy: str = "rendezvous"
 
 
 # -- list profiles ------------------------------------------------------------
@@ -193,6 +214,28 @@ SCENARIOS: dict[str, Scenario] = {
             interact_fraction=0.2,
             rsa_for_fraction=0.25,
             update_at_fraction=0.5,
+        ),
+        Scenario(
+            name="stale-replica",
+            description="mid-flight takedown reaches replicas at "
+                        "staggered lag; stale reads until convergence",
+            # The takedown traffic shape: the mid-flight update
+            # *removes* the conglomerate set, so a stale replica keeps
+            # answering "related" for pairs a converged one denies —
+            # the lag is visible in the outcome digest, not just in
+            # counters.
+            list_profile="abusive",
+            member_top_fraction=0.8,
+            service_top_fraction=0.25,
+            no_gesture_fraction=0.35,
+            mix_same_set=0.6,
+            mix_other_set=0.3,
+            interact_fraction=0.2,
+            rsa_for_fraction=0.25,
+            update_at_fraction=0.5,
+            replicas=3,
+            replica_lag=4,
+            router_policy="rendezvous",
         ),
         Scenario(
             name="cold-cache",

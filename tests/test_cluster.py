@@ -1,0 +1,425 @@
+"""Tests for the replicated serving layer (repro.cluster)."""
+
+import random
+
+import pytest
+
+from repro.api import Dispatcher
+from repro.api.envelopes import (
+    BatchQueryRequest,
+    BatchQueryResponse,
+    DeltaRequest,
+    DeltaResponse,
+    PollRequest,
+    PublishRequest,
+    QueryRequest,
+    QueryResponse,
+    StatsRequest,
+    SubmitRequest,
+)
+from repro.cluster import Replica, Router
+from repro.rws import RelatedWebsiteSet, RwsList
+from repro.serve import (
+    RwsService,
+    SnapshotStore,
+    StaleSnapshotError,
+    apply_delta,
+    membership_hash,
+    squash_deltas,
+)
+
+
+def small_list() -> RwsList:
+    return RwsList(sets=[
+        RelatedWebsiteSet(
+            primary="example.com",
+            associated=["example-news.com"],
+            service=["example-cdn.com"],
+            rationales={
+                "example-news.com": "Shared branding with example.com.",
+                "example-cdn.com": "Asset host for example.com.",
+            },
+        ),
+        RelatedWebsiteSet(
+            primary="other.com",
+            associated=["other-shop.com"],
+            rationales={"other-shop.com": "Affiliated storefront."},
+        ),
+    ])
+
+
+def grown_list() -> RwsList:
+    rws_list = small_list()
+    rws_list.sets[0].associated.append("example-mail.com")
+    rws_list.sets[0].rationales["example-mail.com"] = "Webmail brand."
+    rws_list.sets.append(RelatedWebsiteSet(
+        primary="new.com", associated=["new-blog.com"],
+        rationales={"new-blog.com": "Same publisher."},
+    ))
+    return rws_list
+
+
+def shrunk_list() -> RwsList:
+    rws_list = grown_list()
+    del rws_list.sets[1]  # other.com's set is withdrawn
+    return rws_list
+
+
+@pytest.fixture()
+def primary():
+    service = RwsService(workers=2)
+    service.publish(small_list())
+    yield service
+    service.queue.shutdown()
+
+
+class TestReplica:
+    def test_boots_from_current_epoch(self, primary):
+        replica = Replica(0, primary)
+        assert replica.version == 1
+        assert replica.epoch is primary.epoch
+        assert replica.query("example.com", "example-news.com").related
+
+    def test_catches_up_by_delta(self, primary):
+        router = Router(primary, replicas=1)
+        replica = router.replicas[0]
+        router.publish(grown_list())
+        assert replica.version == 2
+        assert replica.epoch is not primary.epoch  # its own compilation
+        assert replica.epoch.content_hash == primary.epoch.content_hash
+        assert replica.query("new.com", "new-blog.com").related
+
+    def test_lag_delays_catch_up(self, primary):
+        router = Router(primary, replicas=1, lag=3)
+        replica = router.replicas[0]
+        router.publish(grown_list())
+        assert replica.version == 1  # broadcast pending, not applied
+        assert replica.lagging
+        assert not replica.query("new.com", "new-blog.com").related
+        router.advance(2)
+        assert replica.version == 1  # still inside the lag window
+        router.advance(3)
+        assert replica.version == 2
+        assert not replica.lagging
+        assert replica.query("new.com", "new-blog.com").related
+
+    def test_lagging_replica_squashes_the_hop_chain(self, primary):
+        router = Router(primary, replicas=1, lag=5)
+        replica = router.replicas[0]
+        router.publish(grown_list())
+        router.advance(1)
+        router.publish(shrunk_list())
+        assert replica.version == 1
+        assert replica.pending_updates == 2
+        router.converge()
+        # Two broadcast hops, one squashed application.
+        assert replica.version == 3
+        assert replica.catch_ups == 1
+        assert replica.deltas_applied == 2
+        assert replica.epoch.content_hash == primary.epoch.content_hash
+        assert not replica.query("other.com", "other-shop.com").related
+
+    def test_sync_does_not_ratchet_the_clock(self, primary):
+        # Draining via converge() must not advance the logical clock:
+        # a synced replica still owes its full lag on the next publish.
+        router = Router(primary, replicas=1, lag=3)
+        replica = router.replicas[0]
+        router.publish(grown_list())
+        router.converge()
+        assert replica.version == 2
+        router.publish(shrunk_list())
+        assert replica.version == 2  # still lagging, not instant
+        assert replica.lagging
+        router.advance(3)
+        assert replica.version == 3
+
+    def test_repeat_unresolvable_hosts_skip_the_psl_walk(self):
+        # The shim caches the failure *bit* (the PSL never caches
+        # failures), so junk repeats stay cheap and error-counted once.
+        from repro.psl import PublicSuffixList
+
+        psl = PublicSuffixList()
+        service = RwsService(psl=psl)
+        service.publish(small_list())
+        try:
+            assert service.resolve_host("bad..host") is None
+            errors_after_first = psl.cache_stats()["errors"]
+            assert service.resolve_host("bad..host") is None
+            assert service.resolve_hosts(["bad..host", "bad..host"]) \
+                == [None, None]
+            # No further PSL walks for the repeats...
+            assert psl.cache_stats()["errors"] == errors_after_first
+            stats = service.stats
+            # ...which count as hits (one miss, one error — the first).
+            assert stats.resolver_misses == 1
+            assert stats.resolver_errors == 1
+            assert stats.resolver_hits == 3
+        finally:
+            service.queue.shutdown()
+
+    def test_deduplicated_republish_broadcasts_nothing(self, primary):
+        router = Router(primary, replicas=2, lag=4)
+        router.publish(small_list())  # identical content
+        assert all(not replica.lagging for replica in router.replicas)
+        assert router.replica_versions() == [1, 1]
+
+    def test_epoch_swap_is_atomic_for_readers(self, primary):
+        router = Router(primary, replicas=1, lag=1)
+        replica = router.replicas[0]
+        captured = replica.epoch
+        router.publish(grown_list())
+        router.converge()
+        # The captured epoch still serves its original, consistent view.
+        assert captured.version == 1
+        assert not captured.index.related("new.com", "new-blog.com")
+        assert replica.epoch.version == 2
+
+
+class TestSquashDeltas:
+    @staticmethod
+    def _store_with(*lists) -> SnapshotStore:
+        store = SnapshotStore()
+        for rws_list in lists:
+            store.publish(rws_list)
+        return store
+
+    def test_squashed_equals_chained_and_direct(self):
+        store = self._store_with(small_list(), grown_list(), shrunk_list())
+        chain = [store.delta(1, 2), store.delta(2, 3)]
+        squashed = squash_deltas(chain)
+        assert squashed.from_version == 1 and squashed.to_version == 3
+
+        chained = apply_delta(apply_delta(small_list(), chain[0]), chain[1])
+        via_squash = apply_delta(small_list(), squashed)
+        direct = apply_delta(small_list(), store.delta(1, 3))
+        target = store.get(3).content_hash
+        assert membership_hash(chained) == target
+        assert membership_hash(via_squash) == target
+        assert membership_hash(direct) == target
+
+    def test_add_then_remove_cancels(self):
+        # v2 adds a set, v3 removes it again: the squashed delta is a
+        # no-op on membership.
+        store = self._store_with(small_list(), grown_list())
+        v3 = small_list()
+        v3.sets[0].associated.append("example-mail.com")
+        v3.sets[0].rationales["example-mail.com"] = "Webmail brand."
+        del v3.sets[2:]  # drop new.com again
+        store.publish(v3)
+        squashed = squash_deltas([store.delta(1, 2), store.delta(2, 3)])
+        assert "new.com" not in squashed.diff.added_sets
+        assert "new.com" not in squashed.diff.removed_sets
+        assert not any(r.set_primary == "new.com"
+                       for r in squashed.diff.added_members)
+        patched = apply_delta(small_list(), squashed)
+        assert membership_hash(patched) == store.get(3).content_hash
+
+    def test_remove_then_readd_is_a_change_not_a_removal(self):
+        # other.com is withdrawn in v2 and resubmitted (grown) in v3:
+        # from v1's point of view the set never left.
+        v2 = small_list()
+        del v2.sets[1]
+        v3 = small_list()
+        v3.sets[1].associated.append("other-blog.com")
+        v3.sets[1].rationales["other-blog.com"] = "Same shop."
+        store = self._store_with(small_list(), v2, v3)
+        squashed = squash_deltas([store.delta(1, 2), store.delta(2, 3)])
+        assert "other.com" not in squashed.diff.removed_sets
+        assert "other.com" not in squashed.diff.added_sets
+        assert "other.com" in squashed.diff.changed_sets
+        patched = apply_delta(small_list(), squashed)
+        assert membership_hash(patched) == store.get(3).content_hash
+
+    def test_single_delta_passes_through(self):
+        store = self._store_with(small_list(), grown_list())
+        delta = store.delta(1, 2)
+        assert squash_deltas([delta]) is delta
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            squash_deltas([])
+
+    def test_non_contiguous_chain_rejected(self):
+        store = self._store_with(small_list(), grown_list(), shrunk_list())
+        with pytest.raises(StaleSnapshotError, match="not contiguous"):
+            squash_deltas([store.delta(1, 2), store.delta(1, 3)])
+
+    def test_randomised_chains_converge(self):
+        # Random walks over add/remove/grow edits: squashing any
+        # contiguous window of the published chain must reproduce the
+        # window's direct delta, membership-wise.
+        rng = random.Random(7)
+        for _ in range(10):
+            lists = [small_list()]
+            for _ in range(4):
+                nxt = RwsList(sets=[
+                    RelatedWebsiteSet(
+                        primary=s.primary,
+                        associated=list(s.associated),
+                        service=list(s.service),
+                        cctlds={k: list(v) for k, v in s.cctlds.items()},
+                        rationales=dict(s.rationales),
+                    ) for s in lists[-1].sets
+                ])
+                action = rng.choice(["grow", "drop", "add_set"])
+                if action == "grow":
+                    target = rng.choice(nxt.sets)
+                    site = f"member-{rng.randrange(1000)}.com"
+                    target.associated.append(site)
+                    target.rationales[site] = "Random growth."
+                elif action == "drop" and len(nxt.sets) > 1:
+                    del nxt.sets[rng.randrange(len(nxt.sets))]
+                else:
+                    n = rng.randrange(1000)
+                    nxt.sets.append(RelatedWebsiteSet(
+                        primary=f"set-{n}.com",
+                        associated=[f"set-{n}-blog.com"],
+                        rationales={f"set-{n}-blog.com": "Random set."},
+                    ))
+                lists.append(nxt)
+            store = SnapshotStore()
+            for rws_list in lists:
+                store.publish(rws_list)
+            versions = store.versions()
+            start = rng.choice(versions[:-1])
+            chain = [store.delta(v, v + 1)
+                     for v in range(start, versions[-1])]
+            squashed = squash_deltas(chain)
+            base = lists[start - 1]
+            patched = apply_delta(base, squashed)
+            assert membership_hash(patched) == store.get(
+                versions[-1]).content_hash
+
+
+class TestRouter:
+    def test_round_robin_spreads_queries(self, primary):
+        router = Router(primary, replicas=3, policy="round-robin")
+        for _ in range(12):
+            router.query("example.com", "example-news.com")
+        counts = [replica.stats.queries for replica in router.replicas]
+        assert counts == [4, 4, 4]
+
+    def test_rendezvous_pins_a_key_to_one_replica(self, primary):
+        router = Router(primary, replicas=3, policy="rendezvous")
+        for _ in range(9):
+            router.query("example.com", "example-news.com")
+        counts = [replica.stats.queries for replica in router.replicas]
+        assert sorted(counts) == [0, 0, 9]
+
+    def test_rendezvous_batches_split_but_answers_stay_ordered(self,
+                                                               primary):
+        pairs = [("example.com", "example-news.com"),
+                 ("other.com", "example.com"),
+                 ("other-shop.com", "other.com"),
+                 ("stranger.org", "example.com"),
+                 ("example-cdn.com", "example.com")] * 3
+        router = Router(primary, replicas=3, policy="rendezvous")
+        reference = RwsService()
+        reference.publish(small_list())
+        try:
+            expected = reference.related_batch(pairs)
+            assert router.related_batch(pairs) == expected
+            assert ([v.related for v in router.query_batch(pairs)]
+                    == expected)
+            # More than one replica actually served the split batch.
+            served = [r for r in router.replicas if r.stats.queries]
+            assert len(served) > 1
+        finally:
+            reference.queue.shutdown()
+
+    def test_rendezvous_routing_is_batching_invariant(self, primary):
+        # The same pair must land on the same replica whether it
+        # arrives alone or inside any batch — the property stale
+        # digests rest on.
+        pairs = [(f"site-{i}.com", "example.com") for i in range(20)]
+        router = Router(primary, replicas=3, policy="rendezvous")
+        router.related_batch(pairs)
+        whole = [replica.stats.queries for replica in router.replicas]
+        router2 = Router(primary, replicas=3, policy="rendezvous")
+        for pair in pairs:
+            router2.related_batch([pair])
+        split = [replica.stats.queries for replica in router2.replicas]
+        assert whole == split
+
+    def test_writes_pin_to_primary(self, primary):
+        router = Router(primary, replicas=2)
+        snapshot = router.publish(grown_list())
+        assert primary.current_snapshot is snapshot
+        delta = router.delta_since(1)
+        assert delta.to_version == 2
+        ticket = router.submit(small_list().sets[0])
+        assert router.drain(timeout=30)
+        assert router.poll(ticket).terminal
+        assert router.queue is primary.queue
+
+    def test_invalid_configuration_rejected(self, primary):
+        with pytest.raises(ValueError, match="replicas"):
+            Router(primary, replicas=0)
+        with pytest.raises(ValueError, match="policy"):
+            Router(primary, replicas=2, policy="coin-flip")
+        with pytest.raises(ValueError, match="lag values"):
+            Router(primary, replicas=2, lag=[1, 2, 3])
+
+    def test_cluster_stats_report_merges_all_nodes(self, primary):
+        router = Router(primary, replicas=2, policy="round-robin")
+        router.query("example.com", "example-news.com")
+        router.query("other.com", "other-shop.com")
+        primary.query("example.com", "other.com")
+        report = router.stats_report()
+        assert report["queries"] == 3
+        assert report["replicas"] == 2
+        assert report["epoch"] == 1
+        assert report["replica_epoch_min"] == 1
+        assert report["replica_epoch_max"] == 1
+        assert report["queue_submitted"] == 0
+
+
+class TestDispatcherOverRouter:
+    """The Dispatcher accepts a Router anywhere it took an RwsService."""
+
+    @pytest.fixture()
+    def router(self, primary):
+        return Router(primary, replicas=3, lag=2, policy="rendezvous")
+
+    @pytest.fixture()
+    def dispatcher(self, router):
+        return Dispatcher(router)
+
+    def test_query_routes_through_replicas(self, router, dispatcher):
+        response = dispatcher.dispatch(
+            QueryRequest("www.example.com", "example-news.com"))
+        assert type(response) is QueryResponse
+        assert response.verdict.related
+        assert sum(r.stats.queries for r in router.replicas) == 1
+
+    def test_publish_then_stale_then_converged_reads(self, router,
+                                                     dispatcher):
+        publish = dispatcher.dispatch(PublishRequest(rws_list=grown_list()))
+        assert publish.version == 2
+        stale = dispatcher.dispatch(BatchQueryRequest(
+            pairs=[("new.com", "new-blog.com")] * 3, detail=False))
+        assert type(stale) is BatchQueryResponse
+        assert stale.related == [False, False, False]  # replicas lag
+        router.converge()
+        fresh = dispatcher.dispatch(BatchQueryRequest(
+            pairs=[("new.com", "new-blog.com")] * 3, detail=False))
+        assert fresh.related == [True, True, True]
+
+    def test_delta_submit_poll_and_stats_envelopes(self, router,
+                                                   dispatcher):
+        dispatcher.dispatch(PublishRequest(rws_list=grown_list()))
+        delta = dispatcher.dispatch(DeltaRequest(from_version=1))
+        assert type(delta) is DeltaResponse
+        assert delta.delta.to_version == 2
+        ticket = dispatcher.dispatch(SubmitRequest(
+            rws_set=RelatedWebsiteSet(
+                primary="fresh.com", associated=["fresh-shop.com"],
+                rationales={"fresh-shop.com": "Same operator."},
+            ))).ticket
+        router.drain(timeout=30)
+        poll = dispatcher.dispatch(PollRequest(ticket=ticket))
+        assert poll.terminal and poll.passed
+        stats = dispatcher.dispatch(StatsRequest())
+        assert stats.report["replicas"] == 3
+        assert stats.report["epoch"] == 2
+        assert stats.report["replica_epoch_min"] == 1  # still lagging

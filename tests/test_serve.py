@@ -8,6 +8,7 @@ import pytest
 from repro.browser import BROWSER_POLICIES, Browser, GrantDecision
 from repro.rws import RelatedWebsiteSet, RwsList, SiteRole, Validator
 from repro.serve import (
+    Epoch,
     MembershipIndex,
     RwsService,
     SnapshotStore,
@@ -475,6 +476,232 @@ class TestRwsService:
         assert report["mean_query_ns"] > 0
 
 
+class TestEpoch:
+    """The tentpole invariants: immutable epochs, atomic swaps."""
+
+    def test_epoch_value_is_immutable(self):
+        service = RwsService()
+        try:
+            service.publish(small_list())
+            epoch = service.epoch
+            with pytest.raises(AttributeError):
+                epoch.snapshot = None
+            with pytest.raises(AttributeError):
+                epoch.index = MembershipIndex(RwsList())
+        finally:
+            service.queue.shutdown()
+
+    def test_bootstrap_epoch_before_any_publish(self):
+        service = RwsService()
+        try:
+            epoch = service.epoch
+            assert epoch.version == 0
+            assert epoch.snapshot is None
+            assert epoch.content_hash == ""
+            assert len(epoch.rws_list.sets) == 0
+            assert not service.query("a.com", "b.com").related
+        finally:
+            service.queue.shutdown()
+
+    def test_require_version(self):
+        service = RwsService()
+        try:
+            service.publish(small_list())
+            service.epoch.require_version(1)
+            with pytest.raises(StaleSnapshotError, match="serves v1"):
+                service.epoch.require_version(2)
+        finally:
+            service.queue.shutdown()
+
+    def test_publish_swaps_the_whole_epoch(self):
+        service = RwsService()
+        try:
+            service.publish(small_list())
+            before = service.epoch
+            grown = small_list()
+            grown.sets.append(RelatedWebsiteSet(
+                primary="new.com", associated=["new-blog.com"],
+                rationales={"new-blog.com": "Same publisher."},
+            ))
+            service.publish(grown)
+            after = service.epoch
+            assert after is not before
+            assert (before.version, after.version) == (1, 2)
+            # The superseded epoch still serves its own consistent view.
+            assert not before.index.related("new.com", "new-blog.com")
+            assert after.index.related("new.com", "new-blog.com")
+            assert before.snapshot is not after.snapshot
+        finally:
+            service.queue.shutdown()
+
+    def test_reader_sees_consistent_triples_under_publish_storm(self):
+        # A captured epoch must always be an internally consistent
+        # (index, snapshot, version) triple, even while publishes swap
+        # the service's reference as fast as they can.
+        import sys
+
+        base = small_list()
+        grown = small_list()
+        grown.sets.append(RelatedWebsiteSet(
+            primary="new.com", associated=["new-blog.com"],
+            rationales={"new-blog.com": "Same publisher."},
+        ))
+        # Alternating publishes mint a fresh version every time (the
+        # store only dedups against the latest), so consistency is
+        # keyed by content: a captured epoch's index must always match
+        # its snapshot's membership hash.
+        expected_sites = {
+            membership_hash(rws_list): len({r.site for r
+                                            in rws_list.all_members()})
+            for rws_list in (base, grown)
+        }
+
+        service = RwsService()
+        service.publish(base)
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                epoch = service.epoch  # one capture
+                snapshot = epoch.snapshot
+                if snapshot is None:
+                    failures.append("snapshotless epoch after publish")
+                    continue
+                if snapshot.version != epoch.version:
+                    failures.append("version drifted from snapshot")
+                if epoch.content_hash != snapshot.content_hash:
+                    failures.append("hash drifted from snapshot")
+                expected = expected_sites.get(snapshot.content_hash)
+                if expected is None:
+                    failures.append("epoch serves an unpublished list")
+                elif epoch.index.site_count != expected:
+                    failures.append(
+                        f"index of v{epoch.version} has "
+                        f"{epoch.index.site_count} sites, "
+                        f"expected {expected}")
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            readers = [threading.Thread(target=reader) for _ in range(3)]
+            for thread in readers:
+                thread.start()
+            for i in range(200):
+                service.publish(grown if i % 2 else base)
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+        finally:
+            sys.setswitchinterval(old_interval)
+            service.queue.shutdown()
+        assert failures == []
+
+    def test_query_hot_path_takes_no_service_lock(self):
+        # The acceptance gate: after the epoch capture, queries must
+        # never touch the publication lock — publishes can then never
+        # stall readers.  The service lock is replaced with a tattling
+        # proxy; only the publisher thread may show up in its log.
+        import sys
+
+        service = RwsService()
+        service.publish(small_list())
+        grown = small_list()
+        grown.sets.append(RelatedWebsiteSet(
+            primary="new.com", associated=["new-blog.com"],
+            rationales={"new-blog.com": "Same publisher."},
+        ))
+
+        acquirers: set[int] = set()
+        real_lock = service._lock
+
+        class TattlingLock:
+            def __enter__(self):
+                acquirers.add(threading.get_ident())
+                return real_lock.__enter__()
+
+            def __exit__(self, *exc):
+                return real_lock.__exit__(*exc)
+
+            def acquire(self, *args, **kwargs):
+                acquirers.add(threading.get_ident())
+                return real_lock.acquire(*args, **kwargs)
+
+            def release(self):
+                return real_lock.release()
+
+        service._lock = TattlingLock()
+        pairs = [("www.example.com", "example-news.com"),
+                 ("other.com", "example.com")] * 8
+        sites = [("example.com", "example-news.com"), ("a.com", "b.com")] * 8
+
+        def query_loop():
+            for _ in range(150):
+                service.query("www.example.com", "example-news.com")
+                service.related_batch(pairs)
+                service.related_sites_batch(sites)
+                service.resolve_host("www.example.com")
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            threads = [threading.Thread(target=query_loop)
+                       for _ in range(4)]
+            publisher = threading.Thread(
+                target=lambda: [service.publish(grown if i % 2 else
+                                                small_list())
+                                for i in range(50)])
+            for thread in threads + [publisher]:
+                thread.start()
+            for thread in threads + [publisher]:
+                thread.join(timeout=30)
+        finally:
+            sys.setswitchinterval(old_interval)
+            service._lock = real_lock
+            service.queue.shutdown()
+        # Exactly one thread — the publisher — ever took the service
+        # lock; every query/batch/resolve ran lock-free.
+        assert acquirers == {publisher.ident}
+        folded = service.stats
+        assert folded.queries == 4 * 150 * (1 + len(pairs) + len(sites))
+
+    def test_stats_fold_is_exact_after_threads_finish(self):
+        service = RwsService()
+        service.publish(small_list())
+        per_thread, threads_n = 300, 4
+
+        def loop():
+            for _ in range(per_thread):
+                service.query("www.example.com", "example-news.com")
+
+        try:
+            threads = [threading.Thread(target=loop)
+                       for _ in range(threads_n)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        finally:
+            service.queue.shutdown()
+        folded = service.stats
+        assert folded.queries == per_thread * threads_n
+        assert folded.related_hits == per_thread * threads_n
+        report = service.stats_report()
+        assert report["queries"] == per_thread * threads_n
+        assert report["epoch"] == 1.0
+
+    def test_epoch_compile_and_bootstrap_helpers(self):
+        store = SnapshotStore()
+        snapshot = store.publish(small_list())
+        from repro.psl import default_psl
+
+        epoch = Epoch.compile(snapshot, default_psl())
+        assert epoch.version == 1
+        assert epoch.index.related("example.com", "example-news.com")
+        boot = Epoch.bootstrap(default_psl())
+        assert boot.version == 0 and boot.snapshot is None
+
+
 class TestBrowserUsesIndex:
     def test_engine_grants_via_compiled_index(self):
         browser = Browser(policy=BROWSER_POLICIES["chrome-rws"],
@@ -485,6 +712,19 @@ class TestBrowserUsesIndex:
         decision = browser.request_storage_access(frame)
         assert decision is GrantDecision.GRANTED_RWS
         assert browser.rws_index.related("example.com", "example-news.com")
+
+    def test_engine_adopts_epoch_handles(self):
+        service = RwsService()
+        try:
+            service.publish(small_list())
+            browser = Browser(policy=BROWSER_POLICIES["chrome-rws"],
+                              rws_list=RwsList())
+            browser.adopt_epoch(service.epoch)
+            assert browser.rws_index is service.epoch.index
+            assert browser.rws_index.related("example.com",
+                                             "example-news.com")
+        finally:
+            service.queue.shutdown()
 
     def test_refresh_after_list_update(self):
         browser = Browser(policy=BROWSER_POLICIES["chrome-rws"],

@@ -14,6 +14,7 @@ from repro.workload import (
     ZipfSampler,
     combine_digests,
     get_scenario,
+    replicated,
     run_serial,
     run_sharded,
     run_workload,
@@ -107,6 +108,63 @@ class TestDigestInvariance:
         assert serial.metrics.counters["delta_applied"] >= 1
         # Every shard at/above the cutoff re-publishes and re-verifies.
         assert sharded.metrics.counters["delta_applied"] >= 1
+
+
+class TestReplicatedExecution:
+    def test_lag_zero_digest_matches_single_service(self):
+        # The acceptance gate: replicated execution at lag 0 is
+        # bit-identical to single-service execution.
+        for name in ("steady", "bulk", "list-update"):
+            single = run_serial(name, 60, seed=11)
+            for policy in ("rendezvous", "round-robin"):
+                rep = run_serial(replicated(name, 3, lag=0, policy=policy),
+                                 60, seed=11)
+                assert rep.digest == single.digest, (name, policy)
+            sharded = run_sharded(replicated(name, 3, lag=0), 60, 3,
+                                  seed=11, executor="inline")
+            assert sharded.digest == single.digest, name
+
+    def test_stale_replica_digest_is_deterministic(self):
+        # The stale-replica scenario's digest must be stable across
+        # runs, shard counts, and executors — for any seed, which
+        # rests on the router keying raw-host and pre-resolved
+        # traffic identically (the two driver paths dispatch the same
+        # logical query in different shapes).
+        for seed in (1, 4, 9):
+            serial = run_serial("stale-replica", 60, seed=seed)
+            again = run_serial("stale-replica", 60, seed=seed)
+            assert serial.digest == again.digest, seed
+            for shards in (2, 3, 5):
+                sharded = run_sharded("stale-replica", 60, shards,
+                                      seed=seed, executor="inline")
+                assert sharded.digest == serial.digest, (seed, shards)
+            assert serial.snapshot_version == 2
+            assert serial.metrics.counters["replica_catch_ups"] >= 1
+        threaded = run_sharded("stale-replica", 60, 4, seed=4,
+                               executor="thread")
+        assert threaded.digest == run_serial("stale-replica", 60,
+                                             seed=4).digest
+
+    def test_stale_replica_lag_is_observable_in_the_digest(self):
+        # Same traffic with lag forced to 0: every replica converges at
+        # the cutoff, so stale reads disappear and the digest moves —
+        # convergence is an outcome, not just a counter.
+        lagged = run_serial("stale-replica", 60, seed=4)
+        converged = run_serial(replicated("stale-replica", 3, lag=0),
+                               60, seed=4)
+        assert lagged.digest != converged.digest
+        # Stale replicas keep answering "related" for the taken-down
+        # conglomerate set, so the lagged run sees at least as many
+        # related hits.
+        assert (lagged.metrics.counters["related_hits"]
+                >= converged.metrics.counters["related_hits"])
+
+    def test_replicated_helper_round_trips(self):
+        scenario = replicated("steady", 2, lag=3, policy="round-robin")
+        assert scenario.replicas == 2
+        assert scenario.replica_lag == 3
+        assert scenario.router_policy == "round-robin"
+        assert replicated(scenario, 0).replicas == 0
 
 
 class TestScenarios:
@@ -250,6 +308,22 @@ class TestCliLoad:
                                  if not line.startswith(("throughput",
                                                          "latency"))]
         assert "digest" in first
+
+    def test_load_replica_flags_preserve_scenario_settings(self, capsys):
+        # --replicas alone must not clobber the scenario's own lag and
+        # policy: the stale-replica digest (staggered lag observable)
+        # must match the flagless run when only the default replica
+        # count is restated.
+        base = ["load", "--scenario", "stale-replica", "--users", "60",
+                "--seed", "4", "--executor", "inline"]
+        assert main(base) == 0
+        flagless = capsys.readouterr().out
+        assert main(base + ["--replicas", "3"]) == 0
+        restated = capsys.readouterr().out
+        digest = [line for line in flagless.splitlines()
+                  if line.startswith("digest")]
+        assert digest == [line for line in restated.splitlines()
+                          if line.startswith("digest")]
 
     def test_load_rejects_unknown_scenario(self, capsys):
         assert main(["load", "--scenario", "nope"]) == 2
