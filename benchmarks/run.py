@@ -10,13 +10,20 @@ one machine-readable record per invocation, so successive PRs build a
 The output file holds a JSON array of run records (created on first
 use, appended to afterwards), each shaped::
 
-    {"timestamp": "...", "commit": "...", "benches": {
+    {"timestamp": "...", "commit": "...", "python": "...", "benches": {
         "psl_uncached_resolve": {"trie_per_sec": ..., "speedup": ...},
-        "psl_threaded_hits": {...},
-        "workload_cold_cache": {...}}}
+        "serve_throughput": {...},
+        "obs_tracer": {...},
+        ...}}
 
 Benches are registered in :data:`BENCHES`; ``--only`` selects a
 subset, ``--repeat`` takes the best figures over N repetitions.
+
+The canonical committed trajectory is ``BENCH_trajectory.json`` (one
+record appended per PR); ``--check`` validates a trajectory file
+against the record schema above and exits non-zero on drift —
+malformed records, non-scalar figures, or a latest record naming
+benches the registry no longer knows.
 """
 
 from __future__ import annotations
@@ -50,12 +57,37 @@ def _bench_cluster() -> dict:
     return measure_cluster_throughput()
 
 
+def _bench_serve() -> dict:
+    from benchmarks.test_bench_serve_throughput import \
+        measure_index_throughput
+    return measure_index_throughput()
+
+
+def _bench_api_dispatch() -> dict:
+    from benchmarks.test_bench_api_dispatch import measure_dispatch_overhead
+    return measure_dispatch_overhead()
+
+
+def _bench_obs_tracer() -> dict:
+    from benchmarks.test_bench_obs import measure_tracer_overhead
+    return measure_tracer_overhead()
+
+
+def _bench_obs_profile() -> dict:
+    from benchmarks.test_bench_obs import measure_profile_hotspots
+    return measure_profile_hotspots()
+
+
 #: name -> zero-argument measurement returning a flat JSON-able dict.
 BENCHES: dict[str, Callable[[], dict]] = {
     "psl_uncached_resolve": _bench_psl_uncached,
     "psl_threaded_hits": _bench_psl_threaded,
     "workload_cold_cache": _bench_workload_cold,
     "cluster": _bench_cluster,
+    "serve_throughput": _bench_serve,
+    "api_dispatch": _bench_api_dispatch,
+    "obs_tracer": _bench_obs_tracer,
+    "obs_profile": _bench_obs_profile,
 }
 
 
@@ -129,15 +161,91 @@ def append_record(path: Path, record: dict) -> int:
     return len(history)
 
 
+#: Exactly the keys :func:`run_benches` emits — ``--check`` fails on
+#: records that gained, lost, or re-typed any of them.
+_RECORD_KEYS = frozenset({"timestamp", "commit", "python", "benches"})
+
+
+def check_trajectory(path: Path) -> list[str]:
+    """Validate a trajectory file's schema; return the problems found.
+
+    Checks that the file is a JSON array of run records, every record
+    carries exactly the documented keys with the documented types,
+    every bench result is a flat ``{str: scalar}`` dict, and the
+    newest record only names benches still registered in
+    :data:`BENCHES` (a rename or removal without regenerating the
+    trajectory is schema drift, not history).
+    """
+    if not path.exists():
+        return [f"{path}: no such file"]
+    try:
+        history = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON ({exc})"]
+    if not isinstance(history, list):
+        return [f"{path}: top level must be a JSON array of run records"]
+    if not history:
+        return [f"{path}: trajectory is empty (no run records)"]
+
+    problems: list[str] = []
+    for index, record in enumerate(history):
+        where = f"record #{index}"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = _RECORD_KEYS - record.keys()
+        extra = record.keys() - _RECORD_KEYS
+        if missing:
+            problems.append(f"{where}: missing keys {sorted(missing)}")
+        if extra:
+            problems.append(f"{where}: unknown keys {sorted(extra)}")
+        if not isinstance(record.get("timestamp"), str):
+            problems.append(f"{where}: timestamp must be an ISO string")
+        if not isinstance(record.get("commit"), (str, type(None))):
+            problems.append(f"{where}: commit must be a string or null")
+        if not isinstance(record.get("python"), str):
+            problems.append(f"{where}: python must be a version string")
+        benches = record.get("benches")
+        if not isinstance(benches, dict) or not benches:
+            problems.append(f"{where}: benches must be a non-empty object")
+            continue
+        for name, figures in benches.items():
+            if not isinstance(figures, dict) or not figures:
+                problems.append(f"{where}: bench {name!r} must map to a "
+                                f"non-empty object of figures")
+                continue
+            for key, value in figures.items():
+                # Figures are flat scalars: numbers mostly, plus bools
+                # (digest-equality flags) and strings (the digests).
+                if not isinstance(value, (int, float, bool, str)):
+                    problems.append(
+                        f"{where}: bench {name!r} figure {key!r} is "
+                        f"{type(value).__name__}, expected a scalar")
+
+    latest = history[-1]
+    if isinstance(latest, dict) and isinstance(latest.get("benches"), dict):
+        unknown = sorted(set(latest["benches"]) - set(BENCHES))
+        if unknown:
+            problems.append(
+                f"latest record names unregistered benches {unknown} — "
+                f"regenerate the trajectory after renaming/removing benches")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="benchmarks.run",
         description="run perf benches and append results to a "
                     "BENCH_*.json trajectory file",
     )
-    parser.add_argument("--json", metavar="PATH", default="BENCH_psl.json",
+    parser.add_argument("--json", metavar="PATH",
+                        default="BENCH_trajectory.json",
                         help="trajectory file to append to "
                              "(default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the trajectory file's schema "
+                             "instead of running benches; exits 1 on "
+                             "drift")
     parser.add_argument("--only", action="append", choices=sorted(BENCHES),
                         help="run only this bench (repeatable; "
                              "default: all)")
@@ -151,6 +259,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.list:
         for name in sorted(BENCHES):
             print(name)
+        return 0
+    if args.check:
+        problems = check_trajectory(Path(args.json))
+        if problems:
+            for problem in problems:
+                print(f"schema drift: {problem}", file=sys.stderr)
+            return 1
+        records = len(json.loads(Path(args.json).read_text()))
+        print(f"{args.json}: {records} run record(s), schema ok")
         return 0
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")

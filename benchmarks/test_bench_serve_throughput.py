@@ -31,6 +31,34 @@ def _best_of(repeats: int, run) -> float:
     return best
 
 
+def measure_index_throughput() -> dict:
+    """Plain callable for the ``benchmarks.run`` trajectory harness."""
+    from repro.workload.metrics import LatencyHistogram
+
+    rws_list = build_rws_list()
+    index = MembershipIndex.from_list(rws_list)
+    pairs = _bulk_pairs(rws_list)
+
+    naive_time = _best_of(3, lambda: [rws_list.related(a, b)
+                                      for a, b in pairs])
+    index_time = _best_of(5, lambda: index.related_batch(pairs))
+    compile_time = _best_of(3, lambda: MembershipIndex.from_list(rws_list))
+
+    histogram = LatencyHistogram()
+    for site_a, site_b in pairs:
+        started = time.perf_counter_ns()
+        index.query(site_a, site_b)
+        histogram.record(time.perf_counter_ns() - started)
+
+    return {
+        "pairs": float(len(pairs)),
+        "queries_per_sec": len(pairs) / index_time,
+        "speedup_vs_naive": naive_time / index_time,
+        "compile_ms": compile_time * 1e3,
+        "query_p99_us": histogram.percentile(0.99) / 1e3,
+    }
+
+
 def test_index_matches_naive_verdicts():
     """The compiled index gives exactly the scan path's answers."""
     rws_list = build_rws_list()
@@ -57,6 +85,39 @@ def test_index_beats_naive_scan():
           f"({speedup:.0f}x speedup)")
     assert speedup >= 3.0, (
         f"index only {speedup:.1f}x faster than the naive scan"
+    )
+
+
+def test_index_query_p99_within_gate():
+    """Tail latency: p99 of a single indexed query stays under 1 ms.
+
+    Throughput gates alone let a bimodal regression hide (fast median,
+    catastrophic tail), so per-op latencies are recorded into the
+    stack's pow2 :class:`LatencyHistogram` and the p99 bucket midpoint
+    is asserted against a deliberately generous absolute bound — the
+    op is sub-microsecond, so 1 ms only trips on a real pathology
+    (lock convoy, resolver stampede), not CI scheduling noise.
+    """
+    from repro.workload.metrics import LatencyHistogram
+
+    rws_list = build_rws_list()
+    index = MembershipIndex.from_list(rws_list)
+    pairs = _bulk_pairs(rws_list)
+    index.related_batch(pairs)  # warm interned-string and code paths
+
+    p99 = float("inf")
+    for _ in range(3):  # retries absorb a transiently loaded host
+        histogram = LatencyHistogram()
+        for site_a, site_b in pairs:
+            started = time.perf_counter_ns()
+            index.query(site_a, site_b)
+            histogram.record(time.perf_counter_ns() - started)
+        p99 = min(p99, histogram.percentile(0.99))
+        if p99 <= 1_000_000:
+            break
+    print(f"\n{len(pairs)} indexed queries: p99 {p99 / 1e3:.1f} µs")
+    assert p99 <= 1_000_000, (
+        f"indexed query p99 {p99 / 1e6:.2f} ms exceeds the 1 ms gate"
     )
 
 

@@ -11,10 +11,13 @@ versioned, asynchronously-governed service, a typed and versioned
 protocol layer (:mod:`repro.api`) that fronts that service with
 request/response envelopes, a middleware chain, and a JSON wire
 codec, a replicated cluster layer (:mod:`repro.cluster`) that spreads
-reads across delta-synchronised replicas behind one router, and a
+reads across delta-synchronised replicas behind one router, a
 workload engine (:mod:`repro.workload`) that synthesizes
 browser-population traffic and drives it through the protocol
-serially, across shards, and against replica clusters.
+serially, across shards, and against replica clusters, and an
+observability layer (:mod:`repro.obs`) — a unified metrics registry,
+a deterministic request tracer whose digests are bit-identical across
+shard counts and executors, and attachable stage profilers.
 
 Quickstart::
 
@@ -32,10 +35,17 @@ See README.md for the architecture overview and the paper-to-module
 map.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.api import ApiError, Dispatcher, ErrorCode
 from repro.cluster import Replica, Router
+from repro.obs import (
+    MetricsRegistry,
+    NULL_TRACER,
+    StageProfiler,
+    Tracer,
+    TraceSummary,
+)
 from repro.psl import PublicSuffixList, default_psl
 from repro.rws import RelatedWebsiteSet, RwsList, Validator
 from repro.serve import Epoch, MembershipIndex, RwsService
@@ -46,7 +56,9 @@ __all__ = [
     "Dispatcher",
     "Epoch",
     "ErrorCode",
+    "MetricsRegistry",
     "MembershipIndex",
+    "NULL_TRACER",
     "PublicSuffixList",
     "RelatedWebsiteSet",
     "Replica",
@@ -55,6 +67,9 @@ __all__ = [
     "RwsService",
     "SCENARIOS",
     "Scenario",
+    "StageProfiler",
+    "TraceSummary",
+    "Tracer",
     "Validator",
     "WorkloadResult",
     "__version__",

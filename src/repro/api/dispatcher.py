@@ -66,6 +66,7 @@ from repro.api.envelopes import (
     SubmitRequest,
     SubmitResponse,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.serve.service import RwsService
 from repro.serve.snapshot import StaleSnapshotError
 
@@ -244,12 +245,18 @@ class Dispatcher:
         middlewares: The chain, outermost first.  Empty by default —
             the bare dispatcher is the ≤20%-overhead hot path; consumers
             opt into counting/latency/limiting/memoisation per use.
+        tracer: A :class:`~repro.obs.trace.Tracer` wrapping each
+            dispatch in an ``api.dispatch`` span (the trace's outermost
+            stage).  Defaults to the no-op tracer, whose hot-path cost
+            is one attribute check.
     """
 
     def __init__(self, service: RwsService | Router,
-                 middlewares: Iterable[Middleware] = ()):
+                 middlewares: Iterable[Middleware] = (),
+                 tracer=NULL_TRACER):
         self.service = service
         self.middlewares: tuple[Middleware, ...] = tuple(middlewares)
+        self._tracer = tracer
         handlers: dict[type, Handler] = {
             QueryRequest: self._make_query_handler(service),
             BatchQueryRequest: self._make_batch_handler(service),
@@ -310,6 +317,12 @@ class Dispatcher:
                         f"{type(request).__name__}",
             ))
         try:
+            tracer = self._tracer
+            if tracer.live:
+                # The outermost stage of a request trace; the routed
+                # handler's serve/cluster/psl spans nest inside it.
+                with tracer.span("api.dispatch", op=request.op):
+                    return route(request)
             return route(request)
         except Exception as exc:  # noqa: BLE001 — protocol boundary
             return ErrorResponse(op=request.op, error=ApiError(

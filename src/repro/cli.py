@@ -23,14 +23,23 @@ Subcommands:
 * ``load`` — run a named traffic scenario through the workload engine
   (``--scenario steady --users 100000 --shards 4``, optionally
   replicated via ``--replicas/--lag/--policy``) and print throughput,
-  latency percentiles, and the reproducible run digest;
+  latency percentiles, and the reproducible run digest; ``--trace``
+  attaches the deterministic tracer and ``--metrics-out FILE`` /
+  ``--trace-out FILE`` write ``repro.obs`` JSON snapshots;
+* ``stats`` — bring up the serving stack, run a self-test workload,
+  and print the unified metrics registry (``serve.*`` / ``psl.*`` /
+  ``queue.*`` / ``api.*`` / ``cluster.*`` namespaces; ``--json`` /
+  ``--out FILE`` for the snapshot form);
+* ``trace`` — run a seeded workload with the deterministic tracer and
+  print the span table and the reproducible trace digest;
 * ``api`` — dispatch one wire-format JSON request envelope and print
   the JSON response (the ``repro.api`` protocol over stdin/argv).
 
 The serving subcommands (``query``, ``serve``, ``cluster``, ``load``,
-``api``) all route through the :class:`repro.api.Dispatcher` protocol
-layer rather than calling :class:`~repro.serve.service.RwsService` (or
-the cluster router) directly.
+``stats``, ``trace``, ``api``) all route through the
+:class:`repro.api.Dispatcher` protocol layer rather than calling
+:class:`~repro.serve.service.RwsService` (or the cluster router)
+directly.
 """
 
 from __future__ import annotations
@@ -336,6 +345,91 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import BatchQueryRequest, LatencyRecorder, RequestCounter
+    from repro.obs import (
+        metrics_snapshot,
+        registry_for_backend,
+        render_metrics_lines,
+        write_snapshot,
+    )
+
+    if args.replicas < 0 or args.queries < 0:
+        print("stats needs --replicas >= 0 and --queries >= 0",
+              file=sys.stderr)
+        return 2
+    counter = RequestCounter()
+    latency = LatencyRecorder()
+    if args.replicas > 0:
+        from repro.api import Dispatcher
+        from repro.cluster import Router
+        from repro.data import build_rws_list
+        from repro.serve import RwsService
+
+        service = RwsService()
+        service.publish(build_rws_list())
+        backend = Router(service, replicas=args.replicas,
+                         policy=args.policy)
+        dispatcher = Dispatcher(backend, middlewares=(counter, latency))
+    else:
+        backend, dispatcher = _build_api(middlewares=(counter, latency))
+    snapshot = backend.current_snapshot
+    assert snapshot is not None
+    members = [record.site for record in snapshot.rws_list.all_members()]
+    pairs = [(members[i % len(members)], members[(i * 7 + 3) % len(members)])
+             for i in range(args.queries)]
+    if pairs:
+        dispatcher.dispatch(BatchQueryRequest(pairs=pairs, detail=False))
+    registry = registry_for_backend(backend, api_counter=counter,
+                                    api_latency=latency)
+    if args.out or args.json:
+        document = metrics_snapshot(registry, meta={
+            "source": "repro stats",
+            "queries": str(args.queries),
+            "replicas": str(args.replicas),
+        })
+        if args.out:
+            write_snapshot(args.out, document)
+            print(f"wrote metrics snapshot to {args.out}")
+        if args.json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    for line in render_metrics_lines(registry):
+        print(line)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_trace_lines, trace_snapshot, write_snapshot
+    from repro.workload import get_scenario, run_workload
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    if args.users < 1 or args.shards < 1:
+        print("trace needs --users >= 1 and --shards >= 1", file=sys.stderr)
+        return 2
+    result = run_workload(scenario, args.users, shards=args.shards,
+                          seed=args.seed, executor=args.executor,
+                          trace=True)
+    assert result.trace is not None
+    if args.out:
+        write_snapshot(args.out, trace_snapshot(result.trace, meta={
+            "scenario": scenario.name,
+            "users": str(args.users),
+            "shards": str(args.shards),
+            "seed": str(args.seed),
+        }))
+        print(f"wrote trace snapshot to {args.out}")
+    for line in render_trace_lines(result.trace, limit=args.spans):
+        print(line)
+    return 0
+
+
 def _cmd_api(args: argparse.Namespace) -> int:
     import json
 
@@ -377,10 +471,31 @@ def _cmd_load(args: argparse.Namespace) -> int:
             else scenario.replica_lag,
             policy=args.policy or scenario.router_policy,
         )
+    trace = args.trace or args.trace_out is not None
     result = run_workload(scenario, args.users, shards=args.shards,
-                          seed=args.seed, executor=args.executor)
+                          seed=args.seed, executor=args.executor,
+                          trace=trace)
     for line in result.report_lines():
         print(line)
+    if args.metrics_out or args.trace_out:
+        from repro.obs import metrics_snapshot, trace_snapshot, write_snapshot
+
+        meta = {
+            "scenario": scenario.name,
+            "users": str(args.users),
+            "shards": str(args.shards),
+            "seed": str(args.seed),
+        }
+        if args.metrics_out:
+            assert result.registry is not None
+            write_snapshot(args.metrics_out,
+                           metrics_snapshot(result.registry, meta=meta))
+            print(f"wrote metrics snapshot to {args.metrics_out}")
+        if args.trace_out:
+            assert result.trace is not None
+            write_snapshot(args.trace_out,
+                           trace_snapshot(result.trace, meta=meta))
+            print(f"wrote trace snapshot to {args.trace_out}")
     return 0
 
 
@@ -507,7 +622,58 @@ def build_parser() -> argparse.ArgumentParser:
                           "scenario's own setting)")
     sub.add_argument("--list-scenarios", action="store_true",
                      help="print the scenario registry and exit")
+    sub.add_argument("--trace", action="store_true",
+                     help="attach the deterministic tracer (forces "
+                          "full-fidelity execution) and report the "
+                          "trace digest")
+    sub.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="write the merged metrics registry as a "
+                          "repro.obs JSON snapshot")
+    sub.add_argument("--trace-out", metavar="FILE", default=None,
+                     help="write the merged trace as a repro.obs JSON "
+                          "snapshot (implies --trace)")
     sub.set_defaults(handler=_cmd_load)
+
+    sub = subparsers.add_parser(
+        "stats",
+        help="print the unified metrics registry for a serving stack")
+    sub.add_argument("--queries", type=int, default=1000, metavar="N",
+                     help="size of the self-test query workload "
+                          "(default: 1000)")
+    sub.add_argument("--replicas", type=int, default=0, metavar="N",
+                     help="serve through a router over N read replicas "
+                          "(default: 0 — a single service)")
+    sub.add_argument("--policy", default="rendezvous",
+                     choices=["round-robin", "rendezvous"],
+                     help="cluster routing policy when --replicas > 0 "
+                          "(default: rendezvous)")
+    sub.add_argument("--json", action="store_true",
+                     help="print the snapshot JSON instead of the table")
+    sub.add_argument("--out", metavar="FILE", default=None,
+                     help="write the snapshot JSON to a file")
+    sub.set_defaults(handler=_cmd_stats)
+
+    sub = subparsers.add_parser(
+        "trace",
+        help="trace a seeded workload and print its deterministic spans")
+    sub.add_argument("--scenario", default="steady", metavar="NAME",
+                     help="scenario registry name (default: steady)")
+    sub.add_argument("--users", type=int, default=50, metavar="N",
+                     help="simulated user sessions (default: 50)")
+    sub.add_argument("--shards", type=int, default=1, metavar="K",
+                     help="worker shards; the trace digest is identical "
+                          "for any K (default: 1)")
+    sub.add_argument("--seed", type=int, default=0, metavar="SEED",
+                     help="run seed; span ids and the trace digest are "
+                          "bit-reproducible per seed (default: 0)")
+    sub.add_argument("--executor", default="auto",
+                     choices=["auto", "inline", "thread", "process"],
+                     help="how shards run (default: auto)")
+    sub.add_argument("--spans", type=int, default=16, metavar="N",
+                     help="span rows to print (default: 16)")
+    sub.add_argument("--out", metavar="FILE", default=None,
+                     help="write the trace snapshot JSON to a file")
+    sub.set_defaults(handler=_cmd_trace)
     return parser
 
 

@@ -60,6 +60,7 @@ class Replica(EpochShell):
         self.primary = primary
         self.lag = max(0, lag)
         self._shell_init(primary.psl, resolver_cache_size)
+        self._trace_node = f"replica-{replica_id}"
         self._epoch = primary.epoch  # full-snapshot bootstrap
         #: (due_clock, payload) queue; payloads are deltas, or a full
         #: ListSnapshot when the hop has no delta base (first publish).

@@ -37,6 +37,7 @@ import itertools
 import zlib
 from typing import Iterable, Sequence
 
+from repro.obs.trace import NULL_TRACER
 from repro.psl.lookup import DomainError
 from repro.rws.model import RelatedWebsiteSet, RwsList
 from repro.serve.epoch import Epoch
@@ -101,6 +102,26 @@ class Router:
         ]
         self._clock = 0
         self._rr = itertools.count()  # C-level counter: atomic next()
+        self._tracer = NULL_TRACER
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to the router, the primary, and every replica.
+
+        Under round-robin (with more than one replica) the chosen
+        replica depends on arrival order, so replica identity is
+        redacted from spans: each replica's trace node collapses to
+        ``"replica"`` and routed spans carry ``replica=-1``, keeping
+        the trace digest partition-independent.  Rendezvous routing is
+        a function of query content alone, so real replica ids are
+        deterministic and stay in the trace.
+        """
+        self._tracer = tracer
+        self.primary.set_tracer(tracer)
+        anonymous = self.policy == "round-robin" and len(self.replicas) > 1
+        for replica in self.replicas:
+            replica.set_tracer(tracer)
+            if anonymous:
+                replica._trace_node = "replica"
 
     # -- propagation ----------------------------------------------------------
 
@@ -224,6 +245,10 @@ class Router:
         in request order — so routing depends only on pair content,
         never on how the traffic was batched.
         """
+        tracer = self._tracer
+        if tracer.live:
+            tracer.emit("cluster.route_batch", policy=self.policy,
+                        pairs=len(pairs))
         if self.policy == "round-robin" or len(self.replicas) == 1:
             return getattr(self._pick(None), method_name)(pairs)
         assignments = self._split([key_of(pair) for pair in pairs])
@@ -244,11 +269,28 @@ class Router:
 
     # -- read surface (the Dispatcher's query operations) ---------------------
 
+    def _trace_replica_id(self, replica: Replica) -> int:
+        """The replica id a routed span may carry (-1 when redacted).
+
+        Round-robin's pick rides an arrival-order counter, so its id is
+        nondeterministic under concurrency and is redacted to keep
+        trace digests partition-independent; rendezvous (and a
+        single-replica cluster) routes by content alone.
+        """
+        if self.policy == "rendezvous" or len(self.replicas) == 1:
+            return replica.replica_id
+        return -1
+
     def query(self, host_a: str, host_b: str) -> QueryVerdict:
         """One pairwise query, routed to a replica."""
         key = (self._route_key(host_a)
                if self.policy == "rendezvous" else None)
-        return self._pick(key).query(host_a, host_b)
+        replica = self._pick(key)
+        tracer = self._tracer
+        if tracer.live:
+            tracer.emit("cluster.route", policy=self.policy,
+                        replica=self._trace_replica_id(replica))
+        return replica.query(host_a, host_b)
 
     def query_batch(self, pairs: list[tuple[str, str]]) -> list[QueryVerdict]:
         """Bulk queries; split per pair under rendezvous routing."""
@@ -365,3 +407,16 @@ class Router:
         report["replica_pending_updates"] = float(
             sum(replica.pending_updates for replica in self.replicas))
         return report
+
+    def stats_registry(self):
+        """The merged cluster report as a unified metrics registry.
+
+        Replica-fleet fields land under ``cluster.*``; everything else
+        follows the same namespaces as
+        :meth:`~repro.serve.service.RwsService.stats_registry`.
+        """
+        from repro.obs.registry import MetricsRegistry, fold_stats_report
+
+        registry = MetricsRegistry()
+        fold_stats_report(registry, self.stats_report())
+        return registry

@@ -1,0 +1,109 @@
+"""repro.obs — the observability layer: one instrument panel for the stack.
+
+Three instruments over the serving stack, all composing with the
+project's determinism invariant (bit-identical digests across runs,
+shard counts, and executors):
+
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry`, the unified
+  metrics schema (mergeable counters / gauges / pow2 latency
+  histograms) plus adapters folding every legacy stats shape
+  (``ServiceStats``, PSL ``cache_stats()``, queue counters, dispatcher
+  middleware, ``WorkloadMetrics``) into dot-namespaced metrics
+  (``serve.*``, ``psl.*``, ``queue.*``, ``api.*``, ``cluster.*``,
+  ``workload.*``);
+* :mod:`repro.obs.trace` — :class:`Tracer`, deterministic per-request
+  spans (dispatcher → router → replica/primary → epoch query → PSL
+  resolve) with span ids derived from (seed, request index, sequence)
+  and logical-clock timestamps, so a seeded run's trace digest is
+  bit-identical; :data:`NULL_TRACER` is the default everywhere and
+  costs one guard on the hot path;
+* :mod:`repro.obs.profile` — :class:`StageProfiler`, attachable
+  stage-latency histograms and allocation counters for the known hot
+  spots (``QueryResult`` construction, router per-pair splitting).
+
+:mod:`repro.obs.export` renders both as versioned JSON snapshots for
+``repro stats`` / ``repro trace`` / ``repro load --metrics-out``.
+"""
+
+# The serving layers import ``repro.obs.trace`` at module top (it is
+# stdlib-only), so this package __init__ must stay weightless: eagerly
+# importing ``registry``/``export`` here would pull in
+# ``repro.workload`` and close an import cycle back into
+# ``repro.serve``.  Re-exports resolve lazily via PEP 562 instead.
+
+_EXPORTS = {
+    # repro.obs.trace (stdlib-only — safe from any layer)
+    "NULL_TRACER": "trace",
+    "NullTracer": "trace",
+    "Span": "trace",
+    "Tracer": "trace",
+    "TraceSummary": "trace",
+    "span_id": "trace",
+    # repro.obs.registry
+    "DETERMINISTIC_WORKLOAD_COUNTERS": "registry",
+    "MetricsRegistry": "registry",
+    "fold_api_counter": "registry",
+    "fold_latency_recorder": "registry",
+    "fold_psl_stats": "registry",
+    "fold_queue_stats": "registry",
+    "fold_service_stats": "registry",
+    "fold_stats_report": "registry",
+    "fold_workload_metrics": "registry",
+    "registry_for_backend": "registry",
+    # repro.obs.profile
+    "StageProfiler": "profile",
+    # repro.obs.export
+    "METRICS_SCHEMA": "export",
+    "TRACE_SCHEMA": "export",
+    "load_snapshot": "export",
+    "metrics_snapshot": "export",
+    "render_metrics_lines": "export",
+    "render_trace_lines": "export",
+    "trace_snapshot": "export",
+    "write_snapshot": "export",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f"repro.obs.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "DETERMINISTIC_WORKLOAD_COUNTERS",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "StageProfiler",
+    "TRACE_SCHEMA",
+    "TraceSummary",
+    "Tracer",
+    "fold_api_counter",
+    "fold_latency_recorder",
+    "fold_psl_stats",
+    "fold_queue_stats",
+    "fold_service_stats",
+    "fold_stats_report",
+    "fold_workload_metrics",
+    "load_snapshot",
+    "metrics_snapshot",
+    "registry_for_backend",
+    "render_metrics_lines",
+    "render_trace_lines",
+    "span_id",
+    "trace_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,372 @@
+"""The unified metrics registry: one schema over every subsystem's counters.
+
+Before this module, the stack's telemetry was scattered: per-thread
+:class:`~repro.serve.service.ServiceStats` cells in the serving shell,
+:meth:`PublicSuffixList.cache_stats` dicts in the PSL engine,
+:class:`~repro.serve.queue.QueueStats` in the validation queue,
+middleware counter dicts in the API dispatcher, and the workload
+engine's :class:`~repro.workload.metrics.WorkloadMetrics` — five
+shapes, none mergeable with the others.  :class:`MetricsRegistry`
+folds all of them behind one schema:
+
+* **counters** — monotonic ints, merged by addition;
+* **gauges** — point-in-time floats (epoch version, index size),
+  merged by max (the freshest view of monotone state);
+* **histograms** — the existing power-of-two-bucket
+  :class:`~repro.workload.metrics.LatencyHistogram`, merged by
+  element-wise addition.
+
+Metric names are dot-namespaced by subsystem — ``serve.*``, ``psl.*``,
+``queue.*``, ``api.*``, ``cluster.*``, ``workload.*`` — and the
+adapter functions below (:func:`fold_service_stats`,
+:func:`fold_stats_report`, :func:`fold_api_counter`, ...) translate
+each legacy shape into that namespace, so ``stats_report`` output from
+any layer lands in the same registry form.
+
+Determinism is first-class: a counter may be registered as
+*deterministic*, meaning its merged value must be bit-identical for a
+given (scenario, users, seed) across runs, shard counts, and executors
+— exactly the contract the outcome digest has.  :meth:`digest_hex`
+hashes only the deterministic subset, so the workload driver can merge
+shard-local registries exactly like digests and assert equality.
+Wall-clock-derived metrics (latency histograms, resolver cache
+hit/miss splits, per-shard bookkeeping) are never deterministic and
+never enter the digest.
+
+Like every mergeable structure here, the registry travels between
+process shards via :meth:`to_portable`/:meth:`from_portable`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.workload.metrics import LatencyHistogram, WorkloadMetrics
+
+if TYPE_CHECKING:  # type-only: avoid importing serve at module load
+    from repro.api.dispatcher import LatencyRecorder, RequestCounter
+    from repro.serve.queue import QueueStats
+    from repro.serve.service import ServiceStats
+
+#: Workload counters whose merged values are partition-independent for
+#: a given (scenario, users, seed) — the decision/outcome counters the
+#: digest-equality tests already pin.  Per-shard bookkeeping (resolver
+#: hits/misses, warmup resolutions, per-shard update applications) is
+#: deliberately absent: those counters vary with how users were
+#: partitioned, which the driver documents.
+DETERMINISTIC_WORKLOAD_COUNTERS = frozenset({
+    "rsa_calls",
+    "rsa_for_calls",
+    "rsa_granted",
+    "rsa_denied",
+    "queries",
+    "related_hits",
+    "page_visits",
+})
+
+
+class MetricsRegistry:
+    """Namespaced, mergeable counters, gauges, and latency histograms.
+
+    Thread-safe for concurrent registration and updates: metric
+    creation happens under a lock, and counter bumps ride
+    ``dict``-entry addition under the same lock (registries are scraped
+    and folded, not hot-path instruments — hot paths keep their
+    existing lock-free cells and *fold into* a registry on report).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._deterministic: set[str] = set()
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    # -- registration and updates ---------------------------------------------
+
+    def count(self, name: str, n: int = 1, *,
+              deterministic: bool = False) -> None:
+        """Add ``n`` to a named counter (created at 0 on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+            if deterministic:
+                self._deterministic.add(name)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (merge keeps the max)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The named latency histogram (created empty on first use)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            return histogram
+
+    def record_latency(self, name: str, ns: int) -> None:
+        """Record one nanosecond observation under a histogram name."""
+        self.histogram(name).record(ns)
+
+    # -- reads ----------------------------------------------------------------
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """A copy of all counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        """A copy of all gauges."""
+        with self._lock:
+            return dict(self._gauges)
+
+    @property
+    def histograms(self) -> dict[str, LatencyHistogram]:
+        """A shallow copy of the histogram table."""
+        with self._lock:
+            return dict(self._histograms)
+
+    def counter_value(self, name: str) -> int:
+        """One counter's current value (0 when absent)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def deterministic_counters(self) -> dict[str, int]:
+        """The deterministic counter subset (the digest's input)."""
+        with self._lock:
+            return {name: self._counters[name]
+                    for name in self._deterministic
+                    if name in self._counters}
+
+    def as_flat_dict(self) -> dict[str, float]:
+        """Everything as one flat ``{name: float}`` mapping.
+
+        The "one shape" every subsystem's stats report folds into:
+        counters and gauges keep their names; each histogram expands to
+        ``<name>.count`` / ``<name>.p50_ns`` / ``<name>.p95_ns`` /
+        ``<name>.p99_ns``.
+        """
+        with self._lock:
+            flat: dict[str, float] = {name: float(value)
+                                      for name, value in
+                                      self._counters.items()}
+            flat.update(self._gauges)
+            histograms = list(self._histograms.items())
+        for name, histogram in histograms:
+            for key, value in histogram.summary().items():
+                flat[f"{name}.{key}"] = value
+        return flat
+
+    # -- merge / transport ----------------------------------------------------
+
+    def merge(self, other: MetricsRegistry) -> None:
+        """Fold another registry into this one.
+
+        Counters add, gauges keep the max, histograms vector-add, and
+        the deterministic marking is unioned — so merging shard-local
+        registries commutes exactly like merging digests.
+        """
+        with other._lock:
+            counters = dict(other._counters)
+            deterministic = set(other._deterministic)
+            gauges = dict(other._gauges)
+            histograms = dict(other._histograms)
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._deterministic |= deterministic
+            for name, value in gauges.items():
+                mine = self._gauges.get(name)
+                self._gauges[name] = value if mine is None \
+                    else max(mine, value)
+        for name, histogram in histograms.items():
+            self.histogram(name).merge(histogram)
+
+    def to_portable(self) -> dict:
+        """A picklable/JSON-able plain-data form."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "deterministic": sorted(self._deterministic),
+                "gauges": dict(self._gauges),
+                "histograms": {name: list(histogram.counts)
+                               for name, histogram
+                               in self._histograms.items()},
+            }
+
+    @classmethod
+    def from_portable(cls, data: Mapping) -> MetricsRegistry:
+        """Rebuild a registry from :meth:`to_portable` output."""
+        registry = cls()
+        registry._counters = dict(data["counters"])
+        registry._deterministic = set(data["deterministic"])
+        registry._gauges = {name: float(value)
+                            for name, value in data["gauges"].items()}
+        registry._histograms = {
+            name: LatencyHistogram(list(counts))
+            for name, counts in data["histograms"].items()
+        }
+        return registry
+
+    def digest_hex(self) -> str:
+        """A sha256 over the deterministic counter subset.
+
+        Bit-identical across runs, shard counts, and executors for a
+        seeded workload — the registry's analogue of the outcome
+        digest.  Only counters registered deterministic participate;
+        timing histograms, gauges, and partition-dependent bookkeeping
+        are excluded by construction.
+        """
+        payload = "\n".join(
+            f"{name}={value}"
+            for name, value in sorted(self.deterministic_counters().items())
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- legacy-shape adapters ----------------------------------------------------
+#
+# Each adapter folds one of the stack's pre-registry stats shapes into
+# a namespaced registry.  They are additive (safe to call repeatedly on
+# distinct sources) and total: unknown keys land under their source
+# namespace rather than being dropped.
+
+#: ``stats_report`` keys that are point-in-time state, not counters.
+_REPORT_GAUGES = frozenset({
+    "epoch", "snapshot_version", "index_sites", "index_sets",
+    "mean_query_ns", "replicas", "replica_epoch_min", "replica_epoch_max",
+    "replica_pending_updates", "psl_size", "psl_maxsize", "replica",
+})
+
+#: ``stats_report`` keys belonging to the cluster namespace.
+_REPORT_CLUSTER = frozenset({
+    "replicas", "replica_epoch_min", "replica_epoch_max",
+    "replica_catch_ups", "replica_deltas_applied",
+    "replica_pending_updates", "replica",
+})
+
+
+def fold_service_stats(registry: MetricsRegistry, stats: "ServiceStats",
+                       namespace: str = "serve") -> None:
+    """Fold a :class:`ServiceStats` snapshot into ``<namespace>.*``."""
+    registry.count(f"{namespace}.queries", stats.queries)
+    registry.count(f"{namespace}.related_hits", stats.related_hits)
+    registry.count(f"{namespace}.resolver_hits", stats.resolver_hits)
+    registry.count(f"{namespace}.resolver_misses", stats.resolver_misses)
+    registry.count(f"{namespace}.resolver_errors", stats.resolver_errors)
+    registry.count(f"{namespace}.publishes", stats.publishes)
+    registry.gauge(f"{namespace}.mean_query_ns", stats.mean_query_ns)
+
+
+def fold_psl_stats(registry: MetricsRegistry, cache_stats: Mapping[str, int],
+                   namespace: str = "psl") -> None:
+    """Fold :meth:`PublicSuffixList.cache_stats` into ``psl.*``."""
+    for key, value in cache_stats.items():
+        if key in ("size", "maxsize"):
+            registry.gauge(f"{namespace}.{key}", float(value))
+        else:
+            registry.count(f"{namespace}.{key}", int(value))
+
+
+def fold_queue_stats(registry: MetricsRegistry, stats: "QueueStats",
+                     namespace: str = "queue") -> None:
+    """Fold a :class:`QueueStats` snapshot into ``queue.*``."""
+    registry.count(f"{namespace}.submitted", stats.submitted)
+    registry.count(f"{namespace}.passed", stats.passed)
+    registry.count(f"{namespace}.rejected", stats.rejected)
+    registry.count(f"{namespace}.errored", stats.errored)
+
+
+def fold_api_counter(registry: MetricsRegistry, counter: "RequestCounter",
+                     namespace: str = "api") -> None:
+    """Fold a dispatcher :class:`RequestCounter` into ``api.*``."""
+    for op, count in counter.requests.items():
+        registry.count(f"{namespace}.requests.{op}", count)
+    for op, count in counter.errors.items():
+        registry.count(f"{namespace}.errors.{op}", count)
+
+
+def fold_latency_recorder(registry: MetricsRegistry,
+                          recorder: "LatencyRecorder",
+                          namespace: str = "api") -> None:
+    """Fold a :class:`LatencyRecorder`'s histograms into ``api.*``.
+
+    The recorder prefixes its operation names itself (``api_query``
+    by default); the fold re-namespaces them as
+    ``<namespace>.latency.<op>``.
+    """
+    prefix = recorder.prefix
+    for name, histogram in recorder.metrics.histograms.items():
+        op = name[len(prefix):] if name.startswith(prefix) else name
+        registry.histogram(f"{namespace}.latency.{op}").merge(histogram)
+
+
+def fold_workload_metrics(
+    registry: MetricsRegistry, metrics: WorkloadMetrics,
+    namespace: str = "workload",
+    deterministic: Iterable[str] = DETERMINISTIC_WORKLOAD_COUNTERS,
+) -> None:
+    """Fold a :class:`WorkloadMetrics` into ``workload.*``.
+
+    Counters named in ``deterministic`` are registered as such (their
+    merged values are partition-independent); latency histograms land
+    under ``<namespace>.latency.<op>`` and are never deterministic.
+    """
+    deterministic = frozenset(deterministic)
+    for name, value in metrics.counters.items():
+        registry.count(f"{namespace}.{name}", value,
+                       deterministic=name in deterministic)
+    for name, histogram in metrics.histograms.items():
+        registry.histogram(f"{namespace}.latency.{name}").merge(histogram)
+
+
+def fold_stats_report(registry: MetricsRegistry,
+                      report: Mapping[str, float]) -> None:
+    """Fold a service/replica/router ``stats_report`` dict.
+
+    The flat legacy report re-namespaces as: ``psl_*`` → ``psl.*``,
+    ``queue_*`` → ``queue.*``, replica-fleet fields → ``cluster.*``,
+    and everything else (request counters, epoch/index state) →
+    ``serve.*``.  Point-in-time fields become gauges, monotonic fields
+    counters.
+    """
+    for key, value in report.items():
+        if key.startswith("psl_"):
+            name = f"psl.{key[4:]}"
+        elif key.startswith("queue_"):
+            name = f"queue.{key[6:]}"
+        elif key in _REPORT_CLUSTER:
+            name = f"cluster.{key}"
+        else:
+            name = f"serve.{key}"
+        if key in _REPORT_GAUGES:
+            registry.gauge(name, value)
+        else:
+            registry.count(name, int(value))
+
+
+def registry_for_backend(backend, *, api_counter: "RequestCounter | None"
+                         = None,
+                         api_latency: "LatencyRecorder | None" = None,
+                         ) -> MetricsRegistry:
+    """One registry over a serving backend and its API middleware.
+
+    ``backend`` is anything with a ``stats_report()`` — an
+    :class:`~repro.serve.service.RwsService`, a
+    :class:`~repro.cluster.Replica`, or a
+    :class:`~repro.cluster.Router` (whose report already merges every
+    node once).  Optional dispatcher middleware folds in under
+    ``api.*``.
+    """
+    registry = MetricsRegistry()
+    fold_stats_report(registry, backend.stats_report())
+    if api_counter is not None:
+        fold_api_counter(registry, api_counter)
+    if api_latency is not None:
+        fold_latency_recorder(registry, api_latency)
+    return registry

@@ -46,6 +46,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.trace import NULL_TRACER
 from repro.psl import PublicSuffixList, default_psl
 from repro.psl.lookup import DomainError
 from repro.rws.model import RelatedWebsiteSet, RwsList
@@ -330,12 +331,27 @@ class EpochShell:
     _epoch: Epoch
     _resolver: _ResolverShim
     _cells: _StatsCells
+    _trace_node: str
 
     def _shell_init(self, psl: PublicSuffixList,
                     resolver_cache_size: int) -> None:
         self._epoch = Epoch.bootstrap(psl)
         self._resolver = _ResolverShim(psl, resolver_cache_size)
         self._cells = _StatsCells()
+        # Tracing is off by default: NULL_TRACER.live is False, so the
+        # query hot path pays one attribute check per call and nothing
+        # else (the ≤2% serve-bench budget in benchmarks/test_bench_obs).
+        self._tracer = NULL_TRACER
+        self._trace_node = "primary"
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.trace.Tracer` (or detach with
+        :data:`~repro.obs.trace.NULL_TRACER`).
+
+        Spans are only recorded inside the tracer's active request
+        context, so attaching a tracer never perturbs untraced traffic.
+        """
+        self._tracer = tracer
 
     # -- epoch capture --------------------------------------------------------
 
@@ -363,11 +379,20 @@ class EpochShell:
 
     def resolve_host(self, host: str) -> str | None:
         """A host's eTLD+1 via the counting shim over the PSL cache."""
-        return self._resolver.resolve(host, self._cells.cell())
+        site = self._resolver.resolve(host, self._cells.cell())
+        tracer = self._tracer
+        if tracer.live:
+            tracer.emit("psl.resolve", host=host, site=site)
+        return site
 
     def resolve_hosts(self, hosts: list[str]) -> list[str | None]:
         """Bulk :meth:`resolve_host`: one batched PSL pass."""
-        return self._resolver.resolve_many(hosts, self._cells.cell())
+        sites = self._resolver.resolve_many(hosts, self._cells.cell())
+        tracer = self._tracer
+        if tracer.live:
+            tracer.emit("psl.resolve_batch", node=self._trace_node,
+                        hosts=len(hosts))
+        return sites
 
     def query(self, host_a: str, host_b: str) -> QueryVerdict:
         """Answer one pairwise storage-access membership query.
@@ -391,6 +416,16 @@ class EpochShell:
         if verdict.related:
             cell.related_hits += 1
         cell.query_ns_total += time.perf_counter_ns() - started
+        tracer = self._tracer
+        if tracer.live:
+            # Stage chain for the request trace: resolve, resolve,
+            # index probe.  Annotations are logical values only (hosts,
+            # sites, the verdict) — never timing — so the same seeded
+            # request digests identically on any node.
+            tracer.emit("psl.resolve", host=host_a, site=site_a)
+            tracer.emit("psl.resolve", host=host_b, site=site_b)
+            tracer.emit("serve.query", node=self._trace_node,
+                        related=verdict.related)
         return verdict
 
     def query_batch(self, pairs: list[tuple[str, str]]) -> list[QueryVerdict]:
@@ -424,6 +459,10 @@ class EpochShell:
         cell.queries += len(pairs)
         cell.related_hits += related_hits
         cell.query_ns_total += time.perf_counter_ns() - started
+        tracer = self._tracer
+        if tracer.live:
+            tracer.emit("serve.query_batch", node=self._trace_node,
+                        pairs=len(pairs), related=related_hits)
         return verdicts
 
     def related_batch(self, pairs: list[tuple[str, str]]) -> list[bool]:
@@ -454,6 +493,10 @@ class EpochShell:
         cell.queries += len(pairs)
         cell.related_hits += related_hits
         cell.query_ns_total += time.perf_counter_ns() - started
+        tracer = self._tracer
+        if tracer.live:
+            tracer.emit("serve.related_batch", node=self._trace_node,
+                        pairs=len(pairs), related=related_hits)
         return verdicts
 
     def related_sites_batch(
@@ -475,9 +518,14 @@ class EpochShell:
         started = time.perf_counter_ns()
         verdicts = self._epoch.index.related_batch_normalized(pairs)
         cell = self._cells.cell()
+        related_hits = sum(verdicts)
         cell.queries += len(pairs)
-        cell.related_hits += sum(verdicts)
+        cell.related_hits += related_hits
         cell.query_ns_total += time.perf_counter_ns() - started
+        tracer = self._tracer
+        if tracer.live:
+            tracer.emit("serve.related_sites_batch", node=self._trace_node,
+                        pairs=len(pairs), related=related_hits)
         return verdicts
 
 
@@ -546,6 +594,13 @@ class RwsService(EpochShell):
             assert self.validator is not None
             self.validator.set_published(snapshot.rws_list,
                                          index=epoch.index)
+        tracer = self._tracer
+        if tracer.live:
+            # Recorded only when a publish happens *inside* a traced
+            # request (spans outside a request context are dropped):
+            # background publishes are partition-dependent and must not
+            # reach the trace digest.
+            tracer.emit("serve.publish", version=snapshot.version)
         return snapshot
 
     def delta_since(self, version: int,
@@ -615,3 +670,18 @@ class RwsService(EpochShell):
         for key, value in self.psl.cache_stats().items():
             report[f"psl_{key}"] = float(value)
         return report
+
+    def stats_registry(self, merge: tuple[ServiceStats, ...] = ()):
+        """This service's :meth:`stats_report` as a unified registry.
+
+        Returns a :class:`~repro.obs.registry.MetricsRegistry` with the
+        report folded under the standard namespaces (``serve.*``,
+        ``psl.*``, ``queue.*``) — the one-schema view the ``repro
+        stats`` CLI renders.  Imported lazily so the serving layer's
+        import graph stays free of the registry's workload dependency.
+        """
+        from repro.obs.registry import MetricsRegistry, fold_stats_report
+
+        registry = MetricsRegistry()
+        fold_stats_report(registry, self.stats_report(merge=merge))
+        return registry

@@ -60,6 +60,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.api.dispatcher import Dispatcher, RequestCounter
 from repro.api.envelopes import (
@@ -72,6 +73,7 @@ from repro.api.envelopes import (
 from repro.browser.engine import Browser
 from repro.browser.policy import BROWSER_POLICIES
 from repro.cluster.router import Router
+from repro.obs.trace import NULL_TRACER, Tracer, TraceSummary
 from repro.psl.lookup import DomainError
 from repro.rws.model import RwsList
 from repro.serve.service import RwsService
@@ -84,6 +86,9 @@ from repro.workload.metrics import (
     user_digest,
 )
 from repro.workload.scenarios import LIST_PROFILES, Scenario, get_scenario
+
+if TYPE_CHECKING:  # import cycle guard: obs.registry imports this package
+    from repro.obs.registry import MetricsRegistry
 
 #: Sampling stride for fast-path rSA latency timing (one in N).
 _SAMPLE_STRIDE = 32
@@ -106,6 +111,11 @@ class ShardTask:
         total_users: The whole run's user count (mid-flight update
             cutoffs are computed against this, not the shard size).
         reference: True for the full-fidelity serial path.
+        trace: Attach a deterministic per-request tracer.  Tracing
+            forces full-fidelity execution (the fast path's batch
+            flush boundaries depend on the partition, which would make
+            span streams shard-dependent), so the shard-merged trace
+            digest is bit-identical across shard counts and executors.
     """
 
     scenario: Scenario
@@ -114,6 +124,7 @@ class ShardTask:
     user_end: int
     total_users: int
     reference: bool
+    trace: bool = False
 
 
 @dataclass
@@ -138,6 +149,12 @@ class WorkloadResult:
     digest: int
     wall_seconds: float
     snapshot_version: int
+    #: The shard-merged unified metrics registry (counters add, gauges
+    #: keep the max, histograms vector-add); its deterministic-subset
+    #: digest is partition-independent like the outcome digest.
+    registry: MetricsRegistry | None = None
+    #: The shard-merged trace summary (``trace=True`` runs only).
+    trace: TraceSummary | None = None
 
     @property
     def decisions(self) -> int:
@@ -172,6 +189,12 @@ class WorkloadResult:
             f"related {counters.get('related_hits', 0)}",
             f"digest {self.digest_hex}",
         ]
+        if self.registry is not None:
+            lines.append(f"metrics digest {self.registry.digest_hex()}")
+        if self.trace is not None:
+            lines.append(f"trace digest {self.trace.digest_hex}  "
+                         f"({self.trace.span_count} spans over "
+                         f"{self.trace.request_count} requests)")
         if counters.get("list_updates"):
             # One logical update; each shard at/above the cutoff
             # republishes into its private service and re-verifies.
@@ -208,7 +231,7 @@ class _ShardState:
                  "pending_pairs")
 
     def __init__(self, scenario: Scenario, service: RwsService,
-                 router: Router | None = None):
+                 router: Router | None = None, tracer=NULL_TRACER):
         self.scenario = scenario
         self.service = service
         #: The replica cluster front-end in replicated execution mode,
@@ -218,7 +241,8 @@ class _ShardState:
             router if router is not None else service
         self.api_counter = RequestCounter()
         self.dispatcher = Dispatcher(self.backend,
-                                     middlewares=(self.api_counter,))
+                                     middlewares=(self.api_counter,),
+                                     tracer=tracer)
         # Browsers adopt the primary's epoch handle: the client-side
         # rSA decisions follow the publish instant (the primary), while
         # the serving-layer queries may lag behind on stale replicas.
@@ -528,11 +552,20 @@ def run_shard(task: ShardTask) -> dict:
             policy=scenario.router_policy,
             resolver_cache_size=scenario.resolver_cache_size,
         )
-    state = _ShardState(scenario, service, router)
+    tracer = Tracer(seed=task.seed) if task.trace else NULL_TRACER
+    if task.trace:
+        if router is not None:
+            router.set_tracer(tracer)  # propagates primary + replicas
+        else:
+            service.set_tracer(tracer)
+    state = _ShardState(scenario, service, router, tracer)
     universe = SiteUniverse(rws_list, trackers=scenario.trackers,
                             outside_sites=scenario.outside_sites)
     generator = SessionGenerator(scenario, task.seed, universe)
-    execute = _execute_reference if task.reference else _execute_fast
+    # Tracing forces the full-fidelity path: fast-path flush boundaries
+    # depend on the partition, which would shard-skew the span stream.
+    execute = (_execute_reference if task.reference or task.trace
+               else _execute_fast)
 
     if scenario.warm_cache:
         for site in universe.member_sites:
@@ -560,7 +593,13 @@ def run_shard(task: ShardTask) -> dict:
             if router.has_due(user_id):
                 _flush_fast(state)
             router.advance(user_id)
-        execute(state, generator.session(user_id))
+        if task.trace:
+            # The request index is the *global* user id, so the span
+            # stream (and its digest) is partition-independent.
+            with tracer.request(user_id):
+                execute(state, generator.session(user_id))
+        else:
+            execute(state, generator.session(user_id))
     _flush_fast(state)  # drain the fast path's tail buffer
 
     # The reference path resolves inside the service (or its
@@ -582,10 +621,28 @@ def run_shard(task: ShardTask) -> dict:
             sum(replica.deltas_applied for replica in router.replicas))
     for op, count in sorted(state.api_counter.requests.items()):
         state.metrics.count(f"api_{op}_requests", count)
+    # The shard's unified registry: decision counters (the
+    # deterministic subset), the backend's serve/psl/queue/cluster
+    # report, and the API middleware — merged upstream exactly like
+    # digests.  Imported lazily: obs.registry imports this package's
+    # metrics module, so a top-level import here would be circular.
+    from repro.obs.registry import (
+        MetricsRegistry,
+        fold_api_counter,
+        fold_stats_report,
+        fold_workload_metrics,
+    )
+
+    registry = MetricsRegistry()
+    fold_workload_metrics(registry, state.metrics)
+    fold_stats_report(registry, state.backend.stats_report())
+    fold_api_counter(registry, state.api_counter)
     snapshot = service.current_snapshot
     return {
         "users": task.user_end - task.user_start,
         "metrics": state.metrics.to_portable(),
+        "registry": registry.to_portable(),
+        "trace": tracer.summary().to_portable() if task.trace else None,
         "digest": combine_digests(state.digests),
         "wall_seconds": time.perf_counter() - started,
         "snapshot_version": snapshot.version if snapshot else 0,
@@ -622,11 +679,22 @@ def _resolve_executor(executor: str, shards: int) -> str:
 def _merge(scenario: Scenario, users: int, shards: int, executor: str,
            seed: int, outcomes: list[dict],
            wall_seconds: float) -> WorkloadResult:
+    from repro.obs.registry import MetricsRegistry  # cycle guard
+
     metrics = WorkloadMetrics()
+    registry = MetricsRegistry()
+    trace: TraceSummary | None = None
     digests: list[int] = []
     snapshot_version = 0
     for outcome in outcomes:
         metrics.merge(WorkloadMetrics.from_portable(outcome["metrics"]))
+        registry.merge(MetricsRegistry.from_portable(outcome["registry"]))
+        if outcome.get("trace") is not None:
+            shard_trace = TraceSummary.from_portable(outcome["trace"])
+            if trace is None:
+                trace = shard_trace
+            else:
+                trace.merge(shard_trace)
         digests.append(outcome["digest"])
         snapshot_version = max(snapshot_version,
                                outcome["snapshot_version"])
@@ -634,11 +702,12 @@ def _merge(scenario: Scenario, users: int, shards: int, executor: str,
         scenario=scenario, users=users, shards=shards, executor=executor,
         seed=seed, metrics=metrics, digest=combine_digests(digests),
         wall_seconds=wall_seconds, snapshot_version=snapshot_version,
+        registry=registry, trace=trace,
     )
 
 
 def run_serial(scenario: Scenario | str, users: int, *,
-               seed: int = 0) -> WorkloadResult:
+               seed: int = 0, trace: bool = False) -> WorkloadResult:
     """The serial driver: one shard, full-fidelity execution."""
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -647,14 +716,15 @@ def run_serial(scenario: Scenario | str, users: int, *,
     if users > 0:
         outcomes.append(run_shard(ShardTask(
             scenario=scenario, seed=seed, user_start=0, user_end=users,
-            total_users=users, reference=True,
+            total_users=users, reference=True, trace=trace,
         )))
     return _merge(scenario, users, 1, "serial", seed, outcomes,
                   time.perf_counter() - started)
 
 
 def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
-                seed: int = 0, executor: str = "auto") -> WorkloadResult:
+                seed: int = 0, executor: str = "auto",
+                trace: bool = False) -> WorkloadResult:
     """The sharded executor: partition users, run shards, merge.
 
     Args:
@@ -665,6 +735,10 @@ def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
         executor: ``process`` (default on multi-core), ``thread``,
             ``inline`` (run shards in-loop; useful for tests), or
             ``auto``.
+        trace: Attach per-shard deterministic tracers (forces
+            full-fidelity execution); summaries merge into
+            :attr:`WorkloadResult.trace` with a digest bit-identical
+            to the serial run's.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -674,7 +748,8 @@ def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
     started = time.perf_counter()
     tasks = [
         ShardTask(scenario=scenario, seed=seed, user_start=start,
-                  user_end=end, total_users=users, reference=False)
+                  user_end=end, total_users=users, reference=False,
+                  trace=trace)
         for start, end in _partition(users, shards)
     ]
     if len(tasks) <= 1:
@@ -702,12 +777,13 @@ def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
 
 
 def run_workload(scenario: Scenario | str, users: int, *, shards: int = 1,
-                 seed: int = 0, executor: str = "auto") -> WorkloadResult:
+                 seed: int = 0, executor: str = "auto",
+                 trace: bool = False) -> WorkloadResult:
     """Run a workload, serial for one shard, sharded otherwise."""
     if shards <= 1:
-        return run_serial(scenario, users, seed=seed)
+        return run_serial(scenario, users, seed=seed, trace=trace)
     return run_sharded(scenario, users, shards, seed=seed,
-                       executor=executor)
+                       executor=executor, trace=trace)
 
 
 def replicated(scenario: Scenario | str, replicas: int, *, lag: int = 0,

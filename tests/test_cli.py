@@ -246,3 +246,92 @@ class TestApiCommand:
         output = capsys.readouterr().out
         assert output.startswith("{\n")
         assert json.loads(output)["ok"] is True
+
+
+class TestStatsCommand:
+    def test_renders_namespaced_table(self, capsys):
+        assert main(["stats", "--queries", "120"]) == 0
+        output = capsys.readouterr().out
+        assert "serve.queries" in output
+        assert "psl." in output
+        assert "api.requests.batch_query" in output
+        assert "registry digest " in output
+
+    def test_replicated_backend_adds_cluster_metrics(self, capsys):
+        assert main(["stats", "--queries", "60", "--replicas", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "cluster.replicas" in output
+
+    def test_json_snapshot_is_schema_tagged(self, capsys):
+        assert main(["stats", "--queries", "40", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["schema"] == "repro.obs.metrics/1"
+        assert snapshot["counters"]["serve.queries"] == 40
+        assert snapshot["meta"]["source"] == "repro stats"
+
+    def test_out_writes_snapshot_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["stats", "--queries", "40", "--out",
+                     str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["schema"] == "repro.obs.metrics/1"
+        assert "wrote metrics snapshot" in capsys.readouterr().out
+
+    def test_negative_queries_exits_two(self, capsys):
+        assert main(["stats", "--queries", "-1"]) == 2
+        assert "--queries >= 0" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_prints_digest_and_span_table(self, capsys):
+        assert main(["trace", "--users", "6", "--seed", "5"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("trace digest ")
+        assert "serve.query" in output
+
+    def test_digest_is_identical_across_shard_counts(self, capsys):
+        assert main(["trace", "--users", "8", "--seed", "5"]) == 0
+        serial = capsys.readouterr().out.splitlines()[0]
+        assert main(["trace", "--users", "8", "--seed", "5",
+                     "--shards", "2", "--executor", "thread"]) == 0
+        sharded = capsys.readouterr().out.splitlines()[0]
+        assert sharded == serial
+
+    def test_out_writes_trace_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--users", "6", "--seed", "5",
+                     "--out", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["schema"] == "repro.obs.trace/1"
+        assert snapshot["meta"]["scenario"] == "steady"
+        assert snapshot["digest"] in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["trace", "--scenario", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+
+class TestLoadObsFlags:
+    def test_trace_flag_appends_obs_digests_to_report(self, capsys):
+        assert main(["load", "--scenario", "steady", "--users", "40",
+                     "--seed", "7", "--trace"]) == 0
+        output = capsys.readouterr().out
+        assert "trace digest " in output
+        assert "metrics digest " in output
+
+    def test_metrics_and_trace_out_write_snapshots(self, tmp_path,
+                                                   capsys):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        assert main(["load", "--scenario", "steady", "--users", "40",
+                     "--seed", "7", "--shards", "2",
+                     "--executor", "inline",
+                     "--metrics-out", str(metrics_path),
+                     "--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        metrics = json.loads(metrics_path.read_text())
+        trace = json.loads(trace_path.read_text())
+        assert metrics["schema"] == "repro.obs.metrics/1"
+        assert metrics["deterministic"]["workload.queries"] > 0
+        assert trace["schema"] == "repro.obs.trace/1"
+        assert trace["meta"]["shards"] == "2"
