@@ -78,6 +78,11 @@ def _bench_obs_profile() -> dict:
     return measure_profile_hotspots()
 
 
+def _bench_net() -> dict:
+    from benchmarks.test_bench_net import measure_net_throughput
+    return measure_net_throughput()
+
+
 #: name -> zero-argument measurement returning a flat JSON-able dict.
 BENCHES: dict[str, Callable[[], dict]] = {
     "psl_uncached_resolve": _bench_psl_uncached,
@@ -88,6 +93,7 @@ BENCHES: dict[str, Callable[[], dict]] = {
     "api_dispatch": _bench_api_dispatch,
     "obs_tracer": _bench_obs_tracer,
     "obs_profile": _bench_obs_profile,
+    "net_throughput": _bench_net,
 }
 
 

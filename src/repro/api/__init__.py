@@ -26,6 +26,7 @@ behind the dispatcher without rewiring consumers.
 
 from repro.api.codec import (
     API_VERSION,
+    MAX_WIRE_BYTES,
     MIN_VERSION,
     WireError,
     decode_request,
@@ -78,6 +79,7 @@ __all__ = [
     "ErrorCode",
     "ErrorResponse",
     "LatencyRecorder",
+    "MAX_WIRE_BYTES",
     "MIN_VERSION",
     "PollRequest",
     "PollResponse",

@@ -69,6 +69,16 @@ API_VERSION = 1
 #: The oldest version still decodable.
 MIN_VERSION = 1
 
+#: Ceiling on one wire document's UTF-8 byte size.  Part of the wire
+#: spec: peers may refuse anything larger *before* parsing it, so a
+#: hostile or corrupt length never forces an unbounded ``json.loads``.
+#: The default clears the full seed-list publish envelope (~24 KB) by
+#: two orders of magnitude while still bounding a Chrome-scale list;
+#: every decoding entry point takes a ``max_bytes`` override, and the
+#: TCP framing layer (:mod:`repro.net.frame`) enforces the same bound
+#: on the length prefix itself.
+MAX_WIRE_BYTES = 4 * 1024 * 1024
+
 
 class WireError(ValueError):
     """A wire document could not be decoded into an envelope."""
@@ -415,18 +425,28 @@ def encode_request(request: Request, version: int = API_VERSION) -> str:
     }, sort_keys=True)
 
 
-def decode_request(text: str) -> tuple[Request, int]:
+def decode_request(text: str, *,
+                   max_bytes: int | None = MAX_WIRE_BYTES
+                   ) -> tuple[Request, int]:
     """Parse wire JSON back to a request envelope.
+
+    Args:
+        text: The wire document.
+        max_bytes: Size ceiling in UTF-8 bytes (None disables the
+            check).  Oversized documents are refused as ``MALFORMED``
+            before any JSON parsing happens.
 
     Returns:
         The envelope and the negotiated protocol version (echo it on
         the response).
 
     Raises:
-        WireError: On JSON syntax errors, unknown operations,
+        WireError: On oversized documents, JSON syntax errors (which
+            includes truncated payloads), unknown operations,
             unsupported versions, or invalid payload shapes.
     """
-    envelope = _decode_envelope(text, expected_kind="request")
+    envelope = _decode_envelope(text, expected_kind="request",
+                                max_bytes=max_bytes)
     version = negotiate_version(envelope.get("api_version"))
     op = envelope.get("op")
     if not isinstance(op, str):
@@ -561,14 +581,19 @@ def encode_response(response: Response, version: int = API_VERSION) -> str:
     }, sort_keys=True)
 
 
-def decode_response(text: str) -> tuple[Response, int]:
+def decode_response(text: str, *,
+                    max_bytes: int | None = MAX_WIRE_BYTES
+                    ) -> tuple[Response, int]:
     """Parse wire JSON back to a response envelope (plus its version).
 
     Raises:
-        WireError: On JSON syntax errors, unknown operations or error
-            codes, unsupported versions, or invalid payload shapes.
+        WireError: On oversized documents (past ``max_bytes``), JSON
+            syntax errors (truncated payloads included), unknown
+            operations or error codes, unsupported versions, or
+            invalid payload shapes.
     """
-    envelope = _decode_envelope(text, expected_kind="response")
+    envelope = _decode_envelope(text, expected_kind="response",
+                                max_bytes=max_bytes)
     version = negotiate_version(envelope.get("api_version"))
     op = envelope.get("op")
     if not isinstance(op, str):
@@ -583,7 +608,18 @@ def decode_response(text: str) -> tuple[Response, int]:
     return _decode_response_payload(op, payload), version
 
 
-def _decode_envelope(text: str, expected_kind: str) -> dict[str, Any]:
+def _decode_envelope(text: str, expected_kind: str,
+                     max_bytes: int | None = MAX_WIRE_BYTES
+                     ) -> dict[str, Any]:
+    if max_bytes is not None:
+        size = len(text if isinstance(text, bytes)
+                   else text.encode("utf-8"))
+        if size > max_bytes:
+            raise WireError(
+                f"wire document of {size} bytes exceeds the "
+                f"{max_bytes}-byte frame limit",
+                detail={"bytes": str(size), "max_bytes": str(max_bytes)},
+            )
     try:
         envelope = json.loads(text)
     except json.JSONDecodeError as exc:

@@ -330,21 +330,28 @@ class Dispatcher:
                 message=f"{type(exc).__name__}: {exc}",
             ))
 
-    def dispatch_wire(self, text: str) -> str:
+    def dispatch_wire(self, text: str, *,
+                      max_bytes: int | None = None) -> str:
         """Decode a wire request, dispatch it, encode the response.
 
-        Never raises for bad input: undecodable requests come back as
+        Never raises for bad input: undecodable requests — bad JSON,
+        truncated payloads, or documents larger than ``max_bytes``
+        (defaulting to the wire spec's
+        :data:`~repro.api.codec.MAX_WIRE_BYTES`) — come back as
         encoded ``MALFORMED`` error envelopes, so a transport can pipe
         bytes through without its own error handling.
         """
         from repro.api.codec import (  # local: codec imports envelopes only
             API_VERSION,
+            MAX_WIRE_BYTES,
             WireError,
             decode_request,
             encode_response,
         )
+        if max_bytes is None:
+            max_bytes = MAX_WIRE_BYTES
         try:
-            request, version = decode_request(text)
+            request, version = decode_request(text, max_bytes=max_bytes)
         except WireError as exc:
             return encode_response(ErrorResponse(error=exc.error),
                                    version=API_VERSION)

@@ -206,7 +206,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     def dispatch_ok(request):
         """Dispatch, surfacing error envelopes instead of crashing."""
-        response = dispatcher.dispatch(request)
+        response = transport.dispatch(request)
         if isinstance(response, ErrorResponse):
             print(f"{request.op} failed: {response.error.code.value}: "
                   f"{response.error.message}", file=sys.stderr)
@@ -216,6 +216,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     counter = RequestCounter()
     latency = LatencyRecorder()
     service, dispatcher = _build_api(middlewares=(counter, latency))
+    harness = client = None
+    if args.tcp is not None:
+        # The self-test workload rides real loopback sockets: the same
+        # dispatcher sits behind an RwsTcpServer, and every dispatch
+        # below goes through a pooled TcpApiClient instead.
+        from repro.net import RwsTcpServer, ServerThread, TcpApiClient
+
+        try:
+            tcp_host, _, tcp_port = args.tcp.rpartition(":")
+            bind = (tcp_host or "127.0.0.1", int(tcp_port))
+        except ValueError:
+            print(f"--tcp wants HOST:PORT (port 0 = ephemeral), "
+                  f"got {args.tcp!r}", file=sys.stderr)
+            return 2
+        harness = ServerThread(RwsTcpServer(
+            dispatcher=dispatcher, host=bind[0], port=bind[1]))
+        host, port = harness.start()
+        client = TcpApiClient(host, port)
+        print(f"tcp server listening on {host}:{port} "
+              f"(api v{client.api_version})")
+    transport = client if client is not None else dispatcher
     snapshot = service.current_snapshot
     assert snapshot is not None
     rws_list = snapshot.rws_list
@@ -249,6 +270,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         report[f"api_{op}"] = float(count)
     for name, histogram in sorted(latency.metrics.histograms.items()):
         report[f"{name}_p99_ns"] = histogram.percentile(0.99)
+    if client is not None and harness is not None:
+        for side, snap in (("net", harness.server.net_snapshot()),
+                           ("net_client", client.net_snapshot())):
+            for key, value in snap["counters"].items():
+                report[f"{side}_{key}"] = float(value)
+        client.close()
+        harness.stop()
     print()
     print("counter                value")
     print("---------------------  ----------")
@@ -380,15 +408,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     members = [record.site for record in snapshot.rws_list.all_members()]
     pairs = [(members[i % len(members)], members[(i * 7 + 3) % len(members)])
              for i in range(args.queries)]
+    harness = client = None
+    if args.transport == "tcp":
+        from repro.net import RwsTcpServer, ServerThread, TcpApiClient
+
+        harness = ServerThread(RwsTcpServer(dispatcher=dispatcher))
+        host, port = harness.start()
+        client = TcpApiClient(host, port)
     if pairs:
-        dispatcher.dispatch(BatchQueryRequest(pairs=pairs, detail=False))
+        (client or dispatcher).dispatch(
+            BatchQueryRequest(pairs=pairs, detail=False))
     registry = registry_for_backend(backend, api_counter=counter,
                                     api_latency=latency)
+    if client is not None and harness is not None:
+        from repro.obs import fold_net_snapshot
+
+        fold_net_snapshot(registry, harness.server.net_snapshot())
+        fold_net_snapshot(registry, client.net_snapshot(),
+                          namespace="net.client")
+        client.close()
+        harness.stop()
     if args.out or args.json:
         document = metrics_snapshot(registry, meta={
             "source": "repro stats",
             "queries": str(args.queries),
             "replicas": str(args.replicas),
+            "transport": args.transport,
         })
         if args.out:
             write_snapshot(args.out, document)
@@ -472,9 +517,14 @@ def _cmd_load(args: argparse.Namespace) -> int:
             policy=args.policy or scenario.router_policy,
         )
     trace = args.trace or args.trace_out is not None
+    if trace and args.transport == "tcp":
+        print("--trace requires --transport inproc (socket scheduling "
+              "would make span streams non-deterministic)",
+              file=sys.stderr)
+        return 2
     result = run_workload(scenario, args.users, shards=args.shards,
                           seed=args.seed, executor=args.executor,
-                          trace=trace)
+                          trace=trace, transport=args.transport)
     for line in result.report_lines():
         print(line)
     if args.metrics_out or args.trace_out:
@@ -485,6 +535,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
             "users": str(args.users),
             "shards": str(args.shards),
             "seed": str(args.seed),
+            "transport": args.transport,
         }
         if args.metrics_out:
             assert result.registry is not None
@@ -554,6 +605,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--queries", type=int, default=1000, metavar="N",
                      help="size of the self-test query workload "
                           "(default: 1000)")
+    sub.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                     help="serve the self-test workload over a real "
+                          "loopback TCP socket (port 0 picks an "
+                          "ephemeral port)")
     sub.add_argument("--validate", action="store_true",
                      help="also push every served set through the "
                           "asynchronous validation queue")
@@ -620,6 +675,12 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["round-robin", "rendezvous"],
                      help="cluster routing policy (default: the "
                           "scenario's own setting)")
+    sub.add_argument("--transport", default="inproc",
+                     choices=["inproc", "tcp"],
+                     help="shard dispatch transport: in-process calls "
+                          "or a per-shard loopback TCP server "
+                          "(default: inproc; outcomes are digest-"
+                          "identical either way)")
     sub.add_argument("--list-scenarios", action="store_true",
                      help="print the scenario registry and exit")
     sub.add_argument("--trace", action="store_true",
@@ -647,6 +708,12 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["round-robin", "rendezvous"],
                      help="cluster routing policy when --replicas > 0 "
                           "(default: rendezvous)")
+    sub.add_argument("--transport", default="inproc",
+                     choices=["inproc", "tcp"],
+                     help="run the self-test workload in-process or "
+                          "through a loopback TCP server, folding "
+                          "net.* metrics into the registry "
+                          "(default: inproc)")
     sub.add_argument("--json", action="store_true",
                      help="print the snapshot JSON instead of the table")
     sub.add_argument("--out", metavar="FILE", default=None,

@@ -1,0 +1,75 @@
+"""repro.net — the real TCP transport for the API wire codec.
+
+Everything in :mod:`repro.api` was built transport-agnostic: typed
+envelopes, a versioned JSON codec, a dispatcher that doesn't care who
+calls it.  ``repro.net`` is the layer that finally puts those wire
+documents on a socket:
+
+* :mod:`repro.net.frame` — length-prefixed framing (u32 BE prefix +
+  UTF-8 JSON payload) with an incremental, split-agnostic decoder and
+  a hard frame-size ceiling shared with the codec's
+  :data:`~repro.api.codec.MAX_WIRE_BYTES`;
+* :mod:`repro.net.server` — the asyncio :class:`RwsTcpServer`:
+  hello-based version negotiation, per-connection pipelining with
+  strictly ordered responses, a bounded in-flight window with
+  ``RATE_LIMITED`` pushback, idle timeouts, a connection cap, and
+  graceful drain-on-publish mirroring epoch-swap semantics on the
+  wire; plus :class:`ServerThread` for synchronous callers;
+* :mod:`repro.net.client` — :class:`TcpApiClient` (sync, pooled,
+  dispatcher-compatible ``dispatch()``, retry-with-backoff on
+  idempotent reads) and :class:`AsyncTcpApiClient` (explicit
+  pipelining for tests and benchmarks).
+
+**Decision record — repro.netsim stays.**  When this package landed,
+the question was whether :mod:`repro.netsim` (the deterministic
+synthetic-web substrate) should be retired in its favour.  It was
+kept: the two are different layers.  ``repro.netsim`` fabricates the
+*studied object* — a reproducible synthetic web with ``/.well-known``
+endpoints for the crawler, validator, and governance simulations to
+exercise — while ``repro.net`` carries the *serving traffic* of the
+reproduction's own API.  Retiring netsim would have re-entangled
+crawl-side determinism with real sockets, exactly what its in-memory
+design avoids.  So: ``repro.netsim`` is the synthetic-web test double,
+``repro.net`` is the one real transport, and neither imports the
+other.
+"""
+
+from repro.net.client import (
+    IDEMPOTENT_OPS,
+    AsyncTcpApiClient,
+    NetClientError,
+    TcpApiClient,
+)
+from repro.net.frame import (
+    PREFIX_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+from repro.net.server import (
+    DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_WINDOW,
+    SERVER_NAME,
+    RwsTcpServer,
+    ServerThread,
+    hello_message,
+)
+
+__all__ = [
+    "AsyncTcpApiClient",
+    "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_MAX_CONNECTIONS",
+    "DEFAULT_WINDOW",
+    "FrameDecoder",
+    "FrameError",
+    "IDEMPOTENT_OPS",
+    "NetClientError",
+    "PREFIX_BYTES",
+    "RwsTcpServer",
+    "SERVER_NAME",
+    "ServerThread",
+    "TcpApiClient",
+    "encode_frame",
+    "hello_message",
+]

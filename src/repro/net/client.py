@@ -1,0 +1,415 @@
+"""TCP clients for the API wire: sync with pooling, async for pipelining.
+
+:class:`TcpApiClient` is the workhorse: a synchronous, connection-
+pooling client whose :meth:`~TcpApiClient.dispatch` is call-compatible
+with :meth:`repro.api.dispatcher.Dispatcher.dispatch` — take a typed
+request envelope, get a typed response envelope — so anything written
+against the dispatcher (the workload driver's shard state, the CLI)
+can swap in a socket without knowing.  Transport failures on
+**idempotent reads** (``query``/``batch_query``/``resolve``/``delta``/
+``poll``/``stats``) are retried on a fresh connection with exponential
+backoff; mutating ops (``publish``/``submit``) never retry, because a
+lost response does not mean a lost write.  ``RATE_LIMITED`` pushback
+from the server's pipelining window is a *response*, not a transport
+failure — it comes back to the caller untouched.
+
+:class:`AsyncTcpApiClient` is the asyncio twin for callers that want
+deliberate pipelining (send a burst of frames, then collect ordered
+responses): the backpressure tests and the ``net_throughput`` bench.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import socket
+import threading
+import time
+
+from repro.api.codec import (
+    API_VERSION,
+    MAX_WIRE_BYTES,
+    WireError,
+    decode_response,
+    encode_request,
+)
+from repro.api.envelopes import Request, Response
+from repro.net.frame import PREFIX_BYTES, FrameDecoder, FrameError, encode_frame
+from repro.net.server import hello_message
+
+#: Ops safe to retry on a transport error: reads with no server-side
+#: side effects.  ``publish``/``submit``/``queue_report`` are absent on
+#: purpose — replaying a mutation after a lost response double-applies.
+IDEMPOTENT_OPS = frozenset(
+    {"query", "batch_query", "resolve", "delta", "poll", "stats"})
+
+
+class NetClientError(ConnectionError):
+    """The transport failed: connect refused, hello rejected, stream
+    torn mid-frame, or response undecodable."""
+
+
+class _Conn:
+    """One pooled socket with its decoder and negotiated hello."""
+
+    __slots__ = ("sock", "decoder", "version", "window", "max_frame_bytes")
+
+    def __init__(self, sock: socket.socket, decoder: FrameDecoder,
+                 version: int, window: int, max_frame_bytes: int):
+        self.sock = sock
+        self.decoder = decoder
+        self.version = version
+        self.window = window
+        self.max_frame_bytes = max_frame_bytes
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _read_frame(sock: socket.socket, decoder: FrameDecoder) -> bytes:
+    """Block until one complete frame is available from ``sock``."""
+    while True:
+        payload = decoder.next_frame()
+        if payload is not None:
+            return payload
+        try:
+            chunk = sock.recv(65536)
+        except OSError as exc:
+            raise NetClientError(f"recv failed: {exc}") from exc
+        if not chunk:
+            raise NetClientError("connection closed mid-frame")
+        try:
+            decoder.feed(chunk)
+        except FrameError as exc:
+            raise NetClientError(f"peer broke framing: {exc}") from exc
+
+
+class TcpApiClient:
+    """Synchronous pooled client speaking the length-prefixed wire.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        api_version: Version to request at hello; the server answers
+            with ``min(api_version, its own)``.
+        pool_size: Idle connections to keep (a LIFO pool: hot sockets
+            get reused first).
+        timeout: Per-socket-operation timeout in seconds.
+        retries: Extra attempts for idempotent ops on transport
+            failure (0 disables retry entirely).
+        backoff: Base backoff in seconds, doubled per attempt.
+        max_frame_bytes: Local frame ceiling (the server advertises
+            its own at hello; the effective limit is the smaller).
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 api_version: int = API_VERSION, pool_size: int = 4,
+                 timeout: float = 10.0, retries: int = 2,
+                 backoff: float = 0.05,
+                 max_frame_bytes: int = MAX_WIRE_BYTES):
+        self.host = host
+        self.port = port
+        self.api_version = api_version
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_frame_bytes = max_frame_bytes
+        #: Populated by the first hello exchange.
+        self.negotiated_version: int | None = None
+        self.server_window: int | None = None
+        self._pool: queue.LifoQueue = queue.LifoQueue(maxsize=pool_size)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._counters = {"requests": 0, "responses": 0, "retries": 0,
+                          "reconnects": 0, "transport_errors": 0}
+
+    # -- connection management ------------------------------------------------
+
+    def _connect(self) -> _Conn:
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        except OSError as exc:
+            raise NetClientError(
+                f"connect to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            sock.sendall(encode_frame(hello_message(self.api_version),
+                                      self.max_frame_bytes))
+            hello = json.loads(_read_frame(sock, decoder))
+        except (NetClientError, OSError, json.JSONDecodeError) as exc:
+            sock.close()
+            if isinstance(exc, NetClientError):
+                raise
+            raise NetClientError(f"hello exchange failed: {exc}") from exc
+        if not hello.get("ok"):
+            sock.close()
+            error = hello.get("error", {})
+            raise NetClientError(
+                f"server refused hello: "
+                f"{error.get('code', '?')}: {error.get('message', '?')}")
+        with self._lock:
+            self._counters["reconnects"] += 1
+            self.negotiated_version = int(hello["api_version"])
+            self.server_window = int(hello.get("window", 0)) or None
+        return _Conn(sock, decoder, int(hello["api_version"]),
+                     int(hello.get("window", 0)),
+                     min(self.max_frame_bytes,
+                         int(hello.get("max_frame_bytes",
+                                       self.max_frame_bytes))))
+
+    def _checkout(self) -> _Conn:
+        if self._closed:
+            raise NetClientError("client is closed")
+        try:
+            return self._pool.get_nowait()
+        except queue.Empty:
+            return self._connect()
+
+    def _checkin(self, conn: _Conn) -> None:
+        # Only clean-boundary sockets are reusable; anything else may
+        # desynchronise the next caller's framing.
+        if self._closed or not conn.decoder.idle:
+            conn.close()
+            return
+        try:
+            self._pool.put_nowait(conn)
+        except queue.Full:
+            conn.close()
+
+    # -- request paths --------------------------------------------------------
+
+    def dispatch(self, request: Request) -> Response:
+        """One request, one response — the dispatcher-compatible call.
+
+        Transport errors on idempotent ops retry on a fresh connection
+        with exponential backoff; all other failures raise
+        :class:`NetClientError`.
+        """
+        with self._lock:
+            self._counters["requests"] += 1
+        attempts = 1 + (self.retries if request.op in IDEMPOTENT_OPS
+                        else 0)
+        last: NetClientError | None = None
+        for attempt in range(attempts):
+            if attempt:
+                with self._lock:
+                    self._counters["retries"] += 1
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            conn = None
+            try:
+                conn = self._checkout()
+                response = self._round_trip(conn, request)
+            except NetClientError as exc:
+                if conn is not None:
+                    conn.close()
+                with self._lock:
+                    self._counters["transport_errors"] += 1
+                last = exc
+                continue
+            self._checkin(conn)
+            with self._lock:
+                self._counters["responses"] += 1
+            return response
+        assert last is not None
+        raise last
+
+    def _round_trip(self, conn: _Conn, request: Request) -> Response:
+        try:
+            conn.sock.sendall(encode_frame(
+                encode_request(request, version=conn.version),
+                conn.max_frame_bytes))
+        except OSError as exc:
+            raise NetClientError(f"send failed: {exc}") from exc
+        payload = _read_frame(conn.sock, conn.decoder)
+        try:
+            response, _version = decode_response(
+                payload.decode("utf-8"), max_bytes=conn.max_frame_bytes)
+        except WireError as exc:
+            raise NetClientError(
+                f"undecodable response: {exc}") from exc
+        return response
+
+    def pipeline(self, requests: list[Request]) -> list[Response]:
+        """Send every request before reading any response.
+
+        All frames go down one connection back to back; responses come
+        back in request order (the server guarantees ordering).  No
+        retry — a mid-pipeline transport failure raises, because the
+        burst may straddle non-idempotent ops.
+        """
+        if not requests:
+            return []
+        conn = self._checkout()
+        try:
+            blob = b"".join(
+                encode_frame(encode_request(r, version=conn.version),
+                             conn.max_frame_bytes)
+                for r in requests)
+            try:
+                conn.sock.sendall(blob)
+            except OSError as exc:
+                raise NetClientError(f"send failed: {exc}") from exc
+            responses = []
+            for _ in requests:
+                payload = _read_frame(conn.sock, conn.decoder)
+                try:
+                    response, _version = decode_response(
+                        payload.decode("utf-8"),
+                        max_bytes=conn.max_frame_bytes)
+                except WireError as exc:
+                    raise NetClientError(
+                        f"undecodable response: {exc}") from exc
+                responses.append(response)
+        except NetClientError:
+            conn.close()
+            raise
+        self._checkin(conn)
+        with self._lock:
+            self._counters["requests"] += len(requests)
+            self._counters["responses"] += len(requests)
+        return responses
+
+    # -- lifecycle / observability --------------------------------------------
+
+    def close(self) -> None:
+        """Close every pooled connection; the client is done."""
+        self._closed = True
+        while True:
+            try:
+                self._pool.get_nowait().close()
+            except queue.Empty:
+                return
+
+    def net_snapshot(self) -> dict:
+        """Client-side counters in the same portable shape the server
+        emits (no gauges or histograms on this side)."""
+        with self._lock:
+            return {"counters": dict(self._counters), "gauges": {},
+                    "histograms": {}}
+
+    def __enter__(self) -> "TcpApiClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class AsyncTcpApiClient:
+    """The asyncio client: explicit connect, calls, and pipelining.
+
+    One connection per client instance — asyncio callers that want
+    parallel connections make parallel clients.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 api_version: int = API_VERSION, timeout: float = 10.0,
+                 max_frame_bytes: int = MAX_WIRE_BYTES):
+        self.host = host
+        self.port = port
+        self.api_version = api_version
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self.negotiated_version: int | None = None
+        self.server_window: int | None = None
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._decoder = FrameDecoder(max_frame_bytes)
+
+    async def connect(self) -> "AsyncTcpApiClient":
+        """Open the connection and run the hello exchange."""
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.timeout)
+        except OSError as exc:
+            raise NetClientError(
+                f"connect to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        self._writer.write(encode_frame(
+            hello_message(self.api_version), self.max_frame_bytes))
+        await self._writer.drain()
+        hello = json.loads(await self._read_frame())
+        if not hello.get("ok"):
+            await self.close()
+            error = hello.get("error", {})
+            raise NetClientError(
+                f"server refused hello: "
+                f"{error.get('code', '?')}: {error.get('message', '?')}")
+        self.negotiated_version = int(hello["api_version"])
+        self.server_window = int(hello.get("window", 0)) or None
+        return self
+
+    async def _read_frame(self) -> bytes:
+        assert self._reader is not None
+        while True:
+            payload = self._decoder.next_frame()
+            if payload is not None:
+                return payload
+            chunk = await asyncio.wait_for(self._reader.read(65536),
+                                           timeout=self.timeout)
+            if not chunk:
+                raise NetClientError("connection closed mid-frame")
+            try:
+                self._decoder.feed(chunk)
+            except FrameError as exc:
+                raise NetClientError(
+                    f"peer broke framing: {exc}") from exc
+
+    async def send(self, request: Request) -> None:
+        """Fire one request frame without awaiting its response."""
+        assert self._writer is not None
+        version = self.negotiated_version or self.api_version
+        self._writer.write(encode_frame(
+            encode_request(request, version=version),
+            self.max_frame_bytes))
+        await self._writer.drain()
+
+    async def receive(self) -> Response:
+        """Collect the next in-order response."""
+        payload = await self._read_frame()
+        try:
+            response, _version = decode_response(
+                payload.decode("utf-8"), max_bytes=self.max_frame_bytes)
+        except WireError as exc:
+            raise NetClientError(f"undecodable response: {exc}") from exc
+        return response
+
+    async def call(self, request: Request) -> Response:
+        """One request, one response."""
+        await self.send(request)
+        return await self.receive()
+
+    async def pipeline(self, requests: list[Request]) -> list[Response]:
+        """Send the whole burst, then collect ordered responses."""
+        assert self._writer is not None
+        version = self.negotiated_version or self.api_version
+        self._writer.write(b"".join(
+            encode_frame(encode_request(r, version=version),
+                         self.max_frame_bytes)
+            for r in requests))
+        await self._writer.drain()
+        return [await self.receive() for _ in requests]
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncTcpApiClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()

@@ -1,0 +1,599 @@
+"""The asyncio TCP server: the API wire codec on a real socket.
+
+:class:`RwsTcpServer` frames :mod:`repro.api.codec` JSON documents
+over length-prefixed TCP (:mod:`repro.net.frame`) and routes them
+through a :class:`~repro.api.dispatcher.Dispatcher` — so the serving
+backend (an :class:`~repro.serve.service.RwsService` or a
+:class:`~repro.cluster.Router`, duck-typed exactly as the dispatcher
+takes them) is unchanged behind the socket.
+
+Connection lifecycle and flow control:
+
+* **hello** — the first frame each way is a hello message negotiating
+  ``api_version`` with the codec's ``min(requested, API_VERSION)``
+  rule; versions below ``MIN_VERSION`` are refused.  The server's
+  hello also advertises its frame ceiling and pipelining window.
+* **pipelining, ordered** — a client may send any number of request
+  frames without waiting; responses are written strictly in request
+  order (per connection) no matter how dispatches interleave.
+* **backpressure** — at most ``window`` requests may be awaiting a
+  response per connection; excess requests are answered immediately
+  (in order) with ``RATE_LIMITED`` pushback instead of growing an
+  unbounded queue, and the kernel's TCP window does the rest via
+  ``drain()``.
+* **drain on publish** — a ``publish`` envelope waits until every
+  in-flight read has completed (against the epoch it captured), swaps
+  the epoch, and only then admits the reads queued behind it: the
+  socket-level mirror of :class:`~repro.serve.service.EpochShell`
+  semantics, so a pipelined ``query`` after a ``publish`` always sees
+  the published epoch.
+* **idle timeout / connection cap** — quiet connections (nothing
+  buffered, nothing in flight) close after ``idle_timeout`` seconds;
+  connects past ``max_connections`` are refused at hello.
+
+Dispatches run on a small thread pool (epoch reads are lock-free, so
+loopback pipelining overlaps codec work with serving work); all
+counters are touched only on the event-loop thread.  ``net.*``
+observability: :meth:`RwsTcpServer.net_snapshot` is the portable
+counter/gauge/histogram form that
+:func:`repro.obs.registry.fold_net_snapshot` folds into the unified
+registry, and a live :class:`~repro.obs.trace.Tracer` records
+``net.accept`` / ``net.frame.decode`` / ``net.dispatch`` /
+``net.frame.encode`` spans per request (request indices follow arrival
+order, so net traces are deterministic for serial single-connection
+traffic; concurrent arrival order is the scheduler's).
+
+:class:`ServerThread` runs a server on a private event loop in a
+daemon thread for synchronous callers (the CLI, the workload driver's
+TCP transport, tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.api.codec import (
+    API_VERSION,
+    MAX_WIRE_BYTES,
+    WireError,
+    decode_request,
+    encode_response,
+    negotiate_version,
+)
+from repro.api.dispatcher import Dispatcher
+from repro.api.envelopes import (
+    ApiError,
+    ErrorCode,
+    ErrorResponse,
+    PublishRequest,
+)
+from repro.net.frame import FrameDecoder, FrameError, encode_frame
+from repro.obs.trace import NULL_TRACER
+from repro.workload.metrics import LatencyHistogram
+
+if TYPE_CHECKING:
+    from repro.cluster.router import Router
+    from repro.serve.service import RwsService
+
+#: The server identity string echoed in every hello response.
+SERVER_NAME = "repro.net/1"
+
+#: Default per-connection pipelining window (requests awaiting a
+#: response before ``RATE_LIMITED`` pushback).
+DEFAULT_WINDOW = 32
+
+#: Default idle timeout in seconds before a quiet connection closes.
+DEFAULT_IDLE_TIMEOUT = 30.0
+
+#: Default concurrent-connection cap.
+DEFAULT_MAX_CONNECTIONS = 64
+
+
+def hello_message(api_version: int = API_VERSION) -> str:
+    """The client's opening hello document."""
+    return json.dumps({"kind": "hello", "api_version": api_version},
+                      sort_keys=True)
+
+
+class _DrainGate:
+    """Read/publish gate mirroring epoch-swap semantics on the wire.
+
+    Reads run concurrently; a publish waits for every in-flight read
+    to finish, runs exclusively, and reads that arrived behind it wait
+    until the swap lands.  Threading (not asyncio) primitives on
+    purpose: acquisition happens on dispatch worker threads, where
+    blocking is free.
+    """
+
+    __slots__ = ("_cond", "_readers", "_publishers_waiting",
+                 "_publisher_active", "waits", "publishes")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._publishers_waiting = 0
+        self._publisher_active = False
+        #: Publishes that actually had to wait for in-flight reads.
+        self.waits = 0
+        #: Every publish gated through the wire.
+        self.publishes = 0
+
+    def begin_read(self) -> None:
+        with self._cond:
+            while self._publisher_active or self._publishers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def end_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def begin_publish(self) -> None:
+        with self._cond:
+            self._publishers_waiting += 1
+            self.publishes += 1
+            if self._readers:
+                self.waits += 1
+            while self._publisher_active or self._readers:
+                self._cond.wait()
+            self._publishers_waiting -= 1
+            self._publisher_active = True
+
+    def end_publish(self) -> None:
+        with self._cond:
+            self._publisher_active = False
+            self._cond.notify_all()
+
+
+class _Connection:
+    """Per-connection state: ordered outbox and pipelining depth."""
+
+    __slots__ = ("reader", "writer", "outbox", "pending", "depth_peak",
+                 "requests", "version")
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        #: Futures resolving to (encoded response, dispatch ns), in
+        #: request order — the writer task drains them in sequence.
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        #: Requests awaiting a response (the pipelining window meter).
+        self.pending = 0
+        self.depth_peak = 0
+        self.requests = 0
+        self.version = API_VERSION
+
+
+class RwsTcpServer:
+    """An asyncio TCP front-end over a dispatcher (or bare backend).
+
+    Args:
+        backend: An :class:`RwsService` or :class:`Router` to wrap in
+            a fresh middleware-free :class:`Dispatcher`; ignored when
+            ``dispatcher`` is given.
+        dispatcher: A pre-built dispatcher (bring your own middleware
+            chain).
+        host: Bind address (default loopback).
+        port: Bind port (0 picks an ephemeral port; see
+            :attr:`address` after :meth:`start`).
+        max_connections: Concurrent-connection cap; connects beyond it
+            are refused at hello with ``RATE_LIMITED``.
+        window: Per-connection pipelining window; requests past it get
+            ``RATE_LIMITED`` pushback, in order.
+        idle_timeout: Seconds of quiet (no partial frame, nothing in
+            flight) before the server closes a connection.
+        max_frame_bytes: Frame payload ceiling, advertised at hello.
+        workers: Dispatch thread-pool size.
+        tracer: A :class:`~repro.obs.trace.Tracer` for ``net.*`` spans
+            (default: the no-op tracer).
+    """
+
+    def __init__(self, backend: "RwsService | Router | None" = None, *,
+                 dispatcher: Dispatcher | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_connections: int = DEFAULT_MAX_CONNECTIONS,
+                 window: int = DEFAULT_WINDOW,
+                 idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+                 max_frame_bytes: int = MAX_WIRE_BYTES,
+                 workers: int = 4, tracer=NULL_TRACER):
+        if dispatcher is None:
+            if backend is None:
+                raise ValueError("need a backend or a dispatcher")
+            dispatcher = Dispatcher(backend)
+        if max_connections < 1 or window < 1 or workers < 1:
+            raise ValueError("max_connections, window, and workers "
+                             "must all be >= 1")
+        self.dispatcher = dispatcher
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.window = window
+        self.idle_timeout = idle_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._tracer = tracer
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-net")
+        self._gate = _DrainGate()
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[_Connection] = set()
+        self._request_seq = 0
+        # Touched only on the event-loop thread.
+        self._counters: dict[str, int] = {
+            "connections_opened": 0, "connections_closed": 0,
+            "connections_rejected": 0, "frames_in": 0, "frames_out": 0,
+            "requests": 0, "responses": 0, "malformed": 0,
+            "backpressure_stalls": 0, "idle_timeouts": 0,
+        }
+        self._gauges: dict[str, float] = {
+            "window": float(window),
+            "max_connections": float(max_connections),
+            "connections_peak": 0.0, "pipeline_depth_peak": 0.0,
+        }
+        self._request_hist = LatencyHistogram()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and begin accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._on_connect, self.host, self.port)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, close live connections, drain the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for connection in list(self._connections):
+            connection.writer.close()
+        self._executor.shutdown(wait=True)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — meaningful after :meth:`start`."""
+        return self.host, self.port
+
+    # -- connection handling --------------------------------------------------
+
+    async def _on_connect(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        if len(self._connections) >= self.max_connections:
+            self._counters["connections_rejected"] += 1
+            await self._send_raw(writer, json.dumps({
+                "kind": "hello", "ok": False,
+                "error": {"code": ErrorCode.RATE_LIMITED.value,
+                          "message": f"connection limit "
+                                     f"({self.max_connections}) reached",
+                          "detail": {}},
+            }, sort_keys=True))
+            writer.close()
+            return
+        connection = _Connection(reader, writer)
+        self._connections.add(connection)
+        self._counters["connections_opened"] += 1
+        self._gauges["connections_peak"] = max(
+            self._gauges["connections_peak"],
+            float(len(self._connections)))
+        writer_task = asyncio.ensure_future(self._write_loop(connection))
+        try:
+            await self._serve_connection(connection)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await connection.outbox.put(None)  # writer EOF sentinel
+            try:
+                await writer_task
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            writer.close()
+            self._connections.discard(connection)
+            self._counters["connections_closed"] += 1
+
+    async def _serve_connection(self, connection: _Connection) -> None:
+        decoder = FrameDecoder(self.max_frame_bytes)
+        hello_done = False
+        while True:
+            try:
+                chunk = await asyncio.wait_for(
+                    connection.reader.read(65536),
+                    timeout=self.idle_timeout)
+            except asyncio.TimeoutError:
+                if connection.pending == 0 and decoder.idle:
+                    self._counters["idle_timeouts"] += 1
+                    return
+                continue
+            if not chunk:
+                return  # peer closed
+            framing_error = None
+            try:
+                self._counters["frames_in"] += decoder.feed(chunk)
+            except FrameError as exc:
+                framing_error = exc
+            frames = decoder.frames()
+            if framing_error is not None:
+                # feed() raised before reporting its completed count;
+                # the drained list is exactly those frames.
+                self._counters["frames_in"] += len(frames)
+            for payload in frames:
+                if not hello_done:
+                    if not await self._handle_hello(connection, payload):
+                        return
+                    hello_done = True
+                    continue
+                self._admit(connection, payload)
+            if framing_error is not None:
+                # Framing is unrecoverable: frames that completed ahead
+                # of the poison pill were handled above; answer the
+                # error once (in order, after their responses) and
+                # close.
+                self._counters["malformed"] += 1
+                await self._enqueue_ready(connection, encode_response(
+                    ErrorResponse(error=framing_error.error),
+                    version=API_VERSION))
+                return
+
+    async def _handle_hello(self, connection: _Connection,
+                            payload: bytes) -> bool:
+        """Negotiate the version; False closes the connection."""
+        try:
+            document = json.loads(payload)
+            if (not isinstance(document, dict)
+                    or document.get("kind") != "hello"):
+                raise WireError("expected a hello frame first")
+            version = negotiate_version(document.get("api_version"))
+        except (json.JSONDecodeError, WireError) as exc:
+            self._counters["malformed"] += 1
+            error = (exc.error if isinstance(exc, WireError)
+                     else ApiError(code=ErrorCode.MALFORMED,
+                                   message=f"invalid hello JSON: {exc}"))
+            await self._enqueue_ready(connection, json.dumps({
+                "kind": "hello", "ok": False,
+                "error": {"code": error.code.value,
+                          "message": error.message,
+                          "detail": dict(error.detail)},
+            }, sort_keys=True))
+            return False
+        connection.version = version
+        await self._enqueue_ready(connection, json.dumps({
+            "kind": "hello", "ok": True, "api_version": version,
+            "max_frame_bytes": self.max_frame_bytes,
+            "window": self.window, "server": SERVER_NAME,
+        }, sort_keys=True))
+        return True
+
+    def _admit(self, connection: _Connection, payload: bytes) -> None:
+        """Window admission: dispatch, or push back ``RATE_LIMITED``."""
+        self._counters["requests"] += 1
+        connection.requests += 1
+        if connection.pending >= self.window:
+            self._counters["backpressure_stalls"] += 1
+            stalled = asyncio.get_running_loop().create_future()
+            stalled.set_result((encode_response(
+                ErrorResponse(error=ApiError(
+                    code=ErrorCode.RATE_LIMITED,
+                    message=f"pipelining window ({self.window}) "
+                            f"exceeded",
+                    detail={"window": str(self.window)},
+                )), version=connection.version), 0))
+            self._push(connection, stalled)
+            return
+        seq = self._request_seq
+        self._request_seq += 1
+        first = connection.requests == 1
+        job = asyncio.get_running_loop().run_in_executor(
+            self._executor, self._process, payload, connection.version,
+            seq, first)
+        self._push(connection, job)
+
+    def _push(self, connection: _Connection,
+              response: asyncio.Future) -> None:
+        connection.pending += 1
+        connection.depth_peak = max(connection.depth_peak,
+                                    connection.pending)
+        self._gauges["pipeline_depth_peak"] = max(
+            self._gauges["pipeline_depth_peak"],
+            float(connection.pending))
+        connection.outbox.put_nowait(response)
+
+    async def _enqueue_ready(self, connection: _Connection,
+                             text: str) -> None:
+        """Queue a control frame (hello / framing error), in order.
+
+        Control frames carry ``dispatch_ns = -1`` so the writer skips
+        the request-response accounting for them.
+        """
+        ready = asyncio.get_running_loop().create_future()
+        ready.set_result((text, -1))
+        self._push(connection, ready)
+        await connection.outbox.join()
+
+    def _process(self, payload: bytes, version: int, seq: int,
+                 first: bool) -> tuple[str, int]:
+        """Decode → gate → dispatch → encode, on a worker thread.
+
+        Returns the encoded response and the dispatch-stage
+        nanoseconds (recorded into the ``net.request`` histogram back
+        on the loop thread, where counter access is single-threaded).
+        """
+        import time
+
+        tracer = self._tracer
+        started = time.perf_counter_ns()
+        if tracer.live:
+            with tracer.request(seq):
+                if first:
+                    tracer.emit("net.accept", server=SERVER_NAME)
+                with tracer.span("net.frame.decode"):
+                    request, error = self._decode(payload)
+                if error is not None:
+                    encoded = encode_response(error, version=API_VERSION)
+                else:
+                    with tracer.span("net.dispatch", op=request.op):
+                        response = self._dispatch_gated(request)
+                    with tracer.span("net.frame.encode"):
+                        encoded = encode_response(response,
+                                                  version=version)
+                return encoded, time.perf_counter_ns() - started
+        request, error = self._decode(payload)
+        if error is not None:
+            return (encode_response(error, version=API_VERSION),
+                    time.perf_counter_ns() - started)
+        response = self._dispatch_gated(request)
+        return (encode_response(response, version=version),
+                time.perf_counter_ns() - started)
+
+    def _decode(self, payload: bytes):
+        try:
+            request, _version = decode_request(
+                payload.decode("utf-8", errors="replace"),
+                max_bytes=self.max_frame_bytes)
+        except WireError as exc:
+            return None, ErrorResponse(error=exc.error)
+        return request, None
+
+    def _dispatch_gated(self, request):
+        gate = self._gate
+        if type(request) is PublishRequest:
+            gate.begin_publish()
+            try:
+                return self.dispatcher.dispatch(request)
+            finally:
+                gate.end_publish()
+        gate.begin_read()
+        try:
+            return self.dispatcher.dispatch(request)
+        finally:
+            gate.end_read()
+
+    async def _write_loop(self, connection: _Connection) -> None:
+        """Emit responses strictly in request order."""
+        while True:
+            job = await connection.outbox.get()
+            try:
+                if job is None:
+                    return
+                try:
+                    text, dispatch_ns = await job
+                except Exception as exc:  # noqa: BLE001 — keep serving
+                    text, dispatch_ns = encode_response(
+                        ErrorResponse(error=ApiError(
+                            code=ErrorCode.INTERNAL,
+                            message=f"{type(exc).__name__}: {exc}",
+                        )), version=API_VERSION), 0
+                connection.pending -= 1
+                if dispatch_ns >= 0:
+                    self._counters["responses"] += 1
+                    if dispatch_ns:
+                        self._request_hist.record(dispatch_ns)
+                connection.writer.write(
+                    encode_frame(text, self.max_frame_bytes))
+                self._counters["frames_out"] += 1
+                await connection.writer.drain()
+            finally:
+                connection.outbox.task_done()
+
+    async def _send_raw(self, writer: asyncio.StreamWriter,
+                        text: str) -> None:
+        writer.write(encode_frame(text, self.max_frame_bytes))
+        self._counters["frames_out"] += 1
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def publishes_drained(self) -> int:
+        """Publishes that waited for in-flight reads before swapping."""
+        return self._gate.waits
+
+    def net_snapshot(self) -> dict:
+        """The portable ``net.*`` stats form.
+
+        Counters/gauges/histograms, picklable and JSON-able, shaped
+        for :func:`repro.obs.registry.fold_net_snapshot` — the same
+        travel pattern every other mergeable structure here uses.
+        """
+        counters = dict(self._counters)
+        counters["publishes"] = self._gate.publishes
+        counters["drain_waits"] = self._gate.waits
+        return {
+            "counters": counters,
+            "gauges": dict(self._gauges),
+            "histograms": {"request_ns": list(self._request_hist.counts)},
+        }
+
+    def stats_registry(self):
+        """One unified registry: ``net.*`` plus the backend's report."""
+        from repro.obs.registry import (  # lazy: avoids import cycles
+            MetricsRegistry,
+            fold_net_snapshot,
+            fold_stats_report,
+        )
+
+        registry = MetricsRegistry()
+        fold_net_snapshot(registry, self.net_snapshot())
+        fold_stats_report(registry, self.dispatcher.service.stats_report())
+        return registry
+
+
+class ServerThread:
+    """A server on a private event loop in a daemon thread.
+
+    The synchronous-world adapter: the CLI's ``serve --tcp``, the
+    workload driver's TCP transport, and the tests all run the asyncio
+    server through this.
+
+    Usage::
+
+        harness = ServerThread(RwsTcpServer(service))
+        host, port = harness.start()
+        ...
+        harness.stop()
+    """
+
+    def __init__(self, server: RwsTcpServer):
+        self.server = server
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-net-server")
+        self._started = threading.Event()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def start(self) -> tuple[str, int]:
+        """Start the loop and the server; returns the bound address."""
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self.server.start(),
+                                                  self._loop)
+        address = future.result(timeout=10)
+        self._started.set()
+        return address
+
+    def stop(self) -> None:
+        """Stop the server, the loop, and join the thread."""
+        if self._started.is_set():
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop).result(timeout=10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

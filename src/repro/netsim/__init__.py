@@ -20,6 +20,17 @@ in-process substitute that exercises the same code paths:
 Everything above the transport (crawler, RWS ``.well-known`` validation,
 similarity measurement) is identical to what would run against the real
 Web.
+
+**Decision record (kept, not retired).**  When :mod:`repro.net` — the
+real TCP transport for the serving API — landed, this package was
+reviewed for retirement.  It stays, deliberately: the two packages sit
+on opposite sides of the reproduction.  ``repro.netsim`` fabricates
+the *studied object* (a deterministic synthetic web for the crawl,
+validation, governance, webgen, and survey layers — in-memory on
+purpose, so crawl-side results are bit-reproducible), while
+``repro.net`` carries the *serving traffic* of the reproduction's own
+API over real sockets.  Neither imports the other; see
+:mod:`repro.net` for the mirror-image half of this note.
 """
 
 from repro.netsim.client import Client, FetchError, FetchPolicy

@@ -8,9 +8,9 @@ shard counts, and executors):
   metrics schema (mergeable counters / gauges / pow2 latency
   histograms) plus adapters folding every legacy stats shape
   (``ServiceStats``, PSL ``cache_stats()``, queue counters, dispatcher
-  middleware, ``WorkloadMetrics``) into dot-namespaced metrics
-  (``serve.*``, ``psl.*``, ``queue.*``, ``api.*``, ``cluster.*``,
-  ``workload.*``);
+  middleware, ``WorkloadMetrics``, ``repro.net`` transport snapshots)
+  into dot-namespaced metrics (``serve.*``, ``psl.*``, ``queue.*``,
+  ``api.*``, ``cluster.*``, ``workload.*``, ``net.*``);
 * :mod:`repro.obs.trace` — :class:`Tracer`, deterministic per-request
   spans (dispatcher → router → replica/primary → epoch query → PSL
   resolve) with span ids derived from (seed, request index, sequence)
@@ -44,6 +44,7 @@ _EXPORTS = {
     "MetricsRegistry": "registry",
     "fold_api_counter": "registry",
     "fold_latency_recorder": "registry",
+    "fold_net_snapshot": "registry",
     "fold_psl_stats": "registry",
     "fold_queue_stats": "registry",
     "fold_service_stats": "registry",
@@ -93,6 +94,7 @@ __all__ = [
     "Tracer",
     "fold_api_counter",
     "fold_latency_recorder",
+    "fold_net_snapshot",
     "fold_psl_stats",
     "fold_queue_stats",
     "fold_service_stats",

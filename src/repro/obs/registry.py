@@ -350,6 +350,27 @@ def fold_stats_report(registry: MetricsRegistry,
             registry.count(name, int(value))
 
 
+def fold_net_snapshot(registry: MetricsRegistry, snapshot: Mapping,
+                      namespace: str = "net") -> None:
+    """Fold a ``repro.net`` portable snapshot into ``<namespace>.*``.
+
+    Both sides of the wire emit the same shape —
+    :meth:`repro.net.server.RwsTcpServer.net_snapshot` and
+    :meth:`repro.net.client.TcpApiClient.net_snapshot` — so server
+    stats fold under ``net.*`` and client stats under e.g.
+    ``net.client.*`` by namespace choice.  None of it is
+    deterministic: retry counts, pipeline depths, and latency buckets
+    all depend on scheduling.
+    """
+    for key, value in snapshot.get("counters", {}).items():
+        registry.count(f"{namespace}.{key}", int(value))
+    for key, value in snapshot.get("gauges", {}).items():
+        registry.gauge(f"{namespace}.{key}", float(value))
+    for key, counts in snapshot.get("histograms", {}).items():
+        registry.histogram(f"{namespace}.{key}").merge(
+            LatencyHistogram(list(counts)))
+
+
 def registry_for_backend(backend, *, api_counter: "RequestCounter | None"
                          = None,
                          api_latency: "LatencyRecorder | None" = None,

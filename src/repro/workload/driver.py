@@ -116,6 +116,18 @@ class ShardTask:
             flush boundaries depend on the partition, which would make
             span streams shard-dependent), so the shard-merged trace
             digest is bit-identical across shard counts and executors.
+        transport: ``inproc`` (dispatch in-process, the default) or
+            ``tcp`` (dispatch through a shard-private loopback
+            :class:`~repro.net.server.RwsTcpServer` and a pooled
+            :class:`~repro.net.client.TcpApiClient`).  The TCP hop is
+            invisible to outcomes — the server runs a single dispatch
+            worker over the same backend and the same request-counter
+            middleware, so the outcome digest is bit-identical to
+            in-process execution.  Mid-flight publishes still go
+            straight to the service/router (the component-updater
+            side, not client traffic).  ``transport="tcp"`` with
+            ``trace=True`` is refused: socket scheduling would make
+            span streams non-deterministic.
     """
 
     scenario: Scenario
@@ -125,6 +137,7 @@ class ShardTask:
     total_users: int
     reference: bool
     trace: bool = False
+    transport: str = "inproc"
 
 
 @dataclass
@@ -149,6 +162,8 @@ class WorkloadResult:
     digest: int
     wall_seconds: float
     snapshot_version: int
+    #: ``inproc`` or ``tcp`` — how shard dispatches reached the backend.
+    transport: str = "inproc"
     #: The shard-merged unified metrics registry (counters add, gauges
     #: keep the max, histograms vector-add); its deterministic-subset
     #: digest is partition-independent like the outcome digest.
@@ -179,7 +194,9 @@ class WorkloadResult:
         lines = [
             f"scenario {self.scenario.name}: {self.scenario.description}",
             f"users {self.users}  shards {self.shards} ({self.executor})  "
-            f"seed {self.seed}  snapshot v{self.snapshot_version}",
+            f"seed {self.seed}  snapshot v{self.snapshot_version}"
+            + (f"  transport {self.transport}"
+               if self.transport != "inproc" else ""),
             f"decisions {self.decisions}  "
             f"(rsa {counters.get('rsa_calls', 0)}, "
             f"rsa-for {counters.get('rsa_for_calls', 0)}, "
@@ -529,12 +546,47 @@ def _apply_mid_flight_update(state: _ShardState, cutoff: int) -> None:
         state.metrics.count("delta_applied")
 
 
+def _shard_tcp_front(state: _ShardState):
+    """A shard-private loopback TCP hop in front of the backend.
+
+    Builds an :class:`~repro.net.server.RwsTcpServer` over the shard's
+    backend — single dispatch worker, so request handling serialises
+    exactly like in-process dispatch — sharing the shard's
+    :class:`RequestCounter` middleware, then swaps a pooled
+    :class:`~repro.net.client.TcpApiClient` in as
+    ``state.dispatcher``.  Returns the (server harness, client) pair
+    the shard must close when done.
+    """
+    # Imported lazily: repro.net imports repro.api, which this module
+    # already feeds; keeping the import local also spares inproc runs
+    # the asyncio machinery entirely.
+    from repro.net.client import TcpApiClient
+    from repro.net.server import RwsTcpServer, ServerThread
+
+    harness = ServerThread(RwsTcpServer(
+        dispatcher=Dispatcher(state.backend,
+                              middlewares=(state.api_counter,)),
+        workers=1,
+    ))
+    host, port = harness.start()
+    client = TcpApiClient(host, port, pool_size=2)
+    state.dispatcher = client
+    return harness, client
+
+
 def run_shard(task: ShardTask) -> dict:
     """Execute one shard; returns a picklable outcome dict.
 
     Top-level (not a closure) so process executors can pickle it.
     """
     scenario = task.scenario
+    if task.transport not in ("inproc", "tcp"):
+        raise ValueError(f"unknown transport {task.transport!r} "
+                         "(known: inproc, tcp)")
+    if task.transport == "tcp" and task.trace:
+        raise ValueError("trace=True requires the inproc transport: "
+                         "socket scheduling would make span streams "
+                         "non-deterministic")
     started = time.perf_counter()
     build_v1, build_v2 = LIST_PROFILES[scenario.list_profile]
     rws_list = build_v1()
@@ -559,6 +611,8 @@ def run_shard(task: ShardTask) -> dict:
         else:
             service.set_tracer(tracer)
     state = _ShardState(scenario, service, router, tracer)
+    net_front = (_shard_tcp_front(state) if task.transport == "tcp"
+                 else None)
     universe = SiteUniverse(rws_list, trackers=scenario.trackers,
                             outside_sites=scenario.outside_sites)
     generator = SessionGenerator(scenario, task.seed, universe)
@@ -637,6 +691,15 @@ def run_shard(task: ShardTask) -> dict:
     fold_workload_metrics(registry, state.metrics)
     fold_stats_report(registry, state.backend.stats_report())
     fold_api_counter(registry, state.api_counter)
+    if net_front is not None:
+        from repro.obs.registry import fold_net_snapshot
+
+        harness, client = net_front
+        fold_net_snapshot(registry, harness.server.net_snapshot())
+        fold_net_snapshot(registry, client.net_snapshot(),
+                          namespace="net.client")
+        client.close()
+        harness.stop()
     snapshot = service.current_snapshot
     return {
         "users": task.user_end - task.user_start,
@@ -677,8 +740,8 @@ def _resolve_executor(executor: str, shards: int) -> str:
 
 
 def _merge(scenario: Scenario, users: int, shards: int, executor: str,
-           seed: int, outcomes: list[dict],
-           wall_seconds: float) -> WorkloadResult:
+           seed: int, outcomes: list[dict], wall_seconds: float,
+           transport: str = "inproc") -> WorkloadResult:
     from repro.obs.registry import MetricsRegistry  # cycle guard
 
     metrics = WorkloadMetrics()
@@ -702,12 +765,13 @@ def _merge(scenario: Scenario, users: int, shards: int, executor: str,
         scenario=scenario, users=users, shards=shards, executor=executor,
         seed=seed, metrics=metrics, digest=combine_digests(digests),
         wall_seconds=wall_seconds, snapshot_version=snapshot_version,
-        registry=registry, trace=trace,
+        transport=transport, registry=registry, trace=trace,
     )
 
 
 def run_serial(scenario: Scenario | str, users: int, *,
-               seed: int = 0, trace: bool = False) -> WorkloadResult:
+               seed: int = 0, trace: bool = False,
+               transport: str = "inproc") -> WorkloadResult:
     """The serial driver: one shard, full-fidelity execution."""
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -717,14 +781,16 @@ def run_serial(scenario: Scenario | str, users: int, *,
         outcomes.append(run_shard(ShardTask(
             scenario=scenario, seed=seed, user_start=0, user_end=users,
             total_users=users, reference=True, trace=trace,
+            transport=transport,
         )))
     return _merge(scenario, users, 1, "serial", seed, outcomes,
-                  time.perf_counter() - started)
+                  time.perf_counter() - started, transport)
 
 
 def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
                 seed: int = 0, executor: str = "auto",
-                trace: bool = False) -> WorkloadResult:
+                trace: bool = False,
+                transport: str = "inproc") -> WorkloadResult:
     """The sharded executor: partition users, run shards, merge.
 
     Args:
@@ -739,6 +805,10 @@ def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
             full-fidelity execution); summaries merge into
             :attr:`WorkloadResult.trace` with a digest bit-identical
             to the serial run's.
+        transport: ``inproc`` or ``tcp`` — see
+            :attr:`ShardTask.transport`.  Each shard gets its own
+            loopback server/client pair, so process executors stay
+            picklable (sockets are created inside the worker).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -749,7 +819,7 @@ def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
     tasks = [
         ShardTask(scenario=scenario, seed=seed, user_start=start,
                   user_end=end, total_users=users, reference=False,
-                  trace=trace)
+                  trace=trace, transport=transport)
         for start, end in _partition(users, shards)
     ]
     if len(tasks) <= 1:
@@ -773,17 +843,20 @@ def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
                                  mp_context=context) as pool:
             outcomes = list(pool.map(run_shard, tasks))
     return _merge(scenario, users, shards, mode, seed, outcomes,
-                  time.perf_counter() - started)
+                  time.perf_counter() - started, transport)
 
 
 def run_workload(scenario: Scenario | str, users: int, *, shards: int = 1,
                  seed: int = 0, executor: str = "auto",
-                 trace: bool = False) -> WorkloadResult:
+                 trace: bool = False,
+                 transport: str = "inproc") -> WorkloadResult:
     """Run a workload, serial for one shard, sharded otherwise."""
     if shards <= 1:
-        return run_serial(scenario, users, seed=seed, trace=trace)
+        return run_serial(scenario, users, seed=seed, trace=trace,
+                          transport=transport)
     return run_sharded(scenario, users, shards, seed=seed,
-                       executor=executor, trace=trace)
+                       executor=executor, trace=trace,
+                       transport=transport)
 
 
 def replicated(scenario: Scenario | str, replicas: int, *, lag: int = 0,

@@ -335,3 +335,45 @@ class TestLoadObsFlags:
         assert metrics["deterministic"]["workload.queries"] > 0
         assert trace["schema"] == "repro.obs.trace/1"
         assert trace["meta"]["shards"] == "2"
+
+
+class TestNetTransportFlags:
+    def test_serve_tcp_runs_over_loopback(self, capsys):
+        assert main(["serve", "--tcp", "127.0.0.1:0",
+                     "--queries", "50"]) == 0
+        output = capsys.readouterr().out
+        assert "tcp server listening on 127.0.0.1:" in output
+        assert "answered 50 membership queries" in output
+        # The wire's own counters join the report table.
+        assert "net_requests" in output
+        assert "net_client_reconnects" in output
+
+    def test_serve_tcp_bad_address_exits_two(self, capsys):
+        assert main(["serve", "--tcp", "nonsense",
+                     "--queries", "1"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_load_tcp_digest_matches_inproc(self, capsys):
+        assert main(["load", "--scenario", "steady", "--users", "60",
+                     "--seed", "9"]) == 0
+        inproc = capsys.readouterr().out
+        assert main(["load", "--scenario", "steady", "--users", "60",
+                     "--seed", "9", "--transport", "tcp"]) == 0
+        tcp = capsys.readouterr().out
+        digest = [line for line in inproc.splitlines()
+                  if line.startswith("digest ")]
+        assert digest and digest[0] in tcp
+        assert "transport tcp" in tcp
+
+    def test_load_tcp_with_trace_exits_two(self, capsys):
+        assert main(["load", "--scenario", "steady", "--users", "5",
+                     "--transport", "tcp", "--trace"]) == 2
+        assert "--transport inproc" in capsys.readouterr().err
+
+    def test_stats_tcp_folds_net_metrics(self, capsys):
+        assert main(["stats", "--queries", "40",
+                     "--transport", "tcp"]) == 0
+        output = capsys.readouterr().out
+        assert "net.requests" in output
+        assert "net.client.requests" in output
+        assert "serve.queries" in output

@@ -1,0 +1,494 @@
+"""Tests for the TCP transport (repro.net server + clients).
+
+Covers the connection lifecycle (hello negotiation, idle timeout, the
+connection cap), pipelining with ordered responses, backpressure
+pushback, malformed traffic, retry semantics, drain-on-publish (the
+torn-response storm, extending the ``tests/test_serve.py`` epoch-storm
+pattern onto real sockets), and transport-equivalence of workload
+digests.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    API_VERSION,
+    BatchQueryRequest,
+    BatchQueryResponse,
+    ErrorCode,
+    ErrorResponse,
+    PublishRequest,
+    PublishResponse,
+    QueryRequest,
+    QueryResponse,
+    StatsRequest,
+    StatsResponse,
+)
+from repro.net import (
+    AsyncTcpApiClient,
+    NetClientError,
+    RwsTcpServer,
+    ServerThread,
+    TcpApiClient,
+    encode_frame,
+    hello_message,
+)
+from repro.net.frame import FrameDecoder
+from repro.rws import RelatedWebsiteSet, RwsList
+from repro.serve import RwsService
+
+
+def list_a() -> RwsList:
+    return RwsList(sets=[RelatedWebsiteSet(
+        primary="alpha.com", associated=["alpha-news.com"],
+        rationales={"alpha-news.com": "Shared branding with alpha.com."},
+    )])
+
+
+def list_b() -> RwsList:
+    return RwsList(sets=[RelatedWebsiteSet(
+        primary="beta.com", associated=["beta-shop.com"],
+        rationales={"beta-shop.com": "Affiliated storefront of beta.com."},
+    )])
+
+
+@pytest.fixture
+def service():
+    service = RwsService()
+    service.publish(list_a())
+    yield service
+    service.queue.shutdown()
+
+
+@pytest.fixture
+def harness(service):
+    with ServerThread(RwsTcpServer(service)) as harness:
+        yield harness
+
+
+def raw_hello(host, port, document: str) -> dict:
+    """One raw hello exchange, bypassing the client's own hello."""
+    with socket.create_connection((host, port), timeout=5) as sock:
+        sock.sendall(encode_frame(document))
+        decoder = FrameDecoder()
+        while True:
+            payload = decoder.next_frame()
+            if payload is not None:
+                return json.loads(payload)
+            chunk = sock.recv(65536)
+            assert chunk, "server closed before answering hello"
+            decoder.feed(chunk)
+
+
+class TestHello:
+    def test_negotiates_requested_version(self, harness):
+        host, port = harness.server.address
+        client = TcpApiClient(host, port, api_version=API_VERSION)
+        client.dispatch(StatsRequest())
+        assert client.negotiated_version == API_VERSION
+        assert client.server_window == harness.server.window
+        client.close()
+
+    def test_newer_peer_downgrades(self, harness):
+        host, port = harness.server.address
+        hello = raw_hello(host, port, json.dumps(
+            {"kind": "hello", "api_version": API_VERSION + 7}))
+        assert hello["ok"] is True
+        assert hello["api_version"] == API_VERSION
+        assert hello["max_frame_bytes"] == harness.server.max_frame_bytes
+
+    def test_too_old_peer_refused(self, harness):
+        host, port = harness.server.address
+        hello = raw_hello(host, port, json.dumps(
+            {"kind": "hello", "api_version": 0}))
+        assert hello["ok"] is False
+        assert hello["error"]["code"] == "MALFORMED"
+
+    def test_non_hello_first_frame_refused(self, harness):
+        host, port = harness.server.address
+        hello = raw_hello(host, port, json.dumps(
+            {"kind": "request", "op": "stats", "payload": {},
+             "api_version": API_VERSION}))
+        assert hello["ok"] is False
+
+    def test_hello_garbage_json_refused(self, harness):
+        host, port = harness.server.address
+        hello = raw_hello(host, port, "{not json")
+        assert hello["ok"] is False
+        assert hello["error"]["code"] == "MALFORMED"
+
+
+class TestLifecycle:
+    def test_round_trip_and_counters(self, harness):
+        host, port = harness.server.address
+        with TcpApiClient(host, port) as client:
+            response = client.dispatch(
+                QueryRequest(host_a="alpha-news.com", host_b="alpha.com"))
+            assert type(response) is QueryResponse
+            assert response.verdict.related
+        snapshot = harness.server.net_snapshot()
+        assert snapshot["counters"]["connections_opened"] == 1
+        assert snapshot["counters"]["requests"] == 1
+        assert snapshot["counters"]["responses"] == 1
+
+    def test_idle_timeout_closes_quiet_connections(self, service):
+        with ServerThread(RwsTcpServer(service,
+                                       idle_timeout=0.15)) as harness:
+            host, port = harness.server.address
+            client = TcpApiClient(host, port, retries=0)
+            client.dispatch(StatsRequest())
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                counters = harness.server.net_snapshot()["counters"]
+                if counters["idle_timeouts"] >= 1:
+                    break
+                time.sleep(0.05)
+            assert counters["idle_timeouts"] >= 1
+            client.close()
+
+    def test_max_connections_cap_refuses_at_hello(self, service):
+        with ServerThread(RwsTcpServer(service,
+                                       max_connections=1)) as harness:
+            host, port = harness.server.address
+            first = TcpApiClient(host, port)
+            first.dispatch(StatsRequest())  # pool keeps the conn open
+            second = TcpApiClient(host, port, retries=0)
+            with pytest.raises(NetClientError, match="RATE_LIMITED"):
+                second.dispatch(StatsRequest())
+            counters = harness.server.net_snapshot()["counters"]
+            assert counters["connections_rejected"] == 1
+            first.close()
+            second.close()
+
+    def test_server_thread_context_manager(self, service):
+        with ServerThread(RwsTcpServer(service)) as harness:
+            host, port = harness.server.address
+            with TcpApiClient(host, port) as client:
+                assert type(client.dispatch(StatsRequest())) \
+                    is StatsResponse
+
+
+class TestPipelining:
+    def test_ordered_responses(self, harness):
+        """A pipelined burst answers strictly in request order."""
+        import asyncio
+
+        host, port = harness.server.address
+        requests = [
+            QueryRequest(host_a="alpha-news.com", host_b="alpha.com"),
+            StatsRequest(),
+            QueryRequest(host_a="beta-shop.com", host_b="beta.com"),
+            BatchQueryRequest(pairs=[("alpha.com", "alpha-news.com")],
+                              detail=False),
+            StatsRequest(),
+        ]
+
+        async def run():
+            async with AsyncTcpApiClient(host, port) as client:
+                return await client.pipeline(requests)
+
+        responses = asyncio.run(run())
+        assert [type(r) for r in responses] == [
+            QueryResponse, StatsResponse, QueryResponse,
+            BatchQueryResponse, StatsResponse]
+        assert responses[0].verdict.related is True
+        assert responses[2].verdict.related is False  # pre-publish
+
+    def test_sync_pipeline(self, harness):
+        host, port = harness.server.address
+        with TcpApiClient(host, port) as client:
+            responses = client.pipeline(
+                [StatsRequest() for _ in range(8)])
+            assert all(type(r) is StatsResponse for r in responses)
+
+    def test_backpressure_rate_limited_past_window(self, service):
+        """Requests beyond the in-flight window get RATE_LIMITED, in
+        order, and the connection keeps working."""
+        import asyncio
+
+        with ServerThread(RwsTcpServer(service, window=2,
+                                       workers=1)) as harness:
+            host, port = harness.server.address
+            burst = [StatsRequest() for _ in range(24)]
+
+            async def run():
+                async with AsyncTcpApiClient(host, port) as client:
+                    responses = await client.pipeline(burst)
+                    follow_up = await client.call(StatsRequest())
+                    return responses, follow_up
+
+            responses, follow_up = asyncio.run(run())
+            limited = [r for r in responses
+                       if isinstance(r, ErrorResponse)]
+            assert limited, "expected RATE_LIMITED pushback"
+            assert all(r.error.code is ErrorCode.RATE_LIMITED
+                       for r in limited)
+            served = [r for r in responses if type(r) is StatsResponse]
+            assert served, "window-admitted requests still answer"
+            assert type(follow_up) is StatsResponse
+            counters = harness.server.net_snapshot()["counters"]
+            assert counters["backpressure_stalls"] == len(limited)
+
+
+class TestMalformedTraffic:
+    def test_bad_request_json_answers_malformed(self, harness):
+        """Undecodable request payloads come back as MALFORMED
+        envelopes; the connection survives."""
+        host, port = harness.server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            decoder = FrameDecoder()
+
+            def read_one():
+                while True:
+                    payload = decoder.next_frame()
+                    if payload is not None:
+                        return payload
+                    chunk = sock.recv(65536)
+                    assert chunk
+                    decoder.feed(chunk)
+
+            sock.sendall(encode_frame(hello_message()))
+            assert json.loads(read_one())["ok"] is True
+            sock.sendall(encode_frame("{definitely not a request"))
+            envelope = json.loads(read_one())
+            assert envelope["ok"] is False
+            assert envelope["error"]["code"] == "MALFORMED"
+            # Still alive: a well-formed request answers normally.
+            from repro.api import encode_request
+            sock.sendall(encode_frame(encode_request(StatsRequest())))
+            assert json.loads(read_one())["ok"] is True
+
+    def test_oversized_frame_prefix_errors_and_closes(self, service):
+        with ServerThread(RwsTcpServer(service,
+                                       max_frame_bytes=1024)) as harness:
+            host, port = harness.server.address
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(encode_frame(hello_message(), 1024))
+                sock.sendall((4096).to_bytes(4, "big"))
+                decoder = FrameDecoder(1024)
+                frames = []
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break  # server closed after answering
+                    decoder.feed(chunk)
+                    frames.extend(decoder.frames())
+                assert len(frames) == 2  # hello + the error envelope
+                envelope = json.loads(frames[1])
+                assert envelope["ok"] is False
+                assert envelope["error"]["code"] == "MALFORMED"
+            counters = harness.server.net_snapshot()["counters"]
+            assert counters["malformed"] == 1
+
+
+class TestRetry:
+    def _kill_pooled_socket(self, client: TcpApiClient) -> None:
+        """Sabotage the pooled connection so the next send/read fails."""
+        conn = client._pool.get_nowait()
+        conn.sock.close()
+        client._pool.put_nowait(conn)
+
+    def test_idempotent_read_retries_on_dead_connection(self, harness):
+        host, port = harness.server.address
+        client = TcpApiClient(host, port, retries=2, backoff=0.01)
+        client.dispatch(StatsRequest())
+        self._kill_pooled_socket(client)
+        response = client.dispatch(StatsRequest())  # retried, fresh conn
+        assert type(response) is StatsResponse
+        assert client.net_snapshot()["counters"]["retries"] >= 1
+        client.close()
+
+    def test_mutating_op_never_retries(self, harness):
+        host, port = harness.server.address
+        client = TcpApiClient(host, port, retries=2, backoff=0.01)
+        client.dispatch(StatsRequest())
+        self._kill_pooled_socket(client)
+        with pytest.raises(NetClientError):
+            client.dispatch(PublishRequest(rws_list=list_b()))
+        assert client.net_snapshot()["counters"]["retries"] == 0
+        client.close()
+
+
+class TestDrainOnPublish:
+    def test_pipelined_read_after_publish_sees_new_epoch(self, harness):
+        """The drain contract on one connection: a query pipelined
+        behind a publish answers against the published epoch."""
+        import asyncio
+
+        host, port = harness.server.address
+
+        async def run():
+            async with AsyncTcpApiClient(host, port) as client:
+                return await client.pipeline([
+                    QueryRequest(host_a="beta-shop.com",
+                                 host_b="beta.com"),
+                    PublishRequest(rws_list=list_b()),
+                    QueryRequest(host_a="beta-shop.com",
+                                 host_b="beta.com"),
+                    StatsRequest(),
+                ])
+
+        before, published, after, stats = asyncio.run(run())
+        assert type(before) is QueryResponse
+        assert before.verdict.related is False
+        assert type(published) is PublishResponse
+        assert type(after) is QueryResponse
+        assert after.verdict.related is True
+        assert stats.report["snapshot_version"] == published.version
+
+    def test_publish_storm_never_tears_a_batch(self, service):
+        """Extends the ``test_serve.py`` epoch-storm pattern onto real
+        sockets: while one connection storms alternating publishes, a
+        batch query spanning both lists' sets must answer against
+        exactly one epoch — one related pair, never both or neither."""
+        with ServerThread(RwsTcpServer(service, workers=4)) as harness:
+            host, port = harness.server.address
+            publishes = 60
+            readers = 3
+            stop = threading.Event()
+            torn: list[list[bool]] = []
+            errors: list[BaseException] = []
+
+            def publisher():
+                try:
+                    with TcpApiClient(host, port, retries=0) as client:
+                        for i in range(publishes):
+                            rws_list = list_b() if i % 2 == 0 else list_a()
+                            response = client.dispatch(
+                                PublishRequest(rws_list=rws_list))
+                            assert type(response) is PublishResponse, \
+                                response
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                finally:
+                    stop.set()
+
+            def reader():
+                pairs = [("alpha-news.com", "alpha.com"),
+                         ("beta-shop.com", "beta.com")]
+                try:
+                    with TcpApiClient(host, port, retries=0) as client:
+                        while not stop.is_set():
+                            response = client.dispatch(BatchQueryRequest(
+                                pairs=pairs, detail=False))
+                            assert type(response) is BatchQueryResponse,\
+                                response
+                            if sum(response.related) != 1:
+                                torn.append(list(response.related))
+                                return
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=publisher)]
+            threads += [threading.Thread(target=reader)
+                        for _ in range(readers)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, errors
+            assert not torn, f"torn batch responses: {torn}"
+            snapshot = harness.server.net_snapshot()
+            assert snapshot["counters"]["publishes"] == publishes
+            # The storm must actually have exercised the drain path.
+            assert snapshot["counters"]["requests"] > publishes
+
+    def test_drain_counts_publish_waits(self, harness):
+        """drain_waits only counts publishes that found reads in
+        flight; a quiet publish drains for free."""
+        host, port = harness.server.address
+        with TcpApiClient(host, port) as client:
+            client.dispatch(PublishRequest(rws_list=list_b()))
+        snapshot = harness.server.net_snapshot()
+        assert snapshot["counters"]["publishes"] == 1
+        assert snapshot["counters"]["drain_waits"] == 0
+
+
+class TestObservability:
+    def test_net_snapshot_folds_into_registry(self, harness):
+        from repro.obs import MetricsRegistry, fold_net_snapshot
+
+        host, port = harness.server.address
+        with TcpApiClient(host, port) as client:
+            client.dispatch(StatsRequest())
+        registry = MetricsRegistry()
+        fold_net_snapshot(registry, harness.server.net_snapshot())
+        fold_net_snapshot(registry, client.net_snapshot(),
+                          namespace="net.client")
+        assert registry.counters["net.requests"] == 1
+        assert registry.counters["net.client.requests"] == 1
+        assert registry.gauges["net.window"] == harness.server.window
+        assert "net.request_ns" in registry.histograms
+
+    def test_stats_registry_merges_backend_report(self, harness):
+        host, port = harness.server.address
+        with TcpApiClient(host, port) as client:
+            client.dispatch(QueryRequest(host_a="alpha-news.com",
+                                         host_b="alpha.com"))
+        registry = harness.server.stats_registry()
+        assert registry.counters["net.requests"] == 1
+        assert registry.counters["serve.queries"] >= 1
+
+    def test_tracer_records_net_spans(self, service):
+        from repro.obs import Tracer
+
+        tracer = Tracer(seed=0)
+        with ServerThread(RwsTcpServer(service, workers=1,
+                                       tracer=tracer)) as harness:
+            host, port = harness.server.address
+            with TcpApiClient(host, port) as client:
+                client.dispatch(QueryRequest(host_a="alpha-news.com",
+                                             host_b="alpha.com"))
+                client.dispatch(StatsRequest())
+        names = {span["name"] for span in tracer.summary().spans}
+        assert {"net.accept", "net.frame.decode", "net.dispatch",
+                "net.frame.encode"} <= names
+
+
+class TestTransportEquivalence:
+    """The determinism invariant extends over the wire: TCP dispatch
+    yields bit-identical outcome digests."""
+
+    def test_serial_digest_matches_inproc(self):
+        from repro.workload.driver import run_workload
+
+        inproc = run_workload("steady", 30, seed=11)
+        tcp = run_workload("steady", 30, seed=11, transport="tcp")
+        assert tcp.digest_hex == inproc.digest_hex
+        assert tcp.transport == "tcp"
+        assert tcp.registry is not None
+        assert tcp.registry.counters["net.requests"] > 0
+
+    def test_sharded_digest_matches_inproc(self):
+        from repro.workload.driver import run_workload
+
+        inproc = run_workload("steady", 30, shards=3, seed=11,
+                              executor="inline")
+        tcp = run_workload("steady", 30, shards=3, seed=11,
+                           executor="inline", transport="tcp")
+        assert tcp.digest_hex == inproc.digest_hex
+
+    def test_list_update_digest_matches_inproc(self):
+        from repro.workload.driver import run_workload
+
+        inproc = run_workload("list-update", 24, seed=5)
+        tcp = run_workload("list-update", 24, seed=5, transport="tcp")
+        assert tcp.digest_hex == inproc.digest_hex
+        assert tcp.snapshot_version == inproc.snapshot_version
+
+    def test_trace_with_tcp_is_refused(self):
+        from repro.workload.driver import run_workload
+
+        with pytest.raises(ValueError, match="inproc"):
+            run_workload("steady", 5, seed=0, trace=True,
+                         transport="tcp")
+
+    def test_unknown_transport_is_refused(self):
+        from repro.workload.driver import run_workload
+
+        with pytest.raises(ValueError, match="transport"):
+            run_workload("steady", 5, seed=0, transport="smoke-signal")
