@@ -57,6 +57,12 @@ def _bench_cluster() -> dict:
     return measure_cluster_throughput()
 
 
+def _bench_cluster_chaos() -> dict:
+    from benchmarks.test_bench_cluster_chaos import \
+        measure_chaos_availability
+    return measure_chaos_availability()
+
+
 def _bench_serve() -> dict:
     from benchmarks.test_bench_serve_throughput import \
         measure_index_throughput
@@ -89,6 +95,7 @@ BENCHES: dict[str, Callable[[], dict]] = {
     "psl_threaded_hits": _bench_psl_threaded,
     "workload_cold_cache": _bench_workload_cold,
     "cluster": _bench_cluster,
+    "cluster_chaos": _bench_cluster_chaos,
     "serve_throughput": _bench_serve,
     "api_dispatch": _bench_api_dispatch,
     "obs_tracer": _bench_obs_tracer,

@@ -1,0 +1,129 @@
+"""Bench X9 — chaos cluster: read availability under replica failure.
+
+Not a paper artefact: the acceptance gate for the `repro.chaos` layer
+on top of the replicated front-end.  The property pinned is the one a
+failure model is *for* — losing a replica must cost at most that
+replica's share of the fleet:
+
+* **read availability** — a rendezvous cluster of R replicas that
+  loses one at clock 0 still answers the full read workload (orphaned
+  keys rehome to the survivors) at ≥ (R-1)/R of the healthy cluster's
+  batch throughput.  The gate is deliberately below 1.0 — the
+  survivors absorb the orphaned keys, so per-batch work is unchanged —
+  and only trips when degraded routing itself regresses (a rehash
+  stampede, a lock convoy on the shrunk set, or routing that errors
+  instead of rerouting).
+* **verdict fidelity** — the degraded cluster's verdicts are
+  byte-identical to the healthy cluster's: failure changes *who*
+  answers, never *what* is answered.
+
+The measurement function is a plain callable (no fixtures) so the
+``python -m benchmarks.run`` trajectory harness can reuse it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.chaos import ChaosRouter, FaultPlan
+from repro.data import build_rws_list
+from repro.serve import RwsService
+
+_REPLICAS = 4
+_ROUNDS = 30
+
+
+def _pair_workload(count: int = 600) -> list[tuple[str, str]]:
+    members = [record.site for record in build_rws_list().all_members()]
+    return [(members[i % len(members)],
+             members[(i * 7 + 3) % len(members)])
+            for i in range(count)]
+
+
+def _batch_qps(router: ChaosRouter,
+               pairs: list[tuple[str, str]]) -> float:
+    router.related_batch(pairs)  # warm replica resolver caches
+    started = time.perf_counter()
+    for _ in range(_ROUNDS):
+        router.related_batch(pairs)
+    elapsed = time.perf_counter() - started
+    return (_ROUNDS * len(pairs)) / elapsed if elapsed > 0 else 0.0
+
+
+def measure_chaos_availability() -> dict[str, float]:
+    """Healthy R-replica batch reads vs the same cluster minus one."""
+    pairs = _pair_workload()
+    primary = RwsService()
+    primary.publish(build_rws_list())
+    try:
+        healthy = ChaosRouter(primary, replicas=_REPLICAS,
+                              plan=FaultPlan(name="healthy"),
+                              policy="rendezvous")
+        degraded = ChaosRouter(
+            primary, replicas=_REPLICAS,
+            plan=FaultPlan(name="one-down",
+                           leaves=((_REPLICAS - 1, 0, -1),)),
+            policy="rendezvous")
+        degraded.advance(1)  # the leave fires; keys rehome
+        expected = healthy.related_batch(pairs)
+        identical = degraded.related_batch(pairs) == expected
+        healthy_qps = _batch_qps(healthy, pairs)
+        degraded_qps = _batch_qps(degraded, pairs)
+    finally:
+        primary.queue.shutdown()
+    return {
+        "replicas": float(_REPLICAS),
+        "active_after_failure": float(_REPLICAS - 1),
+        "healthy_qps": healthy_qps,
+        "degraded_qps": degraded_qps,
+        "throughput_ratio": (degraded_qps / healthy_qps
+                             if healthy_qps > 0 else 0.0),
+        "availability_gauge": degraded.availability,
+        "verdicts_identical": identical,
+    }
+
+
+# -- acceptance gates ---------------------------------------------------------
+
+
+def test_degraded_cluster_keeps_proportional_throughput():
+    """One replica down: reads sustain >= (R-1)/R of healthy qps."""
+    gate = (_REPLICAS - 1) / _REPLICAS
+    result = measure_chaos_availability()
+    for _ in range(2):
+        # Up to two retries absorb a transiently loaded host; a real
+        # regression fails all three.
+        if result["throughput_ratio"] >= gate:
+            break
+        result = measure_chaos_availability()
+    print(f"\nread availability under failure: healthy "
+          f"{result['healthy_qps']:,.0f}/s, one-of-{_REPLICAS} down "
+          f"{result['degraded_qps']:,.0f}/s "
+          f"({result['throughput_ratio']:.2f} of healthy, "
+          f"gate {gate:.2f})")
+    assert result["verdicts_identical"]
+    assert result["throughput_ratio"] >= gate, (
+        f"degraded read path at {result['throughput_ratio']:.2f} of "
+        f"healthy throughput, below the {gate:.2f} gate"
+    )
+
+
+def test_degraded_cluster_routes_nothing_to_the_dead_replica():
+    """The failed node serves zero reads; the survivors split its keys."""
+    primary = RwsService()
+    primary.publish(build_rws_list())
+    try:
+        router = ChaosRouter(
+            primary, replicas=_REPLICAS,
+            plan=FaultPlan(name="one-down",
+                           leaves=((_REPLICAS - 1, 0, -1),)),
+            policy="rendezvous")
+        router.advance(1)
+        router.related_batch(_pair_workload())
+        counts = [replica.stats.queries for replica in router.replicas]
+        assert counts[_REPLICAS - 1] == 0
+        assert sum(1 for count in counts[:-1] if count > 0) \
+            == _REPLICAS - 1
+        assert router.availability < 1.0
+    finally:
+        primary.queue.shutdown()

@@ -486,6 +486,62 @@ def _cmd_api(args: argparse.Namespace) -> int:
     return 0 if envelope.get("ok") else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import CHAOS_PLANS
+    from repro.workload import SCENARIOS, get_scenario, run_workload
+    from repro.workload.driver import chaotic
+
+    if args.list_plans:
+        width = max(len(name) for name in CHAOS_PLANS)
+        for name in sorted(CHAOS_PLANS):
+            description = (SCENARIOS[name].description
+                           if name in SCENARIOS else "")
+            print(f"{name:{width}s}  {description}")
+        return 0
+    if args.plan not in CHAOS_PLANS:
+        known = ", ".join(sorted(CHAOS_PLANS))
+        print(f"unknown chaos plan {args.plan!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    if args.users < 1 or args.shards < 1:
+        print("chaos needs --users >= 1 and --shards >= 1",
+              file=sys.stderr)
+        return 2
+    # Every plan ships a matching named scenario (same registry key);
+    # an unregistered plan would still run via chaotic() over the
+    # takedown shape.
+    if args.plan in SCENARIOS:
+        scenario = get_scenario(args.plan)
+    else:
+        scenario = chaotic("takedown", args.plan)
+    result = run_workload(scenario, args.users, shards=args.shards,
+                          seed=args.seed, executor=args.executor)
+    for line in result.report_lines():
+        print(line)
+    assert result.registry is not None
+    portable = result.registry.to_portable()
+    for key in sorted(portable["counters"]):
+        if key.startswith(("chaos.", "cluster.")):
+            print(f"{key} {portable['counters'][key]}")
+    for key in sorted(portable["gauges"]):
+        if key.startswith(("chaos.", "cluster.")):
+            print(f"{key} {portable['gauges'][key]:g}")
+    if args.verify:
+        # The determinism gate: the same plan replayed on a different
+        # partition must reproduce the outcome digest bit-for-bit.
+        shards = 2 if args.shards == 1 else args.shards + 1
+        again = run_workload(scenario, args.users, shards=shards,
+                             seed=args.seed, executor="inline")
+        if again.digest != result.digest:
+            print(f"DIGEST MISMATCH: {result.digest_hex} "
+                  f"({args.shards} shard(s)) vs {again.digest_hex} "
+                  f"({shards} shards)", file=sys.stderr)
+            return 1
+        print(f"verified: digest bit-identical across {args.shards} "
+              f"and {shards} shard partitions")
+    return 0
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
     from repro.workload import SCENARIOS, get_scenario, run_workload
     from repro.workload.driver import replicated
@@ -516,6 +572,14 @@ def _cmd_load(args: argparse.Namespace) -> int:
             else scenario.replica_lag,
             policy=args.policy or scenario.router_policy,
         )
+    if args.chaos is not None:
+        from repro.workload.driver import chaotic
+
+        try:
+            scenario = chaotic(scenario, args.chaos)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
     trace = args.trace or args.trace_out is not None
     if trace and args.transport == "tcp":
         print("--trace requires --transport inproc (socket scheduling "
@@ -681,6 +745,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "or a per-shard loopback TCP server "
                           "(default: inproc; outcomes are digest-"
                           "identical either way)")
+    sub.add_argument("--chaos", default=None, metavar="PLAN",
+                     help="run the scenario under a seeded fault plan "
+                          "(see `chaos --list-plans`); scenarios "
+                          "without a replica cluster get a default "
+                          "3-replica rendezvous cluster")
     sub.add_argument("--list-scenarios", action="store_true",
                      help="print the scenario registry and exit")
     sub.add_argument("--trace", action="store_true",
@@ -694,6 +763,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the merged trace as a repro.obs JSON "
                           "snapshot (implies --trace)")
     sub.set_defaults(handler=_cmd_load)
+
+    sub = subparsers.add_parser(
+        "chaos",
+        help="run a seeded fault-injection plan through the replica "
+             "cluster")
+    sub.add_argument("--plan", default="failover", metavar="NAME",
+                     help="fault plan name (default: failover; see "
+                          "--list-plans)")
+    sub.add_argument("--users", type=int, default=400, metavar="N",
+                     help="simulated user sessions (default: 400)")
+    sub.add_argument("--shards", type=int, default=1, metavar="K",
+                     help="worker shards (default: 1, the serial "
+                          "reference driver)")
+    sub.add_argument("--seed", type=int, default=0, metavar="SEED",
+                     help="run seed; fault history and the digest are "
+                          "bit-reproducible per seed (default: 0)")
+    sub.add_argument("--executor", default="auto",
+                     choices=["auto", "inline", "thread", "process"],
+                     help="how shards run (default: auto)")
+    sub.add_argument("--verify", action="store_true",
+                     help="re-run on a different shard partition and "
+                          "fail unless the outcome digest is "
+                          "bit-identical")
+    sub.add_argument("--list-plans", action="store_true",
+                     help="print the fault-plan registry and exit")
+    sub.set_defaults(handler=_cmd_chaos)
 
     sub = subparsers.add_parser(
         "stats",

@@ -24,11 +24,12 @@ replicated deployment — the CLI's ``cluster`` subcommand and the
 workload engine's replicated execution mode are both built that way.
 """
 
-from repro.cluster.replica import Replica
+from repro.cluster.replica import Replica, ReplicationGapError
 from repro.cluster.router import POLICIES, Router
 
 __all__ = [
     "POLICIES",
     "Replica",
+    "ReplicationGapError",
     "Router",
 ]

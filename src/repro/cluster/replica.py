@@ -18,6 +18,16 @@ Lag is measured on a deterministic logical clock (the workload driver
 advances it with the global user index), never wall time, so staleness
 — and therefore every decision a stale replica serves — is
 bit-reproducible across runs, shard counts, and executors.
+
+Delivery is **not** assumed reliable or ordered: a lossy transport
+(modelled by :mod:`repro.chaos`) may drop, duplicate, or reorder the
+broadcast hops.  Catch-up therefore sorts due updates by target
+version, silently skips hops the replica has already applied
+(:attr:`Replica.duplicates_ignored`), and refuses to misapply across a
+missing hop — a version gap raises the structured
+:class:`ReplicationGapError` naming exactly what the replica has and
+what it needs, so a supervisor can recover with a full-snapshot
+:meth:`Replica.resync` (counted in :attr:`Replica.resyncs`).
 """
 
 from __future__ import annotations
@@ -29,9 +39,34 @@ from repro.serve.service import EpochShell, RwsService
 from repro.serve.snapshot import (
     ListSnapshot,
     SnapshotDelta,
+    StaleSnapshotError,
     apply_delta,
     squash_deltas,
 )
+
+
+class ReplicationGapError(StaleSnapshotError):
+    """A delta chain skips over a hop this replica never received.
+
+    Applying it anyway would silently misrepresent list membership, so
+    catch-up stops and reports the exact gap instead.  The chaos
+    layer's recovery path answers with a full-snapshot
+    :meth:`Replica.resync`.
+
+    Attributes:
+        replica_id: The replica that detected the gap.
+        have_version: The snapshot version the replica serves.
+        need_version: The base version the next pending delta expects.
+    """
+
+    def __init__(self, replica_id: int, have_version: int,
+                 need_version: int):
+        super().__init__(
+            f"replica {replica_id} serves v{have_version} but the next "
+            f"delta needs base v{need_version}: broadcast hop(s) lost")
+        self.replica_id = replica_id
+        self.have_version = have_version
+        self.need_version = need_version
 
 
 class Replica(EpochShell):
@@ -70,6 +105,10 @@ class Replica(EpochShell):
         #: and how many broadcast hops they covered.
         self.catch_ups = 0
         self.deltas_applied = 0
+        #: Robustness bookkeeping: full-snapshot recoveries taken and
+        #: already-applied hops a lossy transport redelivered.
+        self.resyncs = 0
+        self.duplicates_ignored = 0
         # Guards _pending and the catch-up sequence only; the query
         # path (EpochShell) never touches it.
         self._sync_lock = threading.Lock()
@@ -106,28 +145,38 @@ class Replica(EpochShell):
             self._pending.append((published_clock + self.lag, update))
 
     def has_due(self, clock: int) -> bool:
-        """True when advancing to ``clock`` would apply an update."""
-        pending = self._pending
-        return bool(pending) and pending[0][0] <= clock
+        """True when advancing to ``clock`` would apply an update.
+
+        Scans the whole queue rather than its head: a reordering
+        transport may deliver a later hop with an earlier due time.
+        """
+        return any(due <= clock for due, _ in self._pending)
 
     def advance(self, clock: int) -> bool:
         """Advance the logical clock, applying every due update.
 
-        Contiguous due delta hops are squashed into one application;
-        a due full-snapshot bootstrap adopts the snapshot directly.
+        Contiguous due delta hops are squashed into one application; a
+        due full-snapshot bootstrap adopts the snapshot directly.
+        Redelivered hops are skipped (:attr:`duplicates_ignored`).
 
         Returns:
             True when the replica's epoch changed.
+
+        Raises:
+            ReplicationGapError: When a due delta's base version is
+                ahead of this replica — a hop was lost in transit.
+                Updates due before the gap have been applied; recover
+                with :meth:`resync`.
         """
         with self._sync_lock:
             self._clock = max(self._clock, clock)
-            if not self._pending or self._pending[0][0] > self._clock:
+            due = [update for when, update in self._pending
+                   if when <= self._clock]
+            if not due:
                 return False
-            due: list[SnapshotDelta | ListSnapshot] = []
-            while self._pending and self._pending[0][0] <= self._clock:
-                due.append(self._pending.pop(0)[1])
-            self._apply_updates(due)
-        return True
+            self._pending = [(when, update) for when, update
+                             in self._pending if when > self._clock]
+            return self._apply_updates(due)
 
     def sync(self) -> bool:
         """Catch up fully, ignoring lag (drain everything pending).
@@ -145,23 +194,85 @@ class Replica(EpochShell):
                 return False
             due = [update for _, update in self._pending]
             self._pending.clear()
-            self._apply_updates(due)
+            return self._apply_updates(due)
+
+    def resync(self, snapshot: ListSnapshot | None = None) -> bool:
+        """Recover by adopting a full authoritative snapshot.
+
+        The answer to :class:`ReplicationGapError`: instead of waiting
+        for lost hops that will never arrive, the replica abandons its
+        pending queue and recompiles from the primary's current
+        snapshot (or an explicitly supplied one — the chaos router
+        passes the acting primary's, which may be ahead of a failed
+        primary's).  Counted in :attr:`resyncs`.
+
+        Returns:
+            True when the replica's epoch changed.
+        """
+        with self._sync_lock:
+            if snapshot is None:
+                snapshot = self.primary.current_snapshot
+            self._pending.clear()
+            self.resyncs += 1
+            if snapshot is None or snapshot.version == self.version:
+                return False
+            self._adopt(snapshot)
+        return True
+
+    def drop_pending(self) -> int:
+        """Discard every queued broadcast (an offline replica loses
+        whatever was in flight).  Returns how many hops were dropped."""
+        with self._sync_lock:
+            dropped = len(self._pending)
+            self._pending.clear()
+        return dropped
+
+    def adopt(self, snapshot: ListSnapshot) -> bool:
+        """Adopt a full snapshot directly (a staged-rollout delivery or
+        a joiner's bootstrap), without touching the pending queue.
+
+        Unlike :meth:`resync` this is not a recovery: it counts as an
+        ordinary catch-up.  Adopting the already-served version is a
+        no-op.  A canary *rollback* also lands here — the snapshot may
+        be an older version than the one currently served.
+
+        Returns:
+            True when the replica's epoch changed.
+        """
+        with self._sync_lock:
+            if snapshot.version == self.version:
+                return False
+            self._adopt(snapshot)
         return True
 
     # -- catch-up internals (caller holds _sync_lock) -------------------------
 
     def _apply_updates(self,
-                       due: list[SnapshotDelta | ListSnapshot]) -> None:
-        """Apply drained updates in order, squashing delta runs."""
+                       due: list[SnapshotDelta | ListSnapshot]) -> bool:
+        """Apply drained updates, tolerating loss artefacts.
+
+        Updates are ordered by target version (a lossy transport may
+        deliver hops out of order), already-applied hops are skipped,
+        and contiguous delta runs squash into one application.  Returns
+        True when the epoch changed.
+        """
+        ordered = sorted(due, key=lambda update: (
+            update.version if isinstance(update, ListSnapshot)
+            else update.to_version))
+        before = self._epoch.version
         chain: list[SnapshotDelta] = []
-        for update in due:
+        for update in ordered:
             if isinstance(update, SnapshotDelta):
                 chain.append(update)
                 continue
             self._apply_chain(chain)
             chain = []
-            self._adopt(update)
+            if update.version <= self._epoch.version:
+                self.duplicates_ignored += 1
+            else:
+                self._adopt(update)
         self._apply_chain(chain)
+        return self._epoch.version != before
 
     def _adopt(self, snapshot: ListSnapshot) -> None:
         """Adopt a full snapshot (the no-delta-base bootstrap hop)."""
@@ -170,10 +281,33 @@ class Replica(EpochShell):
         self.deltas_applied += 1
 
     def _apply_chain(self, chain: list[SnapshotDelta]) -> None:
-        """Apply a contiguous delta chain as one squashed patch."""
+        """Apply a delta run as one squashed patch.
+
+        Hops whose target the replica already serves (duplicates, or
+        stale redeliveries after a resync) are dropped; the surviving
+        run must chain contiguously from the served version or a
+        :class:`ReplicationGapError` names the missing base.
+        """
         if not chain:
             return
-        delta = squash_deltas(chain)
+        current = self._epoch.version
+        fresh: list[SnapshotDelta] = []
+        covered: set[int] = set()
+        for delta in chain:
+            if delta.to_version <= current or delta.to_version in covered:
+                self.duplicates_ignored += 1
+                continue
+            covered.add(delta.to_version)
+            fresh.append(delta)
+        if not fresh:
+            return
+        expected = current
+        for delta in fresh:
+            if delta.from_version != expected:
+                raise ReplicationGapError(self.replica_id, expected,
+                                          delta.from_version)
+            expected = delta.to_version
+        delta = squash_deltas(fresh)
         epoch = self._epoch
         epoch.require_version(delta.from_version)
         patched = apply_delta(epoch.rws_list, delta)
@@ -184,7 +318,7 @@ class Replica(EpochShell):
         # the client-side recompilation every browser instance pays.
         self._epoch = Epoch.compile(snapshot, epoch.psl)
         self.catch_ups += 1
-        self.deltas_applied += len(chain)
+        self.deltas_applied += len(fresh)
 
     # -- observability --------------------------------------------------------
 
@@ -204,4 +338,6 @@ class Replica(EpochShell):
         report["catch_ups"] = float(self.catch_ups)
         report["deltas_applied"] = float(self.deltas_applied)
         report["pending_updates"] = float(len(self._pending))
+        report["resyncs"] = float(self.resyncs)
+        report["duplicates_ignored"] = float(self.duplicates_ignored)
         return report

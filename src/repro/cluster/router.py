@@ -95,14 +95,29 @@ class Router:
                                  f"{replicas} replicas")
         self.primary = primary
         self.policy = policy
+        #: Every replica this router has ever owned, in join order —
+        #: the stats surface.  Subclasses with dynamic membership route
+        #: over :meth:`_read_replicas` instead, so a departed replica's
+        #: served-request counters survive in :meth:`stats_report`.
         self.replicas: list[Replica] = [
             Replica(i, primary, lag=lags[i],
                     resolver_cache_size=resolver_cache_size)
             for i in range(replicas)
         ]
+        self._resolver_cache_size = resolver_cache_size
         self._clock = 0
         self._rr = itertools.count()  # C-level counter: atomic next()
         self._tracer = NULL_TRACER
+
+    def _read_replicas(self) -> list[Replica]:
+        """The replicas eligible for read routing and broadcasts.
+
+        The static cluster routes over every replica; the chaos
+        router's override returns only the currently-joined set, which
+        is what makes a leave/join reroute atomic — every routing
+        decision takes one consistent membership view.
+        """
+        return self.replicas
 
     def set_tracer(self, tracer) -> None:
         """Attach a tracer to the router, the primary, and every replica.
@@ -158,7 +173,7 @@ class Router:
         # cutoff); staggered-lag replicas stay due strictly later.
         if clock > self._clock:
             self._clock = clock
-        for replica in self.replicas:
+        for replica in self._read_replicas():
             replica.receive(update, published_clock=clock)
             replica.advance(self._clock)
         return snapshot
@@ -167,7 +182,7 @@ class Router:
         """Move the cluster clock; lagging replicas apply due hops."""
         if clock > self._clock:
             self._clock = clock
-        for replica in self.replicas:
+        for replica in self._read_replicas():
             replica.advance(clock)
 
     def has_due(self, clock: int) -> bool:
@@ -177,17 +192,19 @@ class Router:
         advance, so buffered decisions are answered by the epochs their
         users actually saw.
         """
-        return any(replica.has_due(clock) for replica in self.replicas)
+        return any(replica.has_due(clock)
+                   for replica in self._read_replicas())
 
     def converge(self) -> None:
-        """Force every replica up to date, ignoring lag."""
-        for replica in self.replicas:
+        """Force every joined replica up to date, ignoring lag."""
+        for replica in self._read_replicas():
             replica.sync()
 
     @property
     def converged(self) -> bool:
-        """True when no replica holds pending updates."""
-        return not any(replica.lagging for replica in self.replicas)
+        """True when no joined replica holds pending updates."""
+        return not any(replica.lagging
+                       for replica in self._read_replicas())
 
     # -- routing --------------------------------------------------------------
 
@@ -213,7 +230,7 @@ class Router:
         return site or ""
 
     def _pick(self, key: str | None) -> Replica:
-        replicas = self.replicas
+        replicas = self._read_replicas()
         if len(replicas) == 1:
             return replicas[0]
         if self.policy == "round-robin" or key is None:
@@ -223,7 +240,7 @@ class Router:
 
     def _split(self, keys: list[str]) -> list[Replica]:
         """Per-item rendezvous assignment for a batch."""
-        replicas = self.replicas
+        replicas = self._read_replicas()
         assignments: list[Replica] = []
         memo: dict[str, Replica] = {}
         for key in keys:
@@ -249,7 +266,7 @@ class Router:
         if tracer.live:
             tracer.emit("cluster.route_batch", policy=self.policy,
                         pairs=len(pairs))
-        if self.policy == "round-robin" or len(self.replicas) == 1:
+        if self.policy == "round-robin" or len(self._read_replicas()) == 1:
             return getattr(self._pick(None), method_name)(pairs)
         assignments = self._split([key_of(pair) for pair in pairs])
         buckets: dict[int, tuple[list[int], list]] = {}
@@ -260,7 +277,8 @@ class Router:
             bucket[0].append(i)
             bucket[1].append(pairs[i])
         results: list = [None] * len(pairs)
-        by_id = {replica.replica_id: replica for replica in self.replicas}
+        by_id = {replica.replica_id: replica
+                 for replica in self._read_replicas()}
         for replica_id, (positions, sub) in buckets.items():
             answered = getattr(by_id[replica_id], method_name)(sub)
             for position, answer in zip(positions, answered):
@@ -277,7 +295,7 @@ class Router:
         trace digests partition-independent; rendezvous (and a
         single-replica cluster) routes by content alone.
         """
-        if self.policy == "rendezvous" or len(self.replicas) == 1:
+        if self.policy == "rendezvous" or len(self._read_replicas()) == 1:
             return replica.replica_id
         return -1
 
@@ -406,6 +424,10 @@ class Router:
             sum(replica.deltas_applied for replica in self.replicas))
         report["replica_pending_updates"] = float(
             sum(replica.pending_updates for replica in self.replicas))
+        report["resyncs"] = float(
+            sum(replica.resyncs for replica in self.replicas))
+        report["duplicates_ignored"] = float(
+            sum(replica.duplicates_ignored for replica in self.replicas))
         return report
 
     def stats_registry(self):

@@ -104,13 +104,26 @@ class TcpApiClient:
         backoff: Base backoff in seconds, doubled per attempt.
         max_frame_bytes: Local frame ceiling (the server advertises
             its own at hello; the effective limit is the smaller).
+        fault_hook: Optional injectable transport fault — called as
+            ``fault_hook(op, attempt)`` before every
+            :meth:`dispatch` round trip.  Return ``"before"`` to tear
+            the connection down before the request frame is sent (the
+            request never reaches the server), ``"after"`` to send the
+            frame and then tear down before the response is read (the
+            server processed the request; the *response* is lost —
+            the dangerous case that must never trigger a replay of a
+            non-idempotent op), or ``None`` for no fault.  Injected
+            faults surface as ordinary :class:`NetClientError`
+            transport failures, so they exercise exactly the retry /
+            no-replay policy real socket failures do.
     """
 
     def __init__(self, host: str, port: int, *,
                  api_version: int = API_VERSION, pool_size: int = 4,
                  timeout: float = 10.0, retries: int = 2,
                  backoff: float = 0.05,
-                 max_frame_bytes: int = MAX_WIRE_BYTES):
+                 max_frame_bytes: int = MAX_WIRE_BYTES,
+                 fault_hook=None):
         self.host = host
         self.port = port
         self.api_version = api_version
@@ -119,6 +132,7 @@ class TcpApiClient:
         self.retries = retries
         self.backoff = backoff
         self.max_frame_bytes = max_frame_bytes
+        self.fault_hook = fault_hook
         #: Populated by the first hello exchange.
         self.negotiated_version: int | None = None
         self.server_window: int | None = None
@@ -126,7 +140,8 @@ class TcpApiClient:
         self._lock = threading.Lock()
         self._closed = False
         self._counters = {"requests": 0, "responses": 0, "retries": 0,
-                          "reconnects": 0, "transport_errors": 0}
+                          "reconnects": 0, "transport_errors": 0,
+                          "backoff_ms": 0, "faults_injected": 0}
 
     # -- connection management ------------------------------------------------
 
@@ -200,13 +215,15 @@ class TcpApiClient:
         last: NetClientError | None = None
         for attempt in range(attempts):
             if attempt:
+                delay = self.backoff * (2 ** (attempt - 1))
                 with self._lock:
                     self._counters["retries"] += 1
-                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                    self._counters["backoff_ms"] += int(round(delay * 1000))
+                time.sleep(delay)
             conn = None
             try:
                 conn = self._checkout()
-                response = self._round_trip(conn, request)
+                response = self._round_trip(conn, request, attempt)
             except NetClientError as exc:
                 if conn is not None:
                     conn.close()
@@ -221,13 +238,29 @@ class TcpApiClient:
         assert last is not None
         raise last
 
-    def _round_trip(self, conn: _Conn, request: Request) -> Response:
+    def _round_trip(self, conn: _Conn, request: Request,
+                    attempt: int = 0) -> Response:
+        fault = (self.fault_hook(request.op, attempt)
+                 if self.fault_hook is not None else None)
+        if fault == "before":
+            with self._lock:
+                self._counters["faults_injected"] += 1
+            raise NetClientError(
+                f"injected fault before send ({request.op})")
         try:
             conn.sock.sendall(encode_frame(
                 encode_request(request, version=conn.version),
                 conn.max_frame_bytes))
         except OSError as exc:
             raise NetClientError(f"send failed: {exc}") from exc
+        if fault == "after":
+            # The request frame is on the wire — the server will (or
+            # already did) process it.  Losing the response here is the
+            # scenario where a naive retry would replay a mutation.
+            with self._lock:
+                self._counters["faults_injected"] += 1
+            raise NetClientError(
+                f"injected fault after send ({request.op}): response lost")
         payload = _read_frame(conn.sock, conn.decoder)
         try:
             response, _version = decode_response(

@@ -241,6 +241,7 @@ _REPORT_GAUGES = frozenset({
     "epoch", "snapshot_version", "index_sites", "index_sets",
     "mean_query_ns", "replicas", "replica_epoch_min", "replica_epoch_max",
     "replica_pending_updates", "psl_size", "psl_maxsize", "replica",
+    "availability", "active_replicas",
 })
 
 #: ``stats_report`` keys belonging to the cluster namespace.
@@ -248,6 +249,7 @@ _REPORT_CLUSTER = frozenset({
     "replicas", "replica_epoch_min", "replica_epoch_max",
     "replica_catch_ups", "replica_deltas_applied",
     "replica_pending_updates", "replica",
+    "resyncs", "duplicates_ignored", "availability", "active_replicas",
 })
 
 
@@ -331,7 +333,8 @@ def fold_stats_report(registry: MetricsRegistry,
 
     The flat legacy report re-namespaces as: ``psl_*`` → ``psl.*``,
     ``queue_*`` → ``queue.*``, replica-fleet fields → ``cluster.*``,
-    and everything else (request counters, epoch/index state) →
+    fault-injection counters (``chaos_*``) → ``chaos.*``, and
+    everything else (request counters, epoch/index state) →
     ``serve.*``.  Point-in-time fields become gauges, monotonic fields
     counters.
     """
@@ -340,6 +343,8 @@ def fold_stats_report(registry: MetricsRegistry,
             name = f"psl.{key[4:]}"
         elif key.startswith("queue_"):
             name = f"queue.{key[6:]}"
+        elif key.startswith("chaos_"):
+            name = f"chaos.{key[6:]}"
         elif key in _REPORT_CLUSTER:
             name = f"cluster.{key}"
         else:

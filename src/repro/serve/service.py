@@ -603,6 +603,29 @@ class RwsService(EpochShell):
             tracer.emit("serve.publish", version=snapshot.version)
         return snapshot
 
+    def adopt(self, snapshot: ListSnapshot) -> bool:
+        """Swap the serving epoch to a snapshot already in the store.
+
+        The staged-rollout promote path: a canary publish mints its
+        candidate directly in the store (so a rollback can abandon it
+        without ever disturbing the serving epoch), and on promotion
+        the service *adopts* the minted snapshot rather than
+        republishing content the store would deduplicate.  Adopting the
+        already-served version is a no-op.
+
+        Returns:
+            True when the serving epoch changed.
+        """
+        with self._lock:
+            if snapshot.version == self._epoch.version:
+                return False
+            epoch = Epoch.compile(snapshot, self.psl)
+            self._epoch = epoch
+            assert self.validator is not None
+            self.validator.set_published(snapshot.rws_list,
+                                         index=epoch.index)
+        return True
+
     def delta_since(self, version: int,
                     to_version: int | None = None) -> SnapshotDelta:
         """The patch bringing a client at ``version`` up to date.

@@ -11,8 +11,9 @@ that traffic reproducibly:
   third parties, ``requestStorageAccess[For]`` calls);
 * :mod:`repro.workload.scenarios` — the named scenario registry
   (steady-state, flash-crowd, mid-flight list updates, abusive-set
-  probing, cold/warm cache, bulk firehose) — new workloads are one
-  dict entry;
+  probing, cold/warm cache, bulk firehose, and the seeded chaos
+  scenarios riding :mod:`repro.chaos` fault plans) — new workloads
+  are one dict entry;
 * :mod:`repro.workload.driver` — the serial reference driver and the
   sharded executor that partitions users across workers and merges
   results;
@@ -29,6 +30,7 @@ Entry point::
 from repro.workload.driver import (
     ShardTask,
     WorkloadResult,
+    chaotic,
     replicated,
     run_serial,
     run_shard,
@@ -71,6 +73,7 @@ __all__ = [
     "WorkloadMetrics",
     "WorkloadResult",
     "ZipfSampler",
+    "chaotic",
     "combine_digests",
     "digest_hex",
     "get_scenario",

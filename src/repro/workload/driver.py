@@ -72,6 +72,8 @@ from repro.api.envelopes import (
 )
 from repro.browser.engine import Browser
 from repro.browser.policy import BROWSER_POLICIES
+from repro.chaos.plan import chaos_plan
+from repro.chaos.router import ChaosRouter
 from repro.cluster.router import Router
 from repro.obs.trace import NULL_TRACER, Tracer, TraceSummary
 from repro.psl.lookup import DomainError
@@ -534,13 +536,24 @@ def _apply_mid_flight_update(state: _ShardState, cutoff: int) -> None:
         if state.service.current_snapshot else 0
     if state.router is not None:
         snapshot = state.router.publish(build_v2(), published_clock=cutoff)
+        # The router decides what the cluster serves: under failover
+        # the promoted replica's epoch (the dead primary never
+        # adopts), under a canary rollback the *old* epoch.
+        state.epoch = state.router.epoch
     else:
         snapshot = state.service.publish(build_v2())
-    state.epoch = state.service.epoch
+        state.epoch = state.service.epoch
     state.metrics.count("list_updates")
+    if snapshot.version == base_version:
+        # A rolled-back canary publish: the cluster kept serving the
+        # old version, so there is nothing for a delta client to
+        # catch up to (the aborted candidate stays in store history).
+        return
     # A v1 client catches up by delta; its patched copy must converge
     # on the served content hash (the component-updater contract).
-    delta = state.service.delta_since(base_version)
+    # Pinned to the *served* version: under a staged rollout the
+    # store's latest may be a candidate the cluster never promoted.
+    delta = state.service.delta_since(base_version, snapshot.version)
     patched = apply_delta(build_v1(), delta)
     if membership_hash(patched) == snapshot.content_hash:
         state.metrics.count("delta_applied")
@@ -593,17 +606,33 @@ def run_shard(task: ShardTask) -> dict:
     service = RwsService(resolver_cache_size=scenario.resolver_cache_size)
     service.publish(rws_list)
     router = None
+    if scenario.chaos is not None and scenario.replicas <= 0:
+        raise ValueError(f"chaos plan {scenario.chaos!r} requires "
+                         "replicas > 0")
     if scenario.replicas > 0:
         # Replicas boot from the already-published epoch; staggered
         # propagation lag (i + 1) * replica_lag applies to every
         # *subsequent* publish broadcast.
-        router = Router(
-            service, replicas=scenario.replicas,
-            lag=[(i + 1) * scenario.replica_lag
-                 for i in range(scenario.replicas)],
-            policy=scenario.router_policy,
-            resolver_cache_size=scenario.resolver_cache_size,
-        )
+        lags = [(i + 1) * scenario.replica_lag
+                for i in range(scenario.replicas)]
+        if scenario.chaos is not None:
+            # The fault plan scales against the whole run's clock
+            # horizon and is identical in every shard — each shard
+            # replays the same fault history as its private clock
+            # passes the scheduled ticks.
+            router = ChaosRouter(
+                service, replicas=scenario.replicas,
+                plan=chaos_plan(scenario.chaos, task.total_users,
+                                scenario.replica_lag),
+                lag=lags, policy=scenario.router_policy,
+                resolver_cache_size=scenario.resolver_cache_size,
+            )
+        else:
+            router = Router(
+                service, replicas=scenario.replicas, lag=lags,
+                policy=scenario.router_policy,
+                resolver_cache_size=scenario.resolver_cache_size,
+            )
     tracer = Tracer(seed=task.seed) if task.trace else NULL_TRACER
     if task.trace:
         if router is not None:
@@ -673,6 +702,9 @@ def run_shard(task: ShardTask) -> dict:
         state.metrics.count(
             "replica_deltas_applied",
             sum(replica.deltas_applied for replica in router.replicas))
+        resyncs = sum(replica.resyncs for replica in router.replicas)
+        if resyncs:
+            state.metrics.count("replica_resyncs", resyncs)
     for op, count in sorted(state.api_counter.requests.items()):
         state.metrics.count(f"api_{op}_requests", count)
     # The shard's unified registry: decision counters (the
@@ -700,7 +732,15 @@ def run_shard(task: ShardTask) -> dict:
                           namespace="net.client")
         client.close()
         harness.stop()
-    snapshot = service.current_snapshot
+    # The version the cluster actually *serves*: the router's acting
+    # epoch in replicated mode (under failover the dead primary stays
+    # behind; under a canary rollback the old version keeps serving),
+    # the service's otherwise.
+    if router is not None:
+        version = router.epoch.version
+    else:
+        snapshot = service.current_snapshot
+        version = snapshot.version if snapshot else 0
     return {
         "users": task.user_end - task.user_start,
         "metrics": state.metrics.to_portable(),
@@ -708,7 +748,7 @@ def run_shard(task: ShardTask) -> dict:
         "trace": tracer.summary().to_portable() if task.trace else None,
         "digest": combine_digests(state.digests),
         "wall_seconds": time.perf_counter() - started,
-        "snapshot_version": snapshot.version if snapshot else 0,
+        "snapshot_version": version,
     }
 
 
@@ -875,5 +915,41 @@ def replicated(scenario: Scenario | str, replicas: int, *, lag: int = 0,
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     return dataclasses.replace(scenario, replicas=max(0, replicas),
+                               replica_lag=max(0, lag),
+                               router_policy=policy)
+
+
+def chaotic(scenario: Scenario | str, plan: str, *, replicas: int = 3,
+            lag: int = 4, policy: str = "rendezvous") -> Scenario:
+    """A copy of a scenario executing under a named chaos plan.
+
+    Args:
+        scenario: Registry name or scenario object.  Scenarios without
+            a replica cluster get one (``replicas``/``lag``/``policy``
+            apply); scenarios that already run replicated keep their
+            own cluster shape.
+        plan: A :data:`~repro.chaos.CHAOS_PLANS` name
+            (``replica-churn``, ``failover``, ``lossy-replication``,
+            ``canary-rollback``); validated here so a typo fails fast
+            instead of inside a worker shard.
+        replicas: Replica count applied when the scenario has none.
+        lag: Propagation-lag stagger applied when the scenario has no
+            cluster.
+        policy: Router policy applied when the scenario has no
+            cluster; keep ``rendezvous`` — chaos changes membership
+            mid-run, and round-robin routing is arrival-order
+            dependent.
+    """
+    from repro.chaos.plan import CHAOS_PLANS
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if plan not in CHAOS_PLANS:
+        known = ", ".join(sorted(CHAOS_PLANS))
+        raise KeyError(f"unknown chaos plan {plan!r} (known: {known})")
+    if scenario.replicas > 0:
+        return dataclasses.replace(scenario, chaos=plan)
+    return dataclasses.replace(scenario, chaos=plan,
+                               replicas=max(1, replicas),
                                replica_lag=max(0, lag),
                                router_policy=policy)

@@ -16,6 +16,12 @@ adding an entry to :data:`SCENARIOS`, not writing driver code:
 * ``stale-replica`` — the mid-flight publish served through a replica
   cluster whose members converge at staggered propagation lag, so
   stale reads (and eventual convergence) land in the outcome digest;
+* ``replica-churn`` / ``failover`` / ``lossy-replication`` /
+  ``canary-rollback`` — the stale-replica shape run under the matching
+  seeded :data:`~repro.chaos.CHAOS_PLANS` fault plan (membership
+  churn, primary failover, lossy broadcast delivery, staged-rollout
+  rollback); every fault keys off the logical clock, so the digests
+  stay reproducible while provably differing from the fault-free run;
 * ``cold-cache`` / ``warm-cache`` — the resolver cache accounting
   disabled vs pre-warmed, bracketing the cache's contribution;
 * ``bulk`` — a pure membership-decision firehose (no browser
@@ -86,6 +92,13 @@ class Scenario:
             ``replica_lag > 0``; ``round-robin`` routes by arrival
             order (digest-stable only while every replica serves the
             same epoch, i.e. at lag 0).
+        chaos: When set, the name of a :data:`~repro.chaos.CHAOS_PLANS`
+            fault plan: the cluster runs behind a
+            :class:`~repro.chaos.ChaosRouter` executing that plan
+            (requires ``replicas > 0``).  Faults are keyed to the
+            logical clock and a seed, so chaos digests stay
+            bit-identical across runs, shard counts, and executors —
+            while provably differing from the fault-free scenario's.
     """
 
     name: str
@@ -110,6 +123,7 @@ class Scenario:
     replicas: int = 0
     replica_lag: int = 0
     router_policy: str = "rendezvous"
+    chaos: str | None = None
 
 
 # -- list profiles ------------------------------------------------------------
@@ -236,6 +250,98 @@ SCENARIOS: dict[str, Scenario] = {
             replicas=3,
             replica_lag=4,
             router_policy="rendezvous",
+        ),
+        # The four chaos scenarios share the stale-replica traffic
+        # shape (takedown probing through a lagged replica cluster) so
+        # their digests are directly comparable to the fault-free run
+        # — the difference in each digest is the injected fault alone.
+        Scenario(
+            name="replica-churn",
+            description="takedown under replica leave/rejoin and a "
+                        "mid-workload joiner",
+            list_profile="abusive",
+            member_top_fraction=0.8,
+            service_top_fraction=0.25,
+            no_gesture_fraction=0.35,
+            mix_same_set=0.6,
+            mix_other_set=0.3,
+            interact_fraction=0.2,
+            # Near-uniform popularity: the oversized set's sites stay
+            # hot, so takedown-affected verdicts land densely in
+            # every fault's divergence window.
+            zipf_exponent=0.5,
+            rsa_for_fraction=0.25,
+            update_at_fraction=0.5,
+            replicas=3,
+            replica_lag=16,
+            router_policy="rendezvous",
+            chaos="replica-churn",
+        ),
+        Scenario(
+            name="failover",
+            description="the primary fails before the takedown; an "
+                        "elected replica publishes it",
+            list_profile="abusive",
+            member_top_fraction=0.8,
+            service_top_fraction=0.25,
+            no_gesture_fraction=0.35,
+            mix_same_set=0.6,
+            mix_other_set=0.3,
+            interact_fraction=0.2,
+            # Near-uniform popularity: the oversized set's sites stay
+            # hot, so takedown-affected verdicts land densely in
+            # every fault's divergence window.
+            zipf_exponent=0.5,
+            rsa_for_fraction=0.25,
+            update_at_fraction=0.5,
+            replicas=3,
+            replica_lag=16,
+            router_policy="rendezvous",
+            chaos="failover",
+        ),
+        Scenario(
+            name="lossy-replication",
+            description="takedown broadcast dropped/duplicated/"
+                        "reordered; gap-detecting replicas resync",
+            list_profile="abusive",
+            member_top_fraction=0.8,
+            service_top_fraction=0.25,
+            no_gesture_fraction=0.35,
+            mix_same_set=0.6,
+            mix_other_set=0.3,
+            interact_fraction=0.2,
+            # Near-uniform popularity: the oversized set's sites stay
+            # hot, so takedown-affected verdicts land densely in
+            # every fault's divergence window.
+            zipf_exponent=0.5,
+            rsa_for_fraction=0.25,
+            update_at_fraction=0.5,
+            replicas=3,
+            replica_lag=4,
+            router_policy="rendezvous",
+            chaos="lossy-replication",
+        ),
+        Scenario(
+            name="canary-rollback",
+            description="the takedown stages through canaries; the "
+                        "divergence probe rolls it back",
+            list_profile="abusive",
+            member_top_fraction=0.8,
+            service_top_fraction=0.25,
+            no_gesture_fraction=0.35,
+            mix_same_set=0.6,
+            mix_other_set=0.3,
+            interact_fraction=0.2,
+            # Near-uniform popularity: the oversized set's sites stay
+            # hot, so takedown-affected verdicts land densely in
+            # every fault's divergence window.
+            zipf_exponent=0.5,
+            rsa_for_fraction=0.25,
+            update_at_fraction=0.5,
+            replicas=4,
+            replica_lag=4,
+            router_policy="rendezvous",
+            chaos="canary-rollback",
         ),
         Scenario(
             name="cold-cache",

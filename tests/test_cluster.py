@@ -17,8 +17,9 @@ from repro.api.envelopes import (
     StatsRequest,
     SubmitRequest,
 )
-from repro.cluster import Replica, Router
+from repro.cluster import Replica, ReplicationGapError, Router
 from repro.rws import RelatedWebsiteSet, RwsList
+from repro.serve.epoch import Epoch
 from repro.serve import (
     RwsService,
     SnapshotStore,
@@ -289,6 +290,165 @@ class TestSquashDeltas:
             patched = apply_delta(base, squashed)
             assert membership_hash(patched) == store.get(
                 versions[-1]).content_hash
+
+
+class TestLossTolerantCatchUp:
+    """Replica.receive() hardened against a lossy transport."""
+
+    def test_version_gap_raises_structured_error(self, primary):
+        primary.publish(grown_list())   # v2
+        replica = Replica(7, primary)   # boots at v2
+        primary.publish(shrunk_list())  # v3
+        more = shrunk_list()
+        more.sets.append(RelatedWebsiteSet(
+            primary="late.com", associated=["late-blog.com"],
+            rationales={"late-blog.com": "Same publisher."},
+        ))
+        primary.publish(more)           # v4
+        # Hop 2→3 is lost; only 3→4 arrives.  Applying it would
+        # misrepresent membership, so catch-up must refuse loudly.
+        replica.receive(primary.store.delta(3, 4), published_clock=0)
+        with pytest.raises(ReplicationGapError) as excinfo:
+            replica.sync()
+        error = excinfo.value
+        assert error.replica_id == 7
+        assert error.have_version == 2
+        assert error.need_version == 3
+        assert isinstance(error, StaleSnapshotError)
+        assert replica.version == 2  # nothing was misapplied
+        # The documented recovery: a full-snapshot resync.
+        assert replica.resync()
+        assert replica.version == 4
+        assert replica.resyncs == 1
+        assert replica.epoch.content_hash == primary.epoch.content_hash
+
+    def test_duplicate_and_stale_hops_are_skipped(self, primary):
+        replica = Replica(0, primary)
+        primary.publish(grown_list())
+        delta = primary.store.delta(1, 2)
+        for _ in range(3):  # the transport redelivers the same hop
+            replica.receive(delta, published_clock=0)
+        assert replica.sync()
+        assert replica.version == 2
+        assert replica.duplicates_ignored == 2
+        # A stale redelivery after convergence is also ignored.
+        replica.receive(delta, published_clock=0)
+        assert not replica.sync()
+        assert replica.version == 2
+        assert replica.duplicates_ignored == 3
+
+    def test_shuffled_duplicated_chains_match_squash_and_direct(self,
+                                                                primary):
+        # Property: however a complete hop chain arrives — shuffled,
+        # with duplicates — the converged epoch must be byte-identical
+        # to squashing the chain, to the direct store delta, and to
+        # adopting the snapshot outright.
+        rng = random.Random(13)
+        lists = [grown_list(), shrunk_list()]
+        for n in range(3):
+            nxt = shrunk_list()
+            nxt.sets.append(RelatedWebsiteSet(
+                primary=f"wave-{n}.com",
+                associated=[f"wave-{n}-blog.com"],
+                rationales={f"wave-{n}-blog.com": "Random growth."},
+            ))
+            lists.append(nxt)
+        for rws_list in lists:
+            primary.publish(rws_list)
+        last = primary.store.latest.version
+        target_hash = primary.store.get(last).content_hash
+        hops = [primary.store.delta(v, v + 1) for v in range(1, last)]
+        for trial in range(8):
+            chain = list(hops)
+            chain.extend(rng.choice(hops)
+                         for _ in range(rng.randrange(1, 4)))
+            rng.shuffle(chain)
+            shuffled = Replica(trial, primary)
+            shuffled._epoch = Epoch.compile(primary.store.get(1),
+                                            primary.psl)
+            for hop in chain:
+                shuffled.receive(hop, published_clock=0)
+            assert shuffled.sync()
+            assert shuffled.version == last
+            assert shuffled.epoch.content_hash == target_hash
+        direct = Replica(100, primary)
+        direct._epoch = Epoch.compile(primary.store.get(1), primary.psl)
+        direct.receive(primary.store.delta(1, last), published_clock=0)
+        direct.sync()
+        assert direct.epoch.content_hash == target_hash
+        adopted = Replica(101, primary)
+        adopted.adopt(primary.store.get(last))
+        assert adopted.epoch.content_hash == target_hash
+
+
+class TestDegradedMembership:
+    """Routing, batching, and stats while the replica set shrinks."""
+
+    @staticmethod
+    def _chaos_router(primary, *, replicas, leaves, policy="rendezvous"):
+        from repro.chaos import ChaosRouter, FaultPlan
+
+        plan = FaultPlan(name="degraded", leaves=leaves)
+        return ChaosRouter(primary, replicas=replicas, plan=plan,
+                           policy=policy)
+
+    def test_rendezvous_rehomes_keys_after_a_leave(self, primary):
+        pairs = [(f"site-{i}.com", "example.com") for i in range(24)]
+        router = self._chaos_router(primary, replicas=3,
+                                    leaves=((1, 10, -1),))
+        before = Router(primary, replicas=3, policy="rendezvous")
+        before.related_batch(pairs)
+        loser = before.replicas[1].stats.queries
+        assert loser > 0  # replica 1 owned some keys pre-leave
+        router.advance(10)
+        reference = primary.related_batch(pairs)
+        assert router.related_batch(pairs) == reference
+        counts = [replica.stats.queries for replica in router.replicas]
+        assert counts[1] == 0  # never routed to the offline node
+        assert counts[0] > 0 and counts[2] > 0
+        # Orphaned keys rehome by content: same split on every ask.
+        router.related_batch(pairs)
+        assert [r.stats.queries for r in router.replicas] == [
+            2 * counts[0], 0, 2 * counts[2]]
+
+    def test_batches_reassemble_with_one_replica_left(self, primary):
+        pairs = [("example.com", "example-news.com"),
+                 ("other.com", "example.com"),
+                 ("other-shop.com", "other.com"),
+                 ("stranger.org", "example.com"),
+                 ("example-cdn.com", "example.com")] * 4
+        router = self._chaos_router(primary, replicas=3,
+                                    leaves=((1, 1, -1), (2, 1, -1)))
+        router.advance(1)
+        assert [r.replica_id for r in router._read_replicas()] == [0]
+        expected = primary.related_batch(pairs)
+        assert router.related_batch(pairs) == expected
+        assert [v.related for v in router.query_batch(pairs)] == expected
+        assert router.replicas[0].stats.queries == len(pairs) * 2
+        assert router.replicas[1].stats.queries == 0
+        assert router.replicas[2].stats.queries == 0
+
+    def test_stats_report_spans_membership_changes(self, primary):
+        router = self._chaos_router(primary, replicas=3,
+                                    leaves=((2, 8, -1),))
+        for _ in range(6):
+            router.query("example.com", "example-news.com")
+        full = router.stats_report()
+        assert full["replicas"] == 3
+        assert full["active_replicas"] == 3
+        served_before = full["queries"]
+        router.advance(8)  # replica 2 leaves mid-capture-interval
+        for _ in range(4):
+            router.query("other.com", "other-shop.com")
+        router.advance(16)  # availability integrates the degraded span
+        degraded = router.stats_report()
+        # The offline replica's served counters never vanish from the
+        # merged report, and the active gauge reports the shrunk set.
+        assert degraded["replicas"] == 3
+        assert degraded["active_replicas"] == 2
+        assert degraded["queries"] == served_before + 4
+        assert degraded["chaos_leaves"] == 1
+        assert 0 < degraded["availability"] < 1
 
 
 class TestRouter:

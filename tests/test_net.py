@@ -313,6 +313,105 @@ class TestRetry:
         client.close()
 
 
+class TestFaultInjection:
+    """Injectable transport faults on the client (chaos satellite).
+
+    ``fault_hook(op, attempt)`` lets tests tear the connection at the
+    worst moments — before the frame leaves, or after the server has
+    the frame but before the response arrives — and asserts the replay
+    policy holds: mutations reach the server at most once, ever.
+    """
+
+    @staticmethod
+    def _wait_for(predicate, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return predicate()
+
+    def test_lost_response_never_replays_publish(self, harness):
+        """An "after" fault means the server processed the publish but
+        the response died on the wire.  The client must surface the
+        error without retrying — the epoch advances exactly once."""
+        host, port = harness.server.address
+        client = TcpApiClient(
+            host, port, retries=2, backoff=0.01,
+            fault_hook=lambda op, attempt: (
+                "after" if op == "publish" else None))
+        with pytest.raises(NetClientError, match="response lost"):
+            client.dispatch(PublishRequest(rws_list=list_b()))
+        counters = client.net_snapshot()["counters"]
+        assert counters["retries"] == 0
+        assert counters["faults_injected"] == 1
+        # The server side actually committed the publish — once.
+        assert self._wait_for(
+            lambda: harness.server.net_snapshot()
+            ["counters"].get("publishes", 0) == 1)
+        probe = TcpApiClient(host, port)
+        stats = probe.dispatch(StatsRequest())
+        assert stats.report["snapshot_version"] == 2  # seed v1 + 1
+        probe.close()
+        client.close()
+
+    def test_before_fault_never_reaches_server(self, harness):
+        """A "before" fault kills the attempt pre-send: the server
+        must never see the mutation at all."""
+        host, port = harness.server.address
+        client = TcpApiClient(
+            host, port, retries=2, backoff=0.01,
+            fault_hook=lambda op, attempt: (
+                "before" if op == "publish" else None))
+        with pytest.raises(NetClientError, match="before send"):
+            client.dispatch(PublishRequest(rws_list=list_b()))
+        assert client.net_snapshot()["counters"]["faults_injected"] == 1
+        probe = TcpApiClient(host, port)
+        stats = probe.dispatch(StatsRequest())
+        assert stats.report["snapshot_version"] == 1
+        assert harness.server.net_snapshot()["counters"].get(
+            "publishes", 0) == 0
+        probe.close()
+        client.close()
+
+    def test_faulted_read_retries_and_succeeds(self, harness):
+        """Idempotent ops ride the retry loop through injected faults
+        and land on a fresh connection."""
+        host, port = harness.server.address
+        client = TcpApiClient(
+            host, port, retries=2, backoff=0.01,
+            fault_hook=lambda op, attempt: (
+                "after" if op == "stats" and attempt == 0 else None))
+        response = client.dispatch(StatsRequest())
+        assert type(response) is StatsResponse
+        counters = client.net_snapshot()["counters"]
+        assert counters["retries"] == 1
+        assert counters["faults_injected"] == 1
+        assert counters["backoff_ms"] >= 10  # 0.01s base backoff
+        client.close()
+
+    def test_counters_fold_under_net_client_namespace(self, harness):
+        """The workload driver folds client snapshots via
+        ``fold_net_snapshot(..., namespace="net.client")`` — retries,
+        backoff, and injected faults must all surface there."""
+        from repro.obs import MetricsRegistry, fold_net_snapshot
+
+        host, port = harness.server.address
+        client = TcpApiClient(
+            host, port, retries=2, backoff=0.01,
+            fault_hook=lambda op, attempt: (
+                "before" if op == "stats" and attempt == 0 else None))
+        client.dispatch(StatsRequest())
+        registry = MetricsRegistry()
+        fold_net_snapshot(registry, client.net_snapshot(),
+                          namespace="net.client")
+        portable = registry.to_portable()
+        assert portable["counters"]["net.client.retries"] == 1
+        assert portable["counters"]["net.client.faults_injected"] == 1
+        assert portable["counters"]["net.client.backoff_ms"] >= 10
+        client.close()
+
+
 class TestDrainOnPublish:
     def test_pipelined_read_after_publish_sees_new_epoch(self, harness):
         """The drain contract on one connection: a query pipelined
