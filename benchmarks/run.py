@@ -89,6 +89,11 @@ def _bench_net() -> dict:
     return measure_net_throughput()
 
 
+def _bench_epoch_load() -> dict:
+    from benchmarks.test_bench_epoch_load import measure_epoch_load
+    return measure_epoch_load()
+
+
 #: name -> zero-argument measurement returning a flat JSON-able dict.
 BENCHES: dict[str, Callable[[], dict]] = {
     "psl_uncached_resolve": _bench_psl_uncached,
@@ -101,6 +106,7 @@ BENCHES: dict[str, Callable[[], dict]] = {
     "obs_tracer": _bench_obs_tracer,
     "obs_profile": _bench_obs_profile,
     "net_throughput": _bench_net,
+    "epoch_load": _bench_epoch_load,
 }
 
 

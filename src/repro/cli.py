@@ -32,6 +32,9 @@ Subcommands:
   ``--out FILE`` for the snapshot form);
 * ``trace`` — run a seeded workload with the deterministic tracer and
   print the span table and the reproducible trace digest;
+* ``epoch`` — work with the zero-copy binary epoch format:
+  ``encode`` a list profile to a ``.rwse`` file, ``stat`` / ``verify``
+  an encoded file, or ``warm`` the on-disk epoch cache;
 * ``api`` — dispatch one wire-format JSON request envelope and print
   the JSON response (the ``repro.api`` protocol over stdin/argv).
 
@@ -614,6 +617,118 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _epoch_for_profile(profile: str, domains: int | None):
+    """Compile an :class:`~repro.serve.Epoch` for a named list profile."""
+    from repro.psl import default_psl
+    from repro.serve import Epoch, SnapshotStore
+
+    if domains is not None:
+        from repro.data import build_synthetic_list
+
+        rws_list = build_synthetic_list(domains)
+    else:
+        from repro.workload.scenarios import LIST_PROFILES
+
+        if profile not in LIST_PROFILES:
+            known = ", ".join(sorted(LIST_PROFILES))
+            raise KeyError(f"unknown list profile {profile!r} "
+                           f"(known: {known})")
+        build_v1, _build_v2 = LIST_PROFILES[profile]
+        rws_list = build_v1()
+    snapshot = SnapshotStore().publish(rws_list)
+    return Epoch.compile(snapshot, default_psl())
+
+
+def _cmd_epoch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve import EpochFormatError
+    from repro.serve.epochfmt import epoch_stat
+
+    if args.action == "encode":
+        try:
+            epoch = _epoch_for_profile(args.profile, args.domains)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        started = time.perf_counter_ns()
+        buf = epoch.to_buffer(include_psl=not args.no_psl)
+        encode_ms = (time.perf_counter_ns() - started) / 1e6
+        with open(args.out, "wb") as handle:
+            handle.write(buf)
+        print(f"encoded {args.profile if args.domains is None else args.domains} "
+              f"-> {args.out}: {len(buf)} bytes in {encode_ms:.2f} ms")
+        return 0
+
+    if args.action == "warm":
+        from repro.serve import EpochDiskCache
+        from repro.workload.scenarios import LIST_PROFILES
+
+        cache = EpochDiskCache(args.cache_dir)
+        profiles = [args.profile] if args.profile != "all" \
+            else sorted(LIST_PROFILES)
+        for profile in profiles:
+            try:
+                epoch = _epoch_for_profile(profile, None)
+            except KeyError as error:
+                print(error.args[0], file=sys.stderr)
+                return 2
+            path = cache.put(epoch, include_psl=not args.no_psl)
+            print(f"warmed {profile}: {path}")
+        return 0
+
+    # stat / verify need an encoded file.
+    if not args.file:
+        print(f"epoch {args.action} needs a FILE argument", file=sys.stderr)
+        return 2
+    try:
+        with open(args.file, "rb") as handle:
+            buf = handle.read()
+    except OSError as error:
+        print(f"cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+
+    if args.action == "stat":
+        try:
+            stat = epoch_stat(buf)
+        except EpochFormatError as error:
+            print(f"invalid epoch file {args.file}: {error}",
+                  file=sys.stderr)
+            return 2
+        width = max(len(key) for key in stat)
+        for key, value in stat.items():
+            print(f"{key:<{width}}  {value}")
+        return 0
+
+    if args.action == "verify":
+        from repro.serve import Epoch, membership_hash
+
+        started = time.perf_counter_ns()
+        try:
+            epoch = Epoch.from_buffer(buf)
+        except EpochFormatError as error:
+            print(f"invalid epoch file {args.file}: {error}",
+                  file=sys.stderr)
+            return 2
+        load_ms = (time.perf_counter_ns() - started) / 1e6
+        print(f"loaded {len(buf)} bytes in {load_ms:.2f} ms: "
+              f"{len(epoch.index)} sites, {epoch.index.set_count} sets")
+        if epoch.snapshot is None:
+            print("no snapshot section; nothing to verify against")
+            return 0
+        recomputed = membership_hash(epoch.snapshot.rws_list)
+        if recomputed != epoch.snapshot.content_hash:
+            print(f"content hash MISMATCH: stored "
+                  f"{epoch.snapshot.content_hash} != recomputed "
+                  f"{recomputed}", file=sys.stderr)
+            return 1
+        print(f"content hash ok: {recomputed}")
+        return 0
+
+    print(f"unknown epoch action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -836,6 +951,30 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--out", metavar="FILE", default=None,
                      help="write the trace snapshot JSON to a file")
     sub.set_defaults(handler=_cmd_trace)
+
+    sub = subparsers.add_parser(
+        "epoch",
+        help="encode, inspect, and verify zero-copy binary epochs")
+    sub.add_argument("action", choices=["encode", "stat", "verify", "warm"],
+                     help="encode a list profile, stat/verify an encoded "
+                          "file, or warm the on-disk epoch cache")
+    sub.add_argument("file", nargs="?", metavar="FILE",
+                     help="encoded .rwse file (stat / verify)")
+    sub.add_argument("--profile", default="seed", metavar="NAME",
+                     help="list profile to encode (default: seed; "
+                          "'all' warms every profile)")
+    sub.add_argument("--domains", type=int, default=None, metavar="N",
+                     help="encode a seeded synthetic list with N "
+                          "domains instead of a named profile")
+    sub.add_argument("--out", metavar="FILE", default="epoch.rwse",
+                     help="output path for encode "
+                          "(default: epoch.rwse)")
+    sub.add_argument("--no-psl", action="store_true",
+                     help="omit the compiled PSL trie section")
+    sub.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="epoch cache directory for warm (default: "
+                          "$REPRO_EPOCH_CACHE or .repro-epoch-cache)")
+    sub.set_defaults(handler=_cmd_epoch)
     return parser
 
 

@@ -33,6 +33,7 @@ what it needs, so a supervisor can recover with a full-snapshot
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.serve.epoch import Epoch
 from repro.serve.service import EpochShell, RwsService
@@ -109,6 +110,10 @@ class Replica(EpochShell):
         #: already-applied hops a lossy transport redelivered.
         self.resyncs = 0
         self.duplicates_ignored = 0
+        #: Binary-epoch bookkeeping: full-snapshot adoptions served
+        #: from the primary's encoded cache instead of a recompile.
+        self.epoch_loads = 0
+        self.epoch_load_ns = 0
         # Guards _pending and the catch-up sequence only; the query
         # path (EpochShell) never touches it.
         self._sync_lock = threading.Lock()
@@ -275,8 +280,33 @@ class Replica(EpochShell):
         return self._epoch.version != before
 
     def _adopt(self, snapshot: ListSnapshot) -> None:
-        """Adopt a full snapshot (the no-delta-base bootstrap hop)."""
-        self._epoch = Epoch.compile(snapshot, self._epoch.psl)
+        """Adopt a full snapshot (the no-delta-base bootstrap hop).
+
+        Prefers the primary's cached binary-encoded epoch
+        (:meth:`~repro.serve.service.RwsService.encoded_epoch`) — an
+        O(size) buffer load instead of a per-entry recompile, so N
+        replicas bootstrapping or resyncing after a
+        :class:`ReplicationGapError` cost one encode on the primary,
+        not N compiles.  Falls back to compiling when the primary has
+        no encoder (a bare shell), no longer resolves the version, or
+        the buffer's content hash does not match the snapshot it was
+        asked to stand in for.
+        """
+        epoch: Epoch | None = None
+        encoded = getattr(self.primary, "encoded_epoch", None)
+        if encoded is not None:
+            buf = encoded(snapshot.version)
+            if buf is not None:
+                started = time.perf_counter_ns()
+                loaded = Epoch.from_buffer(buf, psl=self._epoch.psl)
+                if loaded.content_hash == snapshot.content_hash:
+                    self.epoch_loads += 1
+                    self.epoch_load_ns += \
+                        time.perf_counter_ns() - started
+                    epoch = loaded
+        if epoch is None:
+            epoch = Epoch.compile(snapshot, self._epoch.psl)
+        self._epoch = epoch
         self.catch_ups += 1
         self.deltas_applied += 1
 
@@ -340,4 +370,6 @@ class Replica(EpochShell):
         report["pending_updates"] = float(len(self._pending))
         report["resyncs"] = float(self.resyncs)
         report["duplicates_ignored"] = float(self.duplicates_ignored)
+        report["epoch_loads"] = float(self.epoch_loads)
+        report["epoch_load_ns"] = float(self.epoch_load_ns)
         return report

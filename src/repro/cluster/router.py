@@ -428,6 +428,10 @@ class Router:
             sum(replica.resyncs for replica in self.replicas))
         report["duplicates_ignored"] = float(
             sum(replica.duplicates_ignored for replica in self.replicas))
+        report["epoch_loads"] += float(
+            sum(replica.epoch_loads for replica in self.replicas))
+        report["epoch_load_ns"] += float(
+            sum(replica.epoch_load_ns for replica in self.replicas))
         return report
 
     def stats_registry(self):

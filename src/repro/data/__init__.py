@@ -14,7 +14,10 @@ reconstructed here (see DESIGN.md "Substitutions"):
 * :mod:`repro.data.toplist` — a Tranco-style top-200 list of
   categorised, live, English sites for the survey's "Top Site" groups;
 * :mod:`repro.data.builders` — assemble the seeds into the library's
-  typed objects (RwsList, RwsHistory, CategoryDatabase, site catalog).
+  typed objects (RwsList, RwsHistory, CategoryDatabase, site catalog);
+* :mod:`repro.data.synthetic` — seeded synthetic RWS lists at
+  arbitrary scale (million-domain benchmark fixtures and a small
+  deterministic tier-1 variant).
 """
 
 from repro.data.builders import (
@@ -25,6 +28,10 @@ from repro.data.builders import (
 )
 from repro.data.rws_seed import RWS_SEED_SETS, SNAPSHOT_DATE
 from repro.data.sites import BrandingLevel, SiteCatalog, SiteSpec
+from repro.data.synthetic import (
+    build_small_synthetic_list,
+    build_synthetic_list,
+)
 from repro.data.toplist import TOP_LIST_SIZE, build_top_list
 
 __all__ = [
@@ -38,5 +45,7 @@ __all__ = [
     "build_rws_history",
     "build_rws_list",
     "build_site_catalog",
+    "build_small_synthetic_list",
+    "build_synthetic_list",
     "build_top_list",
 ]

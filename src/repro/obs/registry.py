@@ -333,10 +333,10 @@ def fold_stats_report(registry: MetricsRegistry,
 
     The flat legacy report re-namespaces as: ``psl_*`` → ``psl.*``,
     ``queue_*`` → ``queue.*``, replica-fleet fields → ``cluster.*``,
-    fault-injection counters (``chaos_*``) → ``chaos.*``, and
-    everything else (request counters, epoch/index state) →
-    ``serve.*``.  Point-in-time fields become gauges, monotonic fields
-    counters.
+    fault-injection counters (``chaos_*``) → ``chaos.*``, binary-epoch
+    codec counters (``epoch_*``) → ``epoch.*``, and everything else
+    (request counters, epoch/index state) → ``serve.*``.
+    Point-in-time fields become gauges, monotonic fields counters.
     """
     for key, value in report.items():
         if key.startswith("psl_"):
@@ -345,6 +345,8 @@ def fold_stats_report(registry: MetricsRegistry,
             name = f"queue.{key[6:]}"
         elif key.startswith("chaos_"):
             name = f"chaos.{key[6:]}"
+        elif key.startswith("epoch_"):
+            name = f"epoch.{key[6:]}"
         elif key in _REPORT_CLUSTER:
             name = f"cluster.{key}"
         else:

@@ -20,6 +20,11 @@ scans and synchronous validation; this package is the serving layer:
 * :mod:`repro.serve.epoch` — :class:`Epoch`, the immutable
   (index, snapshot, PSL) unit of serving truth a publish compiles
   once and swaps atomically;
+* :mod:`repro.serve.epochfmt` — the zero-copy binary epoch format:
+  :func:`encode_epoch` serializes an epoch once at publish time,
+  :func:`load_epoch` stands it back up in O(size) behind array-backed
+  index/trie views (:class:`BufferIndex`), and
+  :class:`EpochDiskCache` persists encoded epochs on disk;
 * :mod:`repro.serve.service` — :class:`RwsService`, the thin stateful
   shell over the epoch model: lock-free queries (per-thread counter
   cells, a counting resolver shim over the PSL's own cache) with the
@@ -28,6 +33,14 @@ scans and synchronous validation; this package is the serving layer:
 """
 
 from repro.serve.epoch import Epoch
+from repro.serve.epochfmt import (
+    BufferIndex,
+    BufferSuffixTrie,
+    EpochDiskCache,
+    EpochFormatError,
+    encode_epoch,
+    load_epoch,
+)
 from repro.serve.index import IndexEntry, MembershipIndex, QueryResult
 from repro.serve.queue import (
     QueueStats,
@@ -52,7 +65,11 @@ from repro.serve.snapshot import (
 )
 
 __all__ = [
+    "BufferIndex",
+    "BufferSuffixTrie",
     "Epoch",
+    "EpochDiskCache",
+    "EpochFormatError",
     "EpochShell",
     "IndexEntry",
     "ListSnapshot",
@@ -69,6 +86,8 @@ __all__ = [
     "SubmissionStatus",
     "ValidationQueue",
     "apply_delta",
+    "encode_epoch",
+    "load_epoch",
     "membership_hash",
     "squash_deltas",
 ]

@@ -94,3 +94,32 @@ class Epoch:
         """Compile a fresh epoch from a published snapshot."""
         return cls(index=MembershipIndex(snapshot.rws_list),
                    snapshot=snapshot, psl=psl)
+
+    def to_buffer(self, *, include_psl: bool = True) -> bytes:
+        """Serialize this epoch to the zero-copy binary wire format.
+
+        The buffer loads back via :meth:`from_buffer` in O(size) with
+        no per-entry object construction — see
+        :mod:`repro.serve.epochfmt` for the layout.  ``include_psl``
+        controls whether the compiled PSL trie is carried (drop it
+        when every consumer shares the same in-process PSL).
+        """
+        from repro.serve.epochfmt import encode_epoch
+        return encode_epoch(self, include_psl=include_psl)
+
+    @classmethod
+    def from_buffer(cls, buf, *, psl: PublicSuffixList | None = None,
+                    verify: bool = True) -> Epoch:
+        """Load an epoch from an encoded buffer in O(size).
+
+        The returned epoch's index is a lazy, array-backed view over
+        ``buf`` (which must outlive the epoch); ``psl`` overrides the
+        buffer-carried (or default) resolver.  ``verify=False`` skips
+        the CRC for trusted in-process hand-offs.
+
+        Raises:
+            repro.serve.epochfmt.EpochFormatError: On a corrupt,
+                truncated, or incompatible buffer.
+        """
+        from repro.serve.epochfmt import load_epoch
+        return load_epoch(buf, psl=psl, verify=verify)

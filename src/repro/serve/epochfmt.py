@@ -1,0 +1,1157 @@
+"""Zero-copy binary epoch format: O(size) load for instant spin-up.
+
+Every sharded workload worker and every cluster :class:`Replica` used
+to recompile its own :class:`~repro.serve.index.MembershipIndex` (and,
+transitively, re-intern every domain string) from the snapshot.  This
+module defines a compact binary *epoch* format that is encoded once at
+publish time and loads in O(size) with **no per-entry Python object
+construction**: the loaded views answer ``query`` / ``related`` /
+batch probes directly off the buffer through ``memoryview`` casts.
+
+Wire layout (all integers little-endian; the loader refuses to run on
+big-endian hosts rather than silently mis-read)::
+
+    header   "<4sHHI32sIIIIIIIIII"  (84 bytes)
+        magic=b"RWSE"  format_version  flags  snap_version
+        content_hash(32 raw sha256 bytes)  list_version_id  as_of_id
+        n_strings  hash_cap  n_entries  n_sets  n_records
+        n_rules  n_nodes  total_len
+    section table  24 x (offset u32, length u32)   (192 bytes)
+    sections  (each 4-byte aligned, zero-padded)
+    crc32    u32 over everything before it
+
+Sections, in order:
+
+====  ==================  =====================================
+idx   name                contents
+====  ==================  =====================================
+0     str_offsets         (n_strings+1) x u32 into str_blob
+1     str_blob            UTF-8 bytes of every interned string
+2     str_hash            hash_cap x u32 open-addressed table,
+                          slot = string_id+1 (0 = empty); probe
+                          start crc32(bytes) & (hash_cap-1)
+3     str_entry           n_strings x u32 -> entry_idx+1 (0 = none)
+4     str_primary_set     n_strings x u32 -> set_idx+1 for strings
+                          that are a set primary (first set wins)
+5     entry_site          n_entries x u32 string ids
+6     entry_primary       n_entries x u32 string ids (set primary)
+7     entry_variant       n_entries x u32 string_id+1 (0 = none)
+8     entry_role          n_entries x u8 role codes
+9     entry_set           n_entries x u32 set indices
+10    set_primary         n_sets x u32 string ids
+11    set_rec_start       (n_sets+1) x u32 into the rec_* arrays
+12    rec_site            n_records x u32 string ids
+13    rec_role            n_records x u8 role codes
+14    rec_variant         n_records x u32 string_id+1 (0 = none)
+15    rule_flags          n_rules x u8 (kind | is_private << 2)
+16    rule_label_start    (n_rules+1) x u32 into rule_labels
+17    rule_labels         u32 string ids, TLD-first per rule
+18    node_child_start    (n_nodes+1) x u32 into the child arrays
+19    child_labels        u32 string ids, sorted per node
+20    child_nodes         u32 child node ids
+21    node_star           n_nodes x u32 node_id+1 (0 = none)
+22    node_normal         n_nodes x u32 rule_seq+1 (0 = none)
+23    node_exc            n_nodes x u32 rule_seq+1 (0 = none)
+====  ==================  =====================================
+
+Flag bits: 0x1 = the buffer carries a compiled PSL trie; 0x2 = the
+buffer carries a list snapshot (a bootstrap epoch carries neither
+entries nor snapshot).
+
+Design notes:
+
+* One *unified* string table interns domains, set primaries, PSL rule
+  labels, and the list version / as-of strings, so ``related`` probes
+  and trie walks reduce to u32 comparisons.
+* Records keep *every* member record per set — including cross-set
+  duplicates that lose the first-wins entry race — so the
+  reconstructed list reproduces :func:`~repro.serve.snapshot.membership_hash`
+  bit-for-bit.  Rationales and contacts are **not** carried: they are
+  deliberately outside membership identity (see ``membership_hash``).
+* Rule terminals store the rule's insertion sequence number; because
+  rules are encoded in :class:`~repro.psl.rules.RuleIndex` iteration
+  order, a single u32 identifies a rule and preserves the trie's
+  first-wins / lowest-seq tie-breaks exactly.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import sys
+import zlib
+from array import array
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.psl.rules import Rule, RuleKind
+from repro.rws.model import RelatedWebsiteSet, RwsList, SiteRole
+from repro.serve.index import IndexEntry, QueryResult
+from repro.serve.snapshot import ListSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.epoch import Epoch
+
+__all__ = [
+    "EPOCH_MAGIC",
+    "EPOCH_FORMAT_VERSION",
+    "BufferIndex",
+    "BufferSuffixTrie",
+    "EpochDiskCache",
+    "EpochFormatError",
+    "encode_epoch",
+    "epoch_stat",
+    "load_epoch",
+]
+
+EPOCH_MAGIC = b"RWSE"
+EPOCH_FORMAT_VERSION = 1
+
+_FLAG_PSL = 0x1
+_FLAG_SNAPSHOT = 0x2
+
+_HEADER = struct.Struct("<4sHHI32sIIIIIIIIII")
+_N_SECTIONS = 24
+_SECTION_TABLE = struct.Struct("<" + "II" * _N_SECTIONS)
+_DATA_START = _HEADER.size + _SECTION_TABLE.size
+_TRAILER = struct.Struct("<I")
+
+# Section indices (see module docstring for the layout table).
+_S_STR_OFFSETS = 0
+_S_STR_BLOB = 1
+_S_STR_HASH = 2
+_S_STR_ENTRY = 3
+_S_STR_SET = 4
+_S_ENTRY_SITE = 5
+_S_ENTRY_PRIMARY = 6
+_S_ENTRY_VARIANT = 7
+_S_ENTRY_ROLE = 8
+_S_ENTRY_SET = 9
+_S_SET_PRIMARY = 10
+_S_SET_REC_START = 11
+_S_REC_SITE = 12
+_S_REC_ROLE = 13
+_S_REC_VARIANT = 14
+_S_RULE_FLAGS = 15
+_S_RULE_LABEL_START = 16
+_S_RULE_LABELS = 17
+_S_NODE_CHILD_START = 18
+_S_CHILD_LABELS = 19
+_S_CHILD_NODES = 20
+_S_NODE_STAR = 21
+_S_NODE_EXC = 23
+_S_NODE_NORMAL = 22
+
+_SECTION_NAMES = (
+    "str_offsets", "str_blob", "str_hash", "str_entry", "str_primary_set",
+    "entry_site", "entry_primary", "entry_variant", "entry_role",
+    "entry_set", "set_primary", "set_rec_start", "rec_site", "rec_role",
+    "rec_variant", "rule_flags", "rule_label_start", "rule_labels",
+    "node_child_start", "child_labels", "child_nodes", "node_star",
+    "node_normal", "node_exc",
+)
+
+#: Sections holding u32 arrays (everything except the blob and u8 roles).
+_U8_SECTIONS = frozenset({_S_STR_BLOB, _S_ENTRY_ROLE, _S_REC_ROLE,
+                          _S_RULE_FLAGS})
+
+_ROLES: tuple[SiteRole, ...] = (SiteRole.PRIMARY, SiteRole.ASSOCIATED,
+                                SiteRole.SERVICE, SiteRole.CCTLD)
+_ROLE_CODES = {role: code for code, role in enumerate(_ROLES)}
+
+_RULE_KINDS: tuple[RuleKind, ...] = (RuleKind.NORMAL, RuleKind.WILDCARD,
+                                     RuleKind.EXCEPTION)
+_RULE_KIND_CODES = {kind: code for code, kind in enumerate(_RULE_KINDS)}
+
+#: Bound on the per-index memo dicts before they are dropped wholesale.
+_MEMO_LIMIT = 1 << 20
+
+if array("I").itemsize != 4:  # pragma: no cover - exotic platforms only
+    raise ImportError("repro.serve.epochfmt requires 4-byte unsigned ints")
+
+
+class EpochFormatError(ValueError):
+    """A buffer is not a valid epoch: wrong magic, truncation, bad CRC.
+
+    Carries structured context: ``section`` names the wire section the
+    problem was detected in (or ``None`` for header/trailer problems)
+    and ``offset`` the byte offset, when known.
+    """
+
+    def __init__(self, message: str, *, section: str | None = None,
+                 offset: int | None = None) -> None:
+        detail = message
+        if section is not None:
+            detail += f" [section={section}]"
+        if offset is not None:
+            detail += f" [offset={offset}]"
+        super().__init__(detail)
+        self.section = section
+        self.offset = offset
+
+
+def _require_little_endian() -> None:
+    if sys.byteorder != "little":  # pragma: no cover - x86/arm are little
+        raise EpochFormatError(
+            "epoch buffers are little-endian; refusing on a "
+            f"{sys.byteorder}-endian host")
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+
+
+class _StringTable:
+    """Assigns dense first-encounter ids to interned strings."""
+
+    __slots__ = ("_ids", "strings")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self.strings: list[str] = []
+
+    def add(self, text: str) -> int:
+        sid = self._ids.get(text)
+        if sid is None:
+            sid = len(self.strings)
+            self._ids[text] = sid
+            self.strings.append(text)
+        return sid
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+
+def _hash_capacity(count: int) -> int:
+    cap = 8
+    while cap < 2 * count:
+        cap <<= 1
+    return cap
+
+
+def _build_string_sections(strings: Sequence[str]) -> tuple[bytes, bytes,
+                                                            bytes, int]:
+    """Return (offsets, blob, hash_table, hash_cap) for the string table."""
+    offsets = array("I", [0])
+    parts: list[bytes] = []
+    total = 0
+    encoded: list[bytes] = []
+    for text in strings:
+        raw = text.encode("utf-8")
+        encoded.append(raw)
+        parts.append(raw)
+        total += len(raw)
+        offsets.append(total)
+    cap = _hash_capacity(len(strings))
+    mask = cap - 1
+    table = array("I", bytes(4 * cap))
+    for sid, raw in enumerate(encoded):
+        slot = zlib.crc32(raw) & mask
+        while table[slot]:
+            slot = (slot + 1) & mask
+        table[slot] = sid + 1
+    return offsets.tobytes(), b"".join(parts), table.tobytes(), cap
+
+
+def _pad4(raw: bytes) -> bytes:
+    return raw + b"\x00" * (-len(raw) % 4)
+
+
+def encode_epoch(epoch: "Epoch", *, include_psl: bool = True) -> bytes:
+    """Serialize an epoch to the binary wire format.
+
+    Encoding is O(list size) Python work — it runs once per publish;
+    only the *load* side needs to be allocation-free.  ``include_psl``
+    controls whether the compiled PSL trie rides along (drop it when
+    every consumer already holds the same PSL, e.g. intra-process
+    shard fan-out).
+    """
+    _require_little_endian()
+    snapshot = epoch.snapshot
+    if snapshot is None and len(epoch.index) > 0:
+        raise ValueError("cannot encode an epoch with entries but no "
+                         "snapshot: the wire format is list-derived")
+    rws_list = snapshot.rws_list if snapshot is not None else RwsList()
+
+    strings = _StringTable()
+    set_primary: list[int] = []
+    set_rec_start = array("I", [0])
+    rec_site: list[int] = []
+    rec_role = bytearray()
+    rec_variant: list[int] = []
+    entry_site: list[int] = []
+    entry_primary: list[int] = []
+    entry_variant: list[int] = []
+    entry_role = bytearray()
+    entry_set: list[int] = []
+    entry_of: dict[int, int] = {}
+    primary_set: dict[int, int] = {}
+
+    # Replays the MembershipIndex construction loop: first-wins entries,
+    # setdefault primary->set, records in member_records() order.
+    for set_idx, rws_set in enumerate(rws_list.sets):
+        pid = strings.add(rws_set.primary)
+        set_primary.append(pid)
+        primary_set.setdefault(pid, set_idx)
+        for record in rws_set.member_records():
+            sid = strings.add(record.site)
+            vid = strings.add(record.variant_of) + 1 if record.variant_of \
+                else 0
+            code = _ROLE_CODES[record.role]
+            rec_site.append(sid)
+            rec_role.append(code)
+            rec_variant.append(vid)
+            if sid not in entry_of:
+                entry_of[sid] = len(entry_site)
+                entry_site.append(sid)
+                entry_primary.append(pid)
+                entry_variant.append(vid)
+                entry_role.append(code)
+                entry_set.append(set_idx)
+        set_rec_start.append(len(rec_site))
+
+    list_version_id = strings.add(rws_list.version) + 1
+    as_of_id = strings.add(rws_list.as_of) + 1 if rws_list.as_of else 0
+
+    rule_flags = bytearray()
+    rule_label_start = array("I", [0])
+    rule_labels: list[int] = []
+    node_child_start = array("I", [0])
+    child_labels: list[int] = []
+    child_nodes: list[int] = []
+    node_star: list[int] = []
+    node_normal: list[int] = []
+    node_exc: list[int] = []
+    n_rules = n_nodes = 0
+    if include_psl:
+        psl_index = getattr(epoch.psl, "_index", None)
+        rules = list(psl_index) if psl_index is not None \
+            else list(epoch.psl._trie.rules())
+        n_rules = len(rules)
+        # Replay SuffixTrie.__init__ insertion over temp list-nodes
+        # [children: sid -> node_idx, normal_seq+1, exc_seq+1, star_idx].
+        nodes: list[list] = [[{}, 0, 0, 0]]
+        for seq, rule in enumerate(rules):
+            rule_flags.append(_RULE_KIND_CODES[rule.kind]
+                              | (int(rule.is_private) << 2))
+            node_idx = 0
+            for position, label in enumerate(rule.labels):
+                sid = strings.add(label)
+                rule_labels.append(sid)
+                node = nodes[node_idx]
+                if label == "*" and position > 0:
+                    child = node[3]
+                    if child == 0:
+                        nodes.append([{}, 0, 0, 0])
+                        child = len(nodes) - 1
+                        node[3] = child
+                else:
+                    child = node[0].get(sid, 0)
+                    if child == 0:
+                        nodes.append([{}, 0, 0, 0])
+                        child = len(nodes) - 1
+                        node[0][sid] = child
+                node_idx = child
+            rule_label_start.append(len(rule_labels))
+            slot = 2 if rule.kind is RuleKind.EXCEPTION else 1
+            if nodes[node_idx][slot] == 0:
+                nodes[node_idx][slot] = seq + 1
+        n_nodes = len(nodes)
+        for node in nodes:
+            for sid, child in sorted(node[0].items()):
+                child_labels.append(sid)
+                child_nodes.append(child)
+            node_child_start.append(len(child_labels))
+            node_normal.append(node[1])
+            node_exc.append(node[2])
+            node_star.append(node[3])
+
+    str_offsets, str_blob, str_hash, hash_cap = \
+        _build_string_sections(strings.strings)
+    n_strings = len(strings)
+    str_entry = array("I", bytes(4 * n_strings))
+    for sid, eidx in entry_of.items():
+        str_entry[sid] = eidx + 1
+    str_set = array("I", bytes(4 * n_strings))
+    for sid, set_idx in primary_set.items():
+        str_set[sid] = set_idx + 1
+
+    def u32(values: Iterable[int]) -> bytes:
+        return array("I", values).tobytes()
+
+    sections: list[bytes] = [b""] * _N_SECTIONS
+    sections[_S_STR_OFFSETS] = str_offsets
+    sections[_S_STR_BLOB] = bytes(str_blob)
+    sections[_S_STR_HASH] = str_hash
+    sections[_S_STR_ENTRY] = str_entry.tobytes()
+    sections[_S_STR_SET] = str_set.tobytes()
+    sections[_S_ENTRY_SITE] = u32(entry_site)
+    sections[_S_ENTRY_PRIMARY] = u32(entry_primary)
+    sections[_S_ENTRY_VARIANT] = u32(entry_variant)
+    sections[_S_ENTRY_ROLE] = bytes(entry_role)
+    sections[_S_ENTRY_SET] = u32(entry_set)
+    sections[_S_SET_PRIMARY] = u32(set_primary)
+    sections[_S_SET_REC_START] = set_rec_start.tobytes()
+    sections[_S_REC_SITE] = u32(rec_site)
+    sections[_S_REC_ROLE] = bytes(rec_role)
+    sections[_S_REC_VARIANT] = u32(rec_variant)
+    sections[_S_RULE_FLAGS] = bytes(rule_flags)
+    sections[_S_RULE_LABEL_START] = rule_label_start.tobytes()
+    sections[_S_RULE_LABELS] = u32(rule_labels)
+    sections[_S_NODE_CHILD_START] = node_child_start.tobytes()
+    sections[_S_CHILD_LABELS] = u32(child_labels)
+    sections[_S_CHILD_NODES] = u32(child_nodes)
+    sections[_S_NODE_STAR] = u32(node_star)
+    sections[_S_NODE_NORMAL] = u32(node_normal)
+    sections[_S_NODE_EXC] = u32(node_exc)
+
+    table: list[int] = []
+    offset = _DATA_START
+    padded: list[bytes] = []
+    for raw in sections:
+        table.extend((offset, len(raw)))
+        chunk = _pad4(raw)
+        padded.append(chunk)
+        offset += len(chunk)
+    total_len = offset + _TRAILER.size
+
+    flags = 0
+    if include_psl:
+        flags |= _FLAG_PSL
+    if snapshot is not None:
+        flags |= _FLAG_SNAPSHOT
+    content_hash = bytes.fromhex(snapshot.content_hash) if snapshot \
+        else b"\x00" * 32
+    header = _HEADER.pack(
+        EPOCH_MAGIC, EPOCH_FORMAT_VERSION, flags,
+        snapshot.version if snapshot is not None else 0,
+        content_hash, list_version_id, as_of_id,
+        n_strings, hash_cap, len(entry_site), len(set_primary),
+        len(rec_site), n_rules, n_nodes, total_len)
+    body = header + _SECTION_TABLE.pack(*table) + b"".join(padded)
+    return body + _TRAILER.pack(zlib.crc32(body))
+
+
+# ---------------------------------------------------------------------------
+# Parsed buffer
+
+
+class _BufferData:
+    """Validated header fields + per-section ``memoryview`` casts."""
+
+    __slots__ = (
+        "buf", "flags", "snap_version", "content_hash_hex", "list_version",
+        "as_of", "n_strings", "hash_cap", "hash_mask", "n_entries",
+        "n_sets", "n_records", "n_rules", "n_nodes", "total_len",
+        "str_offsets", "str_blob", "str_hash", "str_entry", "str_set",
+        "entry_site", "entry_primary", "entry_variant", "entry_role",
+        "entry_set", "set_primary", "set_rec_start", "rec_site",
+        "rec_role", "rec_variant", "rule_flags", "rule_label_start",
+        "rule_labels", "node_child_start", "child_labels", "child_nodes",
+        "node_star", "node_normal", "node_exc", "_strings",
+    )
+
+    def __init__(self, buf, *, verify: bool = True) -> None:
+        _require_little_endian()
+        view = memoryview(buf)
+        if view.ndim != 1 or view.itemsize != 1:
+            view = view.cast("B")
+        self.buf = view
+        size = len(view)
+        if size < _DATA_START + _TRAILER.size:
+            raise EpochFormatError(
+                f"buffer too short for an epoch header: {size} bytes")
+        (magic, fmt_version, flags, snap_version, content_hash,
+         list_version_id, as_of_id, n_strings, hash_cap, n_entries,
+         n_sets, n_records, n_rules, n_nodes, total_len) = \
+            _HEADER.unpack_from(view, 0)
+        if magic != EPOCH_MAGIC:
+            raise EpochFormatError(f"bad magic {bytes(magic)!r}", offset=0)
+        if fmt_version != EPOCH_FORMAT_VERSION:
+            raise EpochFormatError(
+                f"unsupported epoch format version {fmt_version} "
+                f"(expected {EPOCH_FORMAT_VERSION})", offset=4)
+        if total_len != size:
+            raise EpochFormatError(
+                f"declared length {total_len} != buffer length {size} "
+                f"(truncated or padded buffer)")
+        if verify:
+            expected = _TRAILER.unpack_from(view, size - _TRAILER.size)[0]
+            actual = zlib.crc32(view[:size - _TRAILER.size])
+            if actual != expected:
+                raise EpochFormatError(
+                    f"crc mismatch: computed {actual:#010x}, "
+                    f"stored {expected:#010x}",
+                    offset=size - _TRAILER.size)
+        self.flags = flags
+        self.snap_version = snap_version
+        self.content_hash_hex = content_hash.hex()
+        self.n_strings = n_strings
+        self.hash_cap = hash_cap
+        self.hash_mask = hash_cap - 1
+        self.n_entries = n_entries
+        self.n_sets = n_sets
+        self.n_records = n_records
+        self.n_rules = n_rules
+        self.n_nodes = n_nodes
+        self.total_len = total_len
+        if hash_cap < 8 or hash_cap & (hash_cap - 1):
+            raise EpochFormatError(
+                f"string hash capacity {hash_cap} is not a power of two")
+
+        table = _SECTION_TABLE.unpack_from(view, _HEADER.size)
+        expected_lengths = {
+            _S_STR_OFFSETS: 4 * (n_strings + 1),
+            _S_STR_HASH: 4 * hash_cap,
+            _S_STR_ENTRY: 4 * n_strings,
+            _S_STR_SET: 4 * n_strings,
+            _S_ENTRY_SITE: 4 * n_entries,
+            _S_ENTRY_PRIMARY: 4 * n_entries,
+            _S_ENTRY_VARIANT: 4 * n_entries,
+            _S_ENTRY_ROLE: n_entries,
+            _S_ENTRY_SET: 4 * n_entries,
+            _S_SET_PRIMARY: 4 * n_sets,
+            _S_SET_REC_START: 4 * (n_sets + 1),
+            _S_REC_SITE: 4 * n_records,
+            _S_REC_ROLE: n_records,
+            _S_REC_VARIANT: 4 * n_records,
+            _S_RULE_FLAGS: n_rules,
+            _S_RULE_LABEL_START: 4 * (n_rules + 1),
+            _S_NODE_CHILD_START: 4 * (n_nodes + 1),
+            _S_NODE_STAR: 4 * n_nodes,
+            _S_NODE_NORMAL: 4 * n_nodes,
+            _S_NODE_EXC: 4 * n_nodes,
+        }
+        views: list[memoryview] = []
+        limit = size - _TRAILER.size
+        for idx in range(_N_SECTIONS):
+            off, length = table[2 * idx], table[2 * idx + 1]
+            name = _SECTION_NAMES[idx]
+            if off % 4 or off < _DATA_START or off + length > limit:
+                raise EpochFormatError(
+                    f"section out of bounds (len={length})",
+                    section=name, offset=off)
+            want = expected_lengths.get(idx)
+            if want is not None and length != want:
+                raise EpochFormatError(
+                    f"section length {length} != expected {want}",
+                    section=name, offset=off)
+            part = view[off:off + length]
+            if idx not in _U8_SECTIONS:
+                if length % 4:
+                    raise EpochFormatError(
+                        f"u32 section length {length} not a multiple of 4",
+                        section=name, offset=off)
+                part = part.cast("I")
+            views.append(part)
+
+        (self.str_offsets, self.str_blob, self.str_hash, self.str_entry,
+         self.str_set, self.entry_site, self.entry_primary,
+         self.entry_variant, self.entry_role, self.entry_set,
+         self.set_primary, self.set_rec_start, self.rec_site,
+         self.rec_role, self.rec_variant, self.rule_flags,
+         self.rule_label_start, self.rule_labels, self.node_child_start,
+         self.child_labels, self.child_nodes, self.node_star,
+         self.node_normal, self.node_exc) = views
+
+        if n_strings and self.str_offsets[n_strings] != \
+                len(self.str_blob):
+            raise EpochFormatError(
+                "string offsets do not cover the blob",
+                section="str_offsets")
+        if not 0 < list_version_id <= n_strings:
+            raise EpochFormatError(
+                f"list version string id {list_version_id} out of range")
+        if as_of_id > n_strings:
+            raise EpochFormatError(
+                f"as-of string id {as_of_id} out of range")
+        self._strings: dict[int, str] = {}
+        self.list_version = self.string(list_version_id - 1)
+        self.as_of = self.string(as_of_id - 1) if as_of_id else None
+
+    @property
+    def has_psl(self) -> bool:
+        return bool(self.flags & _FLAG_PSL)
+
+    @property
+    def has_snapshot(self) -> bool:
+        return bool(self.flags & _FLAG_SNAPSHOT)
+
+    def string(self, sid: int) -> str:
+        """Materialize (and memoize) string ``sid``."""
+        text = self._strings.get(sid)
+        if text is None:
+            start = self.str_offsets[sid]
+            end = self.str_offsets[sid + 1]
+            text = str(bytes(self.str_blob[start:end]), "utf-8")
+            if len(self._strings) >= _MEMO_LIMIT:
+                self._strings.clear()
+            self._strings[sid] = text
+        return text
+
+    def string_id(self, text: str) -> int:
+        """Return the id of ``text`` in the table, or -1 if absent."""
+        raw = text.encode("utf-8")
+        mask = self.hash_mask
+        table = self.str_hash
+        offsets = self.str_offsets
+        blob = self.str_blob
+        slot = zlib.crc32(raw) & mask
+        while True:
+            value = table[slot]
+            if value == 0:
+                return -1
+            sid = value - 1
+            if blob[offsets[sid]:offsets[sid + 1]] == raw:
+                return sid
+            slot = (slot + 1) & mask
+
+
+# ---------------------------------------------------------------------------
+# Buffer-backed views
+
+
+class BufferIndex:
+    """Array-backed :class:`MembershipIndex` view over an epoch buffer.
+
+    Implements the full ``MembershipIndex`` query surface —
+    ``query`` / ``related`` / ``related_batch`` /
+    ``related_batch_normalized`` / ``lookup`` / ``set_for`` /
+    ``members_of`` / ``entries`` — with identical semantics, answering
+    membership probes via the buffer's string hash + u32 arrays.
+    Rich objects (:class:`IndexEntry`, :class:`RelatedWebsiteSet`) are
+    materialized lazily and memoized only where callers actually ask
+    for them.
+    """
+
+    __slots__ = ("_data", "_site_eidx", "_entry_objs", "_set_objs",
+                 "_set_count")
+
+    def __init__(self, data: _BufferData) -> None:
+        self._data = data
+        self._site_eidx: dict[str, int] = {}
+        self._entry_objs: dict[int, IndexEntry] = {}
+        self._set_objs: dict[int, RelatedWebsiteSet] = {}
+        self._set_count: int | None = None
+
+    # -- probing helpers
+
+    def _entry_index(self, site: str) -> int:
+        """Entry index for an already-lowercased site, -1 if absent."""
+        eidx = self._site_eidx.get(site)
+        if eidx is None:
+            data = self._data
+            sid = data.string_id(site)
+            eidx = data.str_entry[sid] - 1 if sid >= 0 else -1
+            if len(self._site_eidx) >= _MEMO_LIMIT:
+                self._site_eidx.clear()
+            self._site_eidx[site] = eidx
+        return eidx
+
+    def _entry(self, eidx: int) -> IndexEntry:
+        entry = self._entry_objs.get(eidx)
+        if entry is None:
+            data = self._data
+            vid = data.entry_variant[eidx]
+            entry = IndexEntry(
+                site=data.string(data.entry_site[eidx]),
+                role=_ROLES[data.entry_role[eidx]],
+                set_primary=data.string(data.entry_primary[eidx]),
+                variant_of=data.string(vid - 1) if vid else None)
+            self._entry_objs[eidx] = entry
+        return entry
+
+    def _set(self, set_idx: int) -> RelatedWebsiteSet:
+        """Reconstruct set ``set_idx`` from its member records.
+
+        Rationales and contacts are not carried by the wire format
+        (they are outside membership identity), so the reconstructed
+        set has empty ``rationales`` and ``contact=None``.
+        """
+        rws_set = self._set_objs.get(set_idx)
+        if rws_set is None:
+            data = self._data
+            primary = data.string(data.set_primary[set_idx])
+            associated: list[str] = []
+            service: list[str] = []
+            cctlds: dict[str, list[str]] = {}
+            start = data.set_rec_start[set_idx]
+            end = data.set_rec_start[set_idx + 1]
+            for ridx in range(start, end):
+                code = data.rec_role[ridx]
+                if code == 0:  # the set's own primary record
+                    continue
+                site = data.string(data.rec_site[ridx])
+                if code == 1:
+                    associated.append(site)
+                elif code == 2:
+                    service.append(site)
+                else:
+                    vid = data.rec_variant[ridx]
+                    variant = data.string(vid - 1) if vid else primary
+                    cctlds.setdefault(variant, []).append(site)
+            rws_set = RelatedWebsiteSet(primary=primary,
+                                        associated=associated,
+                                        service=service, cctlds=cctlds)
+            self._set_objs[set_idx] = rws_set
+        return rws_set
+
+    # -- MembershipIndex API
+
+    def __len__(self) -> int:
+        return self._data.n_entries
+
+    def __contains__(self, site: str) -> bool:
+        return self._entry_index(site.lower()) >= 0
+
+    @property
+    def set_count(self) -> int:
+        # Number of *distinct* primaries, matching
+        # len(MembershipIndex._sets_by_primary) even on degenerate
+        # lists where two sets share a primary.
+        count = self._set_count
+        if count is None:
+            str_set = self._data.str_set
+            count = sum(1 for sid in range(self._data.n_strings)
+                        if str_set[sid])
+            self._set_count = count
+        return count
+
+    @property
+    def site_count(self) -> int:
+        return self._data.n_entries
+
+    def lookup(self, site: str) -> IndexEntry | None:
+        eidx = self._entry_index(site.lower())
+        return self._entry(eidx) if eidx >= 0 else None
+
+    def role_of(self, site: str) -> SiteRole | None:
+        eidx = self._entry_index(site.lower())
+        return _ROLES[self._data.entry_role[eidx]] if eidx >= 0 else None
+
+    def set_for(self, site: str) -> RelatedWebsiteSet | None:
+        eidx = self._entry_index(site.lower())
+        return self._set(self._data.entry_set[eidx]) if eidx >= 0 else None
+
+    def primary_of(self, site: str) -> str | None:
+        eidx = self._entry_index(site.lower())
+        if eidx < 0:
+            return None
+        return self._data.string(self._data.entry_primary[eidx])
+
+    def members_of(self, primary: str) -> list[str] | None:
+        data = self._data
+        sid = data.string_id(primary.lower())
+        if sid < 0:
+            return None
+        set_plus = data.str_set[sid]
+        if set_plus == 0:
+            return None
+        return self._set(set_plus - 1).members()
+
+    def related(self, site_a: str, site_b: str) -> bool:
+        a = site_a.lower()
+        b = site_b.lower()
+        if a == b:
+            return True
+        ea = self._entry_index(a)
+        if ea < 0:
+            return False
+        eb = self._entry_index(b)
+        primary = self._data.entry_primary
+        return eb >= 0 and primary[ea] == primary[eb]
+
+    def query(self, site_a: str, site_b: str) -> QueryResult:
+        a = site_a.lower()
+        b = site_b.lower()
+        ea = self._entry_index(a)
+        eb = self._entry_index(b)
+        data = self._data
+        shared = None
+        if ea >= 0 and eb >= 0:
+            pa = data.entry_primary[ea]
+            if pa == data.entry_primary[eb]:
+                shared = data.string(pa)
+        return QueryResult(
+            site_a=a, site_b=b,
+            related=shared is not None or a == b,
+            set_primary=shared,
+            role_a=_ROLES[data.entry_role[ea]] if ea >= 0 else None,
+            role_b=_ROLES[data.entry_role[eb]] if eb >= 0 else None)
+
+    def related_batch(self, pairs) -> list[bool]:
+        return [self.related(a, b) for a, b in pairs]
+
+    def related_batch_normalized(self,
+                                 pairs: Sequence[tuple[str | None,
+                                                       str | None]]
+                                 ) -> list[bool]:
+        """Batch probe for pre-normalized pairs — no lowercasing."""
+        results: list[bool] = []
+        primary = self._data.entry_primary
+        entry_index = self._entry_index
+        for a, b in pairs:
+            if a is None or b is None:
+                results.append(False)
+                continue
+            if a == b:
+                results.append(True)
+                continue
+            ea = entry_index(a)
+            if ea < 0:
+                results.append(False)
+                continue
+            eb = entry_index(b)
+            results.append(eb >= 0 and primary[ea] == primary[eb])
+        return results
+
+    def query_stream(self, pairs) -> Iterator[QueryResult]:
+        for site_a, site_b in pairs:
+            yield self.query(site_a, site_b)
+
+    def entries(self) -> Iterator[IndexEntry]:
+        for eidx in range(self._data.n_entries):
+            yield self._entry(eidx)
+
+
+class _BufferRwsList(RwsList):
+    """Lazy ``RwsList`` view: sets materialize on first ``.sets`` access.
+
+    The workload / snapshot-delta machinery occasionally needs the
+    actual list object behind a buffer-loaded epoch (e.g. to diff it
+    against a successor).  This subclass defers reconstructing the
+    per-set objects until something touches ``.sets`` — pure membership
+    serving never does.
+    """
+
+    def __init__(self, data: _BufferData) -> None:
+        # Deliberately no dataclass __init__: `sets` is a class-level
+        # property (a data descriptor), so materialization stays lazy.
+        self._data = data
+        self._materialized: list[RelatedWebsiteSet] | None = None
+        self.version = data.list_version
+        self.as_of = data.as_of
+
+    def _materialize(self) -> list[RelatedWebsiteSet]:
+        data = self._data
+        index = BufferIndex(data)
+        return [index._set(set_idx) for set_idx in range(data.n_sets)]
+
+    @property
+    def sets(self) -> list[RelatedWebsiteSet]:
+        if self._materialized is None:
+            self._materialized = self._materialize()
+        return self._materialized
+
+    @sets.setter
+    def sets(self, value: list[RelatedWebsiteSet]) -> None:
+        self._materialized = list(value)
+
+
+class BufferSuffixTrie:
+    """Array-backed :class:`~repro.psl.rules.SuffixTrie` view.
+
+    ``resolve`` mirrors the compiled trie's walk exactly — including
+    the restart into the general multi-path resolver when an exact
+    child and a wildcard are simultaneously live, the exception-rule
+    ``depth - 1`` match length, and the implicit ``*`` fallback —
+    except that label membership checks go through the buffer's string
+    hash and a per-node binary search instead of dict lookups.
+    """
+
+    __slots__ = ("_data", "_label_ids", "_rule_objs")
+
+    def __init__(self, data: _BufferData) -> None:
+        if not data.has_psl:
+            raise EpochFormatError(
+                "buffer does not carry a PSL trie", section="rule_flags")
+        self._data = data
+        self._label_ids: dict[str, int] = {}
+        self._rule_objs: dict[int, Rule] = {}
+
+    def __len__(self) -> int:
+        return self._data.n_rules
+
+    def _label_sid(self, label: str) -> int:
+        sid = self._label_ids.get(label)
+        if sid is None:
+            sid = self._data.string_id(label)
+            if len(self._label_ids) >= _MEMO_LIMIT:
+                self._label_ids.clear()
+            self._label_ids[label] = sid
+        return sid
+
+    def _child(self, node: int, sid: int) -> int:
+        """Exact child of ``node`` for label ``sid``, 0 if absent."""
+        if sid < 0:
+            return 0
+        data = self._data
+        lo = data.node_child_start[node]
+        hi = data.node_child_start[node + 1]
+        labels = data.child_labels
+        while lo < hi:
+            mid = (lo + hi) // 2
+            value = labels[mid]
+            if value < sid:
+                lo = mid + 1
+            elif value > sid:
+                hi = mid
+            else:
+                return data.child_nodes[mid]
+        return 0
+
+    def rule(self, seq: int) -> Rule:
+        """Materialize (and memoize) rule ``seq``."""
+        rule = self._rule_objs.get(seq)
+        if rule is None:
+            data = self._data
+            start = data.rule_label_start[seq]
+            end = data.rule_label_start[seq + 1]
+            labels = tuple(data.string(data.rule_labels[i])
+                           for i in range(start, end))
+            flags = data.rule_flags[seq]
+            rule = Rule(labels=labels, kind=_RULE_KINDS[flags & 3],
+                        is_private=bool(flags >> 2 & 1))
+            self._rule_objs[seq] = rule
+        return rule
+
+    def rules(self) -> Iterator[Rule]:
+        """Yield rules in insertion (RuleIndex iteration) order."""
+        for seq in range(self._data.n_rules):
+            yield self.rule(seq)
+
+    def resolve(self, labels: Sequence[str]) -> tuple[Rule | None, int]:
+        data = self._data
+        node = 0
+        best = 0  # normal terminal seq+1
+        best_depth = 0
+        exc = 0  # exception terminal seq+1
+        exc_depth = 0
+        depth = 0
+        for label in reversed(labels):
+            sid = self._label_sid(label)
+            depth += 1
+            child = self._child(node, sid)
+            star = data.node_star[node]
+            if star == 0:
+                if child == 0:
+                    break
+                node = child
+            elif child == 0:
+                node = star
+            else:
+                # Both an exact child and a wildcard are live: fall
+                # back to the general multi-path resolver.
+                return self._resolve_general(labels)
+            terminal = data.node_normal[node]
+            if terminal:
+                # Depth strictly increases on a single path, so the
+                # deepest terminal seen always prevails.
+                best = terminal
+                best_depth = depth
+            terminal = data.node_exc[node]
+            if terminal:
+                exc = terminal
+                exc_depth = depth
+        if exc:
+            # An exception rule wins outright and matches one label
+            # fewer than it contains.
+            return self.rule(exc - 1), exc_depth - 1
+        if best:
+            return self.rule(best - 1), best_depth
+        return None, 1  # implicit "*": the bare TLD is the suffix
+
+    def _resolve_general(self,
+                         labels: Sequence[str]) -> tuple[Rule | None, int]:
+        """Multi-path descent for domains matching exact + wildcard."""
+        data = self._data
+        nodes = [0]
+        best = -1  # rule seq
+        best_depth = 0
+        best_seq = 0
+        exc = -1
+        exc_depth = 0
+        exc_seq = 0
+        depth = 0
+        for label in reversed(labels):
+            sid = self._label_sid(label)
+            depth += 1
+            matched: list[int] = []
+            for node in nodes:
+                child = self._child(node, sid)
+                if child:
+                    matched.append(child)
+                star = data.node_star[node]
+                if star:
+                    matched.append(star)
+            if not matched:
+                break
+            for node in matched:
+                terminal = data.node_normal[node]
+                if terminal:
+                    seq = terminal - 1
+                    if depth > best_depth or (depth == best_depth
+                                              and seq < best_seq):
+                        best = seq
+                        best_depth = depth
+                        best_seq = seq
+                terminal = data.node_exc[node]
+                if terminal:
+                    seq = terminal - 1
+                    if depth > exc_depth or (depth == exc_depth
+                                             and seq < exc_seq):
+                        exc = seq
+                        exc_depth = depth
+                        exc_seq = seq
+            nodes = matched
+        if exc >= 0:
+            return self.rule(exc), exc_depth - 1
+        if best >= 0:
+            return self.rule(best), best_depth
+        return None, 1
+
+
+# ---------------------------------------------------------------------------
+# Loading
+
+
+def load_epoch(buf, *, psl=None, verify: bool = True) -> "Epoch":
+    """Load an :class:`Epoch` from an encoded buffer in O(size).
+
+    ``buf`` may be any 1-byte buffer object (``bytes``, ``bytearray``,
+    ``mmap``, ``memoryview``); the loaded epoch keeps a read-only view
+    into it, so the underlying storage must outlive the epoch.  Pass
+    ``psl`` to reuse an existing resolver (required when the buffer
+    was encoded with ``include_psl=False`` and the process has no
+    default PSL warm yet is not a concern — the default snapshot PSL
+    is used as a fallback).  ``verify=False`` skips the CRC check for
+    hot in-process hand-offs of trusted buffers.
+    """
+    from repro.serve.epoch import Epoch
+
+    data = _BufferData(buf, verify=verify)
+    index = BufferIndex(data)
+    if psl is None:
+        if data.has_psl:
+            from repro.psl.lookup import PublicSuffixList
+            psl = PublicSuffixList.from_compiled(BufferSuffixTrie(data))
+        else:
+            from repro.psl.lookup import default_psl
+            psl = default_psl()
+    snapshot = None
+    if data.has_snapshot:
+        snapshot = ListSnapshot(version=data.snap_version,
+                                content_hash=data.content_hash_hex,
+                                rws_list=_BufferRwsList(data))
+    return Epoch(index=index, snapshot=snapshot, psl=psl)
+
+
+def epoch_stat(buf, *, verify: bool = True) -> dict:
+    """Summarize an encoded epoch without building any views."""
+    data = _BufferData(buf, verify=verify)
+    return {
+        "bytes": data.total_len,
+        "format_version": EPOCH_FORMAT_VERSION,
+        "snapshot_version": data.snap_version,
+        "content_hash": data.content_hash_hex,
+        "list_version": data.list_version,
+        "as_of": data.as_of,
+        "has_psl": data.has_psl,
+        "has_snapshot": data.has_snapshot,
+        "strings": data.n_strings,
+        "entries": data.n_entries,
+        "sets": data.n_sets,
+        "records": data.n_records,
+        "rules": data.n_rules,
+        "trie_nodes": data.n_nodes,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Disk cache
+
+
+class EpochDiskCache:
+    """Content-addressed on-disk cache of encoded epochs.
+
+    Files are keyed by the snapshot's ``content_hash``
+    (``<hash>.rwse``) under a cache directory taken from the
+    ``REPRO_EPOCH_CACHE`` environment variable or the explicit
+    ``directory`` argument.  Writes are atomic (temp file + rename);
+    loads are zero-copy via ``mmap`` with a plain-read fallback.
+    """
+
+    SUFFIX = ".rwse"
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        if directory is None:
+            directory = os.environ.get("REPRO_EPOCH_CACHE",
+                                       ".repro-epoch-cache")
+        self.directory = Path(directory)
+
+    def path_for(self, content_hash: str) -> Path:
+        return self.directory / f"{content_hash}{self.SUFFIX}"
+
+    def put(self, epoch: "Epoch", *, include_psl: bool = True) -> Path:
+        """Encode and persist ``epoch``; returns the cache file path."""
+        if epoch.snapshot is None:
+            raise ValueError("cannot cache a bootstrap epoch: it has no "
+                             "content hash to key by")
+        buf = encode_epoch(epoch, include_psl=include_psl)
+        return self.put_encoded(epoch.snapshot.content_hash, buf)
+
+    def put_encoded(self, content_hash: str, buf: bytes) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        target = self.path_for(content_hash)
+        tmp = target.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(buf)
+        os.replace(tmp, target)
+        return target
+
+    def get(self, content_hash: str, *, psl=None,
+            verify: bool = True) -> "Epoch | None":
+        """Load the cached epoch for ``content_hash``, or ``None``.
+
+        A cache file that fails validation is treated as absent and
+        removed (a torn write from a crashed process, say) rather than
+        poisoning every subsequent cold start.
+        """
+        target = self.path_for(content_hash)
+        try:
+            handle = open(target, "rb")
+        except OSError:
+            return None
+        with handle:
+            try:
+                mapped = mmap.mmap(handle.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+            except (OSError, ValueError):
+                mapped = None
+            raw = mapped if mapped is not None else handle.read()
+        # On rejection the mapping is NOT closed explicitly: a failed
+        # load may still hold exported memoryviews (closing would raise
+        # BufferError), so the mmap is released when those views are
+        # garbage-collected.  Unlinking a mapped file is safe.
+        try:
+            epoch = load_epoch(raw, psl=psl, verify=verify)
+        except EpochFormatError:
+            try:
+                os.unlink(target)
+            except OSError:
+                pass
+            return None
+        if epoch.snapshot is not None and \
+                epoch.snapshot.content_hash != content_hash:
+            try:
+                os.unlink(target)
+            except OSError:
+                pass
+            return None
+        return epoch
+
+    def warm(self, epochs: Iterable["Epoch"], *,
+             include_psl: bool = True) -> list[Path]:
+        """Persist every epoch in ``epochs``; returns the paths written."""
+        return [self.put(epoch, include_psl=include_psl)
+                for epoch in epochs]

@@ -54,7 +54,16 @@ from repro.rws.validation import Validator
 from repro.serve.epoch import Epoch
 from repro.serve.index import MembershipIndex, QueryResult
 from repro.serve.queue import SubmissionStatus, ValidationQueue
-from repro.serve.snapshot import ListSnapshot, SnapshotDelta, SnapshotStore
+from repro.serve.snapshot import (
+    ListSnapshot,
+    SnapshotDelta,
+    SnapshotStore,
+    StaleSnapshotError,
+)
+
+#: Encoded-epoch cache bound per service (recent versions only; the
+#: buffers are immutable so there is nothing to invalidate, just age).
+_ENCODED_CACHE_KEEP = 4
 
 
 @dataclass
@@ -560,6 +569,11 @@ class RwsService(EpochShell):
         # own thread's stats cell.
         self._lock = threading.RLock()
         self.store = SnapshotStore()
+        self._encoded: dict[int, bytes] = {}
+        self._epoch_encodes = 0
+        self._epoch_encode_ns = 0
+        self._epoch_loads = 0
+        self._epoch_load_ns = 0
         self._shell_init(self.psl, self.resolver_cache_size)
         if self.validator is None:
             self.validator = Validator(psl=self.psl)
@@ -626,6 +640,95 @@ class RwsService(EpochShell):
                                          index=epoch.index)
         return True
 
+    def encoded_epoch(self, version: int | None = None) -> bytes | None:
+        """The binary-encoded epoch for ``version`` (default: current).
+
+        Encodes at most once per version and caches the buffer, so N
+        resyncing replicas (or N fanned-out shards) cost one encode,
+        not N recompiles.  Buffers are encoded without the PSL trie —
+        every in-process consumer shares the service's resolver.
+
+        Returns ``None`` for versions the store no longer resolves
+        (and for the pre-publish bootstrap epoch, which has no
+        snapshot to encode).
+        """
+        with self._lock:
+            epoch = self._epoch
+            if version is None:
+                version = epoch.version
+            buf = self._encoded.get(version)
+            if buf is not None:
+                return buf
+            if version == epoch.version:
+                if epoch.snapshot is None:
+                    return None
+                source = epoch
+            else:
+                try:
+                    snapshot = self.store.get(version)
+                except StaleSnapshotError:
+                    return None
+                source = Epoch.compile(snapshot, self.psl)
+            started = time.perf_counter_ns()
+            buf = source.to_buffer(include_psl=False)
+            self._epoch_encodes += 1
+            self._epoch_encode_ns += time.perf_counter_ns() - started
+            self._encoded[version] = buf
+            while len(self._encoded) > _ENCODED_CACHE_KEEP:
+                self._encoded.pop(min(self._encoded))
+        tracer = self._tracer
+        if tracer.live:
+            tracer.emit("epoch.encode", version=version, bytes=len(buf))
+        return buf
+
+    def adopt_encoded(self, buf) -> ListSnapshot:
+        """Adopt a binary-encoded epoch as the serving epoch.
+
+        The O(size) spin-up path: the buffer's array-backed index view
+        is swapped in directly — no per-entry compile.  If the encoded
+        version extends this service's store by exactly one, the lazy
+        snapshot is appended so subsequent deltas resolve; adopting a
+        version already in the store just swaps the epoch.
+
+        Raises:
+            StaleSnapshotError: When adopting the buffer would leave a
+                version gap in the store.
+            ValueError: When the buffer carries no snapshot (a
+                bootstrap epoch is not adoptable).
+            repro.serve.epochfmt.EpochFormatError: On a corrupt or
+                truncated buffer.
+        """
+        started = time.perf_counter_ns()
+        epoch = Epoch.from_buffer(buf, psl=self.psl)
+        elapsed = time.perf_counter_ns() - started
+        if epoch.snapshot is None:
+            raise ValueError(
+                "encoded epoch carries no snapshot to adopt")
+        with self._lock:
+            self._epoch_loads += 1
+            self._epoch_load_ns += elapsed
+            count = len(self.store.snapshots)
+            if epoch.version == count + 1:
+                self.store.snapshots.append(epoch.snapshot)
+            elif epoch.version > count + 1:
+                raise StaleSnapshotError(
+                    f"cannot adopt encoded v{epoch.version}: store holds "
+                    f"versions 1..{count}")
+            if isinstance(buf, bytes):
+                # Seed the encode cache: replicas bootstrapping off
+                # this service reuse the very buffer it adopted.
+                self._encoded.setdefault(epoch.version, buf)
+            self._cells.cell().publishes += 1
+            self._epoch = epoch
+            assert self.validator is not None
+            self.validator.set_published(epoch.snapshot.rws_list,
+                                         index=epoch.index)
+        tracer = self._tracer
+        if tracer.live:
+            tracer.emit("epoch.load", version=epoch.version,
+                        bytes=len(buf))
+        return epoch.snapshot
+
     def delta_since(self, version: int,
                     to_version: int | None = None) -> SnapshotDelta:
         """The patch bringing a client at ``version`` up to date.
@@ -686,6 +789,10 @@ class RwsService(EpochShell):
         report["index_sets"] = float(epoch.index.set_count)
         report["snapshot_version"] = float(epoch.version)
         report["epoch"] = float(epoch.version)
+        report["epoch_encodes"] = float(self._epoch_encodes)
+        report["epoch_encode_ns"] = float(self._epoch_encode_ns)
+        report["epoch_loads"] = float(self._epoch_loads)
+        report["epoch_load_ns"] = float(self._epoch_load_ns)
         queue_stats = self.queue.stats_snapshot()
         report["queue_submitted"] = float(queue_stats.submitted)
         report["queue_passed"] = float(queue_stats.passed)

@@ -77,9 +77,11 @@ from repro.chaos.router import ChaosRouter
 from repro.cluster.router import Router
 from repro.obs.trace import NULL_TRACER, Tracer, TraceSummary
 from repro.psl.lookup import DomainError
+from repro.psl import default_psl
 from repro.rws.model import RwsList
+from repro.serve.epoch import Epoch
 from repro.serve.service import RwsService
-from repro.serve.snapshot import apply_delta, membership_hash
+from repro.serve.snapshot import SnapshotStore, apply_delta, membership_hash
 from repro.workload.generator import Session, SessionGenerator, SiteUniverse
 from repro.workload.metrics import (
     WorkloadMetrics,
@@ -130,6 +132,13 @@ class ShardTask:
             side, not client traffic).  ``transport="tcp"`` with
             ``trace=True`` is refused: socket scheduling would make
             span streams non-deterministic.
+        encoded: The profile's initial list as a binary-encoded epoch
+            (:mod:`repro.serve.epochfmt`).  When set, the shard's
+            service adopts the buffer in O(size) instead of building
+            the list and recompiling the index — the instant fan-out
+            path.  ``None`` restores the per-shard publish (the
+            reference for digest-equality tests).  Outcomes are
+            bit-identical either way.
     """
 
     scenario: Scenario
@@ -140,6 +149,7 @@ class ShardTask:
     reference: bool
     trace: bool = False
     transport: str = "inproc"
+    encoded: bytes | None = None
 
 
 @dataclass
@@ -602,9 +612,18 @@ def run_shard(task: ShardTask) -> dict:
                          "non-deterministic")
     started = time.perf_counter()
     build_v1, build_v2 = LIST_PROFILES[scenario.list_profile]
-    rws_list = build_v1()
     service = RwsService(resolver_cache_size=scenario.resolver_cache_size)
-    service.publish(rws_list)
+    if task.encoded is not None:
+        # O(size) spin-up: the shard serves the pre-encoded epoch's
+        # array-backed index directly — no list build, no per-entry
+        # index compile.  The lazy snapshot list materializes only if
+        # something walks it (the site universe below does; the
+        # serving hot path never would).
+        snapshot = service.adopt_encoded(task.encoded)
+        rws_list = snapshot.rws_list
+    else:
+        rws_list = build_v1()
+        service.publish(rws_list)
     router = None
     if scenario.chaos is not None and scenario.replicas <= 0:
         raise ValueError(f"chaos plan {scenario.chaos!r} requires "
@@ -755,6 +774,25 @@ def run_shard(task: ShardTask) -> dict:
 # -- run orchestration --------------------------------------------------------
 
 
+#: Per-process memo: list profile -> binary-encoded v1 epoch.  Encoded
+#: once per driver process and handed to every shard; immutable bytes,
+#: so fork-based process pools share the pages for free.
+_PROFILE_BUFFERS: dict[str, bytes] = {}
+
+
+def _profile_buffer(profile: str) -> bytes:
+    """The binary-encoded initial epoch for a list profile (memoized)."""
+    buf = _PROFILE_BUFFERS.get(profile)
+    if buf is None:
+        build_v1, _ = LIST_PROFILES[profile]
+        store = SnapshotStore()
+        snapshot = store.publish(build_v1())
+        epoch = Epoch.compile(snapshot, default_psl())
+        buf = epoch.to_buffer(include_psl=False)
+        _PROFILE_BUFFERS[profile] = buf
+    return buf
+
+
 def _partition(users: int, shards: int) -> list[tuple[int, int]]:
     """Contiguous, ascending user-id ranges (empty ranges dropped)."""
     base, extra = divmod(users, shards)
@@ -811,17 +849,24 @@ def _merge(scenario: Scenario, users: int, shards: int, executor: str,
 
 def run_serial(scenario: Scenario | str, users: int, *,
                seed: int = 0, trace: bool = False,
-               transport: str = "inproc") -> WorkloadResult:
-    """The serial driver: one shard, full-fidelity execution."""
+               transport: str = "inproc",
+               encoded_epoch: bool = True) -> WorkloadResult:
+    """The serial driver: one shard, full-fidelity execution.
+
+    ``encoded_epoch=False`` restores the per-shard list build +
+    publish (the compiled reference for digest-equality tests).
+    """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     started = time.perf_counter()
+    encoded = (_profile_buffer(scenario.list_profile)
+               if encoded_epoch else None)
     outcomes = []
     if users > 0:
         outcomes.append(run_shard(ShardTask(
             scenario=scenario, seed=seed, user_start=0, user_end=users,
             total_users=users, reference=True, trace=trace,
-            transport=transport,
+            transport=transport, encoded=encoded,
         )))
     return _merge(scenario, users, 1, "serial", seed, outcomes,
                   time.perf_counter() - started, transport)
@@ -830,7 +875,8 @@ def run_serial(scenario: Scenario | str, users: int, *,
 def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
                 seed: int = 0, executor: str = "auto",
                 trace: bool = False,
-                transport: str = "inproc") -> WorkloadResult:
+                transport: str = "inproc",
+                encoded_epoch: bool = True) -> WorkloadResult:
     """The sharded executor: partition users, run shards, merge.
 
     Args:
@@ -849,6 +895,11 @@ def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
             :attr:`ShardTask.transport`.  Each shard gets its own
             loopback server/client pair, so process executors stay
             picklable (sockets are created inside the worker).
+        encoded_epoch: Hand every shard the profile's binary-encoded
+            epoch (encoded once in the driver) instead of having each
+            shard rebuild the list and recompile its index.  ``False``
+            restores the per-shard publish; outcomes are bit-identical
+            either way.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -856,10 +907,12 @@ def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
         raise ValueError(f"shards must be >= 1, got {shards}")
     mode = _resolve_executor(executor, shards)
     started = time.perf_counter()
+    encoded = (_profile_buffer(scenario.list_profile)
+               if encoded_epoch else None)
     tasks = [
         ShardTask(scenario=scenario, seed=seed, user_start=start,
                   user_end=end, total_users=users, reference=False,
-                  trace=trace, transport=transport)
+                  trace=trace, transport=transport, encoded=encoded)
         for start, end in _partition(users, shards)
     ]
     if len(tasks) <= 1:
@@ -889,14 +942,16 @@ def run_sharded(scenario: Scenario | str, users: int, shards: int, *,
 def run_workload(scenario: Scenario | str, users: int, *, shards: int = 1,
                  seed: int = 0, executor: str = "auto",
                  trace: bool = False,
-                 transport: str = "inproc") -> WorkloadResult:
+                 transport: str = "inproc",
+                 encoded_epoch: bool = True) -> WorkloadResult:
     """Run a workload, serial for one shard, sharded otherwise."""
     if shards <= 1:
         return run_serial(scenario, users, seed=seed, trace=trace,
-                          transport=transport)
+                          transport=transport,
+                          encoded_epoch=encoded_epoch)
     return run_sharded(scenario, users, shards, seed=seed,
                        executor=executor, trace=trace,
-                       transport=transport)
+                       transport=transport, encoded_epoch=encoded_epoch)
 
 
 def replicated(scenario: Scenario | str, replicas: int, *, lag: int = 0,

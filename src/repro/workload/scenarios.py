@@ -25,7 +25,11 @@ adding an entry to :data:`SCENARIOS`, not writing driver code:
 * ``cold-cache`` / ``warm-cache`` — the resolver cache accounting
   disabled vs pre-warmed, bracketing the cache's contribution;
 * ``bulk`` — a pure membership-decision firehose (no browser
-  simulation), the throughput benchmark's workload.
+  simulation), the throughput benchmark's workload;
+* ``synthetic-bulk`` — the bulk firehose over the seeded synthetic
+  generator list (:mod:`repro.data.synthetic`) with a mid-flight
+  update, exercising the binary epoch fan-out path over generated
+  content.
 
 List contents come from named *profiles* (:data:`LIST_PROFILES`) so a
 scenario can reference "the seed list plus an abusive set" or "the seed
@@ -38,6 +42,10 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.data import build_rws_list
+from repro.data.synthetic import (
+    build_small_synthetic_list,
+    build_small_synthetic_list_v2,
+)
 from repro.rws.model import RelatedWebsiteSet, RwsList
 
 
@@ -171,10 +179,15 @@ def _abusive_list_v2() -> RwsList:
 
 
 #: Profile name -> (initial list builder, mid-flight successor builder).
+#: The synthetic profile serves the small deterministic generator
+#: fixture (:mod:`repro.data.synthetic`) — the same generator scales
+#: to the million-domain lists the epoch cold-start bench loads.
 LIST_PROFILES: dict[str, tuple[Callable[[], RwsList],
                                Callable[[], RwsList] | None]] = {
     "seed": (build_rws_list, _seed_v2),
     "abusive": (_abusive_list, _abusive_list_v2),
+    "synthetic": (build_small_synthetic_list,
+                  build_small_synthetic_list_v2),
 }
 
 
@@ -362,6 +375,18 @@ SCENARIOS: dict[str, Scenario] = {
             embeds_per_page=(4, 8),
             rsa_for_fraction=0.0,
             no_gesture_fraction=0.0,
+        ),
+        Scenario(
+            name="synthetic-bulk",
+            description="membership firehose over the generated "
+                        "synthetic list with a mid-flight update",
+            list_profile="synthetic",
+            browser_traffic=False,
+            pages_per_session=(4, 8),
+            embeds_per_page=(4, 8),
+            rsa_for_fraction=0.0,
+            no_gesture_fraction=0.0,
+            update_at_fraction=0.5,
         ),
     )
 }

@@ -1,5 +1,6 @@
 """Tests for the serving layer (repro.serve)."""
 
+import random
 import threading
 import time
 
@@ -111,6 +112,64 @@ class TestMembershipIndex:
         primary = self.index.lookup("example.com")
         assert variant is not None and primary is not None
         assert variant.set_primary is primary.site
+
+
+class TestBufferIndexEquivalence:
+    """The serialized index is a third implementation of the
+    membership predicate; it must agree with both the compiled index
+    and the naive list scan, on known and randomised (valid) lists."""
+
+    @staticmethod
+    def round_trip(rws_list):
+        from repro.psl import default_psl
+
+        snapshot = SnapshotStore().publish(rws_list)
+        epoch = Epoch.compile(snapshot, default_psl())
+        loaded = Epoch.from_buffer(epoch.to_buffer(include_psl=False),
+                                   psl=epoch.psl)
+        return epoch, loaded
+
+    def test_small_list_three_way_agreement(self):
+        rws_list = small_list()
+        epoch, loaded = self.round_trip(small_list())
+        sites = ["example.com", "example-news.com", "example-cdn.com",
+                 "example.co.uk", "other.com", "other-shop.com",
+                 "missing.net", "Example.COM"]
+        for a in sites:
+            for b in sites:
+                expected = rws_list.related(a, b)
+                assert epoch.index.related(a, b) == expected, (a, b)
+                assert loaded.index.related(a, b) == expected, (a, b)
+        assert membership_hash(loaded.snapshot.rws_list) \
+            == epoch.snapshot.content_hash
+
+    def test_randomized_lists_three_way_agreement(self):
+        for seed in range(15):
+            rng = random.Random(seed)
+            sites = [f"s{i}.com" for i in range(rng.randint(4, 16))]
+            rng.shuffle(sites)
+            sets, cursor = [], 0
+            while cursor + 2 <= len(sites):
+                take = min(rng.randint(2, 5), len(sites) - cursor)
+                members = sites[cursor:cursor + take]
+                cursor += take
+                split = rng.randint(1, len(members) - 1)
+                sets.append(RelatedWebsiteSet(
+                    primary=members[0],
+                    associated=members[1:split + 1],
+                    service=members[split + 1:],
+                    rationales={m: "randomised" for m in members[1:]},
+                ))
+            rws_list = RwsList(sets=sets, version=f"rand-{seed}")
+            epoch, loaded = self.round_trip(rws_list)
+            probe = sites + ["absent.example"]
+            for a in probe:
+                for b in probe:
+                    expected = rws_list.related(a, b)
+                    assert epoch.index.related(a, b) == expected
+                    assert loaded.index.related(a, b) == expected
+            assert membership_hash(loaded.snapshot.rws_list) \
+                == epoch.snapshot.content_hash
 
 
 class TestSnapshotStore:
